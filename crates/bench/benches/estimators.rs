@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the analytical engines themselves: roofline kernel
+//! costing, collective costing, memory models, and the end-to-end
+//! training/inference estimators. These quantify the "early design space
+//! exploration" speed the analytical approach buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus::collective::{Collective, CommModel};
+use optimus::memory::{training_memory, RecomputeMode, TrainingMemorySpec};
+use optimus::prelude::*;
+use optimus::roofline::{GemmShape, RooflineModel};
+use std::hint::black_box;
+
+fn bench_roofline(c: &mut Criterion) {
+    let a100 = hw::presets::a100_sxm_80gb();
+    let model = RooflineModel::new(&a100);
+    c.bench_function("roofline/fat_gemm", |b| {
+        b.iter(|| {
+            black_box(
+                model
+                    .gemm(black_box(GemmShape::new(4096, 4096, 4096)), Precision::Fp16)
+                    .unwrap(),
+            )
+        })
+    });
+    c.bench_function("roofline/decode_gemv", |b| {
+        b.iter(|| {
+            black_box(
+                model
+                    .gemm(black_box(GemmShape::new(1, 16384, 4096)), Precision::Fp16)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let link = hw::nettech::NvlinkGen::Gen3.link();
+    let comm = CommModel::auto();
+    c.bench_function("collective/allreduce_auto", |b| {
+        b.iter(|| {
+            black_box(comm.time(
+                Collective::AllReduce,
+                black_box(Bytes::from_mib(50.0)),
+                8,
+                &link,
+            ))
+        })
+    });
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let spec = TrainingMemorySpec {
+        batch: 64,
+        seq: 2048,
+        parallelism: Parallelism::new(1, 8, 8),
+        schedule: PipelineSchedule::OneFOneB,
+        precision: Precision::Fp16,
+        recompute: RecomputeMode::Selective,
+    };
+    let model = model::presets::gpt_175b();
+    c.bench_function("memory/training_footprint", |b| {
+        b.iter(|| black_box(training_memory(&model, &spec).unwrap()))
+    });
+}
+
+fn bench_training_estimator(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let cfg = TrainingConfig::new(
+        model::presets::gpt_175b(),
+        64,
+        2048,
+        Parallelism::new(1, 8, 8).with_sp(true),
+    )
+    .with_recompute(RecomputeMode::Selective);
+    let estimator = TrainingEstimator::new(&cluster);
+    c.bench_function("train/gpt175b_estimate", |b| {
+        b.iter(|| black_box(estimator.estimate(&cfg).unwrap()))
+    });
+}
+
+fn bench_inference_estimator(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let cfg = InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), 4);
+    let estimator = InferenceEstimator::new(&cluster);
+    c.bench_function("infer/llama13b_estimate", |b| {
+        b.iter(|| black_box(estimator.estimate(&cfg).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = estimators;
+    config = Criterion::default().sample_size(20);
+    targets = bench_roofline,
+        bench_collectives,
+        bench_memory,
+        bench_training_estimator,
+        bench_inference_estimator
+);
+criterion_main!(estimators);

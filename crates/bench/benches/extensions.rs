@@ -1,0 +1,35 @@
+//! Benchmarks of the extension studies: ablations (FlashAttention,
+//! collective algorithms, schedules, utilization models) and the
+//! energy/TCO analysis of the paper's §7 future work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    println!("\n=== Ablations ===");
+    print!("{}", optimus_experiments::ablations::render());
+    c.bench_function("ablations/flash_attention", |b| {
+        b.iter(|| black_box(optimus_experiments::ablations::flash_attention()))
+    });
+    c.bench_function("ablations/collectives", |b| {
+        b.iter(|| black_box(optimus_experiments::ablations::collective_algorithms()))
+    });
+    c.bench_function("ablations/schedules", |b| {
+        b.iter(|| black_box(optimus_experiments::ablations::schedules()))
+    });
+}
+
+fn bench_tco(c: &mut Criterion) {
+    println!("\n=== Performance per TCO ===");
+    print!("{}", optimus_experiments::tco::render());
+    c.bench_function("tco/training", |b| {
+        b.iter(|| black_box(optimus_experiments::tco::training()))
+    });
+}
+
+criterion_group!(
+    name = extensions;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations, bench_tco
+);
+criterion_main!(extensions);

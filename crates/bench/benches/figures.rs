@@ -1,0 +1,98 @@
+//! Regenerates the paper's figures inside the Criterion harness
+//! (`cargo bench -p optimus-bench --bench figures`). Fig. 6's full
+//! DSE sweep is represented by one optimized design point to keep the
+//! harness fast; the full sweep is `cargo run --release -p
+//! optimus-experiments --bin fig6`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus::hw::memtech::DramTechnology;
+use optimus::tech::{TechNode, UArchEngine};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("\n=== Fig. 3 (GEMV validation) ===");
+    let points = optimus_experiments::fig3::run();
+    println!(
+        "points: {}, MAPE varied {:.1}% / constant {:.1}%\n",
+        points.len(),
+        optimus_experiments::fig3::mape(&points, |p| p.varied_us),
+        optimus_experiments::fig3::mape(&points, |p| p.const_us)
+    );
+    c.bench_function("fig3/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::fig3::run()))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    println!("\n=== Fig. 4 (memory breakdown) ===");
+    print!("{}", optimus_experiments::fig4::render());
+    c.bench_function("fig4/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::fig4::run()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    println!("\n=== Fig. 5 (GPU-generation scaling) ===");
+    print!("{}", optimus_experiments::fig5::render());
+    c.bench_function("fig5/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::fig5::run()))
+    });
+}
+
+fn bench_fig6_point(c: &mut Criterion) {
+    println!("\n=== Fig. 6 (one DSE-optimized design point) ===");
+    let engine = UArchEngine::a100_at_n7();
+    let point = optimus_experiments::fig6::optimize_point(
+        &engine,
+        TechNode::N3,
+        DramTechnology::Hbm3,
+        100.0,
+    );
+    println!(
+        "N3/HBM3/100GBps: {:.3} s at alloc {:.0}%/{:.0}%\n",
+        point.time_s,
+        100.0 * point.alloc_compute,
+        100.0 * point.alloc_sram
+    );
+    c.bench_function("fig6/dse_point", |b| {
+        b.iter(|| {
+            black_box(optimus_experiments::fig6::optimize_point(
+                &engine,
+                TechNode::N3,
+                DramTechnology::Hbm3,
+                100.0,
+            ))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("\n=== Fig. 7 (GEMM bound breakdown vs node) ===");
+    print!("{}", optimus_experiments::fig7::render());
+    c.bench_function("fig7/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::fig7::run()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    println!("\n=== Fig. 8 (prefill bound fractions) ===");
+    print!("{}", optimus_experiments::fig8::render());
+    c.bench_function("fig8/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::fig8::run()))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    println!("\n=== Fig. 9 (DRAM technology scaling) ===");
+    print!("{}", optimus_experiments::fig9::render());
+    c.bench_function("fig9/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::fig9::run()))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig3, bench_fig4, bench_fig5, bench_fig6_point, bench_fig7, bench_fig8, bench_fig9
+);
+criterion_main!(figures);

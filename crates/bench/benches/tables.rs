@@ -1,0 +1,56 @@
+//! Regenerates the paper's validation tables inside the Criterion harness:
+//! each iteration recomputes the full table, so the benchmark doubles as a
+//! reproduction run (`cargo bench -p optimus-bench --bench tables`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once so bench logs carry the artifact.
+    println!("\n=== Table 1 (training-time validation) ===");
+    print!("{}", optimus_experiments::table1::render());
+    let rows = optimus_experiments::table1::run();
+    println!(
+        "mean |err| = {:.1}%\n",
+        optimus_experiments::table1::mean_error_percent(&rows)
+    );
+
+    c.bench_function("table1/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::table1::run()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n=== Table 2 (inference-latency validation) ===");
+    print!("{}", optimus_experiments::table2::render());
+    let rows = optimus_experiments::table2::run();
+    println!(
+        "mean |err| = {:.1}%\n",
+        optimus_experiments::table2::mean_error_percent(&rows)
+    );
+
+    c.bench_function("table2/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::table2::run()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    println!("\n=== Table 4 (per-GEMM bound analysis) ===");
+    print!("{}", optimus_experiments::table4::render());
+    let rows = optimus_experiments::table4::run();
+    println!(
+        "bound agreement = {:.0}%\n",
+        100.0 * optimus_experiments::table4::bound_agreement(&rows)
+    );
+
+    c.bench_function("table4/regenerate", |b| {
+        b.iter(|| black_box(optimus_experiments::table4::run()))
+    });
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table4
+);
+criterion_main!(tables);

@@ -1,0 +1,4 @@
+//! Benchmark-only crate; all content lives in `benches/`.
+//!
+//! One Criterion group per table/figure of the paper (regenerating the
+//! exact rows the paper reports), plus micro-benches of each estimator.

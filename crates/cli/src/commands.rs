@@ -1,0 +1,292 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use optimus::memory::{training_memory, RecomputeMode, TrainingMemorySpec};
+use optimus::prelude::*;
+
+/// Resolves a model preset name (case-insensitive, `-`/`_` agnostic).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] listing the known names on a miss.
+pub fn model_preset(name: &str) -> Result<ModelConfig, ArgError> {
+    use optimus::model::presets as p;
+    let key = name.to_lowercase().replace('_', "-");
+    Ok(match key.as_str() {
+        "gpt-7b" => p::gpt_7b(),
+        "gpt-22b" => p::gpt_22b(),
+        "gpt-175b" => p::gpt_175b(),
+        "gpt-310b" => p::gpt_310b(),
+        "gpt-530b" => p::gpt_530b(),
+        "gpt-1008b" | "gpt-1t" => p::gpt_1008b(),
+        "llama2-7b" => p::llama2_7b(),
+        "llama2-13b" => p::llama2_13b(),
+        "llama2-70b" => p::llama2_70b(),
+        _ => {
+            return Err(ArgError(format!(
+                "unknown model `{name}`; try one of: gpt-7b, gpt-22b, gpt-175b, gpt-310b, \
+                 gpt-530b, gpt-1008b, llama2-7b, llama2-13b, llama2-70b"
+            )))
+        }
+    })
+}
+
+/// Resolves a cluster preset name.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] listing the known names on a miss.
+pub fn cluster_preset(name: &str) -> Result<ClusterSpec, ArgError> {
+    use optimus::hw::presets as p;
+    let key = name.to_lowercase().replace('_', "-");
+    Ok(match key.as_str() {
+        "a100-hdr" | "a100" => p::dgx_a100_hdr_cluster(),
+        "h100-ndr" | "h100" => p::dgx_h100_ndr_cluster(),
+        "h100-nvs" => p::dgx_h100_nvs_cluster(),
+        "h200-nvs" | "h200" => p::dgx_h200_nvs_cluster(),
+        "b200-ndr" => p::dgx_b200_ndr_cluster(),
+        "b200-nvs" | "b200" => p::dgx_b200_nvs_cluster(),
+        _ => {
+            return Err(ArgError(format!(
+                "unknown cluster `{name}`; try one of: a100-hdr, h100-ndr, h100-nvs, \
+                 h200-nvs, b200-ndr, b200-nvs"
+            )))
+        }
+    })
+}
+
+fn precision_of(name: &str) -> Result<Precision, ArgError> {
+    Ok(match name.to_lowercase().as_str() {
+        "fp16" => Precision::Fp16,
+        "bf16" => Precision::Bf16,
+        "fp8" => Precision::Fp8,
+        "fp4" => Precision::Fp4,
+        "fp32" => Precision::Fp32,
+        other => return Err(ArgError(format!("unknown precision `{other}`"))),
+    })
+}
+
+fn recompute_of(name: &str) -> Result<RecomputeMode, ArgError> {
+    Ok(match name.to_lowercase().as_str() {
+        "none" => RecomputeMode::None,
+        "selective" => RecomputeMode::Selective,
+        "full" => RecomputeMode::Full {
+            checkpoints_per_stage: None,
+        },
+        other => return Err(ArgError(format!("unknown recompute mode `{other}`"))),
+    })
+}
+
+fn parallelism_of(args: &Args) -> Result<Parallelism, ArgError> {
+    Ok(Parallelism::new(
+        args.get_usize("dp", 1)?,
+        args.get_usize("tp", 1)?,
+        args.get_usize("pp", 1)?,
+    )
+    .with_sp(args.flag("sp"))
+    .with_microbatch(args.get_usize("microbatch", 1)?))
+}
+
+/// `optimus-cli train …` — training-time estimate.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for bad options or infeasible configurations.
+pub fn train(args: &Args) -> Result<String, ArgError> {
+    let model = model_preset(args.get_or("model", "gpt-175b"))?;
+    let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
+    let cfg = TrainingConfig::new(
+        model,
+        args.get_usize("batch", 64)?,
+        args.get_usize("seq", 2048)?,
+        parallelism_of(args)?,
+    )
+    .with_precision(precision_of(args.get_or("precision", "fp16"))?)
+    .with_recompute(recompute_of(args.get_or("recompute", "selective"))?)
+    .with_flash(args.flag("flash"));
+
+    let report = TrainingEstimator::new(&cluster)
+        .estimate(&cfg)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+    }
+    let mut out = String::new();
+    out.push_str(&format!("config: {cfg}\ncluster: {cluster}\n\n{report}\n"));
+    out.push_str(&format!(
+        "\nfits {} device memory: {}\n",
+        cluster.accelerator().dram.capacity,
+        report.memory.fits(cluster.accelerator().dram.capacity)
+    ));
+    Ok(out)
+}
+
+/// `optimus-cli infer …` — serving-latency estimate.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for bad options.
+pub fn infer(args: &Args) -> Result<String, ArgError> {
+    let model = model_preset(args.get_or("model", "llama2-13b"))?;
+    let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
+    let cfg = InferenceConfig::new(
+        model,
+        args.get_usize("batch", 1)?,
+        args.get_usize("prefill", 200)?,
+        args.get_usize("generate", 200)?,
+        args.get_usize("tp", 1)?,
+    )
+    .with_precision(precision_of(args.get_or("precision", "fp16"))?);
+
+    let report = InferenceEstimator::new(&cluster)
+        .estimate(&cfg)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+    }
+    let mut out = format!("config: {cfg}\ncluster: {cluster}\n\n{report}\n");
+    out.push_str("\nper-GEMM bound analysis (decode layer at full context):\n");
+    for g in &report.decode_gemms {
+        out.push_str(&format!(
+            "  {:<20} {:>9.1} us  {}\n",
+            g.role.to_string(),
+            g.time.micros(),
+            g.bound
+        ));
+    }
+    out.push_str(&format!(
+        "\nweights {:.1} GB + kv-cache {:.2} GB per device\n",
+        report.memory.weights.gb(),
+        report.memory.kv_cache.gb()
+    ));
+    Ok(out)
+}
+
+/// `optimus-cli memory …` — training memory dissection.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for bad options or indivisible configurations.
+pub fn memory(args: &Args) -> Result<String, ArgError> {
+    let model = model_preset(args.get_or("model", "gpt-175b"))?;
+    let spec = TrainingMemorySpec {
+        batch: args.get_usize("batch", 64)?,
+        seq: args.get_usize("seq", 2048)?,
+        parallelism: parallelism_of(args)?,
+        schedule: PipelineSchedule::OneFOneB,
+        precision: precision_of(args.get_or("precision", "fp16"))?,
+        recompute: recompute_of(args.get_or("recompute", "selective"))?,
+    };
+    let report = training_memory(&model, &spec).map_err(|e| ArgError(e.to_string()))?;
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+    }
+    Ok(format!("{report}\n"))
+}
+
+/// `optimus-cli list` — the available presets.
+#[must_use]
+pub fn list() -> String {
+    let mut out = String::from("models:\n");
+    for m in optimus::model::presets::gpt_family()
+        .into_iter()
+        .chain([optimus::model::presets::gpt_7b()])
+        .chain(optimus::model::presets::llama2_family())
+    {
+        out.push_str(&format!("  {m}\n"));
+    }
+    out.push_str("\nclusters:\n");
+    for name in [
+        "a100-hdr", "h100-ndr", "h100-nvs", "h200-nvs", "b200-ndr", "b200-nvs",
+    ] {
+        let c = cluster_preset(name).expect("preset list is in sync");
+        out.push_str(&format!("  {c}\n"));
+    }
+    out
+}
+
+/// Top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "optimus-cli — analytical LLM performance modeling (IISWC 2024 reproduction)
+
+USAGE:
+  optimus-cli train  [--model M] [--cluster C] [--batch N] [--seq N]
+                     [--dp N] [--tp N] [--pp N] [--sp] [--microbatch N]
+                     [--precision P] [--recompute none|selective|full]
+                     [--flash] [--json]
+  optimus-cli infer  [--model M] [--cluster C] [--batch N] [--prefill N]
+                     [--generate N] [--tp N] [--precision P] [--json]
+  optimus-cli memory [--model M] [--batch N] [--seq N] [--dp N] [--tp N]
+                     [--pp N] [--sp] [--recompute MODE] [--json]
+  optimus-cli list
+
+EXAMPLES:
+  optimus-cli train --model gpt-175b --cluster a100-hdr --batch 64 \\
+      --tp 8 --pp 8 --sp --recompute selective
+  optimus-cli infer --model llama2-70b --cluster h100-ndr --tp 8
+"
+    .to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_owned)).unwrap()
+    }
+
+    #[test]
+    fn train_command_produces_report() {
+        let out = train(&args(
+            "train --model gpt-22b --cluster a100-hdr --batch 4 --tp 8 --recompute full",
+        ))
+        .unwrap();
+        assert!(out.contains("time/batch"), "{out}");
+        assert!(out.contains("fits"));
+    }
+
+    #[test]
+    fn train_json_is_valid() {
+        let out = train(&args("train --model gpt-22b --batch 4 --tp 8 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("time_per_batch").is_some());
+    }
+
+    #[test]
+    fn infer_command_produces_report() {
+        let out = infer(&args("infer --model llama2-7b --tp 2")).unwrap();
+        assert!(out.contains("latency"));
+        assert!(out.contains("kv-cache"));
+    }
+
+    #[test]
+    fn memory_command_produces_breakdown() {
+        let out = memory(&args("memory --model gpt-175b --batch 64 --tp 8 --pp 8")).unwrap();
+        assert!(out.contains("optimizer"));
+    }
+
+    #[test]
+    fn unknown_model_is_helpful() {
+        let err = train(&args("train --model gpt5")).unwrap_err();
+        assert!(err.to_string().contains("llama2-13b"));
+    }
+
+    #[test]
+    fn infeasible_config_is_an_error_not_a_panic() {
+        // TP 16 exceeds the node size.
+        let err = train(&args("train --model gpt-22b --tp 16 --batch 4")).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn list_names_every_preset() {
+        let out = list();
+        assert!(out.contains("GPT-1008B"));
+        assert!(out.contains("Llama2-70B"));
+        assert!(out.contains("B200"));
+    }
+}

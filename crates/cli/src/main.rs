@@ -1,0 +1,39 @@
+//! `optimus-cli` — command-line front end to the Optimus suite.
+//!
+//! ```text
+//! optimus-cli train --model gpt-175b --cluster a100-hdr --batch 64 --tp 8 --pp 8 --sp
+//! optimus-cli infer --model llama2-70b --cluster h100-ndr --tp 8
+//! optimus-cli memory --model gpt-530b --batch 280 --tp 8 --pp 35 --recompute full
+//! optimus-cli list
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "train" => commands::train(&parsed),
+        "infer" => commands::infer(&parsed),
+        "memory" => commands::memory(&parsed),
+        "list" => Ok(commands::list()),
+        "" | "help" | "-h" => Ok(commands::usage()),
+        other => Err(args::ArgError(format!("unknown subcommand `{other}`"))),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::usage());
+            std::process::exit(2);
+        }
+    }
+}

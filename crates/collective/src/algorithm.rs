@@ -1,0 +1,67 @@
+//! Collective kinds and algorithm selection.
+
+use serde::{Deserialize, Serialize};
+
+/// The collective operations used by distributed LLM training and inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Collective {
+    /// Reduce a buffer across all ranks, leaving the result on every rank.
+    /// Used by tensor-parallel layers (forward and backward) and by
+    /// data-parallel gradient synchronization.
+    AllReduce,
+    /// Gather shards from all ranks onto every rank. Used by sequence
+    /// parallelism before entering a tensor-parallel region.
+    AllGather,
+    /// Reduce a buffer and leave each rank with one shard. Used by sequence
+    /// parallelism when leaving a tensor-parallel region.
+    ReduceScatter,
+    /// One rank sends a buffer to every rank.
+    Broadcast,
+    /// A single point-to-point transfer (pipeline-stage boundary).
+    PointToPoint,
+}
+
+impl core::fmt::Display for Collective {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::AllReduce => "all-reduce",
+            Self::AllGather => "all-gather",
+            Self::ReduceScatter => "reduce-scatter",
+            Self::Broadcast => "broadcast",
+            Self::PointToPoint => "p2p",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The algorithm executing a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Logical ring (Eq. 3): bandwidth-optimal, latency linear in `N`.
+    Ring,
+    /// Double binary trees (Eq. 4): bandwidth-optimal with latency
+    /// logarithmic in `N` (Sanders et al.; NCCL 2.4).
+    DoubleBinaryTree,
+}
+
+impl core::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Ring => f.write_str("ring"),
+            Self::DoubleBinaryTree => f.write_str("double-binary-tree"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Collective::AllReduce.to_string(), "all-reduce");
+        assert_eq!(Algorithm::DoubleBinaryTree.to_string(), "double-binary-tree");
+    }
+}

@@ -1,0 +1,40 @@
+//! Analytical cost models for collective communication.
+//!
+//! Implements the communication model of the paper's §3.4: collectives are
+//! costed by the α–β forms of the **ring** algorithm (Eq. 3, bandwidth
+//! optimal) and the **double-binary-tree** algorithm (Eq. 4, bandwidth and
+//! latency optimal):
+//!
+//! ```text
+//! ring:  T = 2K(N−1)/(N·BW) + 2·l·(N−1)
+//! tree:  T = 2K(N−1)/(N·BW) + 2·l·log2(N)
+//! ```
+//!
+//! where `K` is the reduced data volume, `N` the group size, `BW` the
+//! per-participant link bandwidth (derated by the size-dependent utilization
+//! of [`optimus_hw::LinkSpec`]), and `l` the hop latency. Training messages
+//! are large, so the latency term is negligible and ring is chosen; decode
+//! messages are kilobytes, so the tree's `log2(N)` latency term is what lets
+//! inference scale to 8 GPUs (§3.4). [`CommModel::auto`] picks the cheaper
+//! of the two, which reproduces exactly this behaviour.
+//!
+//! ```
+//! use optimus_collective::{Collective, CommModel};
+//! use optimus_hw::nettech::NvlinkGen;
+//! use optimus_units::Bytes;
+//!
+//! let link = NvlinkGen::Gen3.link();
+//! let model = CommModel::auto();
+//! // Training-sized all-reduce: tens of MB, bandwidth-dominated.
+//! let t = model.time(Collective::AllReduce, Bytes::from_mib(50.0), 8, &link);
+//! assert!(t.millis() > 0.1 && t.millis() < 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod model;
+
+pub use algorithm::{Algorithm, Collective};
+pub use model::CommModel;

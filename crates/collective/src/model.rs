@@ -1,0 +1,268 @@
+//! The α–β communication cost model.
+
+use crate::{Algorithm, Collective};
+use optimus_hw::LinkSpec;
+use optimus_units::{Bytes, Time};
+use serde::{Deserialize, Serialize};
+
+/// Communication cost model: algorithm policy plus the Eq. 3/Eq. 4 math.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CommModel {
+    /// Always use the ring algorithm.
+    Ring,
+    /// Always use double binary trees.
+    Tree,
+    /// Pick whichever is faster for each call (NCCL-style autotuning).
+    #[default]
+    Auto,
+}
+
+impl CommModel {
+    /// The automatic-selection model.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self::Auto
+    }
+
+    /// Predicted time of `collective` over `volume` bytes across `ranks`
+    /// participants connected by `link`.
+    ///
+    /// A group of one rank is free. The per-participant bandwidth is
+    /// derated by the link's size-dependent utilization evaluated on the
+    /// *per-rank chunk* actually pipelined (`volume / ranks`), which is what
+    /// underutilizes the network for inference-sized messages.
+    #[must_use]
+    pub fn time(&self, collective: Collective, volume: Bytes, ranks: usize, link: &LinkSpec) -> Time {
+        assert!(ranks > 0, "collective over zero ranks");
+        if ranks == 1 || volume.is_zero() {
+            return Time::ZERO;
+        }
+        match self {
+            Self::Ring => Self::algorithm_time(Algorithm::Ring, collective, volume, ranks, link),
+            Self::Tree => {
+                Self::algorithm_time(Algorithm::DoubleBinaryTree, collective, volume, ranks, link)
+            }
+            Self::Auto => {
+                let ring = Self::algorithm_time(Algorithm::Ring, collective, volume, ranks, link);
+                let tree = Self::algorithm_time(
+                    Algorithm::DoubleBinaryTree,
+                    collective,
+                    volume,
+                    ranks,
+                    link,
+                );
+                ring.min(tree)
+            }
+        }
+    }
+
+    /// The algorithm [`CommModel::Auto`] would choose.
+    #[must_use]
+    pub fn chosen_algorithm(
+        &self,
+        collective: Collective,
+        volume: Bytes,
+        ranks: usize,
+        link: &LinkSpec,
+    ) -> Algorithm {
+        match self {
+            Self::Ring => Algorithm::Ring,
+            Self::Tree => Algorithm::DoubleBinaryTree,
+            Self::Auto => {
+                let ring = Self::algorithm_time(Algorithm::Ring, collective, volume, ranks, link);
+                let tree = Self::algorithm_time(
+                    Algorithm::DoubleBinaryTree,
+                    collective,
+                    volume,
+                    ranks,
+                    link,
+                );
+                if ring <= tree {
+                    Algorithm::Ring
+                } else {
+                    Algorithm::DoubleBinaryTree
+                }
+            }
+        }
+    }
+
+    /// Bytes that cross **one participant's** link during the collective —
+    /// the quantity energy models charge per rank. A ring all-reduce moves
+    /// `2K(N−1)/N` per rank (scatter-reduce + all-gather stages); gather
+    /// and scatter halves move `K(N−1)/N`; broadcast and point-to-point
+    /// move the buffer once.
+    #[must_use]
+    pub fn wire_bytes(collective: Collective, volume: Bytes, ranks: usize) -> Bytes {
+        if ranks <= 1 {
+            return Bytes::ZERO;
+        }
+        let n = ranks as f64;
+        let k = volume.bytes();
+        let per_rank = match collective {
+            Collective::AllReduce => 2.0 * k * (n - 1.0) / n,
+            Collective::AllGather | Collective::ReduceScatter => k * (n - 1.0) / n,
+            Collective::Broadcast | Collective::PointToPoint => k,
+        };
+        Bytes::new(per_rank)
+    }
+
+    /// Eq. 3 / Eq. 4 evaluated for one algorithm.
+    ///
+    /// All-gather and reduce-scatter are each *one stage* of the two-stage
+    /// ring all-reduce, so they cost half its bandwidth term and half its
+    /// latency term. Broadcast moves the full buffer once along the
+    /// pipeline; point-to-point is a single hop.
+    #[must_use]
+    pub fn algorithm_time(
+        algorithm: Algorithm,
+        collective: Collective,
+        volume: Bytes,
+        ranks: usize,
+        link: &LinkSpec,
+    ) -> Time {
+        if ranks <= 1 || volume.is_zero() {
+            return Time::ZERO;
+        }
+        let n = ranks as f64;
+        let k = volume.bytes();
+        // The paper derives the actual bandwidth by applying a utilization
+        // factor to the transferred data volume (§3.4).
+        let bw = link.effective_bandwidth(volume).get();
+        let l = link.latency.secs();
+
+        let hops = match algorithm {
+            Algorithm::Ring => n - 1.0,
+            Algorithm::DoubleBinaryTree => n.log2(),
+        };
+
+        let (bw_term, lat_term) = match collective {
+            Collective::AllReduce => (2.0 * k * (n - 1.0) / (n * bw), 2.0 * l * hops),
+            Collective::AllGather | Collective::ReduceScatter => {
+                (k * (n - 1.0) / (n * bw), l * hops)
+            }
+            Collective::Broadcast => (k / bw, l * hops),
+            Collective::PointToPoint => (k / link.effective_bandwidth(volume).get(), l),
+        };
+        Time::new(bw_term + lat_term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::UtilizationCurve;
+    use optimus_units::{Bandwidth, Ratio};
+
+    fn ideal_link(gbps: f64, latency_us: f64) -> LinkSpec {
+        LinkSpec::new(
+            "test",
+            Bandwidth::from_gb_per_sec(gbps),
+            Time::from_micros(latency_us),
+        )
+    }
+
+    #[test]
+    fn ring_matches_eq3_exactly() {
+        // K = 100 MB, N = 8, BW = 100 GB/s, l = 5 us:
+        // T = 2·1e8·7/(8·1e11) + 2·5e-6·7 = 1.75e-3 + 7e-5.
+        let link = ideal_link(100.0, 5.0);
+        let t = CommModel::algorithm_time(
+            Algorithm::Ring,
+            Collective::AllReduce,
+            Bytes::from_mb(100.0),
+            8,
+            &link,
+        );
+        assert!((t.secs() - (1.75e-3 + 7.0e-5)).abs() < 1e-9, "{}", t);
+    }
+
+    #[test]
+    fn tree_matches_eq4_exactly() {
+        // Same parameters; latency term becomes 2·l·log2(8) = 2·5e-6·3.
+        let link = ideal_link(100.0, 5.0);
+        let t = CommModel::algorithm_time(
+            Algorithm::DoubleBinaryTree,
+            Collective::AllReduce,
+            Bytes::from_mb(100.0),
+            8,
+            &link,
+        );
+        assert!((t.secs() - (1.75e-3 + 3.0e-5)).abs() < 1e-9, "{}", t);
+    }
+
+    #[test]
+    fn single_rank_is_free() {
+        let link = ideal_link(100.0, 5.0);
+        let t = CommModel::auto().time(Collective::AllReduce, Bytes::from_mb(1.0), 1, &link);
+        assert_eq!(t, Time::ZERO);
+    }
+
+    #[test]
+    fn auto_prefers_tree_for_small_messages() {
+        // Tiny volume: latency dominates, tree wins for N > 2.
+        let link = ideal_link(300.0, 3.0);
+        let model = CommModel::auto();
+        let algo =
+            model.chosen_algorithm(Collective::AllReduce, Bytes::from_kib(10.0), 8, &link);
+        assert_eq!(algo, Algorithm::DoubleBinaryTree);
+    }
+
+    #[test]
+    fn allgather_is_half_an_allreduce() {
+        let link = ideal_link(100.0, 0.0001);
+        let v = Bytes::from_mb(64.0);
+        let ar = CommModel::algorithm_time(Algorithm::Ring, Collective::AllReduce, v, 8, &link);
+        let ag = CommModel::algorithm_time(Algorithm::Ring, Collective::AllGather, v, 8, &link);
+        let rs = CommModel::algorithm_time(Algorithm::Ring, Collective::ReduceScatter, v, 8, &link);
+        assert!((ar.secs() - (ag.secs() + rs.secs())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_penalizes_inference_messages() {
+        let derated = ideal_link(300.0, 3.0).with_utilization(UtilizationCurve {
+            max: Ratio::new(0.8),
+            half_saturation: Bytes::from_mib(4.0),
+        });
+        let ideal = ideal_link(300.0, 3.0);
+        let v = Bytes::from_kib(10.0); // one decode-step all-reduce
+        let slow = CommModel::Ring.time(Collective::AllReduce, v, 8, &derated);
+        let fast = CommModel::Ring.time(Collective::AllReduce, v, 8, &ideal);
+        // The ring latency term (2·l·(N−1)) is common to both; the derated
+        // bandwidth term adds tens of microseconds on top.
+        assert!(slow.secs() > 1.5 * fast.secs(), "{} vs {}", slow, fast);
+    }
+
+    #[test]
+    fn p2p_is_volume_over_bandwidth_plus_latency() {
+        let link = ideal_link(100.0, 5.0);
+        let t = CommModel::algorithm_time(
+            Algorithm::Ring,
+            Collective::PointToPoint,
+            Bytes::from_mb(10.0),
+            2,
+            &link,
+        );
+        assert!((t.secs() - (1e7 / 1e11 + 5e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_cost_independent_of_ranks_for_large_n() {
+        // Bandwidth term approaches 2K/BW as N grows (the paper's point
+        // that ring cost is independent of processor count).
+        let link = ideal_link(100.0, 0.0);
+        let v = Bytes::from_mb(100.0);
+        let t16 = CommModel::Ring.time(Collective::AllReduce, v, 16, &link);
+        let t256 = CommModel::Ring.time(Collective::AllReduce, v, 256, &link);
+        let limit = 2.0 * 1e8 / 1e11;
+        assert!((t16.secs() - limit).abs() / limit < 0.07);
+        assert!((t256.secs() - limit).abs() / limit < 0.005);
+        assert!(t256 > t16);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ranks")]
+    fn zero_ranks_rejected() {
+        let link = ideal_link(1.0, 1.0);
+        let _ = CommModel::auto().time(Collective::AllReduce, Bytes::from_mb(1.0), 0, &link);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the collective cost model.
+
+use optimus_collective::{Algorithm, Collective, CommModel};
+use optimus_hw::LinkSpec;
+use optimus_units::{Bandwidth, Bytes, Time};
+use proptest::prelude::*;
+
+fn link(gbps: f64, lat_us: f64) -> LinkSpec {
+    LinkSpec::new("p", Bandwidth::from_gb_per_sec(gbps), Time::from_micros(lat_us))
+}
+
+proptest! {
+    /// Collective time grows with volume.
+    #[test]
+    fn monotone_in_volume(v in 1.0f64..1e9, ranks in 2usize..64) {
+        let l = link(100.0, 3.0);
+        let model = CommModel::auto();
+        let t1 = model.time(Collective::AllReduce, Bytes::new(v), ranks, &l);
+        let t2 = model.time(Collective::AllReduce, Bytes::new(v * 2.0), ranks, &l);
+        prop_assert!(t2 >= t1);
+    }
+
+    /// More bandwidth never hurts.
+    #[test]
+    fn monotone_in_bandwidth(v in 1e3f64..1e9, ranks in 2usize..64, bw in 1.0f64..400.0) {
+        let slow = link(bw, 3.0);
+        let fast = link(bw * 2.0, 3.0);
+        let model = CommModel::auto();
+        let ts = model.time(Collective::AllReduce, Bytes::new(v), ranks, &slow);
+        let tf = model.time(Collective::AllReduce, Bytes::new(v), ranks, &fast);
+        prop_assert!(tf <= ts);
+    }
+
+    /// Auto never loses to either fixed algorithm.
+    #[test]
+    fn auto_is_optimal(v in 1.0f64..1e9, ranks in 2usize..128) {
+        let l = link(300.0, 3.0);
+        let vol = Bytes::new(v);
+        let auto = CommModel::Auto.time(Collective::AllReduce, vol, ranks, &l);
+        let ring = CommModel::Ring.time(Collective::AllReduce, vol, ranks, &l);
+        let tree = CommModel::Tree.time(Collective::AllReduce, vol, ranks, &l);
+        prop_assert!(auto <= ring && auto <= tree);
+        prop_assert!(auto == ring.min(tree));
+    }
+
+    /// Ring all-reduce decomposes exactly into reduce-scatter + all-gather.
+    #[test]
+    fn ring_decomposition(v in 1.0f64..1e9, ranks in 2usize..128) {
+        let l = link(100.0, 2.0);
+        let vol = Bytes::new(v);
+        let ar = CommModel::algorithm_time(Algorithm::Ring, Collective::AllReduce, vol, ranks, &l);
+        let rs = CommModel::algorithm_time(Algorithm::Ring, Collective::ReduceScatter, vol, ranks, &l);
+        let ag = CommModel::algorithm_time(Algorithm::Ring, Collective::AllGather, vol, ranks, &l);
+        prop_assert!((ar.secs() - rs.secs() - ag.secs()).abs() < 1e-12 * ar.secs().max(1e-9));
+    }
+
+    /// Tree latency advantage grows with rank count; bandwidth terms match.
+    #[test]
+    fn tree_beats_ring_on_latency(ranks_exp in 2u32..8) {
+        let ranks = 1usize << ranks_exp;
+        let l = link(100.0, 5.0);
+        let tiny = Bytes::new(64.0);
+        let ring = CommModel::algorithm_time(Algorithm::Ring, Collective::AllReduce, tiny, ranks, &l);
+        let tree = CommModel::algorithm_time(Algorithm::DoubleBinaryTree, Collective::AllReduce, tiny, ranks, &l);
+        prop_assert!(tree < ring, "tree must win for tiny messages at {ranks} ranks");
+    }
+
+    /// Wire bytes per rank are bounded by twice the logical volume.
+    #[test]
+    fn wire_bytes_bounded(v in 1.0f64..1e9, ranks in 2usize..256) {
+        let w = CommModel::wire_bytes(Collective::AllReduce, Bytes::new(v), ranks);
+        prop_assert!(w.bytes() <= 2.0 * v);
+        prop_assert!(w.bytes() >= v * 0.5, "at least half the buffer moves");
+    }
+
+    /// Broadcast costs no more than an all-reduce of the same volume.
+    #[test]
+    fn broadcast_cheaper_than_allreduce(v in 1e3f64..1e9, ranks in 2usize..64) {
+        let l = link(100.0, 3.0);
+        let vol = Bytes::new(v);
+        let bc = CommModel::algorithm_time(Algorithm::Ring, Collective::Broadcast, vol, ranks, &l);
+        let ar = CommModel::algorithm_time(Algorithm::Ring, Collective::AllReduce, vol, ranks, &l);
+        prop_assert!(bc <= ar);
+    }
+}

@@ -1,0 +1,98 @@
+//! **Optimus** — analytical performance modeling and workload analysis of
+//! distributed LLM training and inference.
+//!
+//! This crate is the facade of a workspace that reproduces, as a
+//! production-quality Rust library, the methodology of *"Performance
+//! Modeling and Workload Analysis of Distributed Large Language Model
+//! Training and Inference"* (IISWC 2024):
+//!
+//! | Layer | Crate | Re-exported as |
+//! |-------|-------|----------------|
+//! | Typed quantities | `optimus-units` | [`units`] |
+//! | Architecture abstraction (GPUs, memory, links) | `optimus-hw` | [`hw`] |
+//! | Technology nodes + µArch engine | `optimus-tech` | [`tech`] |
+//! | Hierarchical roofline | `optimus-roofline` | [`roofline`] |
+//! | Collective cost models | `optimus-collective` | [`collective`] |
+//! | LLM configs + operator graphs | `optimus-model` | [`model`] |
+//! | Parallelization mapper | `optimus-parallel` | [`parallel`] |
+//! | Memory footprints | `optimus-memory` | [`memory`] |
+//! | Training estimator | `optimus-train` | [`train`] |
+//! | Inference estimator | `optimus-infer` | [`infer`] |
+//! | Design-space exploration | `optimus-dse` | [`dse`] |
+//! | Energy + TCO models (§7 future work) | `optimus-energy` | [`energy`] |
+//!
+//! The [`refdata`] module embeds every published number the paper validates
+//! against (Tables 1–4 and the figure series), so the experiment harness
+//! can report relative errors exactly as the paper's δE columns do.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use optimus::prelude::*;
+//!
+//! // How long does one GPT-175B batch take on 64 A100s (Table 1 row)?
+//! let cluster = hw::presets::dgx_a100_hdr_cluster();
+//! let cfg = TrainingConfig::new(
+//!     model::presets::gpt_175b(),
+//!     64,
+//!     2048,
+//!     Parallelism::new(1, 8, 8),
+//! )
+//! .with_recompute(RecomputeMode::Full { checkpoints_per_stage: None });
+//! let report = TrainingEstimator::new(&cluster).estimate(&cfg)?;
+//! assert!((10.0..25.0).contains(&report.time_per_batch.secs()));
+//! # Ok::<(), optimus::train::TrainError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use optimus_collective as collective;
+pub use optimus_dse as dse;
+pub use optimus_energy as energy;
+pub use optimus_hw as hw;
+pub use optimus_infer as infer;
+pub use optimus_memory as memory;
+pub use optimus_model as model;
+pub use optimus_parallel as parallel;
+pub use optimus_roofline as roofline;
+pub use optimus_tech as tech;
+pub use optimus_train as train;
+pub use optimus_units as units;
+
+pub mod refdata;
+
+/// The types needed by almost every user of the suite.
+pub mod prelude {
+    pub use crate::hw;
+    pub use crate::hw::{Accelerator, ClusterSpec, Precision};
+    pub use crate::infer::{InferenceConfig, InferenceEstimator, InferenceReport};
+    pub use crate::memory::RecomputeMode;
+    pub use crate::model;
+    pub use crate::model::ModelConfig;
+    pub use crate::parallel::{Parallelism, PipelineSchedule};
+    pub use crate::refdata;
+    pub use crate::train::{TrainingConfig, TrainingEstimator, TrainingReport};
+    pub use crate::units::{Bandwidth, Bytes, FlopCount, FlopThroughput, Ratio, Time};
+}
+
+/// Relative error `|predicted − reference| / reference` in percent — the
+/// paper's δE metric.
+///
+/// # Panics
+///
+/// Panics if `reference` is zero.
+#[must_use]
+pub fn relative_error_percent(predicted: f64, reference: f64) -> f64 {
+    assert!(reference != 0.0, "reference must be non-zero");
+    100.0 * (predicted - reference).abs() / reference.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn relative_error() {
+        assert!((super::relative_error_percent(16.9, 18.1) - 6.63).abs() < 0.01);
+        assert_eq!(super::relative_error_percent(5.0, 5.0), 0.0);
+    }
+}

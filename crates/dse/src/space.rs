@@ -1,0 +1,84 @@
+//! The allocation search space.
+
+use optimus_tech::Allocation;
+use optimus_units::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// Bounds on the allocation fractions explored by the DSE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Inclusive bounds on the compute fraction.
+    pub compute: (f64, f64),
+    /// Inclusive bounds on the SRAM fraction.
+    pub sram: (f64, f64),
+    /// Maximum combined fraction (the rest is I/O and overhead, which a
+    /// real die cannot shrink to zero).
+    pub max_total: f64,
+}
+
+impl SearchSpace {
+    /// Projects an arbitrary `(compute, sram)` point into the feasible
+    /// region: clamp each coordinate, then rescale if the budget constraint
+    /// is violated.
+    #[must_use]
+    pub fn project(&self, compute: f64, sram: f64) -> Allocation {
+        let mut c = compute.clamp(self.compute.0, self.compute.1);
+        let mut s = sram.clamp(self.sram.0, self.sram.1);
+        let total = c + s;
+        if total > self.max_total {
+            let scale = self.max_total / total;
+            c = (c * scale).max(self.compute.0);
+            s = (s * scale).max(self.sram.0);
+        }
+        Allocation::new(Ratio::saturating(c), Ratio::saturating(s))
+    }
+
+    /// The centroid of the space (the descent starting point).
+    #[must_use]
+    pub fn center(&self) -> Allocation {
+        self.project(
+            0.5 * (self.compute.0 + self.compute.1),
+            0.5 * (self.sram.0 + self.sram.1),
+        )
+    }
+}
+
+impl Default for SearchSpace {
+    /// Compute ∈ [5%, 80%], SRAM ∈ [5%, 60%], at most 90% combined (at
+    /// least 10% of the die remains I/O and overhead).
+    fn default() -> Self {
+        Self {
+            compute: (0.05, 0.80),
+            sram: (0.05, 0.60),
+            max_total: 0.90,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_respects_bounds() {
+        let space = SearchSpace::default();
+        let a = space.project(2.0, -1.0);
+        assert!(a.compute.get() <= 0.80);
+        assert!(a.sram.get() >= 0.05);
+    }
+
+    #[test]
+    fn projection_respects_budget() {
+        let space = SearchSpace::default();
+        let a = space.project(0.8, 0.6);
+        assert!(a.compute.get() + a.sram.get() <= 0.90 + 1e-9);
+    }
+
+    #[test]
+    fn feasible_points_pass_through() {
+        let space = SearchSpace::default();
+        let a = space.project(0.45, 0.20);
+        assert!((a.compute.get() - 0.45).abs() < 1e-12);
+        assert!((a.sram.get() - 0.20).abs() < 1e-12);
+    }
+}

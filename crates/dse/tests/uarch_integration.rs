@@ -1,0 +1,98 @@
+//! DSE over real µArch syntheses: the optimizer must push the allocation
+//! in the physically sensible direction.
+
+use optimus_dse::{GradientDescent, GridSearch, SearchSpace};
+use optimus_hw::memtech::DramTechnology;
+use optimus_hw::{MemoryLevelKind, Precision};
+use optimus_tech::{Allocation, ResourceBudget, TechNode, UArchEngine};
+
+/// A compute-heavy synthetic objective: time dominated by FLOPs over the
+/// synthesized peak (a fat-GEMM workload).
+fn compute_heavy(engine: &UArchEngine, alloc: Allocation) -> f64 {
+    let acc = engine.synthesize(
+        TechNode::N5,
+        ResourceBudget::datacenter_gpu(),
+        alloc,
+        DramTechnology::Hbm3,
+    );
+    let peak = acc.peak(Precision::Fp16).unwrap().get();
+    1e18 / peak
+}
+
+/// A cache-sensitive objective: time improves with L2 capacity (a blocked
+/// workload whose traffic scales like 1/sqrt(cache)) but still pays for
+/// compute.
+fn cache_sensitive(engine: &UArchEngine, alloc: Allocation) -> f64 {
+    let acc = engine.synthesize(
+        TechNode::N5,
+        ResourceBudget::datacenter_gpu(),
+        alloc,
+        DramTechnology::Hbm2,
+    );
+    let peak = acc.peak(Precision::Fp16).unwrap().get();
+    let l2 = acc.level(MemoryLevelKind::L2).unwrap().capacity.bytes();
+    1e17 / peak + 2e14 / l2.sqrt()
+}
+
+#[test]
+fn compute_heavy_objective_maxes_compute_fraction() {
+    let engine = UArchEngine::a100_at_n7();
+    let space = SearchSpace::default();
+    let result =
+        GradientDescent::default().minimize(&space, |a: Allocation| compute_heavy(&engine, a));
+    assert!(
+        result.best.allocation.compute.get() > 0.7,
+        "expected the compute bound (0.80), got {}",
+        result.best.allocation.compute
+    );
+}
+
+#[test]
+fn cache_sensitive_objective_buys_sram() {
+    let engine = UArchEngine::a100_at_n7();
+    let space = SearchSpace::default();
+    let compute_only =
+        GradientDescent::default().minimize(&space, |a: Allocation| compute_heavy(&engine, a));
+    let balanced = GradientDescent::default()
+        .minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    assert!(
+        balanced.best.allocation.sram > compute_only.best.allocation.sram,
+        "cache-sensitive workload should allocate more SRAM: {} vs {}",
+        balanced.best.allocation.sram,
+        compute_only.best.allocation.sram
+    );
+}
+
+#[test]
+fn gradient_descent_matches_grid_on_real_objective() {
+    let engine = UArchEngine::a100_at_n7();
+    let space = SearchSpace::default();
+    let gd = GradientDescent::default()
+        .minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    let grid =
+        GridSearch { resolution: 24 }.minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    assert!(
+        gd.best.objective <= grid.best.objective * 1.03,
+        "descent {} should be within 3% of a 24x24 grid {}",
+        gd.best.objective,
+        grid.best.objective
+    );
+}
+
+#[test]
+fn descent_uses_fewer_evaluations_than_grid() {
+    let engine = UArchEngine::a100_at_n7();
+    let space = SearchSpace::default();
+    let gd = GradientDescent::default()
+        .minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    let grid =
+        GridSearch { resolution: 24 }.minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    // Descent spends ≤ ~300 evaluations (60 iterations × 5 probes) vs.
+    // 576 for the 24×24 grid.
+    assert!(
+        gd.evaluations < grid.evaluations,
+        "descent {} vs grid {}",
+        gd.evaluations,
+        grid.evaluations
+    );
+}

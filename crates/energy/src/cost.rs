@@ -1,0 +1,226 @@
+//! Total-cost-of-operation accounting.
+
+use crate::EnergyReport;
+use optimus_infer::InferenceReport;
+use optimus_train::TrainingReport;
+use optimus_units::Time;
+use serde::{Deserialize, Serialize};
+
+/// Seconds per (365-day) year.
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// Capital and operational cost parameters of a GPU system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Street price of one accelerator, USD.
+    pub gpu_price_usd: f64,
+    /// Multiplier covering the rest of the system (host, fabric, storage,
+    /// facility share) on top of the accelerators.
+    pub system_overhead: f64,
+    /// Capital amortization horizon, years.
+    pub amortization_years: f64,
+    /// Electricity price, USD per kWh.
+    pub electricity_usd_per_kwh: f64,
+    /// Power usage effectiveness of the data center (facility watts per IT
+    /// watt).
+    pub pue: f64,
+}
+
+impl CostModel {
+    /// A100-era system economics (~15 k$/GPU).
+    #[must_use]
+    pub fn a100_system() -> Self {
+        Self {
+            gpu_price_usd: 15_000.0,
+            system_overhead: 1.5,
+            amortization_years: 4.0,
+            electricity_usd_per_kwh: 0.08,
+            pue: 1.3,
+        }
+    }
+
+    /// H100-era system economics (~30 k$/GPU).
+    #[must_use]
+    pub fn h100_system() -> Self {
+        Self {
+            gpu_price_usd: 30_000.0,
+            ..Self::a100_system()
+        }
+    }
+
+    /// B200-era system economics (~40 k$/GPU).
+    #[must_use]
+    pub fn b200_system() -> Self {
+        Self {
+            gpu_price_usd: 40_000.0,
+            ..Self::a100_system()
+        }
+    }
+
+    /// Amortized capital cost of `gpus` accelerators per second of use.
+    #[must_use]
+    pub fn capex_usd_per_second(&self, gpus: usize) -> f64 {
+        self.gpu_price_usd * self.system_overhead * gpus as f64
+            / (self.amortization_years * SECONDS_PER_YEAR)
+    }
+
+    /// Electricity cost of an energy report, USD.
+    #[must_use]
+    pub fn energy_usd(&self, energy: &EnergyReport) -> f64 {
+        let kwh = energy.total().joules() / 3.6e6;
+        kwh * self.pue * self.electricity_usd_per_kwh
+    }
+
+    /// TCO of one training batch.
+    #[must_use]
+    pub fn training_cost(
+        &self,
+        report: &TrainingReport,
+        energy: &EnergyReport,
+        gpus: usize,
+    ) -> TcoReport {
+        self.cost_of(report.time_per_batch, energy, gpus)
+    }
+
+    /// TCO of one inference request.
+    #[must_use]
+    pub fn inference_cost(
+        &self,
+        report: &InferenceReport,
+        energy: &EnergyReport,
+        gpus: usize,
+    ) -> TcoReport {
+        self.cost_of(report.total, energy, gpus)
+    }
+
+    /// TCO of an arbitrary execution window.
+    #[must_use]
+    pub fn cost_of(&self, duration: Time, energy: &EnergyReport, gpus: usize) -> TcoReport {
+        let capex_usd = self.capex_usd_per_second(gpus) * duration.secs();
+        let energy_usd = self.energy_usd(energy);
+        TcoReport {
+            capex_usd,
+            energy_usd,
+            total_usd: capex_usd + energy_usd,
+            duration,
+        }
+    }
+}
+
+/// The cost of one execution window, split into capital and energy shares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoReport {
+    /// Amortized capital share, USD.
+    pub capex_usd: f64,
+    /// Electricity share (with PUE), USD.
+    pub energy_usd: f64,
+    /// Total, USD.
+    pub total_usd: f64,
+    /// The execution window the cost covers.
+    pub duration: Time,
+}
+
+impl TcoReport {
+    /// *Performance per TCO*: work units per dollar, given the work
+    /// completed in the window (e.g. samples for training, requests or
+    /// tokens for inference).
+    #[must_use]
+    pub fn perf_per_usd(&self, work_units: f64) -> f64 {
+        work_units / self.total_usd.max(f64::MIN_POSITIVE)
+    }
+}
+
+impl core::fmt::Display for TcoReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "${:.4} (capex ${:.4} + energy ${:.4}) over {}",
+            self.total_usd, self.capex_usd, self.energy_usd, self.duration
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnergyModel;
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+    use optimus_parallel::Parallelism;
+    use optimus_train::{TrainingConfig, TrainingEstimator};
+
+    #[test]
+    fn capex_math() {
+        let m = CostModel::a100_system();
+        // 8 GPUs × $15k × 1.5 overhead / 4 years.
+        let per_year = m.capex_usd_per_second(8) * SECONDS_PER_YEAR;
+        assert!((per_year - 8.0 * 15_000.0 * 1.5 / 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn capex_dominates_at_current_electricity_prices() {
+        // A well-known TCO fact this model must reproduce: amortized
+        // hardware, not electricity, is the larger share for GPU clusters.
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let cfg = TrainingConfig::new(models::gpt_7b(), 16, 2048, Parallelism::new(1, 8, 1));
+        let report = TrainingEstimator::new(&cluster).estimate(&cfg).unwrap();
+        let energy = EnergyModel::a100_class().training_energy(&report, 8);
+        let cost = CostModel::a100_system().training_cost(&report, &energy, 8);
+        assert!(cost.capex_usd > cost.energy_usd);
+    }
+
+    #[test]
+    fn gpt3_training_run_cost_order_of_magnitude() {
+        // End-to-end sanity against the paper's §1 framing ("training a
+        // GPT-3 transformer model costs around $10M"). That estimate is
+        // cloud-priced (~$1.5+/GPU-hour on 2020 hardware); our *owned-
+        // hardware* TCO (~$0.65/A100-hour amortized) should come out a
+        // small integer factor below it, in the high hundreds of
+        // thousands of dollars for a 300 B-token run.
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let p = Parallelism::new(16, 8, 8).with_sp(true);
+        let cfg = TrainingConfig::new(models::gpt_175b(), 1024, 2048, p)
+            .with_recompute(optimus_memory::RecomputeMode::Selective);
+        let report = TrainingEstimator::new(&cluster).estimate(&cfg).unwrap();
+        let gpus = p.total_gpus();
+        let energy = EnergyModel::a100_class().training_energy(&report, gpus);
+        let per_batch = CostModel::a100_system().training_cost(&report, &energy, gpus);
+
+        let tokens_per_batch = 1024.0 * 2048.0;
+        let batches = 300e9 / tokens_per_batch;
+        let owned_usd = per_batch.total_usd * batches;
+        assert!(
+            (2e5..2e6).contains(&owned_usd),
+            "owned-hardware GPT-3 run cost ${:.2}M out of band",
+            owned_usd / 1e6
+        );
+        // At a $1.5/GPU-hour cloud rate the A100 run costs around a
+        // million dollars; the paper's "$10M" figure is the original
+        // V100-era estimate — V100s deliver roughly 8x fewer effective
+        // FLOP/s, which recovers the single-digit-millions band.
+        let gpu_hours = report.time_per_batch.secs() * batches * gpus as f64 / 3600.0;
+        let cloud_usd = gpu_hours * 1.5;
+        assert!(
+            (4e5..3e6).contains(&cloud_usd),
+            "cloud-priced A100 GPT-3 run ${:.2}M out of band",
+            cloud_usd / 1e6
+        );
+        let v100_era_usd = cloud_usd * 8.0;
+        assert!(
+            (3e6..3e7).contains(&v100_era_usd),
+            "V100-era estimate ${:.1}M should match the paper's ~$10M",
+            v100_era_usd / 1e6
+        );
+    }
+
+    #[test]
+    fn perf_per_usd_is_inverse_of_cost() {
+        let report = TcoReport {
+            capex_usd: 1.0,
+            energy_usd: 1.0,
+            total_usd: 2.0,
+            duration: Time::from_secs(1.0),
+        };
+        assert!((report.perf_per_usd(10.0) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Energy and total-cost-of-operation (TCO) models.
+//!
+//! The paper's conclusion (§7) names this as the framework's next step:
+//! *"integrating a cost and an energy model into the current performance
+//! modeling framework, and performing complete performance per TCO
+//! analysis."* This crate implements that extension on top of the
+//! energy-relevant totals the estimators already report (executed FLOPs,
+//! DRAM traffic, network wire traffic, execution time):
+//!
+//! * [`EnergyModel`] — per-event energies (pJ/FLOP, pJ/DRAM-byte,
+//!   pJ/network-byte) plus a static power floor, with technology-node
+//!   scaling following the same 1.3×-per-step power rule as the µArch
+//!   engine;
+//! * [`CostModel`] — amortized capital cost plus electricity (with PUE),
+//!   yielding $ per training batch / per 1k inference requests and the
+//!   paper's *performance per TCO* metric.
+//!
+//! ```
+//! use optimus_energy::{CostModel, EnergyModel};
+//! use optimus_hw::presets;
+//! use optimus_model::presets as models;
+//! use optimus_parallel::Parallelism;
+//! use optimus_train::{TrainingConfig, TrainingEstimator};
+//!
+//! let cluster = presets::dgx_a100_hdr_cluster();
+//! let cfg = TrainingConfig::new(models::gpt_7b(), 16, 2048, Parallelism::new(1, 8, 1));
+//! let report = TrainingEstimator::new(&cluster).estimate(&cfg).unwrap();
+//!
+//! let energy = EnergyModel::a100_class().training_energy(&report, 8);
+//! let cost = CostModel::a100_system().training_cost(&report, &energy, 8);
+//! assert!(energy.total().joules() > 0.0);
+//! assert!(cost.total_usd > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod model;
+
+pub use cost::{CostModel, TcoReport};
+pub use model::{EnergyModel, EnergyReport};

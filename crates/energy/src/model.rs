@@ -1,0 +1,219 @@
+//! Per-event energy accounting.
+
+use optimus_infer::InferenceReport;
+use optimus_tech::{ScalingRule, TechNode};
+use optimus_train::TrainingReport;
+use optimus_units::{Energy, Power, Time};
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients of one accelerator, decomposed by event type.
+///
+/// Calibration sanity (A100 class): at full tilt an A100 executes
+/// ~2×10^14 effective FLOP/s and streams ~1.5 TB/s from HBM2e; with
+/// 0.8 pJ/FLOP and 35 pJ/DRAM-byte the dynamic draw is ~160 + ~55 W, which
+/// together with a ~130 W static floor lands near the 400 W TDP — the
+/// right first-order split between compute, memory, and leakage/fan/IO.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Dynamic energy per floating-point operation, picojoules.
+    pub compute_pj_per_flop: f64,
+    /// Energy per byte moved to/from DRAM, picojoules.
+    pub dram_pj_per_byte: f64,
+    /// Energy per byte injected into the network fabric, picojoules.
+    pub network_pj_per_byte: f64,
+    /// Always-on power per device (leakage, clocks, fans, idle HBM).
+    pub static_power: Power,
+}
+
+/// Energy of one workload execution, by category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct EnergyReport {
+    /// Arithmetic (tensor-core) energy across the system.
+    pub compute: Energy,
+    /// DRAM access energy across the system.
+    pub dram: Energy,
+    /// Network energy across the system.
+    pub network: Energy,
+    /// Static energy: per-device floor × execution time × device count.
+    pub static_floor: Energy,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.compute + self.dram + self.network + self.static_floor
+    }
+
+    /// Mean system power over the execution.
+    #[must_use]
+    pub fn mean_power(&self, duration: Time) -> Power {
+        Power::new(self.total().joules() / duration.secs().max(1e-12))
+    }
+}
+
+impl core::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "compute {} + dram {} + network {} + static {} = {}",
+            self.compute,
+            self.dram,
+            self.network,
+            self.static_floor,
+            self.total()
+        )
+    }
+}
+
+impl EnergyModel {
+    /// A100-class coefficients (N7 logic, HBM2e).
+    #[must_use]
+    pub fn a100_class() -> Self {
+        Self {
+            compute_pj_per_flop: 0.8,
+            dram_pj_per_byte: 35.0,
+            network_pj_per_byte: 60.0,
+            static_power: Power::from_watts(130.0),
+        }
+    }
+
+    /// H100-class coefficients (N5 logic, HBM3): one power-rule step below
+    /// A100 on compute, slightly cheaper HBM3 I/O per byte.
+    #[must_use]
+    pub fn h100_class() -> Self {
+        Self {
+            compute_pj_per_flop: 0.8 / 1.3,
+            dram_pj_per_byte: 30.0,
+            network_pj_per_byte: 50.0,
+            static_power: Power::from_watts(160.0),
+        }
+    }
+
+    /// Coefficients at an arbitrary technology node: compute energy follows
+    /// the iso-performance power rule (÷1.3 per step from the N7 anchor);
+    /// DRAM and network energy are technology-of-their-own and stay fixed
+    /// unless overridden.
+    #[must_use]
+    pub fn at_node(node: TechNode) -> Self {
+        let rule = ScalingRule::iso_performance();
+        let factor = rule.power_capacity_factor(TechNode::N7, node);
+        let base = Self::a100_class();
+        Self {
+            compute_pj_per_flop: base.compute_pj_per_flop / factor,
+            ..base
+        }
+    }
+
+    /// Scales the per-FLOP energy for a narrower arithmetic format:
+    /// multiplier/adder energy tracks operand width to first order, so an
+    /// FP8 FLOP costs about half an FP16 FLOP and FP4 a quarter — the
+    /// energy side of the transformer-engine story.
+    #[must_use]
+    pub fn scaled_for_precision(mut self, precision: optimus_hw::Precision) -> Self {
+        self.compute_pj_per_flop *= precision.bytes() / 2.0;
+        self
+    }
+
+    /// Energy of one training batch on `gpus` devices.
+    #[must_use]
+    pub fn training_energy(&self, report: &TrainingReport, gpus: usize) -> EnergyReport {
+        assert!(gpus > 0, "a system has at least one device");
+        let n = gpus as f64;
+        EnergyReport {
+            compute: Energy::new(report.device_flops.get() * self.compute_pj_per_flop * 1e-12 * n),
+            dram: Energy::new(report.dram_traffic.bytes() * self.dram_pj_per_byte * 1e-12 * n),
+            network: Energy::new(
+                report.network_traffic.bytes() * self.network_pj_per_byte * 1e-12 * n,
+            ),
+            static_floor: self.static_power * report.time_per_batch * n,
+        }
+    }
+
+    /// Energy of one inference request (prefill + generation) on `gpus`
+    /// devices.
+    #[must_use]
+    pub fn inference_energy(&self, report: &InferenceReport, gpus: usize) -> EnergyReport {
+        assert!(gpus > 0, "a system has at least one device");
+        let n = gpus as f64;
+        EnergyReport {
+            compute: Energy::new(report.device_flops.get() * self.compute_pj_per_flop * 1e-12 * n),
+            dram: Energy::new(report.dram_traffic.bytes() * self.dram_pj_per_byte * 1e-12 * n),
+            network: Energy::new(
+                report.network_traffic.bytes() * self.network_pj_per_byte * 1e-12 * n,
+            ),
+            static_floor: self.static_power * report.total * n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::presets;
+    use optimus_infer::{InferenceConfig, InferenceEstimator};
+    use optimus_model::presets as models;
+    use optimus_parallel::Parallelism;
+    use optimus_train::{TrainingConfig, TrainingEstimator};
+
+    fn train_report() -> TrainingReport {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let cfg = TrainingConfig::new(models::gpt_7b(), 16, 2048, Parallelism::new(1, 8, 1));
+        TrainingEstimator::new(&cluster).estimate(&cfg).unwrap()
+    }
+
+    #[test]
+    fn training_power_is_physically_plausible() {
+        let report = train_report();
+        let energy = EnergyModel::a100_class().training_energy(&report, 8);
+        let per_gpu = energy.mean_power(report.time_per_batch).watts() / 8.0;
+        // Between idle floor and ~TDP.
+        assert!(
+            (130.0..450.0).contains(&per_gpu),
+            "mean per-GPU power {per_gpu:.0} W"
+        );
+    }
+
+    #[test]
+    fn compute_dominates_training_energy() {
+        // Training is compute-intensive: arithmetic outweighs DRAM traffic.
+        let report = train_report();
+        let energy = EnergyModel::a100_class().training_energy(&report, 8);
+        assert!(energy.compute > energy.dram);
+    }
+
+    #[test]
+    fn dram_dominates_inference_dynamic_energy() {
+        // Decode streams weights: DRAM energy beats compute energy.
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let cfg = InferenceConfig::nvidia_llama_benchmark(models::llama2_13b(), 1);
+        let report = InferenceEstimator::new(&cluster).estimate(&cfg).unwrap();
+        let energy = EnergyModel::a100_class().inference_energy(&report, 1);
+        assert!(
+            energy.dram > energy.compute,
+            "dram {} vs compute {}",
+            energy.dram,
+            energy.compute
+        );
+    }
+
+    #[test]
+    fn node_scaling_cheapens_compute_only() {
+        let n7 = EnergyModel::at_node(TechNode::N7);
+        let n3 = EnergyModel::at_node(TechNode::N3);
+        assert!(n3.compute_pj_per_flop < n7.compute_pj_per_flop);
+        assert_eq!(n3.dram_pj_per_byte, n7.dram_pj_per_byte);
+        // Two steps at 1.3x each.
+        let ratio = n7.compute_pj_per_flop / n3.compute_pj_per_flop;
+        assert!((ratio - 1.69).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_system_size() {
+        let report = train_report();
+        let model = EnergyModel::a100_class();
+        let e8 = model.training_energy(&report, 8).total();
+        let e16 = model.training_energy(&report, 16).total();
+        assert!((e16.joules() / e8.joules() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,4 @@
+//! Ablation studies over the suite's design choices.
+fn main() {
+    print!("{}", optimus_experiments::ablations::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig3 of the paper.
+fn main() {
+    print!("{}", optimus_experiments::fig3::render());
+}

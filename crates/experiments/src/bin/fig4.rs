@@ -1,0 +1,4 @@
+//! Regenerates fig4 of the paper.
+fn main() {
+    print!("{}", optimus_experiments::fig4::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig5 of the paper.
+fn main() {
+    print!("{}", optimus_experiments::fig5::render());
+}

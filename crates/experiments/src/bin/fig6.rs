@@ -1,0 +1,4 @@
+//! Regenerates Fig. 6 (technology-node scaling with per-node DSE).
+fn main() {
+    print!("{}", optimus_experiments::fig6::render());
+}

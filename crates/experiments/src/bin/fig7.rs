@@ -1,0 +1,4 @@
+//! Regenerates fig7 of the paper.
+fn main() {
+    print!("{}", optimus_experiments::fig7::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig8 of the paper.
+fn main() {
+    print!("{}", optimus_experiments::fig8::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig9 of the paper.
+fn main() {
+    print!("{}", optimus_experiments::fig9::render());
+}

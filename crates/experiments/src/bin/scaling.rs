@@ -1,0 +1,4 @@
+//! Strong-scaling and batch-sweep analyses.
+fn main() {
+    print!("{}", optimus_experiments::scaling::render());
+}

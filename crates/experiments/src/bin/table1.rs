@@ -1,0 +1,9 @@
+//! Regenerates Table 1 (training-time validation).
+fn main() {
+    print!("{}", optimus_experiments::table1::render());
+    let rows = optimus_experiments::table1::run();
+    println!(
+        "mean |err| = {:.1}%",
+        optimus_experiments::table1::mean_error_percent(&rows)
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 2 (inference-latency validation).
+fn main() {
+    print!("{}", optimus_experiments::table2::render());
+    let rows = optimus_experiments::table2::run();
+    println!(
+        "mean |err| = {:.1}%",
+        optimus_experiments::table2::mean_error_percent(&rows)
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 4 (per-GEMM bound analysis).
+fn main() {
+    print!("{}", optimus_experiments::table4::render());
+    let rows = optimus_experiments::table4::run();
+    println!(
+        "bound agreement = {:.0}%",
+        100.0 * optimus_experiments::table4::bound_agreement(&rows)
+    );
+}

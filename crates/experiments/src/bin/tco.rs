@@ -1,0 +1,4 @@
+//! Performance-per-TCO study (the paper's §7 future work).
+fn main() {
+    print!("{}", optimus_experiments::tco::render());
+}

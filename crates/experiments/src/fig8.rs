@@ -1,0 +1,105 @@
+//! Fig. 8: GEMM time per layer in the summarization (prefill) phase split
+//! by bound type, A100 vs. H100, batch 1 and 16; inset: KV-cache and
+//! weight memory (Llama2-13B, half precision).
+
+use optimus::memory::inference_memory;
+use optimus::model::presets;
+use optimus::prelude::*;
+
+/// One bar of the figure plus its memory-inset values.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Device label.
+    pub device: &'static str,
+    /// Batch size.
+    pub batch: usize,
+    /// Time of compute-bound prefill GEMMs per layer, microseconds.
+    pub compute_bound_us: f64,
+    /// Time of memory-bound prefill GEMMs per layer, microseconds.
+    pub memory_bound_us: f64,
+    /// KV-cache size at the 400-token final context, GB.
+    pub kv_cache_gb: f64,
+    /// Weight memory, GB.
+    pub weights_gb: f64,
+    /// Device memory capacity, GB.
+    pub capacity_gb: f64,
+}
+
+impl Bar {
+    /// Fraction of prefill GEMM time spent in compute-bound kernels.
+    #[must_use]
+    pub fn compute_fraction(&self) -> f64 {
+        self.compute_bound_us / (self.compute_bound_us + self.memory_bound_us)
+    }
+}
+
+/// Regenerates the four bars (A100/H100 × B = 1/16).
+#[must_use]
+pub fn run() -> Vec<Bar> {
+    let devices = [
+        ("A100-HBM2e", hw::presets::dgx_a100_hdr_cluster()),
+        ("H100-HBM3", hw::presets::dgx_h100_ndr_cluster()),
+    ];
+    let mut bars = Vec::new();
+    for (label, cluster) in devices {
+        for batch in [1usize, 16] {
+            let cfg = InferenceConfig::new(presets::llama2_13b(), batch, 200, 200, 1);
+            let report = InferenceEstimator::new(&cluster)
+                .estimate(&cfg)
+                .expect("FP16 supported");
+            let (mut compute_us, mut memory_us) = (0.0, 0.0);
+            for g in &report.prefill_gemms {
+                if g.bound.is_compute() {
+                    compute_us += g.time.micros();
+                } else {
+                    memory_us += g.time.micros();
+                }
+            }
+            let mem = inference_memory(&presets::llama2_13b(), batch, 400, 1, Precision::Fp16);
+            bars.push(Bar {
+                device: label,
+                batch,
+                compute_bound_us: compute_us,
+                memory_bound_us: memory_us,
+                kv_cache_gb: mem.kv_cache.gb(),
+                weights_gb: mem.weights.gb(),
+                capacity_gb: cluster.accelerator().dram.capacity.gb(),
+            });
+        }
+    }
+    bars
+}
+
+/// The figure as rows of strings (header first).
+#[must_use]
+pub fn csv() -> Vec<Vec<String>> {
+    let mut out = vec![vec![
+        "device".to_owned(),
+        "batch".to_owned(),
+        "compute_bound_us".to_owned(),
+        "memory_bound_us".to_owned(),
+        "compute_fraction_%".to_owned(),
+        "kv_cache_gb".to_owned(),
+        "weights_gb".to_owned(),
+        "capacity_gb".to_owned(),
+    ]];
+    for b in run() {
+        out.push(vec![
+            b.device.to_owned(),
+            b.batch.to_string(),
+            format!("{:.0}", b.compute_bound_us),
+            format!("{:.0}", b.memory_bound_us),
+            format!("{:.0}", 100.0 * b.compute_fraction()),
+            format!("{:.2}", b.kv_cache_gb),
+            format!("{:.1}", b.weights_gb),
+            format!("{:.0}", b.capacity_gb),
+        ]);
+    }
+    out
+}
+
+/// Renders the figure data for the terminal.
+#[must_use]
+pub fn render() -> String {
+    crate::markdown_table(&csv())
+}

@@ -1,0 +1,154 @@
+//! Fig. 9: inference latency vs. DRAM memory technology (GDDR6 → HBMX)
+//! with NVLink-Gen3/Gen4, 2- and 8-GPU systems, Llama2-13B, B = 1,
+//! 200 + 200 tokens; on-chip specifications fixed at A100 (7 nm).
+//! Horizontal reference lines: H100-HBM3e systems on NVLink4.
+
+use optimus::hw::memtech::DramTechnology;
+use optimus::hw::nettech::NvlinkGen;
+use optimus::hw::{presets, NodeSpec};
+use optimus::model::presets as models;
+use optimus::prelude::*;
+
+/// One stacked bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// DRAM technology label.
+    pub dram: DramTechnology,
+    /// NVLink generation of the intra-node fabric.
+    pub nvlink: NvlinkGen,
+    /// GPU count (TP degree).
+    pub gpus: usize,
+    /// Device-time component (memory + the small compute/overhead parts),
+    /// seconds.
+    pub memory_s: f64,
+    /// Communication component, seconds.
+    pub communication_s: f64,
+}
+
+impl Bar {
+    /// Total latency, seconds.
+    #[must_use]
+    pub fn total_s(&self) -> f64 {
+        self.memory_s + self.communication_s
+    }
+}
+
+/// H100 reference latencies (dashed lines of the figure).
+#[derive(Debug, Clone, Copy)]
+pub struct H100Reference {
+    /// 2× H100-HBM3e latency, seconds.
+    pub two_gpu_s: f64,
+    /// 8× H100-HBM3e latency, seconds.
+    pub eight_gpu_s: f64,
+}
+
+/// The `(dram, nvlink)` x-axis of the figure: the DRAM sweep on NVLink3
+/// plus the HBMX-NV4 point.
+#[must_use]
+pub fn sweep() -> Vec<(DramTechnology, NvlinkGen)> {
+    let mut v: Vec<(DramTechnology, NvlinkGen)> = DramTechnology::inference_sweep()
+        .iter()
+        .map(|&d| (d, NvlinkGen::Gen3))
+        .collect();
+    v.push((DramTechnology::HbmX, NvlinkGen::Gen4));
+    v
+}
+
+fn estimate(cluster: &ClusterSpec, gpus: usize) -> (f64, f64) {
+    let cfg = InferenceConfig::nvidia_llama_benchmark(models::llama2_13b(), gpus);
+    let r = InferenceEstimator::new(cluster).estimate(&cfg).expect("fp16");
+    let device_time =
+        (r.breakdown.memory + r.breakdown.compute + r.breakdown.overhead).secs();
+    (device_time, r.breakdown.communication.secs())
+}
+
+/// Regenerates the 7 × 2 bars.
+#[must_use]
+pub fn run() -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for (dram, nvlink) in sweep() {
+        // A100 compute/on-chip, swapped DRAM stack.
+        let acc = presets::a100_sxm_80gb()
+            .with_dram(dram.typical_capacity(), dram.bandwidth())
+            .renamed(format!("A100-{dram}"));
+        let node = NodeSpec::new(acc, 8, nvlink.link());
+        let cluster = presets::single_node_cluster(format!("{dram}-{nvlink}"), node);
+        for gpus in [2usize, 8] {
+            let (memory_s, communication_s) = estimate(&cluster, gpus);
+            bars.push(Bar {
+                dram,
+                nvlink,
+                gpus,
+                memory_s,
+                communication_s,
+            });
+        }
+    }
+    bars
+}
+
+/// The H100-HBM3e reference lines.
+#[must_use]
+pub fn h100_reference() -> H100Reference {
+    let acc = presets::h100_sxm()
+        .with_dram(
+            DramTechnology::Hbm3e.typical_capacity(),
+            DramTechnology::Hbm3e.bandwidth(),
+        )
+        .renamed("H100-HBM3e");
+    let node = NodeSpec::new(acc, 8, NvlinkGen::Gen4.link());
+    let cluster = presets::single_node_cluster("H100-HBM3e-NV4", node);
+    let (m2, c2) = estimate(&cluster, 2);
+    let (m8, c8) = estimate(&cluster, 8);
+    H100Reference {
+        two_gpu_s: m2 + c2,
+        eight_gpu_s: m8 + c8,
+    }
+}
+
+/// The figure as rows of strings (header first).
+#[must_use]
+pub fn csv() -> Vec<Vec<String>> {
+    let mut out = vec![vec![
+        "dram".to_owned(),
+        "nvlink".to_owned(),
+        "gpus".to_owned(),
+        "memory_s".to_owned(),
+        "communication_s".to_owned(),
+        "total_s".to_owned(),
+    ]];
+    for b in run() {
+        out.push(vec![
+            b.dram.to_string(),
+            b.nvlink.to_string(),
+            b.gpus.to_string(),
+            format!("{:.3}", b.memory_s),
+            format!("{:.3}", b.communication_s),
+            format!("{:.3}", b.total_s()),
+        ]);
+    }
+    let h100 = h100_reference();
+    out.push(vec![
+        "H100-HBM3e-ref".to_owned(),
+        "NV4".to_owned(),
+        "2".to_owned(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", h100.two_gpu_s),
+    ]);
+    out.push(vec![
+        "H100-HBM3e-ref".to_owned(),
+        "NV4".to_owned(),
+        "8".to_owned(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", h100.eight_gpu_s),
+    ]);
+    out
+}
+
+/// Renders the figure data for the terminal.
+#[must_use]
+pub fn render() -> String {
+    crate::markdown_table(&csv())
+}

@@ -1,0 +1,160 @@
+//! Table 4: per-GEMM bound types in the Llama2-13B summarization phase.
+
+use optimus::model::{presets, OpRole};
+use optimus::prelude::*;
+use optimus::refdata::{self, RefBound, Table4Row};
+use optimus::roofline::BoundType;
+
+/// One regenerated row: reference vs. our prediction per device.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The transcribed reference row.
+    pub reference: Table4Row,
+    /// Our A100 time, microseconds.
+    pub a100_us: f64,
+    /// Our A100 bound classification.
+    pub a100_bound: BoundType,
+    /// Our H100 time, microseconds.
+    pub h100_us: f64,
+    /// Our H100 bound classification.
+    pub h100_bound: BoundType,
+}
+
+impl Row {
+    /// Whether our bound type agrees with the paper's on both devices.
+    #[must_use]
+    pub fn bounds_agree(&self) -> bool {
+        agrees(self.a100_bound, self.reference.a100_bound)
+            && agrees(self.h100_bound, self.reference.h100_bound)
+    }
+}
+
+fn agrees(ours: BoundType, reference: RefBound) -> bool {
+    match reference {
+        RefBound::Compute => ours.is_compute(),
+        // The paper lumps overhead-limited tiny kernels under "memory".
+        RefBound::Memory => !ours.is_compute(),
+    }
+}
+
+/// Regenerates the table: Llama2-13B, B = 1, 200-token prompt, FP16,
+/// single A100 and H100.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let a100 = hw::presets::dgx_a100_hdr_cluster();
+    let h100 = hw::presets::dgx_h100_ndr_cluster();
+    let cfg = InferenceConfig::new(presets::llama2_13b(), 1, 200, 200, 1);
+    let a = InferenceEstimator::new(&a100).estimate(&cfg).expect("valid");
+    let h = InferenceEstimator::new(&h100).estimate(&cfg).expect("valid");
+
+    refdata::table4()
+        .into_iter()
+        .map(|reference| {
+            let roles = roles_for(reference.gemm);
+            let (a_us, a_bound) = lookup(&a.prefill_gemms, roles);
+            let (h_us, h_bound) = lookup(&h.prefill_gemms, roles);
+            Row {
+                reference,
+                a100_us: a_us,
+                a100_bound: a_bound,
+                h100_us: h_us,
+                h100_bound: h_bound,
+            }
+        })
+        .collect()
+}
+
+/// Maps a paper GEMM label onto our op roles. The paper models the MLP as
+/// two GEMMs; SwiGLU's gate projection is folded into `O.WMLP1` (same
+/// shape, summed time).
+fn roles_for(label: &str) -> &'static [OpRole] {
+    match label {
+        l if l.starts_with("merged-head") => &[OpRole::QkvProjection],
+        l if l.contains("Q.KT") => &[OpRole::AttnScores],
+        l if l.contains("softmax(R).V") => &[OpRole::AttnOverValues],
+        l if l.starts_with("Z.W") => &[OpRole::OutputProjection],
+        l if l.contains("WMLP1") => &[OpRole::MlpUp, OpRole::MlpGate],
+        l if l.contains("WMLP2") => &[OpRole::MlpDown],
+        other => panic!("unmapped Table 4 label `{other}`"),
+    }
+}
+
+/// Sums the times of `roles` in a per-GEMM analysis; the bound type is the
+/// one of the slowest contributor. Attention rows report the *per-head*
+/// GEMM time (the paper's "single head" rows), i.e. the batched kernel
+/// time divided by the head count.
+fn lookup(
+    gemms: &[optimus::infer::GemmAnalysis],
+    roles: &'static [OpRole],
+) -> (f64, BoundType) {
+    let mut total_us = 0.0;
+    let mut slowest = (0.0, BoundType::Compute);
+    for role in roles {
+        for g in gemms.iter().filter(|g| g.role == *role) {
+            let mut us = g.time.micros();
+            if matches!(role, OpRole::AttnScores | OpRole::AttnOverValues) {
+                us /= 40.0; // Llama2-13B head count: per-head time
+            }
+            total_us += us;
+            if us > slowest.0 {
+                slowest = (us, g.bound);
+            }
+        }
+    }
+    (total_us, slowest.1)
+}
+
+/// Fraction of rows whose bound types agree with the paper on both
+/// devices.
+#[must_use]
+pub fn bound_agreement(rows: &[Row]) -> f64 {
+    rows.iter().filter(|r| r.bounds_agree()).count() as f64 / rows.len() as f64
+}
+
+/// The table as rows of strings (header first).
+#[must_use]
+pub fn csv() -> Vec<Vec<String>> {
+    let mut out = vec![vec![
+        "gemm".to_owned(),
+        "a100_paper_us".to_owned(),
+        "a100_paper_bound".to_owned(),
+        "a100_ours_us".to_owned(),
+        "a100_ours_bound".to_owned(),
+        "h100_paper_us".to_owned(),
+        "h100_paper_bound".to_owned(),
+        "h100_ours_us".to_owned(),
+        "h100_ours_bound".to_owned(),
+    ]];
+    for row in run() {
+        let r = row.reference;
+        let fmt_bound = |b: BoundType| {
+            if b.is_compute() {
+                "compute".to_owned()
+            } else {
+                "memory".to_owned()
+            }
+        };
+        let fmt_ref = |b: RefBound| match b {
+            RefBound::Compute => "compute".to_owned(),
+            RefBound::Memory => "memory".to_owned(),
+        };
+        out.push(vec![
+            r.gemm.to_owned(),
+            format!("{:.0}", r.a100_us),
+            fmt_ref(r.a100_bound),
+            format!("{:.0}", row.a100_us),
+            fmt_bound(row.a100_bound),
+            format!("{:.0}", r.h100_us),
+            fmt_ref(r.h100_bound),
+            format!("{:.0}", row.h100_us),
+            fmt_bound(row.h100_bound),
+        ]);
+    }
+    out
+}
+
+/// Renders the table for the terminal.
+#[must_use]
+pub fn render() -> String {
+    crate::markdown_table(&csv())
+}

@@ -1,0 +1,172 @@
+//! Whole-accelerator description.
+
+use crate::{ComputeSpec, DeviceCalibration, HwError, MemoryLevel, MemoryLevelKind, Precision};
+use optimus_units::{Bandwidth, Bytes, FlopThroughput};
+use serde::{Deserialize, Serialize};
+
+/// The high-level performance description of one accelerator (GPU, TPU, or a
+/// hypothetical design synthesized by the µArch engine).
+///
+/// This is the paper's *architecture abstraction layer*: only the quantities
+/// that drive the roofline model are retained.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    /// Human-readable name, e.g. `"A100-SXM-80GB"`.
+    pub name: String,
+    /// Peak arithmetic throughput per precision.
+    pub compute: ComputeSpec,
+    /// On-chip cache levels ordered **inner to outer** (shared/L1 first,
+    /// then L2). DRAM is stored separately in [`Accelerator::dram`].
+    pub on_chip: Vec<MemoryLevel>,
+    /// Off-chip device memory.
+    pub dram: MemoryLevel,
+    /// Empirical derating constants.
+    pub calibration: DeviceCalibration,
+}
+
+impl Accelerator {
+    /// Creates an accelerator description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_chip` contains a [`MemoryLevelKind::Dram`] level or if
+    /// the levels are not ordered inner to outer.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        compute: ComputeSpec,
+        on_chip: Vec<MemoryLevel>,
+        dram: MemoryLevel,
+    ) -> Self {
+        assert!(
+            on_chip.iter().all(|l| l.kind != MemoryLevelKind::Dram),
+            "DRAM belongs in the `dram` field, not `on_chip`"
+        );
+        assert!(
+            on_chip.windows(2).all(|w| w[0].kind <= w[1].kind),
+            "on-chip levels must be ordered inner to outer"
+        );
+        Self {
+            name: name.into(),
+            compute,
+            on_chip,
+            dram,
+            calibration: DeviceCalibration::default(),
+        }
+    }
+
+    /// Sets the calibration constants.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: DeviceCalibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Peak throughput at `precision`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnsupportedPrecision`] if the device lacks the
+    /// precision.
+    pub fn peak(&self, precision: Precision) -> Result<FlopThroughput, HwError> {
+        self.compute.peak_or_err(precision, &self.name)
+    }
+
+    /// The full hierarchy walked by the roofline model, ordered inner to
+    /// outer and ending with DRAM.
+    pub fn hierarchy(&self) -> impl Iterator<Item = &MemoryLevel> {
+        self.on_chip.iter().chain(core::iter::once(&self.dram))
+    }
+
+    /// The level of `kind`, if present.
+    #[must_use]
+    pub fn level(&self, kind: MemoryLevelKind) -> Option<&MemoryLevel> {
+        self.hierarchy().find(|l| l.kind == kind)
+    }
+
+    /// Replaces the DRAM technology (bandwidth and capacity), keeping
+    /// everything else — the paper's memory-technology-scaling case studies
+    /// (Figs. 6 and 9) do exactly this.
+    #[must_use]
+    pub fn with_dram(mut self, capacity: Bytes, bandwidth: Bandwidth) -> Self {
+        self.dram = MemoryLevel::dram(capacity, bandwidth);
+        self
+    }
+
+    /// Returns a renamed copy.
+    #[must_use]
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl core::fmt::Display for Accelerator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        if let Some(p) = self.compute.peak(Precision::Fp16) {
+            write!(f, "{p} FP16, ")?;
+        }
+        write!(f, "{}", self.dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_units::{Bandwidth, Bytes};
+
+    fn toy() -> Accelerator {
+        Accelerator::new(
+            "toy",
+            ComputeSpec::new([(Precision::Fp16, FlopThroughput::from_tera(100.0))]),
+            vec![
+                MemoryLevel::shared_l1(Bytes::from_mib(16.0), Bandwidth::from_tb_per_sec(20.0)),
+                MemoryLevel::l2(Bytes::from_mib(40.0), Bandwidth::from_tb_per_sec(5.0)),
+            ],
+            MemoryLevel::dram(Bytes::from_gb(80.0), Bandwidth::from_tb_per_sec(2.0)),
+        )
+    }
+
+    #[test]
+    fn hierarchy_walk_ends_at_dram() {
+        let acc = toy();
+        let kinds: Vec<_> = acc.hierarchy().map(|l| l.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                MemoryLevelKind::SharedL1,
+                MemoryLevelKind::L2,
+                MemoryLevelKind::Dram
+            ]
+        );
+    }
+
+    #[test]
+    fn unsupported_precision_is_error() {
+        let err = toy().peak(Precision::Fp4).unwrap_err();
+        assert!(matches!(err, HwError::UnsupportedPrecision { .. }));
+    }
+
+    #[test]
+    fn with_dram_swaps_technology() {
+        let acc = toy().with_dram(Bytes::from_gb(141.0), Bandwidth::from_tb_per_sec(4.8));
+        assert_eq!(acc.dram.bandwidth.tb_per_sec(), 4.8);
+        assert_eq!(acc.dram.capacity.gb(), 141.0);
+        assert_eq!(acc.on_chip.len(), 2, "on-chip levels untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered inner to outer")]
+    fn misordered_levels_rejected() {
+        let _ = Accelerator::new(
+            "bad",
+            ComputeSpec::new([]),
+            vec![
+                MemoryLevel::l2(Bytes::from_mib(40.0), Bandwidth::from_tb_per_sec(5.0)),
+                MemoryLevel::shared_l1(Bytes::from_mib(16.0), Bandwidth::from_tb_per_sec(20.0)),
+            ],
+            MemoryLevel::dram(Bytes::from_gb(80.0), Bandwidth::from_tb_per_sec(2.0)),
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Compute-throughput description of an accelerator.
+
+use crate::{HwError, Precision};
+use optimus_units::FlopThroughput;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Peak arithmetic throughput of an accelerator, per precision, together
+/// with the matmul tile granularity of its matrix units.
+///
+/// The tile granularity is used by the roofline model to derive the
+/// *tile-quantization* efficiency of a GEMM: an `m x n` output that is not a
+/// multiple of the hardware tile wastes the partial tiles, which is a major
+/// reason skinny GEMMs run below peak.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputeSpec {
+    peaks: BTreeMap<Precision, FlopThroughput>,
+    /// Output-tile rows processed per matmul macro-tile.
+    pub tile_m: usize,
+    /// Output-tile columns processed per matmul macro-tile.
+    pub tile_n: usize,
+    /// Reduction depth processed per matmul macro-tile step.
+    pub tile_k: usize,
+}
+
+impl ComputeSpec {
+    /// Default macro-tile of modern tensor-core GPUs (CTA-level tile).
+    pub const DEFAULT_TILE: (usize, usize, usize) = (128, 128, 32);
+
+    /// Creates a spec from `(precision, peak)` pairs with the default tile.
+    #[must_use]
+    pub fn new(peaks: impl IntoIterator<Item = (Precision, FlopThroughput)>) -> Self {
+        let (tile_m, tile_n, tile_k) = Self::DEFAULT_TILE;
+        Self {
+            peaks: peaks.into_iter().collect(),
+            tile_m,
+            tile_n,
+            tile_k,
+        }
+    }
+
+    /// Sets the matmul macro-tile granularity.
+    #[must_use]
+    pub fn with_tile(mut self, m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "tile dimensions must be positive");
+        self.tile_m = m;
+        self.tile_n = n;
+        self.tile_k = k;
+        self
+    }
+
+    /// Peak throughput at `precision`, if the accelerator supports it.
+    #[must_use]
+    pub fn peak(&self, precision: Precision) -> Option<FlopThroughput> {
+        self.peaks.get(&precision).copied()
+    }
+
+    /// Peak throughput at `precision`, or an error naming the accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::UnsupportedPrecision`] when the precision has no
+    /// entry (e.g. FP4 on an A100).
+    pub fn peak_or_err(
+        &self,
+        precision: Precision,
+        accelerator: &str,
+    ) -> Result<FlopThroughput, HwError> {
+        self.peak(precision)
+            .ok_or_else(|| HwError::UnsupportedPrecision {
+                precision,
+                accelerator: accelerator.to_owned(),
+            })
+    }
+
+    /// Iterates over all `(precision, peak)` entries, widest precision first.
+    pub fn iter(&self) -> impl Iterator<Item = (Precision, FlopThroughput)> + '_ {
+        self.peaks.iter().map(|(p, t)| (*p, *t))
+    }
+
+    /// Returns a copy with every peak scaled by `factor` (used by the µArch
+    /// engine when deriving hypothetical designs from a baseline).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        Self {
+            peaks: self
+                .peaks
+                .iter()
+                .map(|(p, t)| (*p, *t * factor))
+                .collect(),
+            tile_m: self.tile_m,
+            tile_n: self.tile_n,
+            tile_k: self.tile_k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ComputeSpec {
+        ComputeSpec::new([
+            (Precision::Fp16, FlopThroughput::from_tera(312.0)),
+            (Precision::Fp32, FlopThroughput::from_tera(19.5)),
+        ])
+    }
+
+    #[test]
+    fn lookup_present_and_absent() {
+        let s = spec();
+        assert_eq!(s.peak(Precision::Fp16).unwrap().tera(), 312.0);
+        assert!(s.peak(Precision::Fp4).is_none());
+        let err = s.peak_or_err(Precision::Fp4, "A100").unwrap_err();
+        assert!(err.to_string().contains("A100"));
+        assert!(err.to_string().contains("FP4"));
+    }
+
+    #[test]
+    fn scaling() {
+        let s = spec().scaled(2.0);
+        assert_eq!(s.peak(Precision::Fp16).unwrap().tera(), 624.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tile_rejected() {
+        let _ = spec().with_tile(0, 128, 32);
+    }
+}

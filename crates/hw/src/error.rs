@@ -1,0 +1,38 @@
+//! Error type for hardware-description construction.
+
+/// Error produced when a hardware description is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A compute spec has no entry for the requested precision.
+    UnsupportedPrecision {
+        /// The precision that was requested.
+        precision: crate::Precision,
+        /// The accelerator that lacks it.
+        accelerator: String,
+    },
+    /// A memory hierarchy was declared with levels out of capacity order.
+    InvalidHierarchy {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for HwError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnsupportedPrecision {
+                precision,
+                accelerator,
+            } => write!(
+                f,
+                "accelerator `{accelerator}` has no peak throughput for {precision}"
+            ),
+            Self::InvalidHierarchy { reason } => {
+                write!(f, "invalid memory hierarchy: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwError {}

@@ -1,0 +1,50 @@
+//! Architecture abstraction layer for the Optimus performance-modeling suite.
+//!
+//! The paper (§3.1) inserts an *architecture abstraction layer* between the
+//! micro-architecture engine and the performance-prediction engine: instead of
+//! requiring low-level technology parameters, an accelerator is described by
+//! its **high-level performance drivers** — compute throughput per precision,
+//! the capacities and bandwidths of each memory-hierarchy level, DRAM
+//! capacity, and the intra-/inter-node interconnects. This makes it easy to
+//! describe commercial parts (A100, H100, H200, B200) whose silicon details
+//! are not public, while the `optimus-tech` µArch engine can still
+//! *synthesize* the same description from technology parameters for DSE.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use optimus_hw::{presets, Precision};
+//!
+//! let a100 = presets::a100_sxm_80gb();
+//! assert_eq!(a100.compute.peak(Precision::Fp16).unwrap().tera(), 312.0);
+//! assert_eq!(a100.dram.capacity.gb().round(), 80.0);
+//!
+//! let cluster = presets::dgx_a100_hdr_cluster();
+//! assert_eq!(cluster.node.gpus_per_node, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+mod calib;
+mod compute;
+mod error;
+mod link;
+mod memory;
+pub mod memtech;
+pub mod nettech;
+mod precision;
+pub mod presets;
+mod system;
+mod util;
+
+pub use accelerator::Accelerator;
+pub use calib::DeviceCalibration;
+pub use compute::ComputeSpec;
+pub use error::HwError;
+pub use link::LinkSpec;
+pub use memory::{MemoryLevel, MemoryLevelKind};
+pub use precision::Precision;
+pub use system::{ClusterSpec, NodeSpec};
+pub use util::UtilizationCurve;

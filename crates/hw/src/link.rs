@@ -1,0 +1,94 @@
+//! Interconnect link descriptions.
+
+use crate::UtilizationCurve;
+use optimus_units::{Bandwidth, Bytes, Time};
+use serde::{Deserialize, Serialize};
+
+/// A communication link as seen by **one participant** of a collective.
+///
+/// `bandwidth` is the per-participant, per-direction injection bandwidth:
+/// for NVLink this is one GPU's aggregate NVLink bandwidth in one direction;
+/// for InfiniBand clusters it is the node's NIC bandwidth divided by the
+/// GPUs per node (each GPU of a cross-node ring gets its share of the NICs).
+/// The ring/tree collective formulas (Eqs. 3–4 of the paper) are written in
+/// terms of exactly this quantity.
+///
+/// `utilization` derates the bandwidth for small transfers (§3.4: "for
+/// inference, the data volume is generally low and the network bandwidth is
+/// underutilized. We apply a utilization factor to derive the actual
+/// bandwidth.").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Human-readable name, e.g. `"NVLink3"` or `"HDR-IB"`.
+    pub name: String,
+    /// Per-participant, per-direction peak bandwidth.
+    pub bandwidth: Bandwidth,
+    /// One-hop message latency.
+    pub latency: Time,
+    /// Message-size-dependent bandwidth derating.
+    pub utilization: UtilizationCurve,
+}
+
+impl LinkSpec {
+    /// Creates a link with an ideal (size-independent, 100%) utilization.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bandwidth: Bandwidth, latency: Time) -> Self {
+        Self {
+            name: name.into(),
+            bandwidth,
+            latency,
+            utilization: UtilizationCurve::ideal(),
+        }
+    }
+
+    /// Sets the utilization curve.
+    #[must_use]
+    pub fn with_utilization(mut self, curve: UtilizationCurve) -> Self {
+        self.utilization = curve;
+        self
+    }
+
+    /// Effective bandwidth achieved by a transfer of `volume` per
+    /// participant.
+    #[must_use]
+    pub fn effective_bandwidth(&self, volume: Bytes) -> Bandwidth {
+        self.bandwidth * self.utilization.factor(volume).get()
+    }
+
+    /// Returns a copy with the peak bandwidth replaced (used when sweeping
+    /// network technologies in the case studies).
+    #[must_use]
+    pub fn with_bandwidth(mut self, bandwidth: Bandwidth) -> Self {
+        self.bandwidth = bandwidth;
+        self
+    }
+}
+
+impl core::fmt::Display for LinkSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} ({}, {} latency)", self.name, self.bandwidth, self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_units::Ratio;
+
+    #[test]
+    fn effective_bandwidth_derates_small_messages() {
+        let link = LinkSpec::new(
+            "NVLink3",
+            Bandwidth::from_gb_per_sec(300.0),
+            Time::from_micros(3.0),
+        )
+        .with_utilization(UtilizationCurve {
+            max: Ratio::new(0.8),
+            half_saturation: Bytes::from_mb(4.0),
+        });
+        let big = link.effective_bandwidth(Bytes::from_mb(50.0));
+        let small = link.effective_bandwidth(Bytes::from_kib(10.0));
+        assert!(big.gb_per_sec() > 200.0, "large messages near peak: {big}");
+        assert!(small.gb_per_sec() < 1.0, "small messages heavily derated: {small}");
+    }
+}

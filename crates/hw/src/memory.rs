@@ -1,0 +1,99 @@
+//! Memory-hierarchy levels.
+
+use optimus_units::{Bandwidth, Bytes};
+use serde::{Deserialize, Serialize};
+
+/// The position of a memory level in the hierarchy, ordered from the level
+/// closest to the arithmetic units outward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MemoryLevelKind {
+    /// Register file (rarely the binding level; included for completeness).
+    Register,
+    /// Per-SM shared memory / L1 cache.
+    SharedL1,
+    /// Chip-wide L2 / last-level cache.
+    L2,
+    /// Off-chip device memory (HBM/GDDR DRAM).
+    Dram,
+}
+
+impl core::fmt::Display for MemoryLevelKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::Register => "registers",
+            Self::SharedL1 => "shared/L1",
+            Self::L2 => "L2",
+            Self::Dram => "DRAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One level of the memory hierarchy: an aggregate capacity and the aggregate
+/// bandwidth at which the level can feed the next level inward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryLevel {
+    /// Which level this is.
+    pub kind: MemoryLevelKind,
+    /// Total capacity of the level (aggregated over all SMs for on-chip
+    /// levels; the full device memory for DRAM).
+    pub capacity: Bytes,
+    /// Aggregate sustained bandwidth of the level.
+    pub bandwidth: Bandwidth,
+}
+
+impl MemoryLevel {
+    /// Creates a level description.
+    #[must_use]
+    pub fn new(kind: MemoryLevelKind, capacity: Bytes, bandwidth: Bandwidth) -> Self {
+        Self {
+            kind,
+            capacity,
+            bandwidth,
+        }
+    }
+
+    /// Convenience constructor for a DRAM level.
+    #[must_use]
+    pub fn dram(capacity: Bytes, bandwidth: Bandwidth) -> Self {
+        Self::new(MemoryLevelKind::Dram, capacity, bandwidth)
+    }
+
+    /// Convenience constructor for an L2 level.
+    #[must_use]
+    pub fn l2(capacity: Bytes, bandwidth: Bandwidth) -> Self {
+        Self::new(MemoryLevelKind::L2, capacity, bandwidth)
+    }
+
+    /// Convenience constructor for a shared-memory/L1 level.
+    #[must_use]
+    pub fn shared_l1(capacity: Bytes, bandwidth: Bandwidth) -> Self {
+        Self::new(MemoryLevelKind::SharedL1, capacity, bandwidth)
+    }
+}
+
+impl core::fmt::Display for MemoryLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} ({}, {})", self.kind, self.capacity, self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_order_inner_to_outer() {
+        assert!(MemoryLevelKind::Register < MemoryLevelKind::SharedL1);
+        assert!(MemoryLevelKind::SharedL1 < MemoryLevelKind::L2);
+        assert!(MemoryLevelKind::L2 < MemoryLevelKind::Dram);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let l = MemoryLevel::l2(Bytes::from_mib(40.0), Bandwidth::from_tb_per_sec(4.8));
+        let s = l.to_string();
+        assert!(s.contains("L2") && s.contains("40.0 MiB"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Catalog of interconnect technologies (intra- and inter-node).
+//!
+//! Bandwidth conventions follow [`crate::LinkSpec`]: always the
+//! **per-participant, per-direction** bandwidth. For InfiniBand fabrics the
+//! constructor takes the *node* injection bandwidth and divides it by the
+//! GPUs per node; for NVLink the per-GPU figure is used directly.
+
+use crate::{LinkSpec, UtilizationCurve};
+use optimus_units::{Bandwidth, Bytes, Ratio, Time};
+use serde::{Deserialize, Serialize};
+
+/// Default NVLink collective latency (one hop, NCCL-style).
+const NVLINK_LATENCY_US: f64 = 3.0;
+/// Default InfiniBand collective latency (one hop).
+const IB_LATENCY_US: f64 = 5.0;
+
+/// Saturating utilization used for all links: 80% of peak for large
+/// transfers, half-saturation at 4 MiB — the regime where NCCL bus
+/// bandwidth measurements flatten out.
+fn default_net_utilization() -> UtilizationCurve {
+    UtilizationCurve {
+        max: Ratio::new(0.80),
+        half_saturation: Bytes::from_mib(4.0),
+    }
+}
+
+/// NVLink generations (per-GPU, per-direction aggregate bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum NvlinkGen {
+    /// NVLink 3 (A100): 300 GB/s per direction.
+    Gen3,
+    /// NVLink 4 (H100/H200): 450 GB/s per direction.
+    Gen4,
+    /// NVLink 5 (B200): 900 GB/s per direction.
+    Gen5,
+}
+
+impl NvlinkGen {
+    /// Per-GPU per-direction bandwidth.
+    #[must_use]
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            Self::Gen3 => Bandwidth::from_gb_per_sec(300.0),
+            Self::Gen4 => Bandwidth::from_gb_per_sec(450.0),
+            Self::Gen5 => Bandwidth::from_gb_per_sec(900.0),
+        }
+    }
+
+    /// The intra-node link for this generation.
+    #[must_use]
+    pub fn link(self) -> LinkSpec {
+        let name = match self {
+            Self::Gen3 => "NVLink3",
+            Self::Gen4 => "NVLink4",
+            Self::Gen5 => "NVLink5",
+        };
+        LinkSpec::new(name, self.bandwidth(), Time::from_micros(NVLINK_LATENCY_US))
+            .with_utilization(default_net_utilization())
+    }
+}
+
+impl core::fmt::Display for NvlinkGen {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Gen3 => f.write_str("NV3"),
+            Self::Gen4 => f.write_str("NV4"),
+            Self::Gen5 => f.write_str("NV5"),
+        }
+    }
+}
+
+/// Builds an InfiniBand inter-node link from the node injection bandwidth.
+///
+/// `node_bandwidth` is the aggregate NIC bandwidth of one node (e.g.
+/// 200 GB/s for a DGX A100 with eight HDR adapters); each of the
+/// `gpus_per_node` accelerators gets an equal share.
+///
+/// # Panics
+///
+/// Panics if `gpus_per_node` is zero.
+#[must_use]
+pub fn infiniband(
+    name: impl Into<String>,
+    node_bandwidth: Bandwidth,
+    gpus_per_node: usize,
+) -> LinkSpec {
+    assert!(gpus_per_node > 0, "gpus_per_node must be positive");
+    LinkSpec::new(
+        name,
+        node_bandwidth / gpus_per_node as f64,
+        Time::from_micros(IB_LATENCY_US),
+    )
+    .with_utilization(default_net_utilization())
+}
+
+/// HDR InfiniBand node fabric: 200 GB/s per node (paper §5.2, A100 cluster).
+#[must_use]
+pub fn ib_hdr(gpus_per_node: usize) -> LinkSpec {
+    infiniband("HDR-IB", Bandwidth::from_gb_per_sec(200.0), gpus_per_node)
+}
+
+/// NDR InfiniBand node fabric: 400 GB/s per node (paper §5.2, H100+ clusters).
+#[must_use]
+pub fn ib_ndr(gpus_per_node: usize) -> LinkSpec {
+    infiniband("NDR-IB", Bandwidth::from_gb_per_sec(400.0), gpus_per_node)
+}
+
+/// An NVLink-Switch system: inter-node networking at intra-node NVLink
+/// bandwidth (the paper's "NVS" configurations in Fig. 5).
+#[must_use]
+pub fn nvlink_switch_system(gen: NvlinkGen) -> LinkSpec {
+    let mut link = gen.link();
+    link.name = format!("NVS-{gen}");
+    link
+}
+
+/// The inter-node technology sweep of Fig. 6: `NDR-x8` (100 GB/s per node),
+/// `XDR-x8` (200 GB/s), `GDR-x8` (400 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum IbSweepGen {
+    /// NDR-x8: 100 GB/s node injection bandwidth.
+    NdrX8,
+    /// XDR-x8: 200 GB/s.
+    XdrX8,
+    /// GDR-x8: 400 GB/s.
+    GdrX8,
+}
+
+impl IbSweepGen {
+    /// Node injection bandwidth for this generation.
+    #[must_use]
+    pub fn node_bandwidth(self) -> Bandwidth {
+        match self {
+            Self::NdrX8 => Bandwidth::from_gb_per_sec(100.0),
+            Self::XdrX8 => Bandwidth::from_gb_per_sec(200.0),
+            Self::GdrX8 => Bandwidth::from_gb_per_sec(400.0),
+        }
+    }
+
+    /// The inter-node link for a node with `gpus_per_node` accelerators.
+    #[must_use]
+    pub fn link(self, gpus_per_node: usize) -> LinkSpec {
+        infiniband(self.to_string(), self.node_bandwidth(), gpus_per_node)
+    }
+
+    /// All sweep generations in increasing-bandwidth order.
+    #[must_use]
+    pub fn all() -> &'static [Self] {
+        &[Self::NdrX8, Self::XdrX8, Self::GdrX8]
+    }
+}
+
+impl core::fmt::Display for IbSweepGen {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NdrX8 => f.write_str("NDR-x8"),
+            Self::XdrX8 => f.write_str("XDR-x8"),
+            Self::GdrX8 => f.write_str("GDR-x8"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infiniband_divides_node_bandwidth() {
+        let link = ib_hdr(8);
+        assert_eq!(link.bandwidth.gb_per_sec(), 25.0);
+        let link = ib_ndr(8);
+        assert_eq!(link.bandwidth.gb_per_sec(), 50.0);
+    }
+
+    #[test]
+    fn nvlink_bandwidths() {
+        assert_eq!(NvlinkGen::Gen3.bandwidth().gb_per_sec(), 300.0);
+        assert_eq!(NvlinkGen::Gen4.bandwidth().gb_per_sec(), 450.0);
+        assert_eq!(NvlinkGen::Gen5.bandwidth().gb_per_sec(), 900.0);
+    }
+
+    #[test]
+    fn nvs_matches_nvlink_bandwidth() {
+        let nvs = nvlink_switch_system(NvlinkGen::Gen4);
+        assert_eq!(nvs.bandwidth, NvlinkGen::Gen4.bandwidth());
+        assert!(nvs.name.contains("NVS"));
+    }
+
+    #[test]
+    fn fig6_sweep_bandwidths() {
+        let bws: Vec<f64> = IbSweepGen::all()
+            .iter()
+            .map(|g| g.node_bandwidth().gb_per_sec())
+            .collect();
+        assert_eq!(bws, vec![100.0, 200.0, 400.0]);
+    }
+}

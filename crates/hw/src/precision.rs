@@ -1,0 +1,99 @@
+//! Numeric precisions supported by the modeled accelerators.
+
+use serde::{Deserialize, Serialize};
+
+/// A numeric format used for model weights, activations, and arithmetic.
+///
+/// The byte width drives both memory-traffic volumes (a FP4 weight moves half
+/// a byte) and which peak-throughput entry of a [`crate::ComputeSpec`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Precision {
+    /// IEEE 754 double precision (8 bytes).
+    Fp64,
+    /// IEEE 754 single precision (4 bytes).
+    Fp32,
+    /// NVIDIA TensorFloat-32 (stored as 4 bytes, reduced-mantissa matmul).
+    Tf32,
+    /// IEEE half precision (2 bytes).
+    Fp16,
+    /// bfloat16 (2 bytes).
+    Bf16,
+    /// 8-bit floating point (1 byte), e.g. the H100 transformer engine.
+    Fp8,
+    /// 4-bit floating point (half a byte), introduced with Blackwell.
+    Fp4,
+    /// 8-bit integer (1 byte).
+    Int8,
+}
+
+impl Precision {
+    /// Storage width in bytes (fractional for sub-byte formats).
+    ///
+    /// ```
+    /// use optimus_hw::Precision;
+    /// assert_eq!(Precision::Fp16.bytes(), 2.0);
+    /// assert_eq!(Precision::Fp4.bytes(), 0.5);
+    /// ```
+    #[must_use]
+    pub fn bytes(self) -> f64 {
+        match self {
+            Self::Fp64 => 8.0,
+            Self::Fp32 | Self::Tf32 => 4.0,
+            Self::Fp16 | Self::Bf16 => 2.0,
+            Self::Fp8 | Self::Int8 => 1.0,
+            Self::Fp4 => 0.5,
+        }
+    }
+
+    /// All precisions, widest first.
+    #[must_use]
+    pub fn all() -> &'static [Precision] {
+        &[
+            Self::Fp64,
+            Self::Fp32,
+            Self::Tf32,
+            Self::Fp16,
+            Self::Bf16,
+            Self::Fp8,
+            Self::Fp4,
+            Self::Int8,
+        ]
+    }
+}
+
+impl core::fmt::Display for Precision {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::Fp64 => "FP64",
+            Self::Fp32 => "FP32",
+            Self::Tf32 => "TF32",
+            Self::Fp16 => "FP16",
+            Self::Bf16 => "BF16",
+            Self::Fp8 => "FP8",
+            Self::Fp4 => "FP4",
+            Self::Int8 => "INT8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Precision::Fp64.bytes(), 8.0);
+        assert_eq!(Precision::Tf32.bytes(), 4.0);
+        assert_eq!(Precision::Bf16.bytes(), 2.0);
+        assert_eq!(Precision::Fp8.bytes(), 1.0);
+        assert_eq!(Precision::Fp4.bytes(), 0.5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::Fp16.to_string(), "FP16");
+        assert_eq!(Precision::Fp4.to_string(), "FP4");
+    }
+}

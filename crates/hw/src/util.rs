@@ -1,0 +1,104 @@
+//! Size-dependent bandwidth-utilization model.
+
+use optimus_units::{Bytes, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// A saturating bandwidth-utilization curve.
+///
+/// The paper applies *utilization factors* in two places where the raw peak
+/// bandwidth is unachievable:
+///
+/// * **GEMV kernels on DRAM** (§4.1): small matrices/vectors underutilize
+///   DRAM bandwidth; the paper clusters profiled kernels to derive per-size
+///   factors, and also evaluates a single constant factor.
+/// * **Collectives on small messages** (§3.4, §4.3): inference all-reduces
+///   move kilobytes and achieve a tiny fraction of link bandwidth.
+///
+/// We model both with the same smooth two-parameter curve
+///
+/// ```text
+/// util(v) = max · v / (v + half_saturation)
+/// ```
+///
+/// which saturates at `max` for large transfers and decays linearly for
+/// small ones — the qualitative behaviour the paper's clustered factors
+/// capture. A `half_saturation` of zero yields the constant-factor variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationCurve {
+    /// Asymptotic utilization reached by very large transfers.
+    pub max: Ratio,
+    /// Transfer volume at which utilization reaches half of `max`.
+    pub half_saturation: Bytes,
+}
+
+impl UtilizationCurve {
+    /// A constant utilization factor, independent of transfer size.
+    #[must_use]
+    pub fn constant(max: Ratio) -> Self {
+        Self {
+            max,
+            half_saturation: Bytes::ZERO,
+        }
+    }
+
+    /// Ideal bandwidth: always 100% utilized.
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self::constant(Ratio::ONE)
+    }
+
+    /// Utilization achieved by a transfer of `volume`.
+    #[must_use]
+    pub fn factor(&self, volume: Bytes) -> Ratio {
+        let v = volume.bytes();
+        let h = self.half_saturation.bytes();
+        if h == 0.0 {
+            return self.max;
+        }
+        if v == 0.0 {
+            return Ratio::ZERO;
+        }
+        Ratio::saturating(self.max.get() * v / (v + h))
+    }
+}
+
+impl Default for UtilizationCurve {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_curve_ignores_size() {
+        let c = UtilizationCurve::constant(Ratio::new(0.75));
+        assert_eq!(c.factor(Bytes::new(1.0)), Ratio::new(0.75));
+        assert_eq!(c.factor(Bytes::from_gb(10.0)), Ratio::new(0.75));
+    }
+
+    #[test]
+    fn saturating_curve_monotonic() {
+        let c = UtilizationCurve {
+            max: Ratio::new(0.8),
+            half_saturation: Bytes::from_mb(4.0),
+        };
+        let small = c.factor(Bytes::from_kib(16.0));
+        let mid = c.factor(Bytes::from_mb(4.0));
+        let big = c.factor(Bytes::from_gb(1.0));
+        assert!(small < mid && mid < big);
+        assert!((mid.get() - 0.4).abs() < 1e-9, "half saturation point");
+        assert!(big.get() > 0.79, "approaches max");
+    }
+
+    #[test]
+    fn zero_volume_is_zero_utilization() {
+        let c = UtilizationCurve {
+            max: Ratio::new(0.8),
+            half_saturation: Bytes::from_mb(4.0),
+        };
+        assert_eq!(c.factor(Bytes::ZERO), Ratio::ZERO);
+    }
+}

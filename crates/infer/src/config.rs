@@ -1,0 +1,82 @@
+//! Inference-job description.
+
+use optimus_collective::CommModel;
+use optimus_hw::Precision;
+use optimus_model::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One LLM serving request shape: a prompt is *summarized* (prefill) and
+/// `generate` tokens are produced auto-regressively with a KV-cache (§3.5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// The served model.
+    pub model: ModelConfig,
+    /// Serving batch size.
+    pub batch: usize,
+    /// Prompt (summarization) length in tokens.
+    pub prefill: usize,
+    /// Number of generated tokens.
+    pub generate: usize,
+    /// Tensor-parallel degree (the only parallelism used for inference,
+    /// §1.3).
+    pub tp: usize,
+    /// Serving precision.
+    pub precision: Precision,
+    /// Collective-algorithm policy. Defaults to automatic, which picks the
+    /// double-binary-tree for the latency-bound decode all-reduces (§3.4).
+    pub comm: CommModel,
+}
+
+impl InferenceConfig {
+    /// Creates a config at FP16 with automatic collective selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero.
+    #[must_use]
+    pub fn new(model: ModelConfig, batch: usize, prefill: usize, generate: usize, tp: usize) -> Self {
+        assert!(
+            batch > 0 && prefill > 0 && generate > 0 && tp > 0,
+            "inference shape must be positive"
+        );
+        Self {
+            model,
+            batch,
+            prefill,
+            generate,
+            tp,
+            precision: Precision::Fp16,
+            comm: CommModel::Auto,
+        }
+    }
+
+    /// Sets the serving precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the collective policy.
+    #[must_use]
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// The paper's Table 2 shape: B = 1, 200-token prompt, 200 generated.
+    #[must_use]
+    pub fn nvidia_llama_benchmark(model: ModelConfig, tp: usize) -> Self {
+        Self::new(model, 1, 200, 200, tp)
+    }
+}
+
+impl core::fmt::Display for InferenceConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} B={} prefill={} generate={} TP={} {}",
+            self.model.name, self.batch, self.prefill, self.generate, self.tp, self.precision
+        )
+    }
+}

@@ -1,0 +1,87 @@
+//! Inference-latency reports.
+
+use optimus_memory::InferenceMemoryReport;
+use optimus_model::OpRole;
+use optimus_roofline::BoundType;
+use optimus_units::Time;
+use serde::{Deserialize, Serialize};
+
+/// Where inference latency goes, classified per kernel by its roofline
+/// bound type (the memory/communication stacks of Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct InferenceBreakdown {
+    /// Time in kernels that bind on arithmetic.
+    pub compute: Time,
+    /// Time in kernels that bind on a memory level (DRAM or on-chip).
+    pub memory: Time,
+    /// Collective-communication time (TP all-reduces).
+    pub communication: Time,
+    /// Fixed kernel-launch/software overhead.
+    pub overhead: Time,
+}
+
+impl InferenceBreakdown {
+    /// Sum of all categories.
+    #[must_use]
+    pub fn total(&self) -> Time {
+        self.compute + self.memory + self.communication + self.overhead
+    }
+}
+
+/// One row of a per-GEMM bound analysis (the paper's Table 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GemmAnalysis {
+    /// The GEMM's role in the layer.
+    pub role: OpRole,
+    /// Predicted kernel time.
+    pub time: Time,
+    /// What limits it.
+    pub bound: BoundType,
+}
+
+/// The full output of an inference estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// End-to-end latency: prefill + all decode steps.
+    pub total: Time,
+    /// Prompt-summarization (prefill) latency.
+    pub prefill: Time,
+    /// Auto-regressive generation latency.
+    pub decode: Time,
+    /// Mean decode latency per generated token.
+    pub per_token: Time,
+    /// Bound-type breakdown of the end-to-end latency.
+    pub breakdown: InferenceBreakdown,
+    /// Bound-type breakdown of the prefill phase alone (Fig. 8).
+    pub prefill_breakdown: InferenceBreakdown,
+    /// Per-device weight + KV-cache footprint at the final context length.
+    pub memory: InferenceMemoryReport,
+    /// Per-GEMM analysis of one prefill layer (Table 4).
+    pub prefill_gemms: Vec<GemmAnalysis>,
+    /// Per-GEMM analysis of one decode layer at full context.
+    pub decode_gemms: Vec<GemmAnalysis>,
+    /// Arithmetic work executed per device for the whole request.
+    pub device_flops: optimus_units::FlopCount,
+    /// DRAM traffic per device for the whole request.
+    pub dram_traffic: optimus_units::Bytes,
+    /// Bytes injected into the fabric per device for the whole request.
+    pub network_traffic: optimus_units::Bytes,
+}
+
+impl core::fmt::Display for InferenceReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "latency {} (prefill {}, decode {}, {}/token)",
+            self.total, self.prefill, self.decode, self.per_token
+        )?;
+        write!(
+            f,
+            "  compute {}  memory {}  comm {}  overhead {}",
+            self.breakdown.compute,
+            self.breakdown.memory,
+            self.breakdown.communication,
+            self.breakdown.overhead
+        )
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-device memory reports for training and inference.
+
+use crate::{kv_cache_bytes, stage_activation_components, RecomputeMode};
+use optimus_hw::Precision;
+use optimus_model::ModelConfig;
+use optimus_parallel::{ParallelError, Parallelism, PipelineSchedule};
+use optimus_units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per parameter of Adam optimizer state in mixed-precision training:
+/// FP32 master weights + first moment + second moment.
+const OPTIMIZER_BYTES_PER_PARAM: f64 = 12.0;
+/// Bytes per parameter of the gradient buffer (FP32 main gradients).
+const GRADIENT_BYTES_PER_PARAM: f64 = 4.0;
+
+/// Inputs of a training-memory estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingMemorySpec {
+    /// Global batch size (samples).
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Parallelization.
+    pub parallelism: Parallelism,
+    /// Pipeline schedule (sets in-flight microbatch count).
+    pub schedule: PipelineSchedule,
+    /// Training precision (weight/activation width).
+    pub precision: Precision,
+    /// Activation-recomputation strategy.
+    pub recompute: RecomputeMode,
+}
+
+/// Per-device memory breakdown for training (the bars of Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingMemoryReport {
+    /// Model weights (training precision).
+    pub parameters: Bytes,
+    /// Gradient buffer.
+    pub gradients: Bytes,
+    /// Optimizer states (FP32 master copy + Adam moments).
+    pub optimizer: Bytes,
+    /// Stored activations under the chosen recomputation mode.
+    pub activations: Bytes,
+}
+
+impl TrainingMemoryReport {
+    /// Total per-device footprint.
+    #[must_use]
+    pub fn total(&self) -> Bytes {
+        self.parameters + self.gradients + self.optimizer + self.activations
+    }
+
+    /// Whether the footprint fits a device of the given capacity.
+    #[must_use]
+    pub fn fits(&self, capacity: Bytes) -> bool {
+        self.total() <= capacity
+    }
+}
+
+impl core::fmt::Display for TrainingMemoryReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "params {} + grads {} + optimizer {} + activations {} = {}",
+            self.parameters,
+            self.gradients,
+            self.optimizer,
+            self.activations,
+            self.total()
+        )
+    }
+}
+
+/// Parameters held by the most loaded device: a pipeline stage's layer
+/// shard plus the embedding shard (first/last stage carry the embedding and
+/// LM head, which is the peak).
+fn params_per_device(model: &ModelConfig, p: Parallelism) -> Result<f64, ParallelError> {
+    let layers_per_stage = p.layers_per_stage(model.layers)?;
+    let layer_part = layers_per_stage as f64 * model.layer_param_count() / p.tp as f64;
+    let embedding_part = model.embedding_param_count() / p.tp as f64;
+    Ok(layer_part + embedding_part)
+}
+
+/// Estimates the per-device training memory breakdown.
+///
+/// # Errors
+///
+/// Returns a [`ParallelError`] when the batch does not divide into
+/// microbatches or the layers do not divide across pipeline stages.
+pub fn training_memory(
+    model: &ModelConfig,
+    spec: &TrainingMemorySpec,
+) -> Result<TrainingMemoryReport, ParallelError> {
+    let p = spec.parallelism;
+    let params = params_per_device(model, p)?;
+    let microbatches = p.microbatches(spec.batch)?;
+    let layers_per_stage = p.layers_per_stage(model.layers)?;
+    let inflight = spec.schedule.inflight_microbatches(p.pp, microbatches);
+
+    let activation = stage_activation_components(
+        model,
+        p.microbatch,
+        spec.seq,
+        p.tp,
+        p.sp,
+        layers_per_stage,
+        spec.recompute,
+    );
+
+    Ok(TrainingMemoryReport {
+        parameters: Bytes::new(params * spec.precision.bytes()),
+        gradients: Bytes::new(params * GRADIENT_BYTES_PER_PARAM),
+        optimizer: Bytes::new(params * OPTIMIZER_BYTES_PER_PARAM),
+        activations: activation.peak(inflight),
+    })
+}
+
+/// Per-device memory breakdown for inference (the inset of Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceMemoryReport {
+    /// Model weights (serving precision).
+    pub weights: Bytes,
+    /// KV-cache at the given batch and maximum context.
+    pub kv_cache: Bytes,
+}
+
+impl InferenceMemoryReport {
+    /// Total per-device footprint.
+    #[must_use]
+    pub fn total(&self) -> Bytes {
+        self.weights + self.kv_cache
+    }
+
+    /// Whether the footprint fits a device of the given capacity.
+    #[must_use]
+    pub fn fits(&self, capacity: Bytes) -> bool {
+        self.total() <= capacity
+    }
+}
+
+/// Estimates the per-device inference memory at `batch` and peak `context`.
+#[must_use]
+pub fn inference_memory(
+    model: &ModelConfig,
+    batch: usize,
+    context: usize,
+    tp: usize,
+    precision: Precision,
+) -> InferenceMemoryReport {
+    assert!(tp > 0, "tp must be positive");
+    InferenceMemoryReport {
+        weights: Bytes::new(model.param_count() * precision.bytes() / tp as f64),
+        kv_cache: kv_cache_bytes(model, batch, context, precision) / tp as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_model::presets;
+
+    fn spec(recompute: RecomputeMode) -> TrainingMemorySpec {
+        TrainingMemorySpec {
+            batch: 64,
+            seq: 2048,
+            parallelism: Parallelism::new(1, 8, 8),
+            schedule: PipelineSchedule::OneFOneB,
+            precision: Precision::Fp16,
+            recompute,
+        }
+    }
+
+    #[test]
+    fn gpt175b_fits_only_with_recomputation() {
+        // Fig. 4's headline: on 80 GB A100s (TP8·PP8, batch 64) GPT-175B
+        // overflows without recomputation and fits with it.
+        let m = presets::gpt_175b();
+        let cap = Bytes::from_gb(80.0);
+        let none = training_memory(&m, &spec(RecomputeMode::None)).unwrap();
+        // Table 1 pairs selective recomputation with SP (1-8-8-8 rows).
+        let mut sel_spec = spec(RecomputeMode::Selective);
+        sel_spec.parallelism = sel_spec.parallelism.with_sp(true);
+        let sel = training_memory(&m, &sel_spec).unwrap();
+        let full = training_memory(
+            &m,
+            &spec(RecomputeMode::Full {
+                checkpoints_per_stage: None,
+            }),
+        )
+        .unwrap();
+        assert!(!none.fits(cap), "no recompute: {}", none.total());
+        assert!(sel.fits(cap), "selective+SP: {}", sel.total());
+        assert!(full.fits(cap), "full: {}", full.total());
+        assert!(none.activations > sel.activations);
+        assert!(sel.activations > full.activations);
+    }
+
+    #[test]
+    fn static_memory_is_18_bytes_per_param() {
+        let m = presets::gpt_175b();
+        let r = training_memory(&m, &spec(RecomputeMode::Selective)).unwrap();
+        let static_bytes = (r.parameters + r.gradients + r.optimizer).bytes();
+        // ~175e9/64 params per device × 18 bytes.
+        let params = 175.4e9 / 64.0;
+        let ratio = static_bytes / (params * 18.0);
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn optimizer_dominates_static_memory() {
+        // The Fig. 4 bars: optimizer state is the largest static category.
+        let m = presets::gpt_530b();
+        let s = TrainingMemorySpec {
+            batch: 280,
+            seq: 2048,
+            parallelism: Parallelism::new(1, 8, 35),
+            schedule: PipelineSchedule::OneFOneB,
+            precision: Precision::Fp16,
+            recompute: RecomputeMode::Full {
+                checkpoints_per_stage: None,
+            },
+        };
+        let r = training_memory(&m, &s).unwrap();
+        assert!(r.optimizer > r.parameters + r.gradients);
+    }
+
+    #[test]
+    fn indivisible_configs_error() {
+        let m = presets::gpt_175b();
+        let mut s = spec(RecomputeMode::None);
+        s.parallelism = Parallelism::new(1, 8, 7); // 96 % 7 != 0
+        assert!(training_memory(&m, &s).is_err());
+        let mut s2 = spec(RecomputeMode::None);
+        s2.batch = 63;
+        s2.parallelism = Parallelism::new(2, 8, 8);
+        assert!(training_memory(&m, &s2).is_err());
+    }
+
+    #[test]
+    fn inference_memory_matches_weights_plus_kv() {
+        let m = presets::llama2_13b();
+        let r = inference_memory(&m, 1, 400, 1, Precision::Fp16);
+        // 13B × 2 bytes ≈ 26 GB of weights.
+        assert!((r.weights.gb() - 26.0).abs() < 0.5, "weights {}", r.weights);
+        assert!(r.kv_cache.gb() < 0.4);
+        assert!(r.fits(Bytes::from_gb(80.0)));
+    }
+
+    #[test]
+    fn tp_shards_inference_memory() {
+        let m = presets::llama2_70b();
+        let one = inference_memory(&m, 1, 400, 1, Precision::Fp16);
+        let eight = inference_memory(&m, 1, 400, 8, Precision::Fp16);
+        assert!((one.total().bytes() / eight.total().bytes() - 8.0).abs() < 1e-9);
+        // 70B at FP16 does not fit one 80 GB GPU; it fits eight.
+        assert!(!one.fits(Bytes::from_gb(80.0)));
+        assert!(eight.fits(Bytes::from_gb(80.0)));
+    }
+
+    #[test]
+    fn gpipe_holds_all_microbatches() {
+        let m = presets::gpt_22b();
+        let mut s = TrainingMemorySpec {
+            batch: 32,
+            seq: 2048,
+            parallelism: Parallelism::new(1, 8, 6),
+            schedule: PipelineSchedule::GPipe,
+            precision: Precision::Fp16,
+            recompute: RecomputeMode::None,
+        };
+        let gpipe = training_memory(&m, &s).unwrap();
+        s.schedule = PipelineSchedule::OneFOneB;
+        let one_f = training_memory(&m, &s).unwrap();
+        // 32 microbatches in flight vs 6.
+        let ratio = gpipe.activations.bytes() / one_f.activations.bytes();
+        assert!((ratio - 32.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! KV-cache sizing (§3.5).
+
+use optimus_hw::Precision;
+use optimus_model::ModelConfig;
+use optimus_units::Bytes;
+
+/// Total KV-cache size for a serving batch:
+///
+/// ```text
+/// 2 × batch × context × precision-bytes × layers × kv-hidden
+/// ```
+///
+/// (the paper's formula, with the embedding dimension generalized to
+/// `kv_heads · head_dim` so grouped-query models cache proportionally
+/// less). Divide by the TP degree for the per-device share.
+#[must_use]
+pub fn kv_cache_bytes(
+    model: &ModelConfig,
+    batch: usize,
+    context: usize,
+    precision: Precision,
+) -> Bytes {
+    assert!(batch > 0 && context > 0, "degenerate KV-cache request");
+    Bytes::new(
+        2.0 * batch as f64
+            * context as f64
+            * precision.bytes()
+            * model.layers as f64
+            * model.kv_hidden() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_model::presets;
+
+    #[test]
+    fn matches_paper_formula_for_mha() {
+        // Llama2-13B, B=1, 400-token context, FP16:
+        // 2·1·400·2·40·5120 = 327.68 MB.
+        let m = presets::llama2_13b();
+        let got = kv_cache_bytes(&m, 1, 400, Precision::Fp16);
+        assert!((got.bytes() - 327_680_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gqa_caches_less() {
+        let full = kv_cache_bytes(&presets::llama2_13b(), 1, 4096, Precision::Fp16);
+        let gqa = kv_cache_bytes(&presets::llama2_70b(), 1, 4096, Precision::Fp16);
+        // 70B has 2x layers and 1.6x hidden but 8x fewer KV heads:
+        // cache is 8192/8=1024 wide vs 5120 → (80·1024)/(40·5120) = 0.4.
+        let ratio = gqa.bytes() / full.bytes();
+        assert!((ratio - 0.4).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scales_linearly_with_batch_and_context() {
+        let m = presets::llama2_7b();
+        let base = kv_cache_bytes(&m, 1, 100, Precision::Fp16);
+        assert_eq!(
+            kv_cache_bytes(&m, 16, 100, Precision::Fp16).bytes(),
+            base.bytes() * 16.0
+        );
+        assert_eq!(
+            kv_cache_bytes(&m, 1, 400, Precision::Fp16).bytes(),
+            base.bytes() * 4.0
+        );
+    }
+
+    #[test]
+    fn fp8_halves_the_cache() {
+        let m = presets::llama2_7b();
+        let fp16 = kv_cache_bytes(&m, 1, 1000, Precision::Fp16);
+        let fp8 = kv_cache_bytes(&m, 1, 1000, Precision::Fp8);
+        assert_eq!(fp8.bytes() * 2.0, fp16.bytes());
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory-footprint models: weights, gradients, optimizer states,
+//! activations under recomputation, and the KV-cache.
+//!
+//! Implements the paper's §3.3 (activation recomputation, Eqs. 1–2) and
+//! §3.5 (KV-cache sizing), with per-layer activation volumes following the
+//! Megatron selective-recomputation analysis (Korthikanti et al.) that the
+//! paper validates against:
+//!
+//! * no recomputation, TP degree `t`:
+//!   `A_tot = s·b·h·(10 + 24/t) + 5·a·s²·b/t` bytes (2-byte activations);
+//! * with SP the first term becomes `34·s·b·h/t`;
+//! * **selective** recomputation drops the `5·a·s²·b/t` attention term
+//!   (Eq. 2);
+//! * **full** recomputation stores only checkpoint inputs plus one
+//!   segment's working set (Eq. 1).
+//!
+//! ```
+//! use optimus_hw::Precision;
+//! use optimus_memory::{training_memory, RecomputeMode, TrainingMemorySpec};
+//! use optimus_model::presets;
+//! use optimus_parallel::{Parallelism, PipelineSchedule};
+//!
+//! let spec = TrainingMemorySpec {
+//!     batch: 64,
+//!     seq: 2048,
+//!     parallelism: Parallelism::new(1, 8, 8),
+//!     schedule: PipelineSchedule::OneFOneB,
+//!     precision: Precision::Fp16,
+//!     recompute: RecomputeMode::Full { checkpoints_per_stage: None },
+//! };
+//! let report = training_memory(&presets::gpt_175b(), &spec).unwrap();
+//! // Full recomputation fits GPT-175B on 80 GB devices.
+//! assert!(report.total().gb() < 80.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod footprint;
+mod kv;
+mod recompute;
+
+pub use footprint::{
+    inference_memory, training_memory, InferenceMemoryReport, TrainingMemoryReport,
+    TrainingMemorySpec,
+};
+pub use kv::kv_cache_bytes;
+pub use recompute::{
+    activation_bytes_per_layer, layer_input_bytes, stage_activation_bytes,
+    stage_activation_components, RecomputeMode, StageActivation,
+};

@@ -1,0 +1,247 @@
+//! Activation memory under the three recomputation strategies.
+
+use optimus_model::ModelConfig;
+use optimus_units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The activation-recomputation strategy (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RecomputeMode {
+    /// Keep every activation (fastest, largest footprint).
+    #[default]
+    None,
+    /// Recompute the attention softmax/dropout region (Eq. 2): nearly the
+    /// memory of full recomputation at a small compute cost.
+    Selective,
+    /// Checkpoint layer inputs and recompute everything else (Eq. 1):
+    /// roughly doubles forward time.
+    Full {
+        /// Number of checkpoints per pipeline stage (`N_ckp` in Eq. 1).
+        /// `None` checkpoints every layer.
+        checkpoints_per_stage: Option<usize>,
+    },
+}
+
+impl core::fmt::Display for RecomputeMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::None => f.write_str("none"),
+            Self::Selective => f.write_str("selective"),
+            Self::Full { .. } => f.write_str("full"),
+        }
+    }
+}
+
+/// The `5·a·s²·b/t` attention term: softmax input (2 bytes/elem), dropout
+/// mask (1 byte/elem), dropout output (2 bytes/elem).
+fn attention_quadratic_bytes(model: &ModelConfig, batch: usize, seq: usize, tp: usize) -> f64 {
+    let dropout_mask = if model.dropout { 1.0 } else { 0.0 };
+    let dropout_out = if model.dropout { 2.0 } else { 0.0 };
+    let per_elem = 2.0 + dropout_mask + dropout_out; // softmax + dropout
+    per_elem * model.heads as f64 * (seq * seq) as f64 * batch as f64 / tp as f64
+}
+
+/// Stored activation bytes of **one layer for one microbatch** with *no*
+/// recomputation, under TP degree `tp` (and SP when `sp`).
+///
+/// Follows the Korthikanti accounting for 2-byte activations: the linear
+/// term is `s·b·h·(10 + 24/t)` without SP (`34·s·b·h/t` with SP) and the
+/// attention term is the `5·a·s²·b/t` of Eq. 2's softmax/dropout region
+/// (scaled down when the model has no dropout).
+#[must_use]
+pub fn activation_bytes_per_layer(
+    model: &ModelConfig,
+    batch: usize,
+    seq: usize,
+    tp: usize,
+    sp: bool,
+) -> Bytes {
+    assert!(batch > 0 && seq > 0 && tp > 0, "degenerate workload");
+    let sbh = (seq * batch) as f64 * model.hidden as f64;
+    let t = tp as f64;
+    let linear = if sp {
+        34.0 * sbh / t
+    } else {
+        sbh * (10.0 + 24.0 / t)
+    };
+    Bytes::new(linear + attention_quadratic_bytes(model, batch, seq, tp))
+}
+
+/// Input activation of one transformer layer (`A_inp` of Eq. 1): the
+/// 2-byte `s·b·h` hidden-state tensor (sharded by `t` under SP).
+#[must_use]
+pub fn layer_input_bytes(model: &ModelConfig, batch: usize, seq: usize, tp: usize, sp: bool) -> Bytes {
+    let sbh = (seq * batch) as f64 * model.hidden as f64;
+    let div = if sp { tp as f64 } else { 1.0 };
+    Bytes::new(2.0 * sbh / div)
+}
+
+/// Activation memory of one pipeline stage for one microbatch, split into
+/// the part that **persists** until the microbatch's backward pass (and
+/// therefore multiplies with the in-flight microbatch count) and the
+/// **transient** working set that exists only while one microbatch is
+/// being recomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageActivation {
+    /// Stored per in-flight microbatch (checkpoints / kept activations).
+    pub stored: Bytes,
+    /// Transient recomputation working set (one microbatch at a time).
+    pub transient: Bytes,
+}
+
+impl StageActivation {
+    /// Peak activation memory with `inflight` microbatches in flight.
+    #[must_use]
+    pub fn peak(&self, inflight: usize) -> Bytes {
+        self.stored * inflight as f64 + self.transient
+    }
+}
+
+/// Activation components of **one pipeline stage for one microbatch**:
+/// `layers_per_stage` layers under the chosen recomputation mode.
+///
+/// * `None`: all layers' activations stored — `L·A_tot`;
+/// * `Selective`: Eq. 2 stored — `L·(A_tot − A_sm − A_do_mask − A_do_out)`;
+///   the attention term reappears transiently during recomputation;
+/// * `Full`: Eq. 1 — `N_ckp·A_inp` stored, `(L/N_ckp)·(A_tot − A_inp)`
+///   transient (one segment is re-materialized at a time).
+#[must_use]
+pub fn stage_activation_components(
+    model: &ModelConfig,
+    batch: usize,
+    seq: usize,
+    tp: usize,
+    sp: bool,
+    layers_per_stage: usize,
+    mode: RecomputeMode,
+) -> StageActivation {
+    assert!(layers_per_stage > 0, "a stage holds at least one layer");
+    let layers = layers_per_stage as f64;
+    let a_tot = activation_bytes_per_layer(model, batch, seq, tp, sp);
+    match mode {
+        RecomputeMode::None => StageActivation {
+            stored: a_tot * layers,
+            transient: Bytes::ZERO,
+        },
+        RecomputeMode::Selective => {
+            let attn = attention_quadratic_bytes(model, batch, seq, tp);
+            StageActivation {
+                stored: Bytes::new((a_tot.bytes() - attn) * layers),
+                transient: Bytes::new(attn),
+            }
+        }
+        RecomputeMode::Full {
+            checkpoints_per_stage,
+        } => {
+            let n_ckp = checkpoints_per_stage
+                .unwrap_or(layers_per_stage)
+                .clamp(1, layers_per_stage) as f64;
+            let a_inp = layer_input_bytes(model, batch, seq, tp, sp);
+            StageActivation {
+                stored: Bytes::new(n_ckp * a_inp.bytes()),
+                transient: Bytes::new((layers / n_ckp) * (a_tot.bytes() - a_inp.bytes())),
+            }
+        }
+    }
+}
+
+/// Total activation bytes of one stage for one microbatch (stored +
+/// transient) — Eq. 1/Eq. 2 as printed in the paper.
+#[must_use]
+pub fn stage_activation_bytes(
+    model: &ModelConfig,
+    batch: usize,
+    seq: usize,
+    tp: usize,
+    sp: bool,
+    layers_per_stage: usize,
+    mode: RecomputeMode,
+) -> Bytes {
+    let c = stage_activation_components(model, batch, seq, tp, sp, layers_per_stage, mode);
+    c.stored + c.transient
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_model::presets;
+
+    #[test]
+    fn matches_korthikanti_closed_form() {
+        // GPT-175B, t=8, b=1, s=2048, no SP:
+        // sbh(10+3) + 5·96·2048²·1/8.
+        let m = presets::gpt_175b();
+        let got = activation_bytes_per_layer(&m, 1, 2048, 8, false).bytes();
+        let sbh = 2048.0 * 12288.0;
+        let expected = sbh * 13.0 + 5.0 * 96.0 * 2048.0 * 2048.0 / 8.0;
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn sp_shards_the_linear_term() {
+        let m = presets::gpt_175b();
+        let no_sp = activation_bytes_per_layer(&m, 1, 2048, 8, false);
+        let sp = activation_bytes_per_layer(&m, 1, 2048, 8, true);
+        assert!(sp < no_sp);
+        // Linear term: 34/8 vs 13 → SP saves ~3x on the linear part.
+        let sbh = 2048.0 * 12288.0;
+        let expected_sp = sbh * 34.0 / 8.0 + 5.0 * 96.0 * 2048.0 * 2048.0 / 8.0;
+        assert!((sp.bytes() - expected_sp).abs() / expected_sp < 1e-12);
+    }
+
+    #[test]
+    fn ordering_none_selective_full() {
+        let m = presets::gpt_175b();
+        let args = (1, 2048, 8, false, 12);
+        let (b, s, t, sp, l) = args;
+        let none = stage_activation_bytes(&m, b, s, t, sp, l, RecomputeMode::None);
+        let sel = stage_activation_bytes(&m, b, s, t, sp, l, RecomputeMode::Selective);
+        let full = stage_activation_bytes(
+            &m,
+            b,
+            s,
+            t,
+            sp,
+            l,
+            RecomputeMode::Full {
+                checkpoints_per_stage: None,
+            },
+        );
+        assert!(none > sel, "selective saves the attention term");
+        assert!(sel > full, "full saves everything but checkpoints");
+    }
+
+    #[test]
+    fn eq1_with_every_layer_checkpointed() {
+        // N_ckp = L ⇒ A_full = L·A_inp + (A_tot − A_inp).
+        let m = presets::gpt_22b();
+        let (b, s, t) = (4, 2048, 8);
+        let l = 6;
+        let a_inp = layer_input_bytes(&m, b, s, t, false).bytes();
+        let a_tot = activation_bytes_per_layer(&m, b, s, t, false).bytes();
+        let got = stage_activation_bytes(
+            &m,
+            b,
+            s,
+            t,
+            false,
+            l,
+            RecomputeMode::Full {
+                checkpoints_per_stage: None,
+            },
+        )
+        .bytes();
+        let expected = l as f64 * a_inp + (a_tot - a_inp);
+        assert!((got - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn no_dropout_models_store_less_attention_state() {
+        let gpt = presets::gpt_7b(); // dropout
+        let mut no_dropout = gpt.clone();
+        no_dropout.dropout = false;
+        let with_do = activation_bytes_per_layer(&gpt, 1, 2048, 1, false);
+        let without = activation_bytes_per_layer(&no_dropout, 1, 2048, 1, false);
+        assert!(with_do > without);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the memory-footprint models.
+
+use optimus_hw::Precision;
+use optimus_memory::{
+    activation_bytes_per_layer, kv_cache_bytes, stage_activation_bytes, training_memory,
+    RecomputeMode, TrainingMemorySpec,
+};
+use optimus_model::presets;
+use optimus_parallel::{Parallelism, PipelineSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Activation memory is linear in microbatch size.
+    #[test]
+    fn activations_linear_in_batch(b in 1usize..16, s_exp in 7u32..12) {
+        let m = presets::gpt_22b();
+        let s = 1usize << s_exp;
+        let one = activation_bytes_per_layer(&m, 1, s, 8, false).bytes();
+        let many = activation_bytes_per_layer(&m, b, s, 8, false).bytes();
+        prop_assert!((many / one - b as f64).abs() < 1e-9);
+    }
+
+    /// The recompute-mode ordering none ≥ selective ≥ full holds for all
+    /// workload shapes.
+    #[test]
+    fn mode_ordering_universal(b in 1usize..8, s_exp in 7u32..12, tp in 1usize..9, layers in 1usize..16) {
+        let m = presets::gpt_175b();
+        let s = 1usize << s_exp;
+        let none = stage_activation_bytes(&m, b, s, tp, false, layers, RecomputeMode::None);
+        let sel = stage_activation_bytes(&m, b, s, tp, false, layers, RecomputeMode::Selective);
+        let full = stage_activation_bytes(
+            &m, b, s, tp, false, layers,
+            RecomputeMode::Full { checkpoints_per_stage: None },
+        );
+        prop_assert!(none >= sel);
+        prop_assert!(sel.bytes() >= full.bytes() * 0.999);
+    }
+
+    /// SP never increases activation memory.
+    #[test]
+    fn sp_never_hurts(b in 1usize..8, tp in 2usize..9) {
+        let m = presets::gpt_22b();
+        let plain = activation_bytes_per_layer(&m, b, 2048, tp, false);
+        let sp = activation_bytes_per_layer(&m, b, 2048, tp, true);
+        prop_assert!(sp <= plain);
+    }
+
+    /// KV-cache is exactly linear in batch, context, layers, and width.
+    #[test]
+    fn kv_cache_linearity(b in 1usize..32, ctx in 1usize..4096) {
+        let m = presets::llama2_7b();
+        let unit = kv_cache_bytes(&m, 1, 1, Precision::Fp16).bytes();
+        let got = kv_cache_bytes(&m, b, ctx, Precision::Fp16).bytes();
+        prop_assert!((got - unit * b as f64 * ctx as f64).abs() < 1.0);
+    }
+
+    /// Fewer checkpoints (smaller N_ckp) trade stored inputs for a larger
+    /// transient segment; total Eq. 1 memory stays within a bounded band
+    /// and is minimized near sqrt(L).
+    #[test]
+    fn checkpoint_count_tradeoff(n_ckp in 1usize..16) {
+        let m = presets::gpt_175b();
+        let layers = 16;
+        let full = |n: Option<usize>| {
+            stage_activation_bytes(
+                &m, 1, 2048, 8, false, layers,
+                RecomputeMode::Full { checkpoints_per_stage: n },
+            )
+            .bytes()
+        };
+        let none_mode =
+            stage_activation_bytes(&m, 1, 2048, 8, false, layers, RecomputeMode::None).bytes();
+        prop_assert!(full(Some(n_ckp)) <= none_mode);
+    }
+
+    /// Training memory is monotone non-increasing in TP degree.
+    #[test]
+    fn training_memory_monotone_in_tp(tp_exp in 0u32..3) {
+        let m = presets::gpt_175b();
+        let spec = |tp: usize| TrainingMemorySpec {
+            batch: 64,
+            seq: 2048,
+            parallelism: Parallelism::new(1, tp, 8),
+            schedule: PipelineSchedule::OneFOneB,
+            precision: Precision::Fp16,
+            recompute: RecomputeMode::Selective,
+        };
+        let lo = 1usize << tp_exp;
+        let hi = lo * 2;
+        let mem_lo = training_memory(&m, &spec(lo)).unwrap().total();
+        let mem_hi = training_memory(&m, &spec(hi)).unwrap().total();
+        prop_assert!(mem_hi <= mem_lo);
+    }
+}

@@ -1,0 +1,401 @@
+//! Decoder-transformer architecture descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// The attention organization of a transformer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttentionKind {
+    /// Classic multi-head attention: every query head has its own K/V head.
+    MultiHead,
+    /// Grouped-query attention: `kv_heads` K/V heads shared by groups of
+    /// query heads (Llama-2 70B uses 8).
+    GroupedQuery {
+        /// Number of key/value heads.
+        kv_heads: usize,
+    },
+    /// Multi-query attention: a single K/V head.
+    MultiQuery,
+}
+
+/// The MLP (feed-forward) block style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MlpKind {
+    /// GPT-style two-matrix FFN with GELU: `h → f → h`.
+    Gelu,
+    /// Llama-style gated FFN with SiLU: three matrices (gate, up, down).
+    SwiGlu,
+}
+
+/// The normalization layer style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum NormKind {
+    /// LayerNorm with weight and bias (GPT).
+    LayerNorm,
+    /// RMSNorm with weight only (Llama).
+    RmsNorm,
+}
+
+/// A decoder-only transformer architecture.
+///
+/// Construct via [`ModelConfig::builder`] or one of the presets in
+/// [`crate::presets`]. The derived quantities ([`ModelConfig::param_count`],
+/// [`ModelConfig::kv_hidden`], the operator graphs in [`crate::graph`])
+/// drive every estimator in the suite.
+///
+/// ```
+/// use optimus_model::presets;
+/// let gpt3 = presets::gpt_175b();
+/// let billions = gpt3.param_count() / 1e9;
+/// assert!((173.0..177.0).contains(&billions));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model name (e.g. `"GPT-175B"`).
+    pub name: String,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden (embedding) dimension `h`.
+    pub hidden: usize,
+    /// Number of attention (query) heads `a`.
+    pub heads: usize,
+    /// Attention organization.
+    pub attention: AttentionKind,
+    /// MLP style.
+    pub mlp: MlpKind,
+    /// FFN intermediate dimension `f`.
+    pub ffn: usize,
+    /// Vocabulary size `V`.
+    pub vocab: usize,
+    /// Maximum (trained) sequence length.
+    pub max_seq: usize,
+    /// Normalization style.
+    pub norm: NormKind,
+    /// Whether dropout layers are present (training-era GPT models).
+    pub dropout: bool,
+    /// Whether input embedding and LM head share weights.
+    pub tied_embeddings: bool,
+    /// Whether a learned absolute position embedding exists (GPT) as
+    /// opposed to rotary embeddings applied in attention (Llama).
+    pub learned_pos_embedding: bool,
+}
+
+impl ModelConfig {
+    /// Starts building a model; see [`ModelConfigBuilder`].
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ModelConfigBuilder {
+        ModelConfigBuilder::new(name)
+    }
+
+    /// Dimension of one attention head.
+    ///
+    /// # Panics
+    ///
+    /// The builder guarantees `hidden % heads == 0`.
+    #[must_use]
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Number of key/value heads.
+    #[must_use]
+    pub fn kv_heads(&self) -> usize {
+        match self.attention {
+            AttentionKind::MultiHead => self.heads,
+            AttentionKind::GroupedQuery { kv_heads } => kv_heads,
+            AttentionKind::MultiQuery => 1,
+        }
+    }
+
+    /// Width of the K (or V) projection output: `kv_heads · head_dim`.
+    /// This is the per-token, per-layer row width of the KV-cache.
+    #[must_use]
+    pub fn kv_hidden(&self) -> usize {
+        self.kv_heads() * self.head_dim()
+    }
+
+    /// Whether biases exist on the linear layers (GPT yes, Llama no —
+    /// approximated by the norm style).
+    #[must_use]
+    pub fn has_biases(&self) -> bool {
+        self.norm == NormKind::LayerNorm
+    }
+
+    /// Parameter count of one transformer layer.
+    #[must_use]
+    pub fn layer_param_count(&self) -> f64 {
+        let h = self.hidden as f64;
+        let f = self.ffn as f64;
+        let kvh = self.kv_hidden() as f64;
+
+        // Attention: Q (h×h), K and V (h×kv_hidden each), output (h×h).
+        let attn = h * h + 2.0 * h * kvh + h * h;
+        // MLP.
+        let mlp = match self.mlp {
+            MlpKind::Gelu => 2.0 * h * f,
+            MlpKind::SwiGlu => 3.0 * h * f,
+        };
+        // Two norms per layer.
+        let norm_width = match self.norm {
+            NormKind::LayerNorm => 2.0 * h,
+            NormKind::RmsNorm => h,
+        };
+        let biases = if self.has_biases() {
+            // QKV outputs, attention output, MLP intermediate + output.
+            (h + 2.0 * kvh) + h + (f + h)
+        } else {
+            0.0
+        };
+        attn + mlp + 2.0 * norm_width + biases
+    }
+
+    /// Parameters outside the transformer stack: embeddings, learned
+    /// position table, final norm, and the LM head when untied.
+    #[must_use]
+    pub fn embedding_param_count(&self) -> f64 {
+        let h = self.hidden as f64;
+        let mut p = self.vocab as f64 * h;
+        if self.learned_pos_embedding {
+            p += self.max_seq as f64 * h;
+        }
+        if !self.tied_embeddings {
+            p += self.vocab as f64 * h;
+        }
+        p += match self.norm {
+            NormKind::LayerNorm => 2.0 * h,
+            NormKind::RmsNorm => h,
+        };
+        p
+    }
+
+    /// Total parameter count.
+    #[must_use]
+    pub fn param_count(&self) -> f64 {
+        self.layers as f64 * self.layer_param_count() + self.embedding_param_count()
+    }
+}
+
+impl core::fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} (L={}, h={}, a={}, {:.1}B params)",
+            self.name,
+            self.layers,
+            self.hidden,
+            self.heads,
+            self.param_count() / 1e9
+        )
+    }
+}
+
+/// Builder for [`ModelConfig`]; defaults describe a GPT-style model
+/// (GELU FFN of `4h`, LayerNorm, dropout, tied embeddings, learned
+/// positions, vocab 51200, sequence 2048).
+#[derive(Debug, Clone)]
+pub struct ModelConfigBuilder {
+    name: String,
+    layers: usize,
+    hidden: usize,
+    heads: usize,
+    attention: AttentionKind,
+    mlp: MlpKind,
+    ffn: Option<usize>,
+    vocab: usize,
+    max_seq: usize,
+    norm: NormKind,
+    dropout: bool,
+    tied_embeddings: bool,
+    learned_pos_embedding: bool,
+}
+
+impl ModelConfigBuilder {
+    /// Creates a builder with GPT-style defaults and placeholder dimensions.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            attention: AttentionKind::MultiHead,
+            mlp: MlpKind::Gelu,
+            ffn: None,
+            vocab: 51_200,
+            max_seq: 2048,
+            norm: NormKind::LayerNorm,
+            dropout: true,
+            tied_embeddings: true,
+            learned_pos_embedding: true,
+        }
+    }
+
+    /// Sets layers, hidden dimension, and head count in one call.
+    #[must_use]
+    pub fn dims(mut self, layers: usize, hidden: usize, heads: usize) -> Self {
+        self.layers = layers;
+        self.hidden = hidden;
+        self.heads = heads;
+        self
+    }
+
+    /// Sets the attention organization.
+    #[must_use]
+    pub fn attention(mut self, attention: AttentionKind) -> Self {
+        self.attention = attention;
+        self
+    }
+
+    /// Sets the MLP style.
+    #[must_use]
+    pub fn mlp(mut self, mlp: MlpKind) -> Self {
+        self.mlp = mlp;
+        self
+    }
+
+    /// Sets the FFN intermediate dimension (defaults to `4·hidden`).
+    #[must_use]
+    pub fn ffn(mut self, ffn: usize) -> Self {
+        self.ffn = Some(ffn);
+        self
+    }
+
+    /// Sets the vocabulary size.
+    #[must_use]
+    pub fn vocab(mut self, vocab: usize) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Sets the maximum sequence length.
+    #[must_use]
+    pub fn max_seq(mut self, max_seq: usize) -> Self {
+        self.max_seq = max_seq;
+        self
+    }
+
+    /// Sets the normalization style.
+    #[must_use]
+    pub fn norm(mut self, norm: NormKind) -> Self {
+        self.norm = norm;
+        self
+    }
+
+    /// Enables or disables dropout layers.
+    #[must_use]
+    pub fn dropout(mut self, dropout: bool) -> Self {
+        self.dropout = dropout;
+        self
+    }
+
+    /// Switches to the Llama family conventions: SwiGLU MLP, RMSNorm,
+    /// rotary positions, untied embeddings, no dropout, vocab 32000.
+    #[must_use]
+    pub fn llama_style(mut self) -> Self {
+        self.mlp = MlpKind::SwiGlu;
+        self.norm = NormKind::RmsNorm;
+        self.dropout = false;
+        self.tied_embeddings = false;
+        self.learned_pos_embedding = false;
+        self.vocab = 32_000;
+        self.max_seq = 4096;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `hidden` is not divisible by
+    /// `heads`, or a grouped-query configuration does not divide the head
+    /// count.
+    #[must_use]
+    pub fn build(self) -> ModelConfig {
+        assert!(
+            self.layers > 0 && self.hidden > 0 && self.heads > 0 && self.vocab > 0,
+            "model dimensions must be positive"
+        );
+        assert!(
+            self.hidden.is_multiple_of(self.heads),
+            "hidden ({}) must be divisible by heads ({})",
+            self.hidden,
+            self.heads
+        );
+        if let AttentionKind::GroupedQuery { kv_heads } = self.attention {
+            assert!(
+                kv_heads > 0 && self.heads.is_multiple_of(kv_heads),
+                "query heads ({}) must be divisible by kv heads ({kv_heads})",
+                self.heads
+            );
+        }
+        let ffn = self.ffn.unwrap_or(4 * self.hidden);
+        ModelConfig {
+            name: self.name,
+            layers: self.layers,
+            hidden: self.hidden,
+            heads: self.heads,
+            attention: self.attention,
+            mlp: self.mlp,
+            ffn,
+            vocab: self.vocab,
+            max_seq: self.max_seq,
+            norm: self.norm,
+            dropout: self.dropout,
+            tied_embeddings: self.tied_embeddings,
+            learned_pos_embedding: self.learned_pos_embedding,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_style_defaults() {
+        let m = ModelConfig::builder("test").dims(24, 2048, 16).build();
+        assert_eq!(m.ffn, 8192, "FFN defaults to 4h");
+        assert_eq!(m.head_dim(), 128);
+        assert_eq!(m.kv_heads(), 16, "MHA: kv heads == heads");
+        assert!(m.dropout && m.tied_embeddings);
+    }
+
+    #[test]
+    fn gqa_kv_hidden() {
+        let m = ModelConfig::builder("gqa")
+            .dims(80, 8192, 64)
+            .attention(AttentionKind::GroupedQuery { kv_heads: 8 })
+            .build();
+        assert_eq!(m.kv_hidden(), 8 * 128);
+    }
+
+    #[test]
+    fn llama_style_flips_conventions() {
+        let m = ModelConfig::builder("llama")
+            .dims(32, 4096, 32)
+            .llama_style()
+            .ffn(11008)
+            .build();
+        assert_eq!(m.mlp, MlpKind::SwiGlu);
+        assert_eq!(m.norm, NormKind::RmsNorm);
+        assert!(!m.dropout && !m.tied_embeddings && !m.learned_pos_embedding);
+        assert!(!m.has_biases());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by heads")]
+    fn indivisible_heads_rejected() {
+        let _ = ModelConfig::builder("bad").dims(2, 100, 3).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by kv heads")]
+    fn bad_gqa_rejected() {
+        let _ = ModelConfig::builder("bad")
+            .dims(2, 128, 8)
+            .attention(AttentionKind::GroupedQuery { kv_heads: 3 })
+            .build();
+    }
+}

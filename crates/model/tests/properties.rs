@@ -1,0 +1,104 @@
+//! Property-based tests of model configs and operator graphs.
+
+use optimus_hw::Precision;
+use optimus_model::{graph, presets, total_flops, GraphParams, ModelConfig};
+use proptest::prelude::*;
+
+fn any_preset() -> impl Strategy<Value = ModelConfig> {
+    prop_oneof![
+        Just(presets::gpt_7b()),
+        Just(presets::gpt_22b()),
+        Just(presets::gpt_175b()),
+        Just(presets::llama2_7b()),
+        Just(presets::llama2_13b()),
+        Just(presets::llama2_70b()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward FLOPs are exactly linear in the batch dimension.
+    #[test]
+    fn flops_linear_in_batch(model in any_preset(), b in 1usize..16) {
+        let p1 = GraphParams::prefill(1, 512, 1, Precision::Fp16);
+        let pb = GraphParams::prefill(b, 512, 1, Precision::Fp16);
+        let f1 = total_flops(&graph::layer_forward_ops(&model, &p1)).get();
+        let fb = total_flops(&graph::layer_forward_ops(&model, &pb)).get();
+        prop_assert!((fb / f1 - b as f64).abs() < 1e-9);
+    }
+
+    /// Forward FLOPs grow super-linearly in sequence length (the s² of
+    /// attention) but no worse than quadratically.
+    #[test]
+    fn flops_superlinear_in_seq(model in any_preset(), s_exp in 7u32..11) {
+        let s = 1usize << s_exp;
+        let f1 = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::prefill(1, s, 1, Precision::Fp16))).get();
+        let f2 = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::prefill(1, 2 * s, 1, Precision::Fp16))).get();
+        let ratio = f2 / f1;
+        prop_assert!(ratio >= 2.0 - 1e-9, "at least linear: {ratio}");
+        prop_assert!(ratio <= 4.0 + 1e-9, "at most quadratic: {ratio}");
+    }
+
+    /// TP sharding conserves total work across ranks (within the rounding
+    /// of indivisible dimensions).
+    #[test]
+    fn tp_conserves_work(model in any_preset(), tp_exp in 0u32..4) {
+        let tp = 1usize << tp_exp;
+        let full = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::prefill(1, 1024, 1, Precision::Fp16))).get();
+        let shard = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::prefill(1, 1024, tp, Precision::Fp16))).get();
+        let recon = shard * tp as f64;
+        prop_assert!((recon / full - 1.0).abs() < 0.05, "ratio {}", recon / full);
+    }
+
+    /// Decode work grows with context (the KV term) and never shrinks.
+    #[test]
+    fn decode_monotone_in_context(model in any_preset(), ctx in 16usize..4096) {
+        let f1 = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::decode(1, ctx, 1, Precision::Fp16))).get();
+        let f2 = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::decode(1, ctx + 64, 1, Precision::Fp16))).get();
+        prop_assert!(f2 >= f1);
+    }
+
+    /// Parameter count equals layers × per-layer + embeddings, and grows
+    /// monotonically with depth.
+    #[test]
+    fn params_compose(model in any_preset()) {
+        let per_layer = model.layer_param_count();
+        let total = model.param_count();
+        let expected = model.layers as f64 * per_layer + model.embedding_param_count();
+        prop_assert!((total - expected).abs() < 1.0);
+        prop_assert!(per_layer > 0.0);
+    }
+
+    /// The backward graph always carries exactly 2x the forward GEMM FLOPs.
+    #[test]
+    fn backward_is_double(model in any_preset(), b in 1usize..4) {
+        let p = GraphParams::prefill(b, 512, 2, Precision::Fp16);
+        let gemm_flops = |ops: &[optimus_model::Op]| -> f64 {
+            ops.iter()
+                .filter_map(|o| o.as_gemm().map(|g| g.flops().get()))
+                .sum()
+        };
+        let fwd = gemm_flops(&graph::layer_forward_ops(&model, &p));
+        let bwd = gemm_flops(&graph::layer_backward_ops(&model, &p));
+        prop_assert!((bwd / fwd - 2.0).abs() < 1e-9);
+    }
+
+    /// Flash and standard graphs carry comparable arithmetic (flash adds
+    /// only the online-softmax term).
+    #[test]
+    fn flash_work_comparable(model in any_preset(), s_exp in 8u32..12) {
+        let s = 1usize << s_exp;
+        let std = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::prefill(1, s, 1, Precision::Fp16))).get();
+        let fla = total_flops(&graph::layer_forward_ops(
+            &model, &GraphParams::prefill(1, s, 1, Precision::Fp16).with_flash(true))).get();
+        prop_assert!(fla / std < 1.1 && fla / std > 0.9, "ratio {}", fla / std);
+    }
+}

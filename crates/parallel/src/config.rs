@@ -1,0 +1,252 @@
+//! The parallelism configuration.
+
+use optimus_hw::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// Error produced when a parallelism configuration is inconsistent with a
+/// cluster or a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParallelError {
+    /// TP (and SP) groups must fit inside one node (§3.2: "TP and SP are
+    /// always implemented within a node due to their higher communication
+    /// overhead").
+    TpExceedsNode {
+        /// Requested tensor-parallel degree.
+        tp: usize,
+        /// GPUs available per node.
+        gpus_per_node: usize,
+    },
+    /// The global batch must divide evenly into `dp · microbatch` slices.
+    IndivisibleBatch {
+        /// Global batch size.
+        batch: usize,
+        /// Data-parallel degree.
+        dp: usize,
+        /// Microbatch size.
+        microbatch: usize,
+    },
+    /// The layer count must divide evenly across pipeline stages.
+    IndivisibleLayers {
+        /// Number of layers.
+        layers: usize,
+        /// Pipeline-parallel degree.
+        pp: usize,
+    },
+}
+
+impl core::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::TpExceedsNode { tp, gpus_per_node } => write!(
+                f,
+                "tensor-parallel degree {tp} exceeds the {gpus_per_node} GPUs of a node"
+            ),
+            Self::IndivisibleBatch {
+                batch,
+                dp,
+                microbatch,
+            } => write!(
+                f,
+                "batch {batch} does not divide into dp={dp} replicas of microbatch {microbatch}"
+            ),
+            Self::IndivisibleLayers { layers, pp } => {
+                write!(f, "{layers} layers do not divide across {pp} pipeline stages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+/// A DP × TP × PP (× SP) parallelization of a training or inference job.
+///
+/// ```
+/// use optimus_parallel::Parallelism;
+/// // Table 1, GPT-175B row: 64 GPUs as 1-8-8 with SP.
+/// let p = Parallelism::new(1, 8, 8).with_sp(true);
+/// assert_eq!(p.total_gpus(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Data-parallel degree.
+    pub dp: usize,
+    /// Tensor(-model)-parallel degree.
+    pub tp: usize,
+    /// Pipeline-parallel degree.
+    pub pp: usize,
+    /// Whether sequence parallelism shards the norm/dropout streams across
+    /// the TP group (SP degree always equals TP degree in Megatron).
+    pub sp: bool,
+    /// Microbatch size per pipeline slot (samples).
+    pub microbatch: usize,
+}
+
+impl Parallelism {
+    /// Creates a configuration with no SP and microbatch 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree is zero.
+    #[must_use]
+    pub fn new(dp: usize, tp: usize, pp: usize) -> Self {
+        assert!(dp > 0 && tp > 0 && pp > 0, "parallel degrees must be positive");
+        Self {
+            dp,
+            tp,
+            pp,
+            sp: false,
+            microbatch: 1,
+        }
+    }
+
+    /// A single-device configuration.
+    #[must_use]
+    pub fn single() -> Self {
+        Self::new(1, 1, 1)
+    }
+
+    /// Pure tensor parallelism over `tp` devices (the inference mapping).
+    #[must_use]
+    pub fn tensor_parallel(tp: usize) -> Self {
+        Self::new(1, tp, 1)
+    }
+
+    /// Enables/disables sequence parallelism.
+    #[must_use]
+    pub fn with_sp(mut self, sp: bool) -> Self {
+        self.sp = sp;
+        self
+    }
+
+    /// Sets the microbatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `microbatch` is zero.
+    #[must_use]
+    pub fn with_microbatch(mut self, microbatch: usize) -> Self {
+        assert!(microbatch > 0, "microbatch must be positive");
+        self.microbatch = microbatch;
+        self
+    }
+
+    /// Total devices: `dp · tp · pp`.
+    #[must_use]
+    pub fn total_gpus(&self) -> usize {
+        self.dp * self.tp * self.pp
+    }
+
+    /// Number of microbatches each pipeline processes per global batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::IndivisibleBatch`] if the batch does not
+    /// split evenly.
+    pub fn microbatches(&self, batch: usize) -> Result<usize, ParallelError> {
+        let denom = self.dp * self.microbatch;
+        if batch == 0 || !batch.is_multiple_of(denom) {
+            return Err(ParallelError::IndivisibleBatch {
+                batch,
+                dp: self.dp,
+                microbatch: self.microbatch,
+            });
+        }
+        Ok(batch / denom)
+    }
+
+    /// Layers held by each pipeline stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::IndivisibleLayers`] if layers do not split
+    /// evenly across stages.
+    pub fn layers_per_stage(&self, layers: usize) -> Result<usize, ParallelError> {
+        if layers == 0 || !layers.is_multiple_of(self.pp) {
+            return Err(ParallelError::IndivisibleLayers {
+                layers,
+                pp: self.pp,
+            });
+        }
+        Ok(layers / self.pp)
+    }
+
+    /// Checks device-mapping constraints against a cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParallelError::TpExceedsNode`] when the TP group cannot be
+    /// placed inside one node.
+    pub fn validate(&self, cluster: &ClusterSpec) -> Result<(), ParallelError> {
+        if self.tp > cluster.node.gpus_per_node {
+            return Err(ParallelError::TpExceedsNode {
+                tp: self.tp,
+                gpus_per_node: cluster.node.gpus_per_node,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether the DP gradient all-reduce crosses node boundaries (DP ranks
+    /// are strided by `tp · pp` devices in the Megatron layout).
+    #[must_use]
+    pub fn dp_crosses_nodes(&self, gpus_per_node: usize) -> bool {
+        self.dp > 1 && self.tp * self.pp >= gpus_per_node
+    }
+}
+
+impl core::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}-{}-{}-{}",
+            self.dp,
+            self.tp,
+            self.pp,
+            if self.sp { self.tp } else { 1 }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::presets;
+
+    #[test]
+    fn total_gpus_and_display() {
+        let p = Parallelism::new(6, 8, 64).with_sp(false);
+        assert_eq!(p.total_gpus(), 3072);
+        assert_eq!(p.to_string(), "6-8-64-1");
+        assert_eq!(Parallelism::new(1, 8, 8).with_sp(true).to_string(), "1-8-8-8");
+    }
+
+    #[test]
+    fn microbatch_division() {
+        let p = Parallelism::new(8, 8, 8).with_microbatch(2);
+        assert_eq!(p.microbatches(1024).unwrap(), 64);
+        assert!(p.microbatches(100).is_err());
+    }
+
+    #[test]
+    fn layer_division() {
+        let p = Parallelism::new(1, 8, 8);
+        assert_eq!(p.layers_per_stage(96).unwrap(), 12);
+        assert!(p.layers_per_stage(100).is_err());
+    }
+
+    #[test]
+    fn tp_must_fit_in_node() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        assert!(Parallelism::new(1, 8, 1).validate(&cluster).is_ok());
+        let err = Parallelism::new(1, 16, 1).validate(&cluster).unwrap_err();
+        assert!(matches!(err, ParallelError::TpExceedsNode { .. }));
+    }
+
+    #[test]
+    fn dp_node_crossing() {
+        assert!(Parallelism::new(2, 8, 1).dp_crosses_nodes(8));
+        assert!(!Parallelism::new(2, 2, 1).dp_crosses_nodes(8));
+        assert!(!Parallelism::new(1, 8, 8).dp_crosses_nodes(8));
+    }
+}

@@ -1,0 +1,32 @@
+//! Parallelization mapper: DP/TP/PP/SP configuration, pipeline schedules,
+//! and the communication plan they imply.
+//!
+//! Follows the Megatron-LM mapping the paper adopts (§3.2):
+//!
+//! * **TP/SP within a node** — tensor- and sequence-parallel groups have the
+//!   highest communication intensity, so the device mapper places them on
+//!   the NVLink fabric ([`optimus_hw::ClusterSpec::link_for_group`]);
+//! * **PP/DP across nodes** — pipeline stages exchange microbatch
+//!   activations point-to-point; data-parallel replicas all-reduce
+//!   gradients once per batch;
+//! * per layer and microbatch, the TP sharding requires **one all-reduce in
+//!   the forward pass per block** (MHA and MLP → 2 per layer) and the same
+//!   in backward; sequence parallelism replaces each all-reduce by an
+//!   all-gather + reduce-scatter pair of equal total volume (§1.3), so SP
+//!   costs the same communication while sharding the norm/dropout
+//!   activations.
+//!
+//! Pipeline schedules (GPipe, PipeDream-Flush/1F1B, interleaved 1F1B) are
+//! modeled by their *bubble fraction* and their *in-flight microbatch
+//! count* (which multiplies activation memory).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comm_plan;
+mod config;
+mod schedule;
+
+pub use comm_plan::CommPlan;
+pub use config::{ParallelError, Parallelism};
+pub use schedule::PipelineSchedule;

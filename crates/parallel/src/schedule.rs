@@ -1,0 +1,120 @@
+//! Pipeline-parallel schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A pipeline-parallel execution schedule (§3.2 adopts all three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum PipelineSchedule {
+    /// GPipe: all microbatch forwards, then all backwards. Bubble fraction
+    /// `(pp−1)/m`, but **every** microbatch's activations are live at the
+    /// peak.
+    GPipe,
+    /// PipeDream-Flush / 1F1B: one-forward-one-backward steady state. The
+    /// same `(pp−1)/m` bubble, but at most `pp` microbatches in flight.
+    #[default]
+    OneFOneB,
+    /// Interleaved 1F1B: each device hosts `stages_per_device` smaller
+    /// virtual stages, dividing the bubble by that factor at the price of
+    /// proportionally more pipeline communication.
+    Interleaved1F1B {
+        /// Virtual pipeline stages per device (`v ≥ 1`).
+        stages_per_device: usize,
+    },
+}
+
+impl PipelineSchedule {
+    /// Creates an interleaved schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages_per_device` is zero.
+    #[must_use]
+    pub fn interleaved(stages_per_device: usize) -> Self {
+        assert!(stages_per_device > 0, "virtual stages must be positive");
+        Self::Interleaved1F1B { stages_per_device }
+    }
+
+    /// The pipeline bubble as a fraction of the busy (per-microbatch) time:
+    /// `(pp−1)/m` for GPipe and 1F1B, `(pp−1)/(v·m)` for interleaved 1F1B.
+    #[must_use]
+    pub fn bubble_fraction(&self, pp: usize, microbatches: usize) -> f64 {
+        assert!(pp > 0 && microbatches > 0, "degenerate pipeline");
+        if pp == 1 {
+            return 0.0;
+        }
+        let base = (pp - 1) as f64 / microbatches as f64;
+        match self {
+            Self::GPipe | Self::OneFOneB => base,
+            Self::Interleaved1F1B { stages_per_device } => base / *stages_per_device as f64,
+        }
+    }
+
+    /// Peak number of microbatches whose activations are simultaneously
+    /// live on the most loaded stage (multiplies activation memory).
+    #[must_use]
+    pub fn inflight_microbatches(&self, pp: usize, microbatches: usize) -> usize {
+        match self {
+            Self::GPipe => microbatches,
+            Self::OneFOneB | Self::Interleaved1F1B { .. } => microbatches.min(pp),
+        }
+    }
+
+    /// Multiplier on the number of pipeline point-to-point transfers
+    /// relative to plain 1F1B (interleaving sends each microbatch through
+    /// `v` stage boundaries per device).
+    #[must_use]
+    pub fn p2p_multiplier(&self) -> f64 {
+        match self {
+            Self::GPipe | Self::OneFOneB => 1.0,
+            Self::Interleaved1F1B { stages_per_device } => *stages_per_device as f64,
+        }
+    }
+}
+
+impl core::fmt::Display for PipelineSchedule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::GPipe => f.write_str("GPipe"),
+            Self::OneFOneB => f.write_str("1F1B"),
+            Self::Interleaved1F1B { stages_per_device } => {
+                write!(f, "interleaved-1F1B(v={stages_per_device})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bubble_fractions() {
+        assert_eq!(PipelineSchedule::GPipe.bubble_fraction(8, 64), 7.0 / 64.0);
+        assert_eq!(PipelineSchedule::OneFOneB.bubble_fraction(8, 64), 7.0 / 64.0);
+        assert_eq!(
+            PipelineSchedule::interleaved(4).bubble_fraction(8, 64),
+            7.0 / 256.0
+        );
+        assert_eq!(PipelineSchedule::OneFOneB.bubble_fraction(1, 64), 0.0);
+    }
+
+    #[test]
+    fn inflight_counts() {
+        assert_eq!(PipelineSchedule::GPipe.inflight_microbatches(8, 64), 64);
+        assert_eq!(PipelineSchedule::OneFOneB.inflight_microbatches(8, 64), 8);
+        assert_eq!(PipelineSchedule::OneFOneB.inflight_microbatches(8, 4), 4);
+    }
+
+    #[test]
+    fn interleaving_multiplies_p2p() {
+        assert_eq!(PipelineSchedule::interleaved(4).p2p_multiplier(), 4.0);
+        assert_eq!(PipelineSchedule::OneFOneB.p2p_multiplier(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_virtual_stages_rejected() {
+        let _ = PipelineSchedule::interleaved(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! GEMM problem shapes.
+
+use optimus_units::{Bytes, FlopCount};
+use serde::{Deserialize, Serialize};
+
+/// The shape of a (possibly degenerate) matrix multiplication
+/// `C[m×n] = A[m×k] · B[k×n]`.
+///
+/// A GEMV is simply a shape with `n == 1` (or `m == 1`); the paper's
+/// "skinny GEMMs" are shapes where one dimension is much smaller than the
+/// others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+    /// The contraction (reduction) dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "GEMM dimensions must be positive");
+        Self { m, n, k }
+    }
+
+    /// A GEMV `y[m] = A[m×k] · x[k]`.
+    #[must_use]
+    pub fn gemv(m: usize, k: usize) -> Self {
+        Self::new(m, 1, k)
+    }
+
+    /// Floating-point operations (multiply + add counted separately).
+    #[must_use]
+    pub fn flops(&self) -> FlopCount {
+        FlopCount::new(2.0 * self.m as f64 * self.n as f64 * self.k as f64)
+    }
+
+    /// Minimum possible traffic: read `A` and `B` once, write `C` once.
+    #[must_use]
+    pub fn min_io(&self, bytes_per_elem: f64) -> Bytes {
+        let elems =
+            (self.m * self.k) as f64 + (self.k * self.n) as f64 + (self.m * self.n) as f64;
+        Bytes::new(elems * bytes_per_elem)
+    }
+
+    /// Arithmetic intensity in FLOP/byte at the minimum-traffic limit.
+    #[must_use]
+    pub fn arithmetic_intensity(&self, bytes_per_elem: f64) -> f64 {
+        self.flops().get() / self.min_io(bytes_per_elem).bytes()
+    }
+
+    /// `true` if one of the output dimensions is 1 (matrix–vector product).
+    #[must_use]
+    pub fn is_gemv(&self) -> bool {
+        self.m == 1 || self.n == 1
+    }
+
+    /// The transposed problem (swaps `m` and `n`); traffic and FLOPs are
+    /// symmetric under this.
+    #[must_use]
+    pub fn transposed(&self) -> Self {
+        Self {
+            m: self.n,
+            n: self.m,
+            k: self.k,
+        }
+    }
+}
+
+impl core::fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+/// A batch of independent, identically shaped GEMMs, e.g. the per-head
+/// attention products `Q·Kᵀ` executed for every `(batch, head)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BatchedGemm {
+    /// Number of independent GEMMs.
+    pub batch: usize,
+    /// The shape of each one.
+    pub shape: GemmShape,
+}
+
+impl BatchedGemm {
+    /// Creates a batched GEMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn new(batch: usize, shape: GemmShape) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        Self { batch, shape }
+    }
+
+    /// A single GEMM.
+    #[must_use]
+    pub fn single(shape: GemmShape) -> Self {
+        Self::new(1, shape)
+    }
+
+    /// Total FLOPs across the batch.
+    #[must_use]
+    pub fn flops(&self) -> FlopCount {
+        self.shape.flops() * self.batch as f64
+    }
+}
+
+impl core::fmt::Display for BatchedGemm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.batch == 1 {
+            write!(f, "{}", self.shape)
+        } else {
+            write!(f, "{}x[{}]", self.batch, self.shape)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_counts_fma_as_two() {
+        let s = GemmShape::new(200, 15360, 5120);
+        assert!((s.flops().get() - 2.0 * 200.0 * 15360.0 * 5120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gemv_detection() {
+        assert!(GemmShape::gemv(4096, 4096).is_gemv());
+        assert!(!GemmShape::new(64, 64, 64).is_gemv());
+    }
+
+    #[test]
+    fn arithmetic_intensity_of_square_gemm_grows_with_size() {
+        let small = GemmShape::new(64, 64, 64).arithmetic_intensity(2.0);
+        let big = GemmShape::new(4096, 4096, 4096).arithmetic_intensity(2.0);
+        assert!(big > small);
+        // Square n×n×n GEMM at p bytes: 2n³ / (3n²p) = n/(1.5 p).
+        assert!((big - 4096.0 / 3.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn transpose_preserves_flops() {
+        let s = GemmShape::new(17, 1, 300);
+        assert_eq!(s.flops(), s.transposed().flops());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = GemmShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Tile selection and blocked-GEMM traffic accounting.
+
+use crate::GemmShape;
+use optimus_units::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A blocking tile `(tm, tn, tk)` for a GEMM, chosen so the working set
+/// `tm·tn + (tm + tn)·tk` fits in the capacity of a memory level.
+///
+/// The schedule is *output-stationary*: a `tm×tn` block of `C` stays
+/// resident in the level while `tk`-deep slices of `A` and `B` stream
+/// through, which is how real GPU GEMM kernels are organized (the `C` tile
+/// accumulates in registers/L2 across the whole reduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tile {
+    /// Tile rows.
+    pub tm: usize,
+    /// Tile columns.
+    pub tn: usize,
+    /// Streaming reduction-slice depth.
+    pub tk: usize,
+}
+
+impl Tile {
+    /// Working-set size of the tile in elements (resident `C` block plus
+    /// one streaming `A` and `B` slice).
+    #[must_use]
+    pub fn working_set(&self) -> usize {
+        self.tm * self.tn + (self.tm + self.tn) * self.tk
+    }
+}
+
+impl core::fmt::Display for Tile {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {}, {})", self.tm, self.tn, self.tk)
+    }
+}
+
+/// Chooses an output-stationary blocking tile for `shape` whose working set
+/// fits in `capacity` at `bytes_per_elem` per element.
+///
+/// Half the capacity is reserved for the resident `C` block (`tm = tn =
+/// sqrt(cap/2)`, clamped by the problem dimensions); the remainder holds
+/// the streaming `A`/`B` slices, which sets `tk`. Skinny problems
+/// (`m` or `n` small) automatically free capacity for deeper slices. This
+/// mirrors DeepFlow's capacity-driven tiling without its exhaustive search;
+/// the traffic volumes agree at LLM-layer problem sizes (see tests).
+#[must_use]
+pub fn choose_tile(shape: GemmShape, capacity: Bytes, bytes_per_elem: f64) -> Tile {
+    assert!(bytes_per_elem > 0.0, "element width must be positive");
+    let cap_elems = (capacity.bytes() / bytes_per_elem).max(4.0);
+    let t = (cap_elems / 2.0).sqrt().max(1.0);
+
+    let tm = shape.m.min(t as usize).max(1);
+    let tn = shape.n.min(t as usize).max(1);
+    // Remaining capacity feeds the streaming slices:
+    // (tm + tn) · tk ≤ cap − tm·tn.
+    let tk_budget = ((cap_elems - (tm * tn) as f64) / (tm + tn) as f64).max(1.0);
+    let tk = shape.k.min(tk_budget as usize).max(1);
+
+    Tile { tm, tn, tk }
+}
+
+/// Traffic in bytes that a blocked GEMM moves across the boundary of the
+/// level that holds `tile`, under the output-stationary schedule:
+///
+/// * every column-block pass reloads `A`: `m·k · ⌈n/tn⌉` elements,
+/// * every row-block pass reloads `B`: `k·n · ⌈m/tm⌉` elements,
+/// * each `C` element crosses the boundary once on the way out: `m·n`.
+#[must_use]
+pub fn blocked_traffic(shape: GemmShape, tile: Tile, bytes_per_elem: f64) -> Bytes {
+    let m = shape.m as f64;
+    let n = shape.n as f64;
+    let k = shape.k as f64;
+    let n_passes = (n / tile.tn as f64).ceil();
+    let m_passes = (m / tile.tm as f64).ceil();
+
+    let a = m * k * n_passes;
+    let b = k * n * m_passes;
+    let c = m * n;
+    Bytes::new((a + b + c) * bytes_per_elem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_fits_capacity() {
+        let shape = GemmShape::new(8192, 8192, 8192);
+        let cap = Bytes::from_mib(20.0);
+        let tile = choose_tile(shape, cap, 2.0);
+        assert!(
+            (tile.working_set() as f64) * 2.0 <= cap.bytes() * 1.01,
+            "working set {} exceeds capacity",
+            tile.working_set()
+        );
+    }
+
+    #[test]
+    fn tile_clamped_by_problem() {
+        let shape = GemmShape::new(4, 1, 1 << 20);
+        let tile = choose_tile(shape, Bytes::from_mib(1.0), 2.0);
+        assert_eq!(tile.tm, 4);
+        assert_eq!(tile.tn, 1);
+        assert!(tile.tk > 10_000, "freed capacity goes to tk, got {}", tile.tk);
+    }
+
+    #[test]
+    fn single_pass_traffic_is_minimal() {
+        // Problem fits entirely in the level: traffic = read A + read B + write C.
+        let shape = GemmShape::new(64, 64, 64);
+        let tile = choose_tile(shape, Bytes::from_mib(10.0), 2.0);
+        let traffic = blocked_traffic(shape, tile, 2.0);
+        assert!((traffic.bytes() - shape.min_io(2.0).bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn traffic_grows_when_capacity_shrinks() {
+        let shape = GemmShape::new(4096, 4096, 4096);
+        let big = blocked_traffic(shape, choose_tile(shape, Bytes::from_mib(40.0), 2.0), 2.0);
+        let small = blocked_traffic(shape, choose_tile(shape, Bytes::from_kib(256.0), 2.0), 2.0);
+        assert!(small.bytes() > 2.0 * big.bytes());
+    }
+
+    #[test]
+    fn optimal_traffic_scales_like_io_lower_bound() {
+        // For an n³ GEMM blocked with cache of M elements, traffic should
+        // scale like n³/sqrt(M) (the Hong–Kung lower-bound shape).
+        let shape = GemmShape::new(8192, 8192, 8192);
+        let cap1 = Bytes::from_mib(8.0);
+        let cap4 = Bytes::from_mib(32.0);
+        let t1 = blocked_traffic(shape, choose_tile(shape, cap1, 2.0), 2.0);
+        let t4 = blocked_traffic(shape, choose_tile(shape, cap4, 2.0), 2.0);
+        let ratio = t1.bytes() / t4.bytes();
+        assert!(
+            (ratio - 2.0).abs() < 0.35,
+            "4x capacity should roughly halve traffic, ratio = {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn gemv_traffic_is_matrix_read() {
+        // y = A·x with A of 4096×4096: traffic ≈ the matrix itself.
+        let shape = GemmShape::gemv(4096, 4096);
+        let tile = choose_tile(shape, Bytes::from_mib(20.0), 2.0);
+        let traffic = blocked_traffic(shape, tile, 2.0);
+        let matrix = (4096.0 * 4096.0) * 2.0;
+        assert!(traffic.bytes() < matrix * 1.01);
+        assert!(traffic.bytes() > matrix * 0.99);
+    }
+
+    #[test]
+    fn c_crosses_boundary_once() {
+        // Even with many k-slices, C traffic stays m·n (output-stationary).
+        let shape = GemmShape::new(256, 256, 1 << 16);
+        let tile = Tile { tm: 256, tn: 256, tk: 64 };
+        let traffic = blocked_traffic(shape, tile, 1.0);
+        let expected = (256.0 * 65536.0) + (65536.0 * 256.0) + (256.0 * 256.0);
+        assert!((traffic.bytes() - expected).abs() < 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the tiling engine and the roofline model.
+
+use optimus_hw::{presets, Precision};
+use optimus_roofline::{blocked_traffic, choose_tile, GemmShape, RooflineModel};
+use optimus_units::Bytes;
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8192, 1usize..8192, 1usize..8192)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The chosen tile always fits the capacity it was sized for.
+    #[test]
+    fn tile_respects_capacity((m, n, k) in dims(), cap_kib in 8.0f64..65536.0) {
+        let shape = GemmShape::new(m, n, k);
+        let cap = Bytes::from_kib(cap_kib);
+        let tile = choose_tile(shape, cap, 2.0);
+        prop_assert!(
+            tile.working_set() as f64 * 2.0 <= cap.bytes() * 1.05 + 8.0,
+            "tile {tile} overflows {cap}"
+        );
+    }
+
+    /// Blocked traffic never undercuts the compulsory minimum
+    /// (read A and B once, write C once).
+    #[test]
+    fn traffic_at_least_compulsory((m, n, k) in dims(), cap_kib in 8.0f64..65536.0) {
+        let shape = GemmShape::new(m, n, k);
+        let tile = choose_tile(shape, Bytes::from_kib(cap_kib), 2.0);
+        let traffic = blocked_traffic(shape, tile, 2.0);
+        prop_assert!(traffic.bytes() >= shape.min_io(2.0).bytes() * 0.999);
+    }
+
+    /// More capacity never increases traffic.
+    #[test]
+    fn traffic_monotone_in_capacity((m, n, k) in dims()) {
+        let shape = GemmShape::new(m, n, k);
+        let small = blocked_traffic(shape, choose_tile(shape, Bytes::from_kib(64.0), 2.0), 2.0);
+        let large = blocked_traffic(shape, choose_tile(shape, Bytes::from_mib(16.0), 2.0), 2.0);
+        prop_assert!(large.bytes() <= small.bytes() * 1.001);
+    }
+
+    /// Kernel time is positive and at least the ideal compute time.
+    #[test]
+    fn cost_at_least_ideal_compute((m, n, k) in dims()) {
+        let a100 = presets::a100_sxm_80gb();
+        let model = RooflineModel::new(&a100);
+        let shape = GemmShape::new(m, n, k);
+        let cost = model.gemm(shape, Precision::Fp16).unwrap();
+        let ideal = shape.flops().get() / 312e12;
+        prop_assert!(cost.total().secs() >= ideal * 0.999);
+        prop_assert!(cost.total().secs() > 0.0);
+    }
+
+    /// Doubling the reduction depth doubles FLOPs and never shrinks time.
+    #[test]
+    fn monotone_in_k(m in 1usize..2048, n in 1usize..2048, k in 1usize..2048) {
+        let a100 = presets::a100_sxm_80gb();
+        let model = RooflineModel::new(&a100);
+        let t1 = model.gemm(GemmShape::new(m, n, k), Precision::Fp16).unwrap().total();
+        let t2 = model.gemm(GemmShape::new(m, n, 2 * k), Precision::Fp16).unwrap().total();
+        prop_assert!(t2 >= t1 * 0.999);
+    }
+
+    /// Lower precision never makes a kernel slower (less traffic, more
+    /// throughput) on a device that supports both.
+    #[test]
+    fn lower_precision_not_slower((m, n, k) in dims()) {
+        let h100 = presets::h100_sxm();
+        let model = RooflineModel::new(&h100);
+        let shape = GemmShape::new(m, n, k);
+        let fp16 = model.gemm(shape, Precision::Fp16).unwrap().total();
+        let fp8 = model.gemm(shape, Precision::Fp8).unwrap().total();
+        prop_assert!(fp8 <= fp16 * 1.001, "fp8 {fp8} vs fp16 {fp16}");
+    }
+
+    /// The bound classification is consistent with the component times.
+    #[test]
+    fn bound_matches_argmax((m, n, k) in dims()) {
+        let a100 = presets::a100_sxm_80gb();
+        let model = RooflineModel::new(&a100);
+        let cost = model.gemm(GemmShape::new(m, n, k), Precision::Fp16).unwrap();
+        let bound = cost.bound();
+        if bound.is_compute() {
+            prop_assert!(cost.compute_time >= cost.memory_time());
+        } else if bound.is_memory() {
+            prop_assert!(cost.memory_time() >= cost.compute_time);
+        }
+    }
+
+    /// Transposed problems cost the same (traffic and FLOPs symmetric).
+    #[test]
+    fn transpose_symmetry((m, n, k) in dims()) {
+        let a100 = presets::a100_sxm_80gb();
+        let model = RooflineModel::new(&a100);
+        let a = model.gemm(GemmShape::new(m, n, k), Precision::Fp16).unwrap().total();
+        let b = model
+            .gemm(GemmShape::new(m, n, k).transposed(), Precision::Fp16)
+            .unwrap()
+            .total();
+        prop_assert!((a.secs() - b.secs()).abs() / a.secs() < 0.35, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Technology-node scaling and micro-architecture synthesis.
+//!
+//! Links semiconductor technology parameters to the architecture
+//! abstraction layer (the paper's µArch engine, §3.1/§3.6): given a
+//! technology node (N12…N1), an area/power budget, and per-component
+//! allocation fractions, [`UArchEngine`] synthesizes an
+//! [`optimus_hw::Accelerator`] whose compute throughput, cache capacity,
+//! and bandwidths scale by the iso-performance rules (1.8× area, 1.3×
+//! power per node step, after Stillmaker & Baas). The engine is calibrated
+//! so that the N7 point reproduces the A100 — exactly how the paper anchors
+//! its Fig. 6/7 sweep ("the on-chip specifications are same as A100").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod uarch;
+
+pub use node::{ScalingRule, TechNode};
+pub use uarch::{Allocation, ResourceBudget, UArchEngine};

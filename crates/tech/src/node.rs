@@ -1,0 +1,170 @@
+//! Logic technology nodes and scaling rules.
+
+use serde::{Deserialize, Serialize};
+
+/// A logic process technology node, N12 (12 nm) down to N1 (1 nm) — the
+/// seven generations swept by the paper's §5.3 case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 12 nm.
+    N12,
+    /// 10 nm.
+    N10,
+    /// 7 nm (the A100-class node used as calibration anchor).
+    N7,
+    /// 5 nm (H100-class).
+    N5,
+    /// 3 nm.
+    N3,
+    /// 2 nm.
+    N2,
+    /// 1 nm (projected).
+    N1,
+}
+
+impl TechNode {
+    /// All nodes, oldest first — the x-axis of Figs. 6 and 7.
+    #[must_use]
+    pub fn all() -> &'static [TechNode] {
+        &[
+            Self::N12,
+            Self::N10,
+            Self::N7,
+            Self::N5,
+            Self::N3,
+            Self::N2,
+            Self::N1,
+        ]
+    }
+
+    /// Generation index (N12 = 0, N1 = 6).
+    #[must_use]
+    pub fn index(self) -> usize {
+        Self::all()
+            .iter()
+            .position(|n| *n == self)
+            .expect("all() lists every variant")
+    }
+
+    /// Signed number of generation steps from `from` to `self` (positive =
+    /// newer).
+    #[must_use]
+    pub fn steps_from(self, from: TechNode) -> i32 {
+        self.index() as i32 - from.index() as i32
+    }
+}
+
+impl core::fmt::Display for TechNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Self::N12 => "N12",
+            Self::N10 => "N10",
+            Self::N7 => "N7",
+            Self::N5 => "N5",
+            Self::N3 => "N3",
+            Self::N2 => "N2",
+            Self::N1 => "N1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Node-to-node scaling assumptions.
+///
+/// The paper follows the *iso-performance* assumption (after Stillmaker &
+/// Baas and DeepFlow): each generation step shrinks the area of a given
+/// block by **1.8×** and its power by **1.3×** at equal performance — so a
+/// fixed area/power budget buys more logic every node, with power becoming
+/// the binding constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRule {
+    /// Area shrink per generation step (same-performance block).
+    pub area_per_step: f64,
+    /// Power reduction per generation step (same-performance block).
+    pub power_per_step: f64,
+}
+
+impl ScalingRule {
+    /// The paper's optimistic iso-performance scaling: 1.8× area, 1.3× power.
+    #[must_use]
+    pub fn iso_performance() -> Self {
+        Self {
+            area_per_step: 1.8,
+            power_per_step: 1.3,
+        }
+    }
+
+    /// How many same-performance blocks fit in a fixed **area** budget at
+    /// `to`, relative to `from`.
+    #[must_use]
+    pub fn area_capacity_factor(&self, from: TechNode, to: TechNode) -> f64 {
+        self.area_per_step.powi(to.steps_from(from))
+    }
+
+    /// How many same-performance blocks a fixed **power** budget feeds at
+    /// `to`, relative to `from`.
+    #[must_use]
+    pub fn power_capacity_factor(&self, from: TechNode, to: TechNode) -> f64 {
+        self.power_per_step.powi(to.steps_from(from))
+    }
+
+    /// SRAM density gain per step — SRAM cells scale worse than logic;
+    /// we follow the common observation that SRAM captures roughly
+    /// two-thirds of the logic shrink.
+    #[must_use]
+    pub fn sram_density_factor(&self, from: TechNode, to: TechNode) -> f64 {
+        self.area_per_step
+            .powf(to.steps_from(from) as f64 * 2.0 / 3.0)
+    }
+}
+
+impl Default for ScalingRule {
+    fn default() -> Self {
+        Self::iso_performance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_and_steps() {
+        assert_eq!(TechNode::N12.index(), 0);
+        assert_eq!(TechNode::N1.index(), 6);
+        assert_eq!(TechNode::N1.steps_from(TechNode::N7), 4);
+        assert_eq!(TechNode::N12.steps_from(TechNode::N7), -2);
+    }
+
+    #[test]
+    fn iso_performance_factors() {
+        let r = ScalingRule::iso_performance();
+        let f = r.area_capacity_factor(TechNode::N7, TechNode::N5);
+        assert!((f - 1.8).abs() < 1e-12);
+        let b = r.power_capacity_factor(TechNode::N7, TechNode::N12);
+        assert!((b - 1.0 / 1.69).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_scales_slower_than_area() {
+        // The crux of §5.3: compute becomes power-limited with scaling.
+        let r = ScalingRule::iso_performance();
+        for steps in 1..=6 {
+            let to = TechNode::all()[steps];
+            let from = TechNode::N12;
+            assert!(
+                r.power_capacity_factor(from, to) < r.area_capacity_factor(from, to),
+                "power must bind at {to}"
+            );
+        }
+    }
+
+    #[test]
+    fn sram_scales_worse_than_logic() {
+        let r = ScalingRule::iso_performance();
+        let logic = r.area_capacity_factor(TechNode::N7, TechNode::N3);
+        let sram = r.sram_density_factor(TechNode::N7, TechNode::N3);
+        assert!(sram < logic);
+        assert!(sram > 1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! The micro-architecture synthesis engine.
+
+use crate::{ScalingRule, TechNode};
+use optimus_hw::memtech::DramTechnology;
+use optimus_hw::{Accelerator, MemoryLevel, MemoryLevelKind};
+use optimus_units::{Area, Power, Ratio};
+use serde::{Deserialize, Serialize};
+
+/// The silicon resource budget of one accelerator die (§3.6: "a given
+/// budget and allocation of hardware resources (i.e., area, power, and chip
+/// perimeter)").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Die area.
+    pub area: Area,
+    /// Power envelope.
+    pub power: Power,
+}
+
+impl ResourceBudget {
+    /// A reticle-class data-center GPU budget (A100: 826 mm², 400 W).
+    #[must_use]
+    pub fn datacenter_gpu() -> Self {
+        Self {
+            area: Area::from_mm2(826.0),
+            power: Power::from_watts(400.0),
+        }
+    }
+}
+
+/// How the budget is split between components. The remainder after compute
+/// and SRAM is I/O (DRAM PHYs, NVLink SerDes) and overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Fraction of area/power for the compute (tensor-core) partition.
+    pub compute: Ratio,
+    /// Fraction of area for the on-chip SRAM (L2) partition.
+    pub sram: Ratio,
+}
+
+impl Allocation {
+    /// Creates an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions sum above 1.
+    #[must_use]
+    pub fn new(compute: Ratio, sram: Ratio) -> Self {
+        assert!(
+            compute.get() + sram.get() <= 1.0,
+            "allocation fractions exceed the budget: {} + {}",
+            compute,
+            sram
+        );
+        Self { compute, sram }
+    }
+
+    /// The A100-like reference split: ~45% compute, ~20% SRAM, rest I/O.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self::new(Ratio::new(0.45), Ratio::new(0.20))
+    }
+
+    /// Fraction left for I/O and overhead.
+    #[must_use]
+    pub fn io(&self) -> Ratio {
+        Ratio::saturating(1.0 - self.compute.get() - self.sram.get())
+    }
+}
+
+impl Default for Allocation {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// Synthesizes accelerator descriptions from technology parameters.
+///
+/// The engine is **calibrated** against a real accelerator at a reference
+/// node (the paper anchors its technology sweep to A100-class on-chip
+/// specifications): the baseline's throughput/capacities correspond to the
+/// reference budget and allocation, and any other `(node, budget,
+/// allocation)` point scales from there:
+///
+/// * compute throughput scales by the *minimum* of the area-capacity and
+///   power-capacity factors (power binds on advanced nodes — the saturation
+///   mechanism of Fig. 6);
+/// * L2 capacity scales with SRAM area × SRAM density; its bandwidth scales
+///   with the number of banks (∝ SRAM area share) times the logic factor;
+/// * shared-memory/L1 resources ride with the compute partition;
+/// * DRAM bandwidth/capacity come from the chosen [`DramTechnology`] —
+///   off-chip memory is PHY/perimeter-bound, not logic-node-bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UArchEngine {
+    baseline: Accelerator,
+    baseline_node: TechNode,
+    baseline_budget: ResourceBudget,
+    baseline_alloc: Allocation,
+    scaling: ScalingRule,
+}
+
+impl UArchEngine {
+    /// Creates an engine calibrated so that synthesizing at
+    /// `(baseline_node, baseline_budget, baseline_alloc)` reproduces
+    /// `baseline` exactly.
+    #[must_use]
+    pub fn calibrated(
+        baseline: Accelerator,
+        baseline_node: TechNode,
+        baseline_budget: ResourceBudget,
+        baseline_alloc: Allocation,
+    ) -> Self {
+        Self {
+            baseline,
+            baseline_node,
+            baseline_budget,
+            baseline_alloc,
+            scaling: ScalingRule::iso_performance(),
+        }
+    }
+
+    /// The paper's anchor: an A100 at N7 with a data-center budget and the
+    /// reference allocation.
+    #[must_use]
+    pub fn a100_at_n7() -> Self {
+        Self::calibrated(
+            optimus_hw::presets::a100_sxm_80gb(),
+            TechNode::N7,
+            ResourceBudget::datacenter_gpu(),
+            Allocation::reference(),
+        )
+    }
+
+    /// The calibration baseline device.
+    #[must_use]
+    pub fn baseline(&self) -> &Accelerator {
+        &self.baseline
+    }
+
+    /// Synthesizes the accelerator at `node` under `budget`/`alloc`, with
+    /// off-chip memory `dram`.
+    #[must_use]
+    pub fn synthesize(
+        &self,
+        node: TechNode,
+        budget: ResourceBudget,
+        alloc: Allocation,
+        dram: DramTechnology,
+    ) -> Accelerator {
+        let base = &self.baseline;
+        let from = self.baseline_node;
+
+        // --- compute partition -------------------------------------------
+        let area_share = (alloc.compute.get() / self.baseline_alloc.compute.get())
+            * (budget.area / self.baseline_budget.area);
+        let power_share = (alloc.compute.get() / self.baseline_alloc.compute.get())
+            * (budget.power / self.baseline_budget.power);
+        let area_factor = area_share * self.scaling.area_capacity_factor(from, node);
+        let power_factor = power_share * self.scaling.power_capacity_factor(from, node);
+        let compute_factor = area_factor.min(power_factor);
+        let compute = base.compute.scaled(compute_factor);
+
+        // --- on-chip memory -------------------------------------------------
+        let sram_share = (alloc.sram.get() / self.baseline_alloc.sram.get())
+            * (budget.area / self.baseline_budget.area);
+        let sram_capacity_factor = sram_share * self.scaling.sram_density_factor(from, node);
+        // Bank count grows with SRAM area; wires ride the logic node.
+        let sram_bw_factor = sram_share * self.scaling.area_capacity_factor(from, node).sqrt();
+
+        let on_chip = base
+            .on_chip
+            .iter()
+            .map(|level| match level.kind {
+                MemoryLevelKind::L2 => MemoryLevel::new(
+                    level.kind,
+                    level.capacity * sram_capacity_factor,
+                    level.bandwidth * sram_bw_factor,
+                ),
+                // Shared memory and registers ride with the compute units.
+                _ => MemoryLevel::new(
+                    level.kind,
+                    level.capacity * compute_factor,
+                    level.bandwidth * compute_factor,
+                ),
+            })
+            .collect();
+
+        // --- off-chip memory --------------------------------------------------
+        let dram_level = MemoryLevel::dram(dram.typical_capacity(), dram.bandwidth());
+
+        Accelerator::new(
+            format!("{}@{node}-{dram}", base.name),
+            compute,
+            on_chip,
+            dram_level,
+        )
+        .with_calibration(base.calibration.clone())
+    }
+
+    /// Synthesizes at the baseline budget/allocation — the pure
+    /// node-scaling sweep of Fig. 6 before DSE optimization.
+    #[must_use]
+    pub fn synthesize_at_node(&self, node: TechNode, dram: DramTechnology) -> Accelerator {
+        self.synthesize(node, self.baseline_budget, self.baseline_alloc, dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::Precision;
+
+    #[test]
+    fn baseline_roundtrips() {
+        let engine = UArchEngine::a100_at_n7();
+        let synth = engine.synthesize(
+            TechNode::N7,
+            ResourceBudget::datacenter_gpu(),
+            Allocation::reference(),
+            DramTechnology::Hbm2e,
+        );
+        let base_peak = engine.baseline().peak(Precision::Fp16).unwrap();
+        let synth_peak = synth.peak(Precision::Fp16).unwrap();
+        assert!((synth_peak / base_peak - 1.0).abs() < 1e-9, "compute roundtrip");
+        let base_l2 = engine.baseline().level(MemoryLevelKind::L2).unwrap();
+        let synth_l2 = synth.level(MemoryLevelKind::L2).unwrap().capacity;
+        assert!((synth_l2 / base_l2.capacity - 1.0).abs() < 1e-9, "L2 roundtrip");
+    }
+
+    #[test]
+    fn compute_is_power_limited_on_advanced_nodes() {
+        let engine = UArchEngine::a100_at_n7();
+        let n5 = engine.synthesize_at_node(TechNode::N5, DramTechnology::Hbm2e);
+        let peak_ratio = n5.peak(Precision::Fp16).unwrap()
+            / engine.baseline().peak(Precision::Fp16).unwrap();
+        // Power factor 1.3 binds, not the 1.8 area factor.
+        assert!((peak_ratio - 1.3).abs() < 1e-9, "got {peak_ratio}");
+    }
+
+    #[test]
+    fn node_scaling_monotonically_raises_compute() {
+        let engine = UArchEngine::a100_at_n7();
+        let mut last = 0.0;
+        for &node in TechNode::all() {
+            let acc = engine.synthesize_at_node(node, DramTechnology::Hbm2);
+            let peak = acc.peak(Precision::Fp16).unwrap().tera();
+            assert!(peak > last, "{node}: {peak} TF");
+            last = peak;
+        }
+    }
+
+    #[test]
+    fn dram_tech_is_node_independent() {
+        let engine = UArchEngine::a100_at_n7();
+        let old = engine.synthesize_at_node(TechNode::N12, DramTechnology::Hbm3);
+        let new = engine.synthesize_at_node(TechNode::N1, DramTechnology::Hbm3);
+        assert_eq!(old.dram.bandwidth, new.dram.bandwidth);
+    }
+
+    #[test]
+    fn bigger_sram_allocation_grows_l2() {
+        let engine = UArchEngine::a100_at_n7();
+        let small = engine.synthesize(
+            TechNode::N7,
+            ResourceBudget::datacenter_gpu(),
+            Allocation::new(Ratio::new(0.45), Ratio::new(0.10)),
+            DramTechnology::Hbm2e,
+        );
+        let big = engine.synthesize(
+            TechNode::N7,
+            ResourceBudget::datacenter_gpu(),
+            Allocation::new(Ratio::new(0.45), Ratio::new(0.40)),
+            DramTechnology::Hbm2e,
+        );
+        let l2 = |a: &Accelerator| a.level(MemoryLevelKind::L2).unwrap().capacity;
+        assert!(l2(&big).bytes() > 3.9 * l2(&small).bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the budget")]
+    fn over_allocation_rejected() {
+        let _ = Allocation::new(Ratio::new(0.8), Ratio::new(0.3));
+    }
+}

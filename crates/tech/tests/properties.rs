@@ -1,0 +1,108 @@
+//! Property-based tests of the µArch synthesis engine.
+
+use optimus_hw::memtech::DramTechnology;
+use optimus_hw::{MemoryLevelKind, Precision};
+use optimus_tech::{Allocation, ResourceBudget, TechNode, UArchEngine};
+use optimus_units::{Area, Power, Ratio};
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = TechNode> {
+    prop_oneof![
+        Just(TechNode::N12),
+        Just(TechNode::N10),
+        Just(TechNode::N7),
+        Just(TechNode::N5),
+        Just(TechNode::N3),
+        Just(TechNode::N2),
+        Just(TechNode::N1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A bigger area budget never reduces compute throughput.
+    #[test]
+    fn throughput_monotone_in_area(node in any_node(), area in 200.0f64..2000.0) {
+        let engine = UArchEngine::a100_at_n7();
+        let alloc = Allocation::reference();
+        let dram = DramTechnology::Hbm2e;
+        let small = engine.synthesize(
+            node,
+            ResourceBudget { area: Area::from_mm2(area), power: Power::from_watts(400.0) },
+            alloc,
+            dram,
+        );
+        let large = engine.synthesize(
+            node,
+            ResourceBudget { area: Area::from_mm2(area * 1.5), power: Power::from_watts(400.0) },
+            alloc,
+            dram,
+        );
+        let p = |a: &optimus_hw::Accelerator| a.peak(Precision::Fp16).unwrap().tera();
+        prop_assert!(p(&large) >= p(&small));
+    }
+
+    /// A bigger power budget never reduces compute throughput.
+    #[test]
+    fn throughput_monotone_in_power(node in any_node(), power in 100.0f64..1500.0) {
+        let engine = UArchEngine::a100_at_n7();
+        let alloc = Allocation::reference();
+        let budget = |w: f64| ResourceBudget {
+            area: Area::from_mm2(826.0),
+            power: Power::from_watts(w),
+        };
+        let small = engine.synthesize(node, budget(power), alloc, DramTechnology::Hbm3);
+        let large = engine.synthesize(node, budget(power * 1.5), alloc, DramTechnology::Hbm3);
+        let p = |a: &optimus_hw::Accelerator| a.peak(Precision::Fp16).unwrap().tera();
+        prop_assert!(p(&large) >= p(&small));
+    }
+
+    /// Newer node at the same budget never loses compute throughput.
+    #[test]
+    fn throughput_monotone_in_node(idx in 0usize..6) {
+        let engine = UArchEngine::a100_at_n7();
+        let older = TechNode::all()[idx];
+        let newer = TechNode::all()[idx + 1];
+        let p = |n: TechNode| {
+            engine
+                .synthesize_at_node(n, DramTechnology::Hbm2e)
+                .peak(Precision::Fp16)
+                .unwrap()
+                .tera()
+        };
+        prop_assert!(p(newer) >= p(older));
+    }
+
+    /// Shifting area from compute to SRAM trades throughput for cache,
+    /// monotonically in both directions.
+    #[test]
+    fn allocation_tradeoff(node in any_node(), shift in 0.01f64..0.25) {
+        let engine = UArchEngine::a100_at_n7();
+        let budget = ResourceBudget::datacenter_gpu();
+        let base = Allocation::new(Ratio::new(0.45), Ratio::new(0.20));
+        let shifted = Allocation::new(
+            Ratio::new(0.45 - shift),
+            Ratio::new(0.20 + shift),
+        );
+        let a = engine.synthesize(node, budget, base, DramTechnology::Hbm2e);
+        let b = engine.synthesize(node, budget, shifted, DramTechnology::Hbm2e);
+        let peak = |x: &optimus_hw::Accelerator| x.peak(Precision::Fp16).unwrap().tera();
+        let l2 = |x: &optimus_hw::Accelerator| {
+            x.level(MemoryLevelKind::L2).unwrap().capacity.bytes()
+        };
+        prop_assert!(peak(&b) <= peak(&a));
+        prop_assert!(l2(&b) >= l2(&a));
+    }
+
+    /// Synthesized devices always carry the requested DRAM technology.
+    #[test]
+    fn dram_technology_respected(node in any_node()) {
+        let engine = UArchEngine::a100_at_n7();
+        for &tech in DramTechnology::inference_sweep() {
+            let acc = engine.synthesize_at_node(node, tech);
+            prop_assert_eq!(acc.dram.bandwidth, tech.bandwidth());
+            prop_assert_eq!(acc.dram.capacity, tech.typical_capacity());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Training-job description.
+
+use optimus_collective::CommModel;
+use optimus_hw::Precision;
+use optimus_memory::RecomputeMode;
+use optimus_model::ModelConfig;
+use optimus_parallel::{Parallelism, PipelineSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Everything that defines one distributed training job: the model, the
+/// global batch shape, numeric precision, the parallelization, the pipeline
+/// schedule, and the activation-recomputation strategy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingConfig {
+    /// The model being trained.
+    pub model: ModelConfig,
+    /// Global batch size in samples.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Training precision (weights and activations).
+    pub precision: Precision,
+    /// DP/TP/PP/SP configuration.
+    pub parallelism: Parallelism,
+    /// Pipeline schedule.
+    pub schedule: PipelineSchedule,
+    /// Activation recomputation.
+    pub recompute: RecomputeMode,
+    /// Collective-algorithm policy.
+    pub comm: CommModel,
+    /// Use the fused FlashAttention kernel (IO-aware attention, §1.1)
+    /// instead of materialized attention ops.
+    pub flash: bool,
+}
+
+impl TrainingConfig {
+    /// Creates a config with 1F1B scheduling, no recomputation, FP16, and
+    /// automatic collective selection.
+    #[must_use]
+    pub fn new(model: ModelConfig, batch: usize, seq: usize, parallelism: Parallelism) -> Self {
+        Self {
+            model,
+            batch,
+            seq,
+            precision: Precision::Fp16,
+            parallelism,
+            schedule: PipelineSchedule::OneFOneB,
+            recompute: RecomputeMode::None,
+            comm: CommModel::Auto,
+            flash: false,
+        }
+    }
+
+    /// Sets the recomputation strategy.
+    #[must_use]
+    pub fn with_recompute(mut self, recompute: RecomputeMode) -> Self {
+        self.recompute = recompute;
+        self
+    }
+
+    /// Sets the pipeline schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: PipelineSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the numeric precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the collective policy.
+    #[must_use]
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Selects the FlashAttention implementation.
+    #[must_use]
+    pub fn with_flash(mut self, flash: bool) -> Self {
+        self.flash = flash;
+        self
+    }
+}
+
+impl core::fmt::Display for TrainingConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} batch={} seq={} {} [{}] {} recompute={}",
+            self.model.name,
+            self.batch,
+            self.seq,
+            self.parallelism,
+            self.schedule,
+            self.precision,
+            self.recompute
+        )
+    }
+}

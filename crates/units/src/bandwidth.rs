@@ -1,0 +1,74 @@
+//! Data transfer rates.
+
+use crate::scalar::quantity;
+use crate::{Bytes, Time};
+
+quantity!(
+    /// A data transfer rate in bytes per second.
+    ///
+    /// Used for every level of the memory hierarchy (register/shared/L2/DRAM)
+    /// as well as intra-node (NVLink) and inter-node (InfiniBand) links.
+    Bandwidth,
+    "bytes per second"
+);
+
+impl Bandwidth {
+    /// Creates a rate from GB/s (10^9 bytes per second), the unit used by
+    /// both DRAM and network datasheets.
+    #[must_use]
+    pub fn from_gb_per_sec(gbps: f64) -> Self {
+        Self::new(gbps * 1e9)
+    }
+
+    /// Creates a rate from TB/s.
+    #[must_use]
+    pub fn from_tb_per_sec(tbps: f64) -> Self {
+        Self::new(tbps * 1e12)
+    }
+
+    /// The rate in GB/s.
+    #[must_use]
+    pub fn gb_per_sec(self) -> f64 {
+        self.get() / 1e9
+    }
+
+    /// The rate in TB/s.
+    #[must_use]
+    pub fn tb_per_sec(self) -> f64 {
+        self.get() / 1e12
+    }
+}
+
+impl core::ops::Mul<Time> for Bandwidth {
+    type Output = Bytes;
+    fn mul(self, rhs: Time) -> Bytes {
+        Bytes::new(self.get() * rhs.secs())
+    }
+}
+
+impl core::fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        crate::format_scaled(
+            f,
+            self.get(),
+            &[(1e12, "TB/s"), (1e9, "GB/s"), (1e6, "MB/s"), (1.0, "B/s")],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bandwidth::from_tb_per_sec(3.35).gb_per_sec(), 3350.0);
+        assert_eq!(Bandwidth::from_gb_per_sec(200.0).tb_per_sec(), 0.2);
+    }
+
+    #[test]
+    fn volume_moved() {
+        let v = Bandwidth::from_gb_per_sec(100.0) * Time::from_secs(2.0);
+        assert_eq!(v.gb(), 200.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Data volumes.
+
+use crate::scalar::quantity;
+use crate::{Bandwidth, Time};
+
+quantity!(
+    /// A data volume in bytes.
+    ///
+    /// Backed by `f64` because the models routinely produce *average* or
+    /// *per-element* volumes (e.g. half a byte per FP4 weight) that are not
+    /// integral.
+    Bytes,
+    "bytes"
+);
+
+impl Bytes {
+    /// Creates a volume from kibibytes (2^10 bytes).
+    #[must_use]
+    pub fn from_kib(kib: f64) -> Self {
+        Self::new(kib * 1024.0)
+    }
+
+    /// Creates a volume from mebibytes (2^20 bytes).
+    #[must_use]
+    pub fn from_mib(mib: f64) -> Self {
+        Self::new(mib * 1024.0 * 1024.0)
+    }
+
+    /// Creates a volume from gibibytes (2^30 bytes).
+    #[must_use]
+    pub fn from_gib(gib: f64) -> Self {
+        Self::new(gib * 1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Creates a volume from decimal gigabytes (10^9 bytes), the unit
+    /// vendors quote DRAM capacities and message sizes in.
+    #[must_use]
+    pub fn from_gb(gb: f64) -> Self {
+        Self::new(gb * 1e9)
+    }
+
+    /// Creates a volume from decimal megabytes (10^6 bytes).
+    #[must_use]
+    pub fn from_mb(mb: f64) -> Self {
+        Self::new(mb * 1e6)
+    }
+
+    /// The volume in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> f64 {
+        self.get()
+    }
+
+    /// The volume in gibibytes.
+    #[must_use]
+    pub fn gib(self) -> f64 {
+        self.get() / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// The volume in decimal gigabytes.
+    #[must_use]
+    pub fn gb(self) -> f64 {
+        self.get() / 1e9
+    }
+
+    /// The volume in mebibytes.
+    #[must_use]
+    pub fn mib(self) -> f64 {
+        self.get() / (1024.0 * 1024.0)
+    }
+}
+
+impl core::ops::Div<Bandwidth> for Bytes {
+    type Output = Time;
+    /// Transfer time of this volume at the given bandwidth.
+    fn div(self, rhs: Bandwidth) -> Time {
+        Time::new(self.get() / rhs.get())
+    }
+}
+
+impl core::fmt::Display for Bytes {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        crate::format_scaled(
+            f,
+            self.get(),
+            &[
+                (1024f64.powi(4), "TiB"),
+                (1024f64.powi(3), "GiB"),
+                (1024f64.powi(2), "MiB"),
+                (1024.0, "KiB"),
+                (1.0, "B"),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bytes::from_kib(1.0).bytes(), 1024.0);
+        assert_eq!(Bytes::from_gib(80.0).gib(), 80.0);
+        assert_eq!(Bytes::from_gb(1.0).bytes(), 1e9);
+        assert!((Bytes::from_mib(512.0).gib() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time() {
+        let t = Bytes::from_gb(26.0) / Bandwidth::from_gb_per_sec(1300.0);
+        assert!((t.secs() - 0.02).abs() < 1e-12);
+    }
+}

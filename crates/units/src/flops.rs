@@ -1,0 +1,138 @@
+//! Floating-point operation counts and rates.
+
+use crate::scalar::quantity;
+use crate::Time;
+
+quantity!(
+    /// A count of floating-point operations.
+    ///
+    /// A fused multiply-add counts as **two** operations, matching vendor
+    /// peak-throughput accounting (a GEMM of shape `m x n x k` performs
+    /// `2 m n k` FLOPs).
+    FlopCount,
+    "floating-point operations"
+);
+
+quantity!(
+    /// A floating-point operation rate in FLOP/s.
+    FlopThroughput,
+    "FLOP/s"
+);
+
+impl FlopCount {
+    /// Creates a count from gigaFLOPs (10^9).
+    #[must_use]
+    pub fn from_giga(g: f64) -> Self {
+        Self::new(g * 1e9)
+    }
+
+    /// Creates a count from teraFLOPs (10^12).
+    #[must_use]
+    pub fn from_tera(t: f64) -> Self {
+        Self::new(t * 1e12)
+    }
+
+    /// The count in teraFLOPs.
+    #[must_use]
+    pub fn tera(self) -> f64 {
+        self.get() / 1e12
+    }
+}
+
+impl FlopThroughput {
+    /// Creates a rate from GFLOP/s.
+    #[must_use]
+    pub fn from_giga(g: f64) -> Self {
+        Self::new(g * 1e9)
+    }
+
+    /// Creates a rate from TFLOP/s (the unit GPU datasheets use).
+    #[must_use]
+    pub fn from_tera(t: f64) -> Self {
+        Self::new(t * 1e12)
+    }
+
+    /// Creates a rate from PFLOP/s.
+    #[must_use]
+    pub fn from_peta(p: f64) -> Self {
+        Self::new(p * 1e15)
+    }
+
+    /// The rate in TFLOP/s.
+    #[must_use]
+    pub fn tera(self) -> f64 {
+        self.get() / 1e12
+    }
+}
+
+impl core::ops::Div<FlopThroughput> for FlopCount {
+    type Output = Time;
+    /// Ideal execution time of this much work at the given rate.
+    fn div(self, rhs: FlopThroughput) -> Time {
+        Time::new(self.get() / rhs.get())
+    }
+}
+
+impl core::ops::Mul<Time> for FlopThroughput {
+    type Output = FlopCount;
+    fn mul(self, rhs: Time) -> FlopCount {
+        FlopCount::new(self.get() * rhs.secs())
+    }
+}
+
+impl core::fmt::Display for FlopCount {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        crate::format_scaled(
+            f,
+            self.get(),
+            &[
+                (1e18, "EFLOP"),
+                (1e15, "PFLOP"),
+                (1e12, "TFLOP"),
+                (1e9, "GFLOP"),
+                (1e6, "MFLOP"),
+                (1.0, "FLOP"),
+            ],
+        )
+    }
+}
+
+impl core::fmt::Display for FlopThroughput {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        crate::format_scaled(
+            f,
+            self.get(),
+            &[
+                (1e18, "EFLOP/s"),
+                (1e15, "PFLOP/s"),
+                (1e12, "TFLOP/s"),
+                (1e9, "GFLOP/s"),
+                (1.0, "FLOP/s"),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_time() {
+        // 312 TFLOP of work at A100 FP16 peak takes exactly one second.
+        let t = FlopCount::from_tera(312.0) / FlopThroughput::from_tera(312.0);
+        assert!((t.secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_times_time_is_work() {
+        let w = FlopThroughput::from_tera(2.0) * Time::from_secs(3.0);
+        assert!((w.tera() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FlopThroughput::from_tera(989.4).to_string(), "989 TFLOP/s");
+        assert_eq!(FlopCount::from_giga(31.5).to_string(), "31.5 GFLOP");
+    }
+}

@@ -1,0 +1,96 @@
+//! Strongly-typed physical quantities for the Optimus performance-modeling suite.
+//!
+//! Analytical performance models juggle many `f64`s that mean very different
+//! things: seconds, bytes, FLOP counts, bandwidths, areas, powers. Mixing them
+//! up silently produces plausible-looking nonsense, so this crate wraps each
+//! quantity in a newtype ([C-NEWTYPE]) with only the physically meaningful
+//! arithmetic defined between them:
+//!
+//! ```
+//! use optimus_units::{Bytes, Bandwidth, FlopCount, FlopThroughput, Time};
+//!
+//! let volume = Bytes::from_gib(2.0);
+//! let bw = Bandwidth::from_gb_per_sec(2_000.0); // 2 TB/s HBM
+//! let t: Time = volume / bw;
+//! assert!(t.secs() > 0.001 && t.secs() < 0.0011);
+//!
+//! let work = FlopCount::from_tera(312.0);
+//! let peak = FlopThroughput::from_tera(312.0); // A100 FP16 peak
+//! assert!((work / peak).secs() - 1.0 < 1e-12);
+//! ```
+//!
+//! All quantities are backed by `f64`, are `Copy`, order totally (`NaN` is
+//! rejected at construction), implement [`serde::Serialize`]/`Deserialize`,
+//! and display with automatically scaled SI units.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod data;
+mod flops;
+mod physical;
+mod ratio;
+mod scalar;
+mod time;
+
+pub use bandwidth::Bandwidth;
+pub use data::Bytes;
+pub use flops::{FlopCount, FlopThroughput};
+pub use physical::{Area, Energy, Frequency, Power};
+pub use ratio::Ratio;
+pub use time::Time;
+
+/// Formats a raw value with an SI prefix chosen from `units`, which lists
+/// `(scale, suffix)` pairs in descending scale order.
+///
+/// Shared by the `Display` impls of every quantity in this crate.
+pub(crate) fn format_scaled(
+    f: &mut core::fmt::Formatter<'_>,
+    value: f64,
+    units: &[(f64, &str)],
+) -> core::fmt::Result {
+    debug_assert!(!units.is_empty());
+    for &(scale, suffix) in units {
+        if value >= scale || (scale, suffix) == *units.last().expect("non-empty") {
+            let scaled = value / scale;
+            if scaled >= 100.0 {
+                return write!(f, "{scaled:.0} {suffix}");
+            } else if scaled >= 10.0 {
+                return write!(f, "{scaled:.1} {suffix}");
+            }
+            return write!(f, "{scaled:.3} {suffix}");
+        }
+    }
+    unreachable!("last unit always matches");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_over_bandwidth_is_time() {
+        let t = Bytes::from_gb(4.0) / Bandwidth::from_gb_per_sec(2.0);
+        assert!((t.secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_over_throughput_is_time() {
+        let t = FlopCount::from_giga(10.0) / FlopThroughput::from_giga(5.0);
+        assert!((t.secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let e = Power::from_watts(250.0) * Time::from_secs(4.0);
+        assert!((e.joules() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(Bytes::from_gib(80.0).to_string(), "80.0 GiB");
+        assert_eq!(Time::from_micros(82.0).to_string(), "82.0 us");
+        assert_eq!(Bandwidth::from_gb_per_sec(3350.0).to_string(), "3.350 TB/s");
+    }
+}

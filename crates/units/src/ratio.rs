@@ -1,0 +1,141 @@
+//! Dimensionless ratios constrained to `[0, 1]`.
+
+use serde::{Deserialize, Serialize};
+
+/// A dimensionless fraction in `[0, 1]`.
+///
+/// Used for utilization/efficiency factors (DRAM bandwidth utilization of a
+/// GEMV, achievable fraction of peak FLOPs, network utilization of a small
+/// all-reduce) and for resource-allocation fractions in the DSE search space.
+///
+/// ```
+/// use optimus_units::Ratio;
+/// let eff = Ratio::new(0.85);
+/// assert_eq!(eff.get(), 0.85);
+/// assert_eq!((eff * Ratio::HALF).get(), 0.425);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// The ratio 0.
+    pub const ZERO: Self = Self(0.0);
+    /// The ratio 0.5.
+    pub const HALF: Self = Self(0.5);
+    /// The ratio 1 (no derating).
+    pub const ONE: Self = Self(1.0);
+
+    /// Creates a ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or outside `[0, 1]`.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && (0.0..=1.0).contains(&value),
+            "Ratio must lie in [0, 1], got {value}"
+        );
+        Self(value)
+    }
+
+    /// Creates a ratio, clamping `value` into `[0, 1]` (NaN becomes 0).
+    #[must_use]
+    pub fn saturating(value: f64) -> Self {
+        if value.is_nan() {
+            Self(0.0)
+        } else {
+            Self(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The raw fraction.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The complementary fraction `1 - self`.
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Self(1.0 - self.0)
+    }
+
+    /// The value as a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+}
+
+impl Default for Ratio {
+    /// Defaults to [`Ratio::ONE`] (no derating).
+    fn default() -> Self {
+        Self::ONE
+    }
+}
+
+impl Eq for Ratio {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN rejected at construction")
+    }
+}
+
+impl core::ops::Mul for Ratio {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Mul<f64> for Ratio {
+    type Output = f64;
+    fn mul(self, rhs: f64) -> f64 {
+        self.0 * rhs
+    }
+}
+
+impl core::ops::Mul<Ratio> for f64 {
+    type Output = f64;
+    fn mul(self, rhs: Ratio) -> f64 {
+        self * rhs.0
+    }
+}
+
+impl core::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.1}%", self.percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Ratio::saturating(1.5), Ratio::ONE);
+        assert_eq!(Ratio::saturating(-0.5), Ratio::ZERO);
+        assert_eq!(Ratio::saturating(f64::NAN), Ratio::ZERO);
+    }
+
+    #[test]
+    fn complement() {
+        assert!((Ratio::new(0.3).complement().get() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in")]
+    fn out_of_range_rejected() {
+        let _ = Ratio::new(1.01);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ratio::new(0.854).to_string(), "85.4%");
+    }
+}

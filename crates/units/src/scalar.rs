@@ -1,0 +1,188 @@
+//! Macro generating the shared newtype boilerplate for `f64`-backed quantities.
+
+/// Implements constructors, accessors, arithmetic within the same quantity,
+/// scalar multiplication/division, ordering, and serde for an `f64` newtype.
+///
+/// Every generated quantity rejects NaN and negative values at construction:
+/// physical quantities in this model (durations, volumes, rates) are
+/// non-negative by definition, and refusing NaN keeps `PartialOrd` total in
+/// practice.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit_doc:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = concat!("Creates a new value measured in ", $unit_doc, ".")]
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN or negative; quantities in this crate
+            /// are non-negative by construction.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                assert!(
+                    value.is_finite() || value == f64::INFINITY,
+                    concat!(stringify!($name), " must not be NaN")
+                );
+                assert!(
+                    value >= 0.0,
+                    concat!(stringify!($name), " must be non-negative, got {}"),
+                    value
+                );
+                Self(value)
+            }
+
+            #[doc = concat!("Returns the raw value in ", $unit_doc, ".")]
+            #[must_use]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is exactly zero.
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            /// Saturating at zero: these quantities cannot go negative.
+            fn sub(self, rhs: Self) -> Self {
+                Self((self.0 - rhs.0).max(0.0))
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self::new(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name::new(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self::new(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            /// Dividing two like quantities yields a dimensionless ratio.
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + b)
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, |a, b| a + *b)
+            }
+        }
+
+        impl Eq for $name {}
+
+        #[allow(clippy::derive_ord_xor_partial_ord)]
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+                self.partial_cmp(other)
+                    .expect("NaN is rejected at construction")
+            }
+        }
+    };
+}
+
+pub(crate) use quantity;
+
+#[cfg(test)]
+mod tests {
+    quantity!(
+        /// Test quantity.
+        Widgets,
+        "widgets"
+    );
+
+    #[test]
+    fn arithmetic_works() {
+        let a = Widgets::new(3.0);
+        let b = Widgets::new(1.5);
+        assert_eq!((a + b).get(), 4.5);
+        assert_eq!((a - b).get(), 1.5);
+        assert_eq!((b - a).get(), 0.0, "subtraction saturates at zero");
+        assert_eq!((a * 2.0).get(), 6.0);
+        assert_eq!((a / 2.0).get(), 1.5);
+        assert_eq!(a / b, 2.0);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Widgets::new(1.0);
+        let b = Widgets::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn sum_works() {
+        let total: Widgets = (1..=4).map(|i| Widgets::new(i as f64)).sum();
+        assert_eq!(total.get(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        let _ = Widgets::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Widgets::new(f64::NAN);
+    }
+}

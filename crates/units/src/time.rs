@@ -1,0 +1,92 @@
+//! Wall-clock durations.
+
+use crate::scalar::quantity;
+
+quantity!(
+    /// A duration in seconds.
+    ///
+    /// The fundamental output of every estimator in the suite: kernel times,
+    /// collective times, iteration times, end-to-end latencies.
+    Time,
+    "seconds"
+);
+
+impl Time {
+    /// Creates a duration from seconds. Alias of [`Time::new`].
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        Self::new(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::new(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::new(ns * 1e-9)
+    }
+
+    /// The duration in seconds.
+    #[must_use]
+    pub const fn secs(self) -> f64 {
+        self.get()
+    }
+
+    /// The duration in milliseconds.
+    #[must_use]
+    pub fn millis(self) -> f64 {
+        self.get() * 1e3
+    }
+
+    /// The duration in microseconds.
+    #[must_use]
+    pub fn micros(self) -> f64 {
+        self.get() * 1e6
+    }
+}
+
+impl core::fmt::Display for Time {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        crate::format_scaled(
+            f,
+            self.get(),
+            &[
+                (3600.0, "h"),
+                (60.0, "min"),
+                (1.0, "s"),
+                (1e-3, "ms"),
+                (1e-6, "us"),
+                (1e-9, "ns"),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert!((Time::from_millis(1.5).secs() - 0.0015).abs() < 1e-15);
+        assert!((Time::from_micros(82.0).millis() - 0.082).abs() < 1e-12);
+        assert!((Time::from_nanos(500.0).micros() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Time::from_secs(18.1).to_string(), "18.1 s");
+        assert_eq!(Time::from_millis(4.735).to_string(), "4.735 ms");
+        assert_eq!(Time::from_secs(7200.0).to_string(), "2.000 h");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the quantity arithmetic.
+
+use optimus_units::{Bandwidth, Bytes, FlopCount, FlopThroughput, Power, Ratio, Time};
+use proptest::prelude::*;
+
+fn finite_pos() -> impl Strategy<Value = f64> {
+    (1e-6f64..1e18).prop_map(|x| x)
+}
+
+proptest! {
+    /// Addition is commutative and associative within float tolerance.
+    #[test]
+    fn addition_commutes(a in finite_pos(), b in finite_pos()) {
+        let x = Time::from_secs(a) + Time::from_secs(b);
+        let y = Time::from_secs(b) + Time::from_secs(a);
+        prop_assert_eq!(x, y);
+    }
+
+    /// Subtraction saturates at zero instead of going negative.
+    #[test]
+    fn subtraction_saturates(a in finite_pos(), b in finite_pos()) {
+        let d = Bytes::new(a) - Bytes::new(b);
+        prop_assert!(d.bytes() >= 0.0);
+        if a > b {
+            prop_assert!((d.bytes() - (a - b)).abs() <= 1e-9 * a.max(1.0));
+        } else {
+            prop_assert_eq!(d.bytes(), 0.0);
+        }
+    }
+
+    /// volume / bandwidth · bandwidth ≈ volume.
+    #[test]
+    fn transfer_roundtrip(vol in finite_pos(), bw in finite_pos()) {
+        let t = Bytes::new(vol) / Bandwidth::new(bw);
+        let back = Bandwidth::new(bw) * t;
+        prop_assert!((back.bytes() - vol).abs() / vol < 1e-12);
+    }
+
+    /// work / rate · rate ≈ work.
+    #[test]
+    fn flop_roundtrip(work in finite_pos(), rate in finite_pos()) {
+        let t = FlopCount::new(work) / FlopThroughput::new(rate);
+        let back = FlopThroughput::new(rate) * t;
+        prop_assert!((back.get() - work).abs() / work < 1e-12);
+    }
+
+    /// Energy = power × time is monotone in both factors.
+    #[test]
+    fn energy_monotone(p in 1.0f64..1e4, t in 1.0f64..1e6) {
+        let e = Power::from_watts(p) * Time::from_secs(t);
+        let e_more_power = Power::from_watts(p * 2.0) * Time::from_secs(t);
+        let e_more_time = Power::from_watts(p) * Time::from_secs(t * 2.0);
+        prop_assert!(e_more_power > e);
+        prop_assert!(e_more_time > e);
+    }
+
+    /// Like-quantity division is the scalar ratio.
+    #[test]
+    fn self_division(a in finite_pos(), b in finite_pos()) {
+        let r = Time::from_secs(a) / Time::from_secs(b);
+        prop_assert!((r - a / b).abs() / (a / b) < 1e-12);
+    }
+
+    /// Ratio::saturating always lands in [0, 1] and is idempotent.
+    #[test]
+    fn ratio_saturating(x in -1e3f64..1e3) {
+        let r = Ratio::saturating(x);
+        prop_assert!((0.0..=1.0).contains(&r.get()));
+        prop_assert_eq!(Ratio::saturating(r.get()), r);
+    }
+
+    /// complement is an involution.
+    #[test]
+    fn ratio_complement_involution(x in 0.0f64..=1.0) {
+        let r = Ratio::new(x);
+        prop_assert!((r.complement().complement().get() - x).abs() < 1e-15);
+    }
+
+    /// Sum over an iterator equals the fold.
+    #[test]
+    fn sum_matches_fold(values in proptest::collection::vec(1.0f64..1e9, 1..20)) {
+        let total: Bytes = values.iter().map(|&v| Bytes::new(v)).sum();
+        let expected: f64 = values.iter().sum();
+        prop_assert!((total.bytes() - expected).abs() / expected < 1e-12);
+    }
+
+    /// min/max are consistent with ordering.
+    #[test]
+    fn minmax_consistent(a in finite_pos(), b in finite_pos()) {
+        let (x, y) = (Time::from_secs(a), Time::from_secs(b));
+        prop_assert!(x.min(y) <= x.max(y));
+        prop_assert!(x.min(y) == x || x.min(y) == y);
+    }
+}

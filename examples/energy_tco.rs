@@ -1,0 +1,61 @@
+//! Energy and performance-per-TCO analysis — the §7 future-work extension:
+//! where does the power go during training vs. inference, and which GPU
+//! generation minimizes dollars per unit of work?
+//!
+//! Run with: `cargo run --example energy_tco`
+
+use optimus::energy::{CostModel, EnergyModel};
+use optimus::prelude::*;
+use optimus_suite as optimus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- energy anatomy of one GPT-175B training batch -------------------
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let cfg = TrainingConfig::new(
+        model::presets::gpt_175b(),
+        64,
+        2048,
+        Parallelism::new(1, 8, 8).with_sp(true),
+    )
+    .with_recompute(RecomputeMode::Selective);
+    let report = TrainingEstimator::new(&cluster).estimate(&cfg)?;
+    let energy = EnergyModel::a100_class().training_energy(&report, 64);
+
+    println!("== GPT-175B training batch on 64 x A100 ==");
+    println!("time {}", report.time_per_batch);
+    println!("energy: {energy}");
+    println!(
+        "mean power {:.0} W/GPU",
+        energy.mean_power(report.time_per_batch).watts() / 64.0
+    );
+    let cost = CostModel::a100_system().training_cost(&report, &energy, 64);
+    println!("cost: {cost}");
+    println!(
+        "  => {:.0} samples per dollar\n",
+        cost.perf_per_usd(64.0)
+    );
+
+    // --- inference: energy per generated token ----------------------------
+    let serving = InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), 1);
+    let latency = InferenceEstimator::new(&cluster).estimate(&serving)?;
+    let serve_energy = EnergyModel::a100_class().inference_energy(&latency, 1);
+    println!("== Llama2-13B request (200+200 tokens) on 1 x A100 ==");
+    println!("latency {}", latency.total);
+    println!("energy: {serve_energy}");
+    println!(
+        "  => {:.2} J per generated token (DRAM share {:.0}%)",
+        serve_energy.total().joules() / 200.0,
+        100.0 * serve_energy.dram.joules() / serve_energy.total().joules()
+    );
+    let serve_cost = CostModel::a100_system().inference_cost(&latency, &serve_energy, 1);
+    println!("cost: {serve_cost}");
+    println!(
+        "  => {:.0} generated tokens per dollar\n",
+        serve_cost.perf_per_usd(200.0)
+    );
+
+    // --- cross-generation perf/TCO ----------------------------------------
+    println!("== performance per TCO across generations ==");
+    print!("{}", optimus_experiments::tco::render());
+    Ok(())
+}

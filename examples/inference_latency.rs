@@ -1,0 +1,53 @@
+//! Inference latency explorer: strong-scale Llama-2 models from 1 to 8
+//! GPUs on A100 and H100 systems, and show the per-GEMM bound analysis
+//! that explains why scaling is poor (§4.3, §6).
+//!
+//! Run with: `cargo run --example inference_latency`
+
+use optimus::prelude::*;
+use optimus_suite as optimus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let systems = [
+        ("A100", hw::presets::dgx_a100_hdr_cluster()),
+        ("H100", hw::presets::dgx_h100_ndr_cluster()),
+    ];
+
+    for (name, cluster) in &systems {
+        println!("== {name}: Llama2-13B, B=1, 200 prompt + 200 generated ==");
+        println!(
+            "{:>4} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "TP", "total ms", "prefill", "decode", "memory", "comm"
+        );
+        for tp in [1usize, 2, 4, 8] {
+            let cfg =
+                InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), tp);
+            let r = InferenceEstimator::new(cluster).estimate(&cfg)?;
+            println!(
+                "{:>4} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+                tp,
+                r.total.millis(),
+                r.prefill.millis(),
+                r.decode.millis(),
+                r.breakdown.memory.millis(),
+                r.breakdown.communication.millis(),
+            );
+        }
+        println!();
+    }
+
+    // Per-GEMM bound analysis on one decode layer (full context).
+    let cluster = &systems[0].1;
+    let cfg = InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), 1);
+    let r = InferenceEstimator::new(cluster).estimate(&cfg)?;
+    println!("decode-layer GEMMs at full context (A100, TP=1):");
+    for g in &r.decode_gemms {
+        println!("  {:<20} {:>10.1} us  {}", g.role.to_string(), g.time.micros(), g.bound);
+    }
+    println!(
+        "\nweights {:.1} GB + KV-cache {:.2} GB per device",
+        r.memory.weights.gb(),
+        r.memory.kv_cache.gb()
+    );
+    Ok(())
+}

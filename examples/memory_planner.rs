@@ -1,0 +1,89 @@
+//! Memory planner: dissect the training memory footprint of large GPT
+//! models under each activation-recomputation strategy and find the
+//! smallest system each model fits on (§5.1, Fig. 4).
+//!
+//! Run with: `cargo run --example memory_planner`
+
+use optimus::memory::{training_memory, TrainingMemorySpec};
+use optimus::prelude::*;
+use optimus_suite as optimus;
+
+fn main() {
+    let capacity = Bytes::from_gb(80.0);
+    let models = [
+        (model::presets::gpt_175b(), 64usize, Parallelism::new(1, 8, 8)),
+        (model::presets::gpt_530b(), 280, Parallelism::new(1, 8, 35)),
+        (model::presets::gpt_1008b(), 512, Parallelism::new(1, 8, 64)),
+    ];
+
+    for (model, batch, parallelism) in models {
+        println!(
+            "== {} on {} GPUs ({}) ==",
+            model.name,
+            parallelism.total_gpus(),
+            parallelism
+        );
+        println!(
+            "{:>10} {:>10} {:>10} {:>12} {:>10} {:>6}",
+            "recompute", "params GB", "optim GB", "activations", "total", "fits?"
+        );
+        for (label, recompute) in [
+            ("none", RecomputeMode::None),
+            ("selective", RecomputeMode::Selective),
+            (
+                "full",
+                RecomputeMode::Full {
+                    checkpoints_per_stage: None,
+                },
+            ),
+        ] {
+            let report = training_memory(
+                &model,
+                &TrainingMemorySpec {
+                    batch,
+                    seq: 2048,
+                    parallelism,
+                    schedule: PipelineSchedule::OneFOneB,
+                    precision: Precision::Fp16,
+                    recompute,
+                },
+            )
+            .expect("configs divide evenly");
+            println!(
+                "{:>10} {:>10.1} {:>10.1} {:>12.1} {:>10.1} {:>6}",
+                label,
+                (report.parameters + report.gradients).gb(),
+                report.optimizer.gb(),
+                report.activations.gb(),
+                report.total().gb(),
+                if report.fits(capacity) { "yes" } else { "NO" },
+            );
+        }
+
+        // How much tensor parallelism would "none" need to fit?
+        let mut fit_tp = None;
+        for tp in [8usize, 16, 32, 64] {
+            let scaled = Parallelism::new(parallelism.dp, tp, parallelism.pp).with_sp(true);
+            let spec = TrainingMemorySpec {
+                batch,
+                seq: 2048,
+                parallelism: scaled,
+                schedule: PipelineSchedule::OneFOneB,
+                precision: Precision::Fp16,
+                recompute: RecomputeMode::None,
+            };
+            if let Ok(r) = training_memory(&model, &spec) {
+                if r.fits(capacity) {
+                    fit_tp = Some((tp, scaled.total_gpus()));
+                    break;
+                }
+            }
+        }
+        match fit_tp {
+            Some((tp, gpus)) => println!(
+                "without recomputation this model needs TP>={tp} (+SP), i.e. {gpus} GPUs\n"
+            ),
+            None => println!("without recomputation this model does not fit at any modeled TP\n"),
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: estimate training time and inference latency for an LLM on
+//! a modeled GPU cluster.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use optimus::prelude::*;
+use optimus_suite as optimus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- describe the system: a DGX-A100 cluster with HDR InfiniBand ----
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    println!("cluster: {cluster}");
+
+    // --- training: GPT-175B on 64 GPUs, Megatron-style ------------------
+    let training = TrainingConfig::new(
+        model::presets::gpt_175b(),
+        64,   // global batch
+        2048, // sequence length
+        Parallelism::new(1, 8, 8).with_sp(true),
+    )
+    .with_recompute(RecomputeMode::Selective);
+
+    let report = TrainingEstimator::new(&cluster).estimate(&training)?;
+    println!("\n== GPT-175B training on 64 x A100 ==");
+    println!("{report}");
+    println!(
+        "memory fits 80 GB: {}",
+        report.memory.fits(Bytes::from_gb(80.0))
+    );
+
+    // --- inference: Llama2-13B on one A100 --------------------------------
+    let serving = InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), 1);
+    let latency = InferenceEstimator::new(&cluster).estimate(&serving)?;
+    println!("\n== Llama2-13B serving on 1 x A100 (200 prompt + 200 generated) ==");
+    println!("{latency}");
+    println!(
+        "NVIDIA reports 3884 ms for this configuration; prediction error {:.1}%",
+        optimus::relative_error_percent(latency.total.millis(), 3884.0)
+    );
+
+    Ok(())
+}

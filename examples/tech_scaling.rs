@@ -1,0 +1,84 @@
+//! Technology scaling: synthesize future accelerators at N12…N1 with the
+//! µArch engine, optimize their resource allocation with the DSE loop, and
+//! watch the training bottleneck migrate from compute to memory/network
+//! (§5.3, Figs. 6–7).
+//!
+//! Run with: `cargo run --release --example tech_scaling`
+
+use optimus::dse::{GradientDescent, SearchSpace};
+use optimus::hw::memtech::DramTechnology;
+use optimus::hw::nettech::{self, NvlinkGen};
+use optimus::hw::NodeSpec;
+use optimus::prelude::*;
+use optimus::tech::{Allocation, ResourceBudget, TechNode, UArchEngine};
+use optimus_suite as optimus;
+
+fn training_time(cluster: &ClusterSpec) -> f64 {
+    let case = refdata::case_gpt7b();
+    let cfg = TrainingConfig::new(
+        model::presets::gpt_7b(),
+        case.batch,
+        case.seq,
+        case.parallelism(),
+    )
+    .with_recompute(RecomputeMode::Selective);
+    TrainingEstimator::new(cluster)
+        .estimate(&cfg)
+        .map(|r| r.time_per_batch.secs())
+        .unwrap_or(f64::INFINITY)
+}
+
+fn main() {
+    let engine = UArchEngine::a100_at_n7();
+    let budget = ResourceBudget::datacenter_gpu();
+    let dram = DramTechnology::Hbm2e;
+
+    println!("GPT-7B on 1024 synthesized GPUs (DP64-TP4-SP4-PP4), {dram} DRAM\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "node", "fp16 TF/s", "L2 (MiB)", "baseline s", "DSE s", "DSE alloc"
+    );
+
+    for &node in TechNode::all() {
+        // Baseline: keep the A100-reference allocation at every node.
+        let baseline_acc = engine.synthesize_at_node(node, dram);
+        let peak = baseline_acc
+            .peak(Precision::Fp16)
+            .expect("fp16 always present")
+            .tera();
+        let l2 = baseline_acc
+            .level(optimus::hw::MemoryLevelKind::L2)
+            .expect("L2 present")
+            .capacity
+            .mib();
+        let mk_cluster = |acc: Accelerator| {
+            let node_spec = NodeSpec::new(acc, 8, NvlinkGen::Gen3.link());
+            let inter = nettech::infiniband(
+                "IB-100GBps",
+                Bandwidth::from_gb_per_sec(100.0),
+                node_spec.gpus_per_node,
+            );
+            ClusterSpec::new("tech-scaling", node_spec, inter)
+        };
+        let baseline_s = training_time(&mk_cluster(baseline_acc));
+
+        // DSE: re-balance compute vs. SRAM area at this node.
+        let result = GradientDescent::default().minimize(&SearchSpace::default(), |alloc: Allocation| {
+            training_time(&mk_cluster(engine.synthesize(node, budget, alloc, dram)))
+        });
+
+        println!(
+            "{:>5} {:>12.0} {:>12.1} {:>14.3} {:>12.3} {:>7.0}%/{:.0}%",
+            node.to_string(),
+            peak,
+            l2,
+            baseline_s,
+            result.best.objective,
+            result.best.allocation.compute.percent(),
+            result.best.allocation.sram.percent(),
+        );
+    }
+
+    println!("\nNote the saturation beyond N5: once compute outpaces HBM and the");
+    println!("100 GB/s network, further logic scaling stops helping (paper Fig. 6).");
+}

@@ -1,0 +1,82 @@
+//! Training planner: sweep parallelism configurations for a model on a
+//! fixed GPU budget and report the fastest one that fits device memory —
+//! the §5.1 use case ("determine the best parallelism mapping or training
+//! settings for an LLM model on a certain hardware system").
+//!
+//! Run with: `cargo run --example training_planner`
+
+use optimus::prelude::*;
+use optimus_suite as optimus;
+
+fn main() {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = model::presets::gpt_175b();
+    let gpu_budget = 64;
+    let batch = 64;
+    let capacity = cluster.accelerator().dram.capacity;
+
+    println!(
+        "planning {} on {} x {} (batch {batch})\n",
+        model.name,
+        gpu_budget,
+        cluster.accelerator().name
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>8}  note",
+        "dp-tp-pp-sp", "recompute", "memory (GB)", "time (s)", "MFU (%)"
+    );
+
+    let estimator = TrainingEstimator::new(&cluster);
+    let mut best: Option<(String, f64)> = None;
+
+    for tp in [1usize, 2, 4, 8] {
+        for pp in [1usize, 2, 4, 8, 16] {
+            if gpu_budget % (tp * pp) != 0 {
+                continue;
+            }
+            let dp = gpu_budget / (tp * pp);
+            if !model.layers.is_multiple_of(pp) || batch % dp != 0 {
+                continue;
+            }
+            for (label, recompute, sp) in [
+                ("none", RecomputeMode::None, false),
+                ("selective", RecomputeMode::Selective, true),
+                (
+                    "full",
+                    RecomputeMode::Full {
+                        checkpoints_per_stage: None,
+                    },
+                    false,
+                ),
+            ] {
+                let parallelism = Parallelism::new(dp, tp, pp).with_sp(sp);
+                let cfg = TrainingConfig::new(model.clone(), batch, 2048, parallelism)
+                    .with_recompute(recompute);
+                let Ok(report) = estimator.estimate(&cfg) else {
+                    continue;
+                };
+                let fits = report.memory.fits(capacity);
+                let time = report.time_per_batch.secs();
+                let note = if fits { "" } else { "out of memory" };
+                println!(
+                    "{:<12} {:>10} {:>12.1} {:>10.1} {:>8.1}  {note}",
+                    parallelism.to_string(),
+                    label,
+                    report.memory.total().gb(),
+                    time,
+                    report.mfu * 100.0,
+                );
+                if fits && best.as_ref().is_none_or(|(_, t)| time < *t) {
+                    best = Some((format!("{parallelism} ({label})"), time));
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((config, time)) => {
+            println!("\nbest feasible configuration: {config} at {time:.1} s/batch");
+        }
+        None => println!("\nno feasible configuration on this budget"),
+    }
+}

@@ -1,0 +1,2 @@
+//! Workspace facade: re-exports the `optimus` crate for examples and integration tests.
+pub use optimus::*;

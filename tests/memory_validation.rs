@@ -1,0 +1,77 @@
+//! Memory-model checks spanning crates: the Fig. 4 narrative and the
+//! KV-cache/weights inset of Fig. 8.
+
+use optimus::prelude::*;
+use optimus_experiments::fig4;
+use optimus_suite as optimus;
+
+#[test]
+fn fig4_narrative_holds() {
+    let bars = fig4::run();
+    assert_eq!(bars.len(), 9, "three models x three recompute modes");
+
+    for model in ["GPT-175B", "GPT-530B", "GPT-1008B"] {
+        let bar = |mode: &str| {
+            bars.iter()
+                .find(|b| b.model == model && b.recompute == mode)
+                .unwrap()
+        };
+        // §5.1: "With no recomputation, an LLM can not generally fit in
+        // the device memory"; full recomputation fits everywhere.
+        assert!(!bar("no").fits_a100, "{model} without recomputation");
+        assert!(bar("full").fits_a100, "{model} with full recomputation");
+        // Activation ordering: none > selective > full.
+        assert!(bar("no").activation_gb > bar("selective").activation_gb);
+        assert!(bar("selective").activation_gb > bar("full").activation_gb);
+        // Static memory identical across modes.
+        let static_no = bar("no").optimizer_gb + bar("no").parameter_gb;
+        let static_full = bar("full").optimizer_gb + bar("full").parameter_gb;
+        assert!((static_no - static_full).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn optimizer_state_dominates_static_memory() {
+    for bar in fig4::run() {
+        assert!(
+            bar.optimizer_gb > bar.parameter_gb,
+            "{} {}: optimizer {:.1} GB vs parameter {:.1} GB",
+            bar.model,
+            bar.recompute,
+            bar.optimizer_gb,
+            bar.parameter_gb
+        );
+    }
+}
+
+#[test]
+fn kv_cache_matches_paper_formula_end_to_end() {
+    // §3.5's closed form: 2 · B · context · precision · layers · kv-width,
+    // checked through the high-level inference report.
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let cfg = InferenceConfig::new(model::presets::llama2_13b(), 4, 300, 100, 2);
+    let report = InferenceEstimator::new(&cluster).estimate(&cfg).unwrap();
+    let expected = 2.0 * 4.0 * 400.0 * 2.0 * 40.0 * 5120.0 / 2.0; // / tp
+    assert!((report.memory.kv_cache.bytes() - expected).abs() < 1.0);
+}
+
+#[test]
+fn seventy_b_needs_multiple_gpus_at_fp16() {
+    let mem1 = optimus::memory::inference_memory(
+        &model::presets::llama2_70b(),
+        1,
+        400,
+        1,
+        Precision::Fp16,
+    );
+    let mem2 = optimus::memory::inference_memory(
+        &model::presets::llama2_70b(),
+        1,
+        400,
+        2,
+        Precision::Fp16,
+    );
+    let cap = Bytes::from_gb(80.0);
+    assert!(!mem1.fits(cap), "70B at FP16 overflows one 80 GB GPU");
+    assert!(mem2.fits(cap), "TP=2 fits");
+}

@@ -1,0 +1,139 @@
+//! Edge cases and failure injection across the estimator stack: degenerate
+//! models, extreme configurations, unsupported precisions, and the
+//! FlashAttention path end to end.
+
+use optimus::prelude::*;
+use optimus_suite as optimus;
+
+fn a100() -> ClusterSpec {
+    hw::presets::dgx_a100_hdr_cluster()
+}
+
+#[test]
+fn one_layer_model_estimates() {
+    let tiny = ModelConfig::builder("tiny").dims(1, 256, 4).build();
+    let cfg = TrainingConfig::new(tiny, 2, 128, Parallelism::single());
+    let report = TrainingEstimator::new(&a100()).estimate(&cfg).unwrap();
+    assert!(report.time_per_batch.secs() > 0.0);
+    assert!(report.time_per_batch.secs() < 0.1, "a tiny model is fast");
+    assert!(report.time_per_batch.secs().is_finite());
+}
+
+#[test]
+fn huge_batch_stays_finite() {
+    let cfg = TrainingConfig::new(
+        model::presets::gpt_7b(),
+        65_536,
+        2048,
+        Parallelism::new(8, 4, 2),
+    );
+    let report = TrainingEstimator::new(&a100()).estimate(&cfg).unwrap();
+    assert!(report.time_per_batch.secs().is_finite());
+    assert!(report.mfu > 0.0 && report.mfu < 1.0);
+}
+
+#[test]
+fn unsupported_precision_is_a_clean_error() {
+    // A100 has no FP4 units.
+    let cfg = TrainingConfig::new(model::presets::gpt_7b(), 8, 2048, Parallelism::new(1, 8, 1))
+        .with_precision(Precision::Fp4);
+    let err = TrainingEstimator::new(&a100()).estimate(&cfg).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("FP4"), "error should name the precision: {msg}");
+    assert!(msg.contains("A100"), "error should name the device: {msg}");
+}
+
+#[test]
+fn b200_fp4_training_works() {
+    let cluster = hw::presets::dgx_b200_nvs_cluster();
+    let cfg = TrainingConfig::new(model::presets::gpt_7b(), 8, 2048, Parallelism::new(1, 8, 1))
+        .with_precision(Precision::Fp4);
+    let report = TrainingEstimator::new(&cluster).estimate(&cfg).unwrap();
+    assert!(report.time_per_batch.secs() > 0.0);
+}
+
+#[test]
+fn flash_training_wins_at_long_sequence_end_to_end() {
+    let cluster = a100();
+    let model = model::presets::gpt_7b();
+    let base = TrainingConfig::new(model, 8, 8192, Parallelism::new(1, 8, 1));
+    let standard = TrainingEstimator::new(&cluster).estimate(&base).unwrap();
+    let flash = TrainingEstimator::new(&cluster)
+        .estimate(&base.clone().with_flash(true))
+        .unwrap();
+    assert!(
+        flash.time_per_batch < standard.time_per_batch,
+        "flash {} should beat standard {} at seq 8192",
+        flash.time_per_batch,
+        standard.time_per_batch
+    );
+    assert!(
+        flash.dram_traffic < standard.dram_traffic,
+        "flash moves less DRAM data"
+    );
+}
+
+#[test]
+fn single_token_generation() {
+    let cfg = InferenceConfig::new(model::presets::llama2_7b(), 1, 1, 1, 1);
+    let report = InferenceEstimator::new(&a100()).estimate(&cfg).unwrap();
+    assert!(report.total.secs() > 0.0);
+    assert_eq!(report.per_token, report.decode);
+}
+
+#[test]
+fn very_long_context_decode_is_kv_dominated() {
+    let short = InferenceConfig::new(model::presets::llama2_7b(), 1, 128, 16, 1);
+    let long = InferenceConfig::new(model::presets::llama2_7b(), 1, 60_000, 16, 1);
+    let cluster = a100();
+    let est = InferenceEstimator::new(&cluster);
+    let t_short = est.estimate(&short).unwrap().per_token;
+    let t_long = est.estimate(&long).unwrap().per_token;
+    // At 60k context the KV-cache read (~15 GB/token for 7B) rivals the
+    // weight read; per-token time must grow severalfold.
+    assert!(
+        t_long.secs() > 1.5 * t_short.secs(),
+        "60k-context decode {} vs short {}",
+        t_long,
+        t_short
+    );
+}
+
+#[test]
+fn report_invariants_hold_across_a_config_sweep() {
+    let cluster = a100();
+    let est = TrainingEstimator::new(&cluster);
+    for (dp, tp, pp) in [(1, 1, 1), (1, 8, 1), (2, 4, 2), (1, 2, 8), (4, 8, 2)] {
+        let cfg = TrainingConfig::new(
+            model::presets::gpt_22b(),
+            16,
+            2048,
+            Parallelism::new(dp, tp, pp),
+        )
+        .with_recompute(RecomputeMode::Selective);
+        let Ok(report) = est.estimate(&cfg) else {
+            continue;
+        };
+        let b = &report.breakdown;
+        // The breakdown always sums to the total.
+        assert!(
+            (b.total().secs() - report.time_per_batch.secs()).abs()
+                < 1e-9 * report.time_per_batch.secs(),
+            "{dp}-{tp}-{pp}: breakdown mismatch"
+        );
+        assert!(report.device_flops.get() > 0.0);
+        assert!(report.dram_traffic.bytes() > 0.0);
+        assert!(report.mfu > 0.05 && report.mfu < 0.95, "{dp}-{tp}-{pp}: MFU {}", report.mfu);
+    }
+}
+
+#[test]
+fn tpu_preset_runs_inference() {
+    // The abstraction layer accommodates non-GPU accelerators (§3.1).
+    let node = hw::presets::tpu_v4_board();
+    let cluster = hw::presets::single_node_cluster("tpu-v4-board", node);
+    let cfg = InferenceConfig::new(model::presets::llama2_7b(), 1, 128, 32, 4)
+        .with_precision(Precision::Bf16);
+    let report = InferenceEstimator::new(&cluster).estimate(&cfg).unwrap();
+    assert!(report.total.secs() > 0.0 && report.total.secs().is_finite());
+}

@@ -1,0 +1,161 @@
+//! Shape checks for the case studies: GPU-generation scaling (Fig. 5),
+//! technology-node scaling (Figs. 6–7), inference phase analysis (Fig. 8),
+//! and DRAM technology scaling (Fig. 9).
+
+use optimus_experiments::{fig5, fig7, fig8, fig9};
+
+#[test]
+fn fig5_speedups_track_the_papers_chain() {
+    let bars = fig5::run();
+    assert_eq!(bars.len(), 7);
+    // A100 is the baseline.
+    assert!((bars[0].speedup_vs_a100 - 1.0).abs() < 1e-9);
+    // Every generation/network upgrade in the chain helps (per-sample).
+    let chain = [
+        ("A100-HDR", "H100-NDR"),
+        ("H100-NDR", "H100-NVS"),
+        ("H100-NVS", "H200-NVS-L"),
+        ("B200-NDR", "B200-NVS"),
+        ("B200-NVS", "B200-NVS-L"),
+    ];
+    let speedup = |label: &str| {
+        bars.iter()
+            .find(|b| b.label == label)
+            .unwrap()
+            .speedup_vs_a100
+    };
+    for (slower, faster) in chain {
+        assert!(
+            speedup(faster) > speedup(slower),
+            "{faster} ({:.1}x) should beat {slower} ({:.1}x)",
+            speedup(faster),
+            speedup(slower)
+        );
+    }
+    // The headline: B200-NVS-L lands in the ~25-45x band ("~35x speed-up
+    // closely following NVIDIA's scaling trend").
+    let total = speedup("B200-NVS-L");
+    assert!((20.0..50.0).contains(&total), "A100→B200 speedup {total:.1}x");
+    // B200 at FP4 with NDR roughly triples H100-NDR at FP8 (§5.2: "boosts
+    // the performance by 3x with NDR IB").
+    let b200_over_h100 = speedup("B200-NDR") / speedup("H100-NDR");
+    assert!(
+        (1.8..4.5).contains(&b200_over_h100),
+        "B200-NDR / H100-NDR = {b200_over_h100:.1}"
+    );
+}
+
+#[test]
+fn fig7_memory_boundedness_grows_with_node_scaling() {
+    let bars = fig7::run();
+    for hbm in fig7::panels() {
+        let series: Vec<&fig7::Bar> = bars.iter().filter(|b| b.hbm == hbm).collect();
+        assert_eq!(series.len(), 7);
+        // §5.3: "The impact of memory boundedness becomes dominant
+        // gradually with the scaling."
+        let first = series.first().unwrap().memory_fraction();
+        let last = series.last().unwrap().memory_fraction();
+        assert!(
+            last > first,
+            "{hbm}: memory fraction should grow (N12 {first:.2} → N1 {last:.2})"
+        );
+        // Total GEMM time shrinks with node scaling.
+        assert!(series.last().unwrap().total_ms() < series.first().unwrap().total_ms());
+    }
+    // Better HBM defers the memory wall: at N1 the memory-bound share is
+    // highest on HBM2 and lowest on HBM4.
+    let at_n1 = |hbm| {
+        bars.iter()
+            .find(|b| b.hbm == hbm && b.node == optimus::tech::TechNode::N1)
+            .unwrap()
+            .memory_fraction()
+    };
+    use optimus_suite as optimus;
+    assert!(at_n1(optimus::hw::memtech::DramTechnology::Hbm2)
+        > at_n1(optimus::hw::memtech::DramTechnology::Hbm4));
+}
+
+#[test]
+fn fig8_batch_flips_h100_prefill_to_compute_bound() {
+    let bars = fig8::run();
+    let frac = |device: &str, batch: usize| {
+        bars.iter()
+            .find(|b| b.device == device && b.batch == batch)
+            .unwrap()
+            .compute_fraction()
+    };
+    // §6.1: on H100 the compute-dominated fraction is 0 at B=1 and grows
+    // to ~85% at B=16; on A100 it is high at both batch sizes.
+    assert!(frac("H100-HBM3", 1) < 0.05, "H100 B=1 must be memory-bound");
+    assert!(frac("H100-HBM3", 16) > 0.6, "H100 B=16 flips to compute");
+    assert!(frac("A100-HBM2e", 1) > 0.5);
+    assert!(frac("A100-HBM2e", 16) >= frac("A100-HBM2e", 1) - 0.05);
+    // Inset: KV-cache scales 16x with batch; weights do not.
+    let kv1 = bars.iter().find(|b| b.batch == 1).unwrap().kv_cache_gb;
+    let kv16 = bars.iter().find(|b| b.batch == 16).unwrap().kv_cache_gb;
+    assert!((kv16 / kv1 - 16.0).abs() < 1e-6);
+}
+
+#[test]
+fn fig9_latency_scales_with_dram_then_saturates() {
+    use optimus_suite as optimus;
+    let bars = fig9::run();
+    let total = |dram, gpus| {
+        bars.iter()
+            .find(|b| b.dram == dram && b.gpus == gpus && b.nvlink.to_string() == "NV3")
+            .unwrap()
+            .total_s()
+    };
+    use optimus::hw::memtech::DramTechnology as D;
+    for gpus in [2usize, 8] {
+        // Monotone improvement along the sweep...
+        assert!(total(D::Gddr6, gpus) > total(D::Hbm2, gpus));
+        assert!(total(D::Hbm2, gpus) > total(D::Hbm2e, gpus));
+        assert!(total(D::Hbm2e, gpus) > total(D::Hbm3, gpus));
+        // ...but the gain from HBM3e to HBMX is marginal (§6.2: the problem
+        // becomes L2-bound once DRAM outruns the on-chip hierarchy).
+        let late_gain = total(D::Hbm3e, gpus) / total(D::HbmX, gpus);
+        let early_gain = total(D::Gddr6, gpus) / total(D::Hbm2, gpus);
+        assert!(
+            late_gain < 1.05,
+            "{gpus} GPUs: HBM3e→HBMX gain {late_gain:.3} should be marginal"
+        );
+        assert!(early_gain > 1.3, "{gpus} GPUs: early DRAM scaling is real");
+    }
+    // Communication does not depend on the DRAM technology.
+    let comm_spread: Vec<f64> = bars
+        .iter()
+        .filter(|b| b.gpus == 8 && b.nvlink.to_string() == "NV3")
+        .map(|b| b.communication_s)
+        .collect();
+    let min = comm_spread.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = comm_spread.iter().cloned().fold(0.0, f64::max);
+    assert!((max - min) / min < 1e-9);
+    // NV4 reduces communication versus NV3 at the same DRAM point.
+    let nv3 = bars
+        .iter()
+        .find(|b| b.dram == D::HbmX && b.gpus == 8 && b.nvlink.to_string() == "NV3")
+        .unwrap();
+    let nv4 = bars
+        .iter()
+        .find(|b| b.dram == D::HbmX && b.gpus == 8 && b.nvlink.to_string() == "NV4")
+        .unwrap();
+    assert!(nv4.communication_s < nv3.communication_s);
+}
+
+#[test]
+fn fig9_h100_reference_lines_beat_projected_a100_hbm3e() {
+    use optimus_suite as optimus;
+    // §6.2: "at HBM3e, H100 system is slightly faster than the projected
+    // A100-HBM3e system — primarily faster on-chip memory and NV4."
+    let bars = fig9::run();
+    let h100 = fig9::h100_reference();
+    let a100_hbm3e_8 = bars
+        .iter()
+        .find(|b| {
+            b.dram == optimus::hw::memtech::DramTechnology::Hbm3e && b.gpus == 8
+        })
+        .unwrap()
+        .total_s();
+    assert!(h100.eight_gpu_s < a100_hbm3e_8);
+}

@@ -1,0 +1,107 @@
+//! End-to-end validation of the inference estimator against the paper's
+//! Table 2 (NVIDIA-reported Llama-2 latencies) and Table 4 (per-GEMM
+//! bound analysis).
+
+use optimus_experiments::{table2, table4};
+
+#[test]
+fn every_row_within_30_percent() {
+    // The paper matches NVIDIA within 13% with factors calibrated on these
+    // very systems; our independent calibration stays within 30% worst-case
+    // (the 8-GPU small-model rows are the hard ones — the paper notes its
+    // own anomaly there).
+    for row in table2::run() {
+        assert!(
+            row.a100_error_percent < 30.0,
+            "{} TP{} A100: {:.1}%",
+            row.reference.model,
+            row.reference.tp,
+            row.a100_error_percent
+        );
+        assert!(
+            row.h100_error_percent < 30.0,
+            "{} TP{} H100: {:.1}%",
+            row.reference.model,
+            row.reference.tp,
+            row.h100_error_percent
+        );
+    }
+}
+
+#[test]
+fn mean_error_under_12_percent() {
+    let rows = table2::run();
+    let mean = table2::mean_error_percent(&rows);
+    assert!(mean < 12.0, "mean |err| {mean:.1}%");
+}
+
+#[test]
+fn h100_always_beats_a100() {
+    // §4.3: the A100→H100 gain tracks the HBM upgrade.
+    for row in table2::run() {
+        assert!(
+            row.h100_pred_ms < row.a100_pred_ms,
+            "{} TP{}",
+            row.reference.model,
+            row.reference.tp
+        );
+    }
+}
+
+#[test]
+fn latency_decreases_with_tp_within_a_model() {
+    // Strong scaling holds (even if far from linear) for every model on
+    // A100 in both NVIDIA's data and our predictions.
+    let rows = table2::run();
+    for model in ["Llama2-70B", "Llama2-13B", "Llama2-7B"] {
+        let mut series: Vec<(usize, f64)> = rows
+            .iter()
+            .filter(|r| r.reference.model == model)
+            .map(|r| (r.reference.tp, r.a100_pred_ms))
+            .collect();
+        series.sort_by_key(|&(tp, _)| tp);
+        for pair in series.windows(2) {
+            assert!(
+                pair[1].1 < pair[0].1,
+                "{model}: TP{} {:.0} ms !< TP{} {:.0} ms",
+                pair[1].0,
+                pair[1].1,
+                pair[0].0,
+                pair[0].1
+            );
+        }
+    }
+}
+
+#[test]
+fn table4_bound_types_fully_agree() {
+    // The paper's central qualitative finding: fat prefill GEMMs are
+    // compute-bound on A100 and DRAM-bound on H100.
+    let rows = table4::run();
+    assert_eq!(
+        table4::bound_agreement(&rows),
+        1.0,
+        "bound-type disagreement: {:?}",
+        rows.iter()
+            .filter(|r| !r.bounds_agree())
+            .map(|r| r.reference.gemm)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn table4_h100_speedup_tracks_memory_not_compute() {
+    // H100's per-GEMM times improve by roughly the DRAM ratio (~1.7x) up
+    // to the compute ratio (~3.2x), never more.
+    for row in table4::run() {
+        if row.a100_us < 1.0 {
+            continue; // sub-µs attention rows: overhead-dominated
+        }
+        let speedup = row.a100_us / row.h100_us;
+        assert!(
+            (1.2..4.0).contains(&speedup),
+            "{}: H100 speedup {speedup:.2}",
+            row.reference.gemm
+        );
+    }
+}

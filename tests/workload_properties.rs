@@ -1,0 +1,140 @@
+//! Property-based tests over the end-to-end estimators: physical
+//! monotonicities that must hold for *any* workload configuration.
+
+use optimus::prelude::*;
+use optimus_suite as optimus;
+use proptest::prelude::*;
+
+fn a100() -> ClusterSpec {
+    hw::presets::dgx_a100_hdr_cluster()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Training time grows with the global batch (same parallelism).
+    #[test]
+    fn training_time_monotone_in_batch(batch_mult in 2usize..6) {
+        let cluster = a100();
+        let base = TrainingConfig::new(
+            model::presets::gpt_7b(),
+            8,
+            2048,
+            Parallelism::new(1, 4, 2),
+        );
+        let bigger = TrainingConfig::new(
+            model::presets::gpt_7b(),
+            8 * batch_mult,
+            2048,
+            Parallelism::new(1, 4, 2),
+        );
+        let est = TrainingEstimator::new(&cluster);
+        let t1 = est.estimate(&base).unwrap().time_per_batch;
+        let t2 = est.estimate(&bigger).unwrap().time_per_batch;
+        prop_assert!(t2 > t1);
+        // Per-sample time must not grow (amortization only helps).
+        prop_assert!(t2.secs() / (8.0 * batch_mult as f64) <= t1.secs() / 8.0 * 1.001);
+    }
+
+    /// Inference latency grows with generated tokens, sub-linearly in batch.
+    #[test]
+    fn inference_latency_monotone_in_tokens(generate in 10usize..200) {
+        let cluster = a100();
+        let est = InferenceEstimator::new(&cluster);
+        let short = est
+            .estimate(&InferenceConfig::new(model::presets::llama2_7b(), 1, 64, generate, 1))
+            .unwrap();
+        let long = est
+            .estimate(&InferenceConfig::new(
+                model::presets::llama2_7b(),
+                1,
+                64,
+                generate + 50,
+                1,
+            ))
+            .unwrap();
+        prop_assert!(long.total > short.total);
+        prop_assert!(long.decode > short.decode);
+    }
+
+    /// Memory footprint shrinks (weakly) with more tensor parallelism.
+    #[test]
+    fn memory_monotone_in_tp(tp_idx in 0usize..3) {
+        let tps = [1usize, 2, 4, 8];
+        let (lo, hi) = (tps[tp_idx], tps[tp_idx + 1]);
+        let mem = |tp: usize| {
+            optimus::memory::inference_memory(
+                &model::presets::llama2_13b(),
+                4,
+                512,
+                tp,
+                Precision::Fp16,
+            )
+            .total()
+        };
+        prop_assert!(mem(hi) < mem(lo));
+    }
+
+    /// A faster DRAM never slows inference down.
+    #[test]
+    fn inference_monotone_in_dram_bandwidth(tb_per_s in 1.0f64..6.0) {
+        let slow = hw::presets::a100_sxm_80gb();
+        let fast = hw::presets::a100_sxm_80gb()
+            .with_dram(Bytes::from_gb(80.0), Bandwidth::from_tb_per_sec(tb_per_s + 0.5));
+        let base = hw::presets::a100_sxm_80gb()
+            .with_dram(Bytes::from_gb(80.0), Bandwidth::from_tb_per_sec(tb_per_s));
+        let node_of = |acc: Accelerator| {
+            hw::NodeSpec::new(acc, 8, hw::nettech::NvlinkGen::Gen3.link())
+        };
+        let cfg = InferenceConfig::new(model::presets::llama2_7b(), 1, 100, 20, 1);
+        let t = |acc: Accelerator| {
+            let cluster = hw::presets::single_node_cluster("t", node_of(acc));
+            InferenceEstimator::new(&cluster).estimate(&cfg).unwrap().total
+        };
+        let _ = slow;
+        prop_assert!(t(fast) <= t(base));
+    }
+
+    /// The pipeline bubble fraction shrinks with more microbatches and
+    /// never exceeds the GPipe bound.
+    #[test]
+    fn bubble_fraction_bounds(pp in 2usize..32, m_exp in 0u32..6) {
+        let m = 1usize << m_exp;
+        let plain = PipelineSchedule::OneFOneB.bubble_fraction(pp, m);
+        let more = PipelineSchedule::OneFOneB.bubble_fraction(pp, m * 2);
+        prop_assert!(more < plain);
+        let interleaved = PipelineSchedule::interleaved(4).bubble_fraction(pp, m);
+        prop_assert!(interleaved <= plain);
+    }
+}
+
+/// Non-proptest sanity: weak scaling — growing DP with the batch keeps
+/// time roughly constant (DP all-reduce aside).
+#[test]
+fn weak_scaling_is_flat() {
+    let cluster = a100();
+    let est = TrainingEstimator::new(&cluster);
+    let t1 = est
+        .estimate(&TrainingConfig::new(
+            model::presets::gpt_7b(),
+            16,
+            2048,
+            Parallelism::new(1, 8, 1),
+        ))
+        .unwrap()
+        .time_per_batch;
+    let t4 = est
+        .estimate(&TrainingConfig::new(
+            model::presets::gpt_7b(),
+            64,
+            2048,
+            Parallelism::new(4, 8, 1),
+        ))
+        .unwrap()
+        .time_per_batch;
+    let ratio = t4 / t1;
+    assert!(
+        (0.95..1.5).contains(&ratio),
+        "4x data on 4x GPUs should take about the same time, ratio {ratio:.2}"
+    );
+}
