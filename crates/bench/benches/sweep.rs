@@ -1,0 +1,62 @@
+//! Benchmarks of the strategy-sweep engine: enumeration/pruning alone,
+//! end-to-end parallel sweeps, and frontier extraction. Future PRs can
+//! watch sweep throughput (strategies evaluated per second) here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus::prelude::*;
+use optimus_sweep::{pareto_frontier, SweepEngine, SweepSpace, Workload};
+use std::hint::black_box;
+
+fn bench_enumerate(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let spec = model::presets::llama2_13b();
+    let space = SweepSpace::power_of_two(64);
+    let workload = Workload::training(64, 2048);
+    c.bench_function("sweep/enumerate_llama13b_64gpu", |b| {
+        b.iter(|| black_box(space.enumerate(&spec, &cluster, &workload)))
+    });
+}
+
+fn bench_training_sweep(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let spec = model::presets::llama2_13b();
+    let engine = SweepEngine::new(&cluster);
+    let space = SweepSpace::power_of_two(16);
+    let workload = Workload::training(16, 2048);
+    c.bench_function("sweep/train_llama13b_16gpu", |b| {
+        b.iter(|| black_box(engine.sweep(&spec, &workload, &space)))
+    });
+}
+
+fn bench_inference_sweep(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let spec = model::presets::llama2_13b();
+    let engine = SweepEngine::new(&cluster);
+    let space = SweepSpace::power_of_two(8);
+    let workload = Workload::inference(1, 200, 32);
+    c.bench_function("sweep/infer_llama13b_8gpu", |b| {
+        b.iter(|| black_box(engine.sweep(&spec, &workload, &space)))
+    });
+}
+
+fn bench_frontier(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let spec = model::presets::llama2_13b();
+    let report = SweepEngine::new(&cluster).sweep(
+        &spec,
+        &Workload::training(64, 2048),
+        &SweepSpace::power_of_two(64),
+    );
+    c.bench_function("sweep/pareto_frontier_extraction", |b| {
+        b.iter(|| black_box(pareto_frontier(&report.evaluated)))
+    });
+}
+
+criterion_group!(
+    sweep_benches,
+    bench_enumerate,
+    bench_training_sweep,
+    bench_inference_sweep,
+    bench_frontier
+);
+criterion_main!(sweep_benches);

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 /// Parsed command line: a subcommand plus its options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
-    /// The subcommand (`train`, `infer`, `memory`, `list`).
+    /// The subcommand (`train`, `infer`, `memory`, `sweep`, `list`).
     pub command: String,
     options: BTreeMap<String, String>,
     flags: Vec<String>,
@@ -41,7 +41,9 @@ impl Args {
         let mut flags = Vec::new();
         while let Some(token) = it.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(ArgError(format!("unexpected positional argument `{token}`")));
+                return Err(ArgError(format!(
+                    "unexpected positional argument `{token}`"
+                )));
             };
             match it.peek() {
                 Some(next) if !next.starts_with("--") => {

@@ -3,6 +3,7 @@
 use crate::args::{ArgError, Args};
 use optimus::memory::{training_memory, RecomputeMode, TrainingMemorySpec};
 use optimus::prelude::*;
+use optimus_sweep::{render_frontier, render_table, SweepEngine, SweepSpace, Workload};
 
 /// Resolves a model preset name (case-insensitive, `-`/`_` agnostic).
 ///
@@ -186,6 +187,117 @@ pub fn memory(args: &Args) -> Result<String, ArgError> {
     Ok(format!("{report}\n"))
 }
 
+/// `optimus-cli sweep …` — exhaustive parallelization-strategy search
+/// with a (latency, cost) Pareto frontier.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for bad options or an empty strategy space.
+pub fn sweep(args: &Args) -> Result<String, ArgError> {
+    /// A numeric option that the library layer requires to be ≥ 1.
+    fn positive(args: &Args, key: &str, default: usize) -> Result<usize, ArgError> {
+        let value = args.get_usize(key, default)?;
+        if value == 0 {
+            return Err(ArgError(format!("--{key} must be at least 1")));
+        }
+        Ok(value)
+    }
+    /// Rejects options that have no effect on the selected workload, so a
+    /// sweep never silently answers a different question than asked.
+    fn reject_inapplicable(args: &Args, workload: &str, keys: &[&str]) -> Result<(), ArgError> {
+        for key in keys {
+            if args.get(key).is_some() {
+                return Err(ArgError(format!(
+                    "--{key} does not apply to --workload {workload}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    let model = model_preset(args.get_or("model", "llama2-13b"))?;
+    let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
+    let max_gpus = positive(args, "max-gpus", 64)?;
+    if args.flag("frontier-only") && args.get("top").is_some() {
+        return Err(ArgError(
+            "--top does not apply with --frontier-only".to_owned(),
+        ));
+    }
+
+    let workload = match args.get_or("workload", "train") {
+        "train" | "training" => {
+            reject_inapplicable(args, "train", &["prefill", "generate"])?;
+            Workload::Training {
+                batch: positive(args, "batch", 64)?,
+                seq: positive(args, "seq", 2048)?,
+                recompute: recompute_of(args.get_or("recompute", "selective"))?,
+                schedule: PipelineSchedule::OneFOneB,
+            }
+        }
+        "infer" | "inference" => {
+            reject_inapplicable(args, "infer", &["seq", "recompute"])?;
+            Workload::inference(
+                positive(args, "batch", 1)?,
+                positive(args, "prefill", 200)?,
+                positive(args, "generate", 200)?,
+            )
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown workload `{other}`; expected `train` or `infer`"
+            )))
+        }
+    };
+
+    let mut space = SweepSpace::power_of_two(max_gpus);
+    // Accept the singular `--precision` the other subcommands use as an
+    // alias, so familiarity with `train`/`infer` carries over.
+    if let Some(list) = args.get("precisions").or_else(|| args.get("precision")) {
+        let precisions = list
+            .split(',')
+            .map(precision_of)
+            .collect::<Result<Vec<_>, _>>()?;
+        space = space.with_precisions(precisions);
+    }
+
+    let report = SweepEngine::new(&cluster).sweep(&model, &workload, &space);
+    if report.evaluated.is_empty() {
+        return Err(ArgError(format!(
+            "no valid strategy for {} on {} within {max_gpus} GPUs",
+            model.name, cluster.name
+        )));
+    }
+
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+    }
+
+    let mut out = format!(
+        "sweep: {} on {} (≤{max_gpus} GPUs)\n{} strategies valid, {} on the Pareto frontier, \
+         {} rejected by the estimator\n\n",
+        model.name,
+        cluster.name,
+        report.evaluated.len(),
+        report.frontier.len(),
+        report.rejected.len(),
+    );
+    out.push_str(&render_frontier(&report));
+    if !args.flag("frontier-only") {
+        let top = args.get_usize("top", 20)?;
+        if top == 0 {
+            // `render_table` treats 0 as "no cap": label it accordingly.
+            out.push_str(&format!(
+                "\nall {} strategies by latency:\n",
+                report.evaluated.len()
+            ));
+        } else {
+            out.push_str(&format!("\ntop {top} strategies by latency:\n"));
+        }
+        out.push_str(&render_table(&report, top));
+    }
+    Ok(out)
+}
+
 /// `optimus-cli list` — the available presets.
 #[must_use]
 pub fn list() -> String {
@@ -221,12 +333,18 @@ USAGE:
                      [--generate N] [--tp N] [--precision P] [--json]
   optimus-cli memory [--model M] [--batch N] [--seq N] [--dp N] [--tp N]
                      [--pp N] [--sp] [--recompute MODE] [--json]
+  optimus-cli sweep  [--model M] [--cluster C] [--workload train|infer]
+                     [--max-gpus N] [--batch N] [--seq N] [--prefill N]
+                     [--generate N] [--recompute MODE] [--precisions P,P]
+                     [--top N] [--frontier-only] [--json]
   optimus-cli list
 
 EXAMPLES:
   optimus-cli train --model gpt-175b --cluster a100-hdr --batch 64 \\
       --tp 8 --pp 8 --sp --recompute selective
   optimus-cli infer --model llama2-70b --cluster h100-ndr --tp 8
+  optimus-cli sweep --model llama2-13b --cluster a100-hdr --workload train \\
+      --batch 64 --max-gpus 64
 "
     .to_owned()
 }
@@ -280,6 +398,80 @@ mod tests {
         // TP 16 exceeds the node size.
         let err = train(&args("train --model gpt-22b --tp 16 --batch 4")).unwrap_err();
         assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn sweep_command_produces_frontier() {
+        let out = sweep(&args(
+            "sweep --model llama2-13b --cluster a100-hdr --workload train --batch 16 \
+             --max-gpus 16 --top 5",
+        ))
+        .unwrap();
+        assert!(out.contains("strategies valid"), "{out}");
+        assert!(out.contains("pareto frontier"), "{out}");
+        assert!(out.contains("top 5 strategies"), "{out}");
+    }
+
+    #[test]
+    fn sweep_json_is_valid_and_complete() {
+        let out = sweep(&args(
+            "sweep --model llama2-13b --workload infer --generate 16 --max-gpus 8 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("evaluated").is_some());
+        assert!(v.get("frontier").is_some());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_workload() {
+        let err = sweep(&args("sweep --workload tuning")).unwrap_err();
+        assert!(err.to_string().contains("train"));
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_numbers_cleanly() {
+        for bad in [
+            "sweep --max-gpus 0",
+            "sweep --batch 0",
+            "sweep --workload infer --batch 0",
+            "sweep --workload infer --generate 0",
+        ] {
+            let err = sweep(&args(bad)).unwrap_err();
+            assert!(err.to_string().contains("at least 1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_inapplicable_options() {
+        let err = sweep(&args("sweep --workload infer --seq 8192")).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+        let err = sweep(&args("sweep --workload train --generate 100")).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+    }
+
+    #[test]
+    fn sweep_honors_precision_list() {
+        let out = sweep(&args(
+            "sweep --model llama2-7b --workload infer --generate 8 --max-gpus 8 \
+             --precisions fp16 --frontier-only",
+        ))
+        .unwrap();
+        assert!(out.contains("FP16"));
+        assert!(!out.contains("BF16"));
+        // The singular spelling the other subcommands use works too.
+        let aliased = sweep(&args(
+            "sweep --model llama2-7b --workload infer --generate 8 --max-gpus 8 \
+             --precision fp16 --frontier-only",
+        ))
+        .unwrap();
+        assert_eq!(aliased, out);
+    }
+
+    #[test]
+    fn sweep_rejects_top_with_frontier_only() {
+        let err = sweep(&args("sweep --frontier-only --top 5")).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
     }
 
     #[test]

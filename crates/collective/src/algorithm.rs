@@ -62,6 +62,9 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Collective::AllReduce.to_string(), "all-reduce");
-        assert_eq!(Algorithm::DoubleBinaryTree.to_string(), "double-binary-tree");
+        assert_eq!(
+            Algorithm::DoubleBinaryTree.to_string(),
+            "double-binary-tree"
+        );
     }
 }

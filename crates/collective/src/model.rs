@@ -32,7 +32,13 @@ impl CommModel {
     /// *per-rank chunk* actually pipelined (`volume / ranks`), which is what
     /// underutilizes the network for inference-sized messages.
     #[must_use]
-    pub fn time(&self, collective: Collective, volume: Bytes, ranks: usize, link: &LinkSpec) -> Time {
+    pub fn time(
+        &self,
+        collective: Collective,
+        volume: Bytes,
+        ranks: usize,
+        link: &LinkSpec,
+    ) -> Time {
         assert!(ranks > 0, "collective over zero ranks");
         if ranks == 1 || volume.is_zero() {
             return Time::ZERO;
@@ -202,8 +208,7 @@ mod tests {
         // Tiny volume: latency dominates, tree wins for N > 2.
         let link = ideal_link(300.0, 3.0);
         let model = CommModel::auto();
-        let algo =
-            model.chosen_algorithm(Collective::AllReduce, Bytes::from_kib(10.0), 8, &link);
+        let algo = model.chosen_algorithm(Collective::AllReduce, Bytes::from_kib(10.0), 8, &link);
         assert_eq!(algo, Algorithm::DoubleBinaryTree);
     }
 

@@ -6,7 +6,11 @@ use optimus_units::{Bandwidth, Bytes, Time};
 use proptest::prelude::*;
 
 fn link(gbps: f64, lat_us: f64) -> LinkSpec {
-    LinkSpec::new("p", Bandwidth::from_gb_per_sec(gbps), Time::from_micros(lat_us))
+    LinkSpec::new(
+        "p",
+        Bandwidth::from_gb_per_sec(gbps),
+        Time::from_micros(lat_us),
+    )
 }
 
 proptest! {

@@ -95,7 +95,18 @@ pub fn table1() -> Vec<Table1Row> {
         // --- DP, TP and PP, full recomputation ------------------------------
         r("GPT-310B", 1920, 2160, 15, 8, 16, false, false, 37.6, 34.1),
         r("GPT-530B", 2520, 2520, 9, 8, 35, false, false, 54.2, 51.2),
-        r("GPT-1008B", 3072, 3072, 6, 8, 64, false, false, 102.4, 100.7),
+        r(
+            "GPT-1008B",
+            3072,
+            3072,
+            6,
+            8,
+            64,
+            false,
+            false,
+            102.4,
+            100.7,
+        ),
     ]
 }
 

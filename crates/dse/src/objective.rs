@@ -1,0 +1,46 @@
+//! The shared evaluation interface of every search in the suite.
+//!
+//! Both the µArch allocation search in this crate and the
+//! parallelization-strategy sweep in `optimus-sweep` rank candidate points
+//! by a scalar figure of merit. [`Objective`] names that interface once so
+//! harness code (CLI, experiments, benches) can plug the same objective —
+//! "minimize latency", "minimize dollars per batch" — into either search.
+
+/// A scalar figure of merit over candidate points of type `P`.
+///
+/// Lower is better everywhere in the suite (execution time, energy,
+/// dollars). Closures implement it automatically:
+///
+/// ```
+/// use optimus_dse::Objective;
+///
+/// let squared = |x: &f64| x * x;
+/// assert_eq!(Objective::evaluate(&squared, &3.0), 9.0);
+/// ```
+pub trait Objective<P> {
+    /// Scores a candidate point; **lower is better**.
+    fn evaluate(&self, point: &P) -> f64;
+}
+
+impl<P, F: Fn(&P) -> f64> Objective<P> for F {
+    fn evaluate(&self, point: &P) -> f64 {
+        self(point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_objectives() {
+        fn best<P, O: Objective<P>>(objective: &O, points: &[P]) -> f64 {
+            points
+                .iter()
+                .map(|p| objective.evaluate(p))
+                .fold(f64::INFINITY, f64::min)
+        }
+        let latency = |x: &f64| *x;
+        assert_eq!(best(&latency, &[3.0, 1.0, 2.0]), 1.0);
+    }
+}

@@ -48,6 +48,26 @@ impl Default for GradientDescent {
     }
 }
 
+/// Implements the [`crate::Objective`]-driven entry point — the same
+/// evaluation interface the strategy sweep in `optimus-sweep` uses — for
+/// each optimizer, bridging to its closure-based `minimize`.
+macro_rules! impl_minimize_objective {
+    ($($optimizer:ty),*) => {$(
+        impl $optimizer {
+            /// Minimizes a shared [`crate::Objective`] over `space`.
+            pub fn minimize_objective<O: crate::Objective<Allocation>>(
+                &self,
+                space: &SearchSpace,
+                objective: &O,
+            ) -> DseResult {
+                self.minimize(space, |a| objective.evaluate(&a))
+            }
+        }
+    )*};
+}
+
+impl_minimize_objective!(GradientDescent, RandomSearch, GridSearch);
+
 impl GradientDescent {
     /// Minimizes `objective` over `space`, starting from the centroid.
     ///
@@ -179,7 +199,10 @@ impl GridSearch {
     where
         F: FnMut(Allocation) -> f64,
     {
-        assert!(self.resolution >= 2, "grid needs at least 2 points per axis");
+        assert!(
+            self.resolution >= 2,
+            "grid needs at least 2 points per axis"
+        );
         let mut best: Option<DsePoint> = None;
         let mut history = Vec::new();
         let n = self.resolution;
@@ -188,8 +211,7 @@ impl GridSearch {
             for j in 0..n {
                 let c = space.compute.0
                     + (space.compute.1 - space.compute.0) * i as f64 / (n - 1) as f64;
-                let s =
-                    space.sram.0 + (space.sram.1 - space.sram.0) * j as f64 / (n - 1) as f64;
+                let s = space.sram.0 + (space.sram.1 - space.sram.0) * j as f64 / (n - 1) as f64;
                 let allocation = space.project(c, s);
                 let objective_val = objective(allocation);
                 evals += 1;
@@ -232,6 +254,35 @@ mod tests {
     }
 
     #[test]
+    fn objective_trait_drives_every_optimizer() {
+        // The shared `Objective` interface (also consumed by the sweep in
+        // `optimus-sweep`) must reach the same optimum as the closure path.
+        let space = SearchSpace::default();
+        let objective = |a: &Allocation| bowl(*a);
+        let gd = GradientDescent::default().minimize_objective(&space, &objective);
+        assert_eq!(
+            gd.best.allocation,
+            GradientDescent::default()
+                .minimize(&space, bowl)
+                .best
+                .allocation
+        );
+        let rs = RandomSearch::default().minimize_objective(&space, &objective);
+        assert_eq!(
+            rs.best.allocation,
+            RandomSearch::default()
+                .minimize(&space, bowl)
+                .best
+                .allocation
+        );
+        let gs = GridSearch::default().minimize_objective(&space, &objective);
+        assert_eq!(
+            gs.best.allocation,
+            GridSearch::default().minimize(&space, bowl).best.allocation
+        );
+    }
+
+    #[test]
     fn history_is_monotonically_improving() {
         let result = GradientDescent::default().minimize(&SearchSpace::default(), bowl);
         assert!(result
@@ -266,8 +317,7 @@ mod tests {
         let result = GradientDescent::default().minimize(&SearchSpace::default(), f);
         assert!(result.best.allocation.compute.get() > 0.7);
         assert!(
-            result.best.allocation.compute.get() + result.best.allocation.sram.get()
-                <= 0.90 + 1e-9
+            result.best.allocation.compute.get() + result.best.allocation.sram.get() <= 0.90 + 1e-9
         );
     }
 

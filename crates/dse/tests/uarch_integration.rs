@@ -53,8 +53,8 @@ fn cache_sensitive_objective_buys_sram() {
     let space = SearchSpace::default();
     let compute_only =
         GradientDescent::default().minimize(&space, |a: Allocation| compute_heavy(&engine, a));
-    let balanced = GradientDescent::default()
-        .minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    let balanced =
+        GradientDescent::default().minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
     assert!(
         balanced.best.allocation.sram > compute_only.best.allocation.sram,
         "cache-sensitive workload should allocate more SRAM: {} vs {}",
@@ -67,8 +67,8 @@ fn cache_sensitive_objective_buys_sram() {
 fn gradient_descent_matches_grid_on_real_objective() {
     let engine = UArchEngine::a100_at_n7();
     let space = SearchSpace::default();
-    let gd = GradientDescent::default()
-        .minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    let gd =
+        GradientDescent::default().minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
     let grid =
         GridSearch { resolution: 24 }.minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
     assert!(
@@ -83,8 +83,8 @@ fn gradient_descent_matches_grid_on_real_objective() {
 fn descent_uses_fewer_evaluations_than_grid() {
     let engine = UArchEngine::a100_at_n7();
     let space = SearchSpace::default();
-    let gd = GradientDescent::default()
-        .minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
+    let gd =
+        GradientDescent::default().minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
     let grid =
         GridSearch { resolution: 24 }.minimize(&space, |a: Allocation| cache_sensitive(&engine, a));
     // Descent spends ≤ ~300 evaluations (60 iterations × 5 probes) vs.

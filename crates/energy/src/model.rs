@@ -90,6 +90,20 @@ impl EnergyModel {
         }
     }
 
+    /// B200-class coefficients (N4-class logic, HBM3e): one power-rule
+    /// step below H100 on compute, slightly cheaper HBM3e I/O per byte.
+    /// The canonical Blackwell model — used by both the TCO experiments
+    /// and the strategy sweep so their energy figures agree.
+    #[must_use]
+    pub fn b200_class() -> Self {
+        let h100 = Self::h100_class();
+        Self {
+            compute_pj_per_flop: h100.compute_pj_per_flop / 1.3,
+            dram_pj_per_byte: 28.0,
+            ..h100
+        }
+    }
+
     /// Coefficients at an arbitrary technology node: compute energy follows
     /// the iso-performance power rule (÷1.3 per step from the N7 anchor);
     /// DRAM and network energy are technology-of-their-own and stay fixed

@@ -186,16 +186,14 @@ pub fn dram_utilization_modes() -> Vec<UtilizationRow> {
         let mut acc = presets::a100_sxm_80gb();
         if let Some(c) = constant {
             acc = acc.with_calibration(
-                DeviceCalibration::datacenter_gpu()
-                    .with_constant_dram_utilization(Ratio::new(c)),
+                DeviceCalibration::datacenter_gpu().with_constant_dram_utilization(Ratio::new(c)),
             );
         }
         let node = optimus::hw::NodeSpec::new(acc, 8, optimus::hw::nettech::NvlinkGen::Gen3.link());
         let cluster = presets::single_node_cluster("ablate", node);
         let mut err = 0.0;
         for row in &rows {
-            let cfg =
-                InferenceConfig::nvidia_llama_benchmark(model_by_name(row.model), row.tp);
+            let cfg = InferenceConfig::nvidia_llama_benchmark(model_by_name(row.model), row.tp);
             let pred = InferenceEstimator::new(&cluster)
                 .estimate(&cfg)
                 .expect("fp16")
@@ -249,7 +247,12 @@ pub fn render() -> String {
             format!("{:.0}", r.volume_bytes),
             format!("{:.1}", r.ring_us),
             format!("{:.1}", r.tree_us),
-            if r.ring_us <= r.tree_us { "ring" } else { "tree" }.to_owned(),
+            if r.ring_us <= r.tree_us {
+                "ring"
+            } else {
+                "tree"
+            }
+            .to_owned(),
         ]);
     }
     out.push_str(&crate::markdown_table(&rows));

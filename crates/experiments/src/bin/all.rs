@@ -4,8 +4,19 @@ fn main() {
     optimus_experiments::run_all(dir).expect("results directory is writable");
     println!("wrote results/*.csv");
     for name in [
-        "table1", "table2", "table4", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "ablations", "tco", "scaling",
+        "table1",
+        "table2",
+        "table4",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "ablations",
+        "tco",
+        "scaling",
     ] {
         println!("  results/{name}.csv");
     }

@@ -52,7 +52,10 @@ pub fn shapes() -> Vec<(usize, usize)> {
 /// noise of the surrogate GPU.
 fn jitter(m: usize, k: usize) -> f64 {
     // A small hash keeps the "measurement" reproducible.
-    let h = (m.wrapping_mul(0x9E37_79B9).wrapping_add(k.wrapping_mul(0x85EB_CA6B))) % 1000;
+    let h = (m
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(k.wrapping_mul(0x85EB_CA6B)))
+        % 1000;
     (h as f64 / 1000.0 - 0.5) * 0.12
 }
 

@@ -68,13 +68,8 @@ pub fn run() -> Vec<Bar> {
                 node_spec.gpus_per_node,
             );
             let cluster = ClusterSpec::new("fig7", node_spec, inter);
-            let cfg = TrainingConfig::new(
-                model.clone(),
-                case.batch,
-                case.seq,
-                case.parallelism(),
-            )
-            .with_recompute(RecomputeMode::Selective);
+            let cfg = TrainingConfig::new(model.clone(), case.batch, case.seq, case.parallelism())
+                .with_recompute(RecomputeMode::Selective);
             let report = TrainingEstimator::new(&cluster)
                 .estimate(&cfg)
                 .expect("case config is valid");

@@ -56,9 +56,10 @@ pub fn sweep() -> Vec<(DramTechnology, NvlinkGen)> {
 
 fn estimate(cluster: &ClusterSpec, gpus: usize) -> (f64, f64) {
     let cfg = InferenceConfig::nvidia_llama_benchmark(models::llama2_13b(), gpus);
-    let r = InferenceEstimator::new(cluster).estimate(&cfg).expect("fp16");
-    let device_time =
-        (r.breakdown.memory + r.breakdown.compute + r.breakdown.overhead).secs();
+    let r = InferenceEstimator::new(cluster)
+        .estimate(&cfg)
+        .expect("fp16");
+    let device_time = (r.breakdown.memory + r.breakdown.compute + r.breakdown.overhead).secs();
     (device_time, r.breakdown.communication.secs())
 }
 

@@ -44,8 +44,12 @@ pub fn run() -> Vec<Row> {
     let a100 = hw::presets::dgx_a100_hdr_cluster();
     let h100 = hw::presets::dgx_h100_ndr_cluster();
     let cfg = InferenceConfig::new(presets::llama2_13b(), 1, 200, 200, 1);
-    let a = InferenceEstimator::new(&a100).estimate(&cfg).expect("valid");
-    let h = InferenceEstimator::new(&h100).estimate(&cfg).expect("valid");
+    let a = InferenceEstimator::new(&a100)
+        .estimate(&cfg)
+        .expect("valid");
+    let h = InferenceEstimator::new(&h100)
+        .estimate(&cfg)
+        .expect("valid");
 
     refdata::table4()
         .into_iter()
@@ -83,10 +87,7 @@ fn roles_for(label: &str) -> &'static [OpRole] {
 /// one of the slowest contributor. Attention rows report the *per-head*
 /// GEMM time (the paper's "single head" rows), i.e. the batched kernel
 /// time divided by the head count.
-fn lookup(
-    gemms: &[optimus::infer::GemmAnalysis],
-    roles: &'static [OpRole],
-) -> (f64, BoundType) {
+fn lookup(gemms: &[optimus::infer::GemmAnalysis], roles: &'static [OpRole]) -> (f64, BoundType) {
     let mut total_us = 0.0;
     let mut slowest = (0.0, BoundType::Compute);
     for role in roles {

@@ -56,7 +56,7 @@ pub fn training() -> Vec<TrainingTcoRow> {
             "B200-NVS",
             hw::presets::dgx_b200_nvs_cluster(),
             Precision::Fp4,
-            EnergyModel::at_node(optimus::tech::TechNode::N3),
+            EnergyModel::b200_class(),
             CostModel::b200_system(),
         ),
     ];
@@ -109,11 +109,11 @@ pub fn inference() -> Vec<InferenceTcoRow> {
     systems
         .into_iter()
         .map(|(label, cluster, energy_model, cost_model)| {
-            let cfg = InferenceConfig::nvidia_llama_benchmark(
-                optimus::model::presets::llama2_13b(),
-                1,
-            );
-            let report = InferenceEstimator::new(&cluster).estimate(&cfg).expect("fp16");
+            let cfg =
+                InferenceConfig::nvidia_llama_benchmark(optimus::model::presets::llama2_13b(), 1);
+            let report = InferenceEstimator::new(&cluster)
+                .estimate(&cfg)
+                .expect("fp16");
             let energy = energy_model.inference_energy(&report, 1);
             let cost = cost_model.inference_cost(&report, &energy, 1);
             InferenceTcoRow {

@@ -31,7 +31,10 @@ fn fig3_varied_beats_constant() {
     assert!(points.len() >= 20);
     let varied = exp::fig3::mape(&points, |p| p.varied_us);
     let constant = exp::fig3::mape(&points, |p| p.const_us);
-    assert!(varied < constant, "varied {varied:.1}% vs constant {constant:.1}%");
+    assert!(
+        varied < constant,
+        "varied {varied:.1}% vs constant {constant:.1}%"
+    );
     assert!(varied < 12.0);
 }
 
@@ -131,15 +134,21 @@ fn tco_favors_new_silicon_for_training() {
 fn scaling_efficiency_declines_with_gpus() {
     let rows = exp::scaling::training_strong_scaling();
     assert!(rows.len() >= 4);
-    assert!(rows.windows(2).all(|w| w[1].efficiency <= w[0].efficiency + 1e-9));
-    assert!(rows.windows(2).all(|w| w[1].comm_share >= w[0].comm_share - 1e-9));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].efficiency <= w[0].efficiency + 1e-9));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].comm_share >= w[0].comm_share - 1e-9));
 }
 
 #[test]
 fn batch_sweep_trades_latency_for_throughput() {
     let rows = exp::scaling::inference_batch_sweep();
     assert!(rows.windows(2).all(|w| w[1].latency_ms >= w[0].latency_ms));
-    assert!(rows.windows(2).all(|w| w[1].tokens_per_sec > w[0].tokens_per_sec));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[1].tokens_per_sec > w[0].tokens_per_sec));
     // §6.1: modest latency growth — 32x batch costs < 2x latency.
     let first = rows.first().unwrap();
     let last = rows.last().unwrap();

@@ -84,11 +84,7 @@ impl ComputeSpec {
     pub fn scaled(&self, factor: f64) -> Self {
         assert!(factor >= 0.0, "scale factor must be non-negative");
         Self {
-            peaks: self
-                .peaks
-                .iter()
-                .map(|(p, t)| (*p, *t * factor))
-                .collect(),
+            peaks: self.peaks.iter().map(|(p, t)| (*p, *t * factor)).collect(),
             tile_m: self.tile_m,
             tile_n: self.tile_n,
             tile_k: self.tile_k,

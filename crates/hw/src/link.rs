@@ -66,7 +66,11 @@ impl LinkSpec {
 
 impl core::fmt::Display for LinkSpec {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{} ({}, {} latency)", self.name, self.bandwidth, self.latency)
+        write!(
+            f,
+            "{} ({}, {} latency)",
+            self.name, self.bandwidth, self.latency
+        )
     }
 }
 
@@ -89,6 +93,9 @@ mod tests {
         let big = link.effective_bandwidth(Bytes::from_mb(50.0));
         let small = link.effective_bandwidth(Bytes::from_kib(10.0));
         assert!(big.gb_per_sec() > 200.0, "large messages near peak: {big}");
-        assert!(small.gb_per_sec() < 1.0, "small messages heavily derated: {small}");
+        assert!(
+            small.gb_per_sec() < 1.0,
+            "small messages heavily derated: {small}"
+        );
     }
 }

@@ -241,7 +241,10 @@ mod tests {
     fn h100_is_3x_a100_fp16() {
         let ratio = h100_sxm().peak(Precision::Fp16).unwrap().tera()
             / a100_sxm_80gb().peak(Precision::Fp16).unwrap().tera();
-        assert!(ratio > 3.0, "paper: H100 triples A100 compute, got {ratio:.2}x");
+        assert!(
+            ratio > 3.0,
+            "paper: H100 triples A100 compute, got {ratio:.2}x"
+        );
     }
 
     #[test]

@@ -34,7 +34,13 @@ impl InferenceConfig {
     ///
     /// Panics if any count is zero.
     #[must_use]
-    pub fn new(model: ModelConfig, batch: usize, prefill: usize, generate: usize, tp: usize) -> Self {
+    pub fn new(
+        model: ModelConfig,
+        batch: usize,
+        prefill: usize,
+        generate: usize,
+        tp: usize,
+    ) -> Self {
         assert!(
             batch > 0 && prefill > 0 && generate > 0 && tp > 0,
             "inference shape must be positive"

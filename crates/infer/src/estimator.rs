@@ -67,11 +67,9 @@ impl<'a> InferenceEstimator<'a> {
         dram_traffic += pre_dram * layers;
 
         // Two all-reduces per layer over the full prompt activations.
-        let pre_volume = Bytes::new(
-            (cfg.batch * cfg.prefill * cfg.model.hidden) as f64 * cfg.precision.bytes(),
-        );
-        prefill_bd.communication +=
-            plan.tp_layer_inference(pre_volume) * cfg.model.layers as f64;
+        let pre_volume =
+            Bytes::new((cfg.batch * cfg.prefill * cfg.model.hidden) as f64 * cfg.precision.bytes());
+        prefill_bd.communication += plan.tp_layer_inference(pre_volume) * cfg.model.layers as f64;
         network_traffic += plan.tp_layer_forward_wire_bytes(pre_volume) * layers;
 
         // Embedding + head once (only the final token's logits matter for
@@ -81,8 +79,7 @@ impl<'a> InferenceEstimator<'a> {
             .into_iter()
             .chain(graph::head_ops(&cfg.model, &pre_params))
             .collect();
-        let (extra_bd, extra_flops, extra_dram) =
-            self.ops_breakdown(&roofline, &pre_extra, cfg)?;
+        let (extra_bd, extra_flops, extra_dram) = self.ops_breakdown(&roofline, &pre_extra, cfg)?;
         add_scaled(&mut prefill_bd, &extra_bd, 1.0);
         device_flops += extra_flops;
         dram_traffic += extra_dram;
@@ -185,12 +182,9 @@ impl<'a> InferenceEstimator<'a> {
         match op.kind {
             OpKind::Gemm(g) => roofline.batched_gemm(g, cfg.precision),
             OpKind::Eltwise(e) => Ok(roofline.eltwise(e)),
-            OpKind::Flash(fa) => roofline.custom_kernel(
-                "flash-attention",
-                fa.flops(),
-                &fa.traffic(),
-                cfg.precision,
-            ),
+            OpKind::Flash(fa) => {
+                roofline.custom_kernel("flash-attention", fa.flops(), &fa.traffic(), cfg.precision)
+            }
         }
     }
 
@@ -256,7 +250,10 @@ mod tests {
         let cfg = InferenceConfig::nvidia_llama_benchmark(models::llama2_13b(), 1);
         let r = InferenceEstimator::new(&cluster).estimate(&cfg).unwrap();
         let ms = r.total.millis();
-        assert!((3000.0..5000.0).contains(&ms), "expected ~3.9-4.3 s, got {ms:.0} ms");
+        assert!(
+            (3000.0..5000.0).contains(&ms),
+            "expected ~3.9-4.3 s, got {ms:.0} ms"
+        );
     }
 
     #[test]
@@ -296,11 +293,17 @@ mod tests {
         let cluster = a100();
         let est = InferenceEstimator::new(&cluster);
         let t1 = est
-            .estimate(&InferenceConfig::nvidia_llama_benchmark(models::llama2_13b(), 1))
+            .estimate(&InferenceConfig::nvidia_llama_benchmark(
+                models::llama2_13b(),
+                1,
+            ))
             .unwrap()
             .total;
         let t8 = est
-            .estimate(&InferenceConfig::nvidia_llama_benchmark(models::llama2_13b(), 8))
+            .estimate(&InferenceConfig::nvidia_llama_benchmark(
+                models::llama2_13b(),
+                8,
+            ))
             .unwrap()
             .total;
         let speedup = t1 / t8;

@@ -70,7 +70,13 @@ pub fn activation_bytes_per_layer(
 /// Input activation of one transformer layer (`A_inp` of Eq. 1): the
 /// 2-byte `s·b·h` hidden-state tensor (sharded by `t` under SP).
 #[must_use]
-pub fn layer_input_bytes(model: &ModelConfig, batch: usize, seq: usize, tp: usize, sp: bool) -> Bytes {
+pub fn layer_input_bytes(
+    model: &ModelConfig,
+    batch: usize,
+    seq: usize,
+    tp: usize,
+    sp: bool,
+) -> Bytes {
     let sbh = (seq * batch) as f64 * model.hidden as f64;
     let div = if sp { tp as f64 } else { 1.0 };
     Bytes::new(2.0 * sbh / div)

@@ -112,7 +112,10 @@ fn div_ceil(a: usize, b: usize) -> usize {
 /// device.
 #[must_use]
 pub fn layer_forward_ops(model: &ModelConfig, p: &GraphParams) -> Vec<Op> {
-    assert!(p.batch > 0 && p.seq > 0 && p.kv_len > 0 && p.tp > 0, "degenerate graph params");
+    assert!(
+        p.batch > 0 && p.seq > 0 && p.kv_len > 0 && p.tp > 0,
+        "degenerate graph params"
+    );
     let h = model.hidden;
     let hd = model.head_dim();
     let a = model.heads;
@@ -185,7 +188,13 @@ pub fn layer_forward_ops(model: &ModelConfig, p: &GraphParams) -> Vec<Op> {
     }
 
     // Output projection, row-parallel: k = h/t.
-    ops.push(Op::gemm(OpRole::OutputProjection, 1, tokens, h, div_ceil(h, t)));
+    ops.push(Op::gemm(
+        OpRole::OutputProjection,
+        1,
+        tokens,
+        h,
+        div_ceil(h, t),
+    ));
     if model.dropout {
         ops.push(stream(
             OpRole::PostAttnDropout,

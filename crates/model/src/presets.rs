@@ -28,19 +28,25 @@ pub fn gpt_175b() -> ModelConfig {
 /// GPT-310B (Megatron-LM SC '21: h=16384, 96 layers, 128 heads).
 #[must_use]
 pub fn gpt_310b() -> ModelConfig {
-    ModelConfig::builder("GPT-310B").dims(96, 16384, 128).build()
+    ModelConfig::builder("GPT-310B")
+        .dims(96, 16384, 128)
+        .build()
 }
 
 /// GPT-530B (Megatron-Turing NLG class: h=20480, 105 layers, 128 heads).
 #[must_use]
 pub fn gpt_530b() -> ModelConfig {
-    ModelConfig::builder("GPT-530B").dims(105, 20480, 128).build()
+    ModelConfig::builder("GPT-530B")
+        .dims(105, 20480, 128)
+        .build()
 }
 
 /// GPT-1008B, the "1T" model (h=25600, 128 layers, 160 heads).
 #[must_use]
 pub fn gpt_1008b() -> ModelConfig {
-    ModelConfig::builder("GPT-1008B").dims(128, 25600, 160).build()
+    ModelConfig::builder("GPT-1008B")
+        .dims(128, 25600, 160)
+        .build()
 }
 
 /// Llama-2 7B (h=4096, 32 layers, 32 heads, SwiGLU FFN 11008).

@@ -80,7 +80,8 @@ impl<'a> CommPlan<'a> {
         {
             &self.cluster.inter_link
         } else {
-            self.cluster.link_for_group(dp * self.parallelism.tp * self.parallelism.pp)
+            self.cluster
+                .link_for_group(dp * self.parallelism.tp * self.parallelism.pp)
         };
         self.comm
             .time(Collective::AllReduce, gradient_volume, dp, link)
@@ -94,8 +95,8 @@ impl<'a> CommPlan<'a> {
         if self.parallelism.pp == 1 {
             return Time::ZERO;
         }
-        let spans_nodes = self.parallelism.tp * self.parallelism.pp
-            > self.cluster.node.gpus_per_node;
+        let spans_nodes =
+            self.parallelism.tp * self.parallelism.pp > self.cluster.node.gpus_per_node;
         let link = if spans_nodes {
             &self.cluster.inter_link
         } else {
@@ -165,11 +166,7 @@ mod tests {
         // incurring communication overhead").
         let c = cluster();
         let tp = CommPlan::new(&c, Parallelism::new(1, 8, 1), CommModel::Ring);
-        let sp = CommPlan::new(
-            &c,
-            Parallelism::new(1, 8, 1).with_sp(true),
-            CommModel::Ring,
-        );
+        let sp = CommPlan::new(&c, Parallelism::new(1, 8, 1).with_sp(true), CommModel::Ring);
         let v = Bytes::from_mib(50.0);
         let a = tp.tp_layer_forward(v);
         let b = sp.tp_layer_forward(v);

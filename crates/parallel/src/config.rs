@@ -51,7 +51,10 @@ impl core::fmt::Display for ParallelError {
                 "batch {batch} does not divide into dp={dp} replicas of microbatch {microbatch}"
             ),
             Self::IndivisibleLayers { layers, pp } => {
-                write!(f, "{layers} layers do not divide across {pp} pipeline stages")
+                write!(
+                    f,
+                    "{layers} layers do not divide across {pp} pipeline stages"
+                )
             }
         }
     }
@@ -90,7 +93,10 @@ impl Parallelism {
     /// Panics if any degree is zero.
     #[must_use]
     pub fn new(dp: usize, tp: usize, pp: usize) -> Self {
-        assert!(dp > 0 && tp > 0 && pp > 0, "parallel degrees must be positive");
+        assert!(
+            dp > 0 && tp > 0 && pp > 0,
+            "parallel degrees must be positive"
+        );
         Self {
             dp,
             tp,
@@ -218,7 +224,10 @@ mod tests {
         let p = Parallelism::new(6, 8, 64).with_sp(false);
         assert_eq!(p.total_gpus(), 3072);
         assert_eq!(p.to_string(), "6-8-64-1");
-        assert_eq!(Parallelism::new(1, 8, 8).with_sp(true).to_string(), "1-8-8-8");
+        assert_eq!(
+            Parallelism::new(1, 8, 8).with_sp(true).to_string(),
+            "1-8-8-8"
+        );
     }
 
     #[test]

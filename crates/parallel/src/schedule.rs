@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn bubble_fractions() {
         assert_eq!(PipelineSchedule::GPipe.bubble_fraction(8, 64), 7.0 / 64.0);
-        assert_eq!(PipelineSchedule::OneFOneB.bubble_fraction(8, 64), 7.0 / 64.0);
+        assert_eq!(
+            PipelineSchedule::OneFOneB.bubble_fraction(8, 64),
+            7.0 / 64.0
+        );
         assert_eq!(
             PipelineSchedule::interleaved(4).bubble_fraction(8, 64),
             7.0 / 256.0

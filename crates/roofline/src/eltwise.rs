@@ -130,7 +130,9 @@ impl EltwiseOp {
     /// Total DRAM traffic of the kernel.
     #[must_use]
     pub fn traffic(&self) -> Bytes {
-        Bytes::new(self.elements * self.bytes_per_elem * self.kind.stream_passes() + self.extra_bytes)
+        Bytes::new(
+            self.elements * self.bytes_per_elem * self.kind.stream_passes() + self.extra_bytes,
+        )
     }
 
     /// Arithmetic work (never binding, recorded for completeness).
@@ -150,7 +152,11 @@ impl RooflineModel<'_> {
         let traffic = op.traffic();
         let util = calib.dram_utilization.factor(traffic);
         let bw = self.device().dram.bandwidth * util.get();
-        let time = if bw.get() > 0.0 { traffic / bw } else { Time::ZERO };
+        let time = if bw.get() > 0.0 {
+            traffic / bw
+        } else {
+            Time::ZERO
+        };
         KernelCost {
             name: format!("{} x{:.0}", op.kind, op.elements),
             flops: op.flops(),
@@ -174,7 +180,11 @@ impl RooflineModel<'_> {
         let calib = &self.device().calibration;
         let util = calib.dram_utilization.factor(traffic);
         let bw = self.device().dram.bandwidth * util.get();
-        let time = if bw.get() > 0.0 { traffic / bw } else { Time::ZERO };
+        let time = if bw.get() > 0.0 {
+            traffic / bw
+        } else {
+            Time::ZERO
+        };
         KernelCost {
             name: format!("fused x{}", ops.len()),
             flops: FlopCount::new(ops.iter().map(|o| o.flops().get()).sum()),
@@ -224,7 +234,10 @@ mod tests {
         ];
         let separate: f64 = ops.iter().map(|&o| model.eltwise(o).total().secs()).sum();
         let fused = model.fused_eltwise(&ops).total().secs();
-        assert!(fused < separate * 0.5, "fused {fused} vs separate {separate}");
+        assert!(
+            fused < separate * 0.5,
+            "fused {fused} vs separate {separate}"
+        );
     }
 
     #[test]

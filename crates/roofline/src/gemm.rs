@@ -220,9 +220,8 @@ impl<'a> RooflineModel<'a> {
             ((dim as f64) / t).ceil() * t
         };
         let useful = shape.m as f64 * shape.n as f64 * shape.k as f64;
-        let padded = round_up(shape.m, c.tile_m)
-            * round_up(shape.n, c.tile_n)
-            * round_up(shape.k, c.tile_k);
+        let padded =
+            round_up(shape.m, c.tile_m) * round_up(shape.n, c.tile_n) * round_up(shape.k, c.tile_k);
         Ratio::saturating(useful / padded)
     }
 
@@ -241,8 +240,8 @@ impl<'a> RooflineModel<'a> {
             // Shared-memory traffic is blocked by the register macro-tile.
             _ => {
                 let c = &self.device.compute;
-                let elems = (c.tile_m * c.tile_k + c.tile_k * c.tile_n + c.tile_m * c.tile_n)
-                    as f64;
+                let elems =
+                    (c.tile_m * c.tile_k + c.tile_k * c.tile_n + c.tile_m * c.tile_n) as f64;
                 // Express the macro-tile working set as a capacity so the
                 // same tile chooser applies.
                 Bytes::new(elems * 4.0)
@@ -329,7 +328,9 @@ mod tests {
     fn unsupported_precision_propagates() {
         let a100 = presets::a100_sxm_80gb();
         let model = RooflineModel::new(&a100);
-        assert!(model.gemm(GemmShape::new(10, 10, 10), Precision::Fp4).is_err());
+        assert!(model
+            .gemm(GemmShape::new(10, 10, 10), Precision::Fp4)
+            .is_err());
     }
 
     #[test]
@@ -339,8 +340,12 @@ mod tests {
         let shape = GemmShape::new(200, 5120 * 3, 5120); // QKV, Llama2-13B prefill
         let a100 = presets::a100_sxm_80gb();
         let h100 = presets::h100_sxm();
-        let on_a100 = RooflineModel::new(&a100).gemm(shape, Precision::Fp16).unwrap();
-        let on_h100 = RooflineModel::new(&h100).gemm(shape, Precision::Fp16).unwrap();
+        let on_a100 = RooflineModel::new(&a100)
+            .gemm(shape, Precision::Fp16)
+            .unwrap();
+        let on_h100 = RooflineModel::new(&h100)
+            .gemm(shape, Precision::Fp16)
+            .unwrap();
         assert!(on_a100.bound().is_compute(), "A100: {}", on_a100.bound());
         assert!(on_h100.bound().is_memory(), "H100: {}", on_h100.bound());
     }

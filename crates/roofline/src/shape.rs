@@ -46,8 +46,7 @@ impl GemmShape {
     /// Minimum possible traffic: read `A` and `B` once, write `C` once.
     #[must_use]
     pub fn min_io(&self, bytes_per_elem: f64) -> Bytes {
-        let elems =
-            (self.m * self.k) as f64 + (self.k * self.n) as f64 + (self.m * self.n) as f64;
+        let elems = (self.m * self.k) as f64 + (self.k * self.n) as f64 + (self.m * self.n) as f64;
         Bytes::new(elems * bytes_per_elem)
     }
 

@@ -103,7 +103,11 @@ mod tests {
         let tile = choose_tile(shape, Bytes::from_mib(1.0), 2.0);
         assert_eq!(tile.tm, 4);
         assert_eq!(tile.tn, 1);
-        assert!(tile.tk > 10_000, "freed capacity goes to tk, got {}", tile.tk);
+        assert!(
+            tile.tk > 10_000,
+            "freed capacity goes to tk, got {}",
+            tile.tk
+        );
     }
 
     #[test]
@@ -154,7 +158,11 @@ mod tests {
     fn c_crosses_boundary_once() {
         // Even with many k-slices, C traffic stays m·n (output-stationary).
         let shape = GemmShape::new(256, 256, 1 << 16);
-        let tile = Tile { tm: 256, tn: 256, tk: 64 };
+        let tile = Tile {
+            tm: 256,
+            tn: 256,
+            tk: 64,
+        };
         let traffic = blocked_traffic(shape, tile, 1.0);
         let expected = (256.0 * 65536.0) + (65536.0 * 256.0) + (256.0 * 256.0);
         assert!((traffic.bytes() - expected).abs() < 1.0);

@@ -1,0 +1,355 @@
+//! Parallel evaluation of enumerated strategies.
+
+use crate::{pareto_frontier, StrategyPoint, SweepSpace, Workload};
+use optimus_energy::{CostModel, EnergyModel};
+use optimus_hw::ClusterSpec;
+use optimus_infer::{InferenceConfig, InferenceEstimator};
+use optimus_model::ModelConfig;
+use optimus_train::{TrainingConfig, TrainingEstimator};
+use optimus_units::{Bytes, Energy, Time};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One fully evaluated strategy: predicted latency, throughput, memory,
+/// energy, and dollars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedPoint {
+    /// The strategy.
+    pub point: StrategyPoint,
+    /// Devices occupied.
+    pub gpus: usize,
+    /// Time per execution: one training batch or one inference request
+    /// batch.
+    pub latency: Time,
+    /// Work units per second: samples/s for training, generated tokens/s
+    /// for inference.
+    pub throughput: f64,
+    /// Peak per-device memory footprint.
+    pub memory_per_device: Bytes,
+    /// System energy per execution.
+    pub energy: Energy,
+    /// Amortized capital + electricity cost per execution, USD.
+    pub cost_usd: f64,
+    /// Model FLOPs utilization (training only).
+    pub mfu: Option<f64>,
+}
+
+/// The complete outcome of one sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Every valid, successfully evaluated strategy, ordered by
+    /// [`StrategyPoint::sort_key`].
+    pub evaluated: Vec<EvaluatedPoint>,
+    /// The (latency, cost) Pareto frontier, ordered by ascending latency.
+    pub frontier: Vec<EvaluatedPoint>,
+    /// Strategies that passed pruning but failed evaluation (for example a
+    /// TP degree the comm plan rejects); kept for diagnosability.
+    pub rejected: Vec<StrategyPoint>,
+}
+
+impl SweepReport {
+    /// The evaluated point minimizing latency.
+    #[must_use]
+    pub fn fastest(&self) -> Option<&EvaluatedPoint> {
+        self.evaluated
+            .iter()
+            .min_by(|a, b| a.latency.cmp(&b.latency))
+    }
+
+    /// The evaluated point minimizing cost per execution.
+    #[must_use]
+    pub fn cheapest(&self) -> Option<&EvaluatedPoint> {
+        self.evaluated.iter().min_by(|a, b| {
+            a.cost_usd
+                .partial_cmp(&b.cost_usd)
+                .expect("costs are finite")
+        })
+    }
+
+    /// The evaluated point minimizing an arbitrary [`crate::Objective`] —
+    /// the same interface the µArch allocation search consumes. Ties break
+    /// toward the earlier point in deterministic order.
+    #[must_use]
+    pub fn best_by<O: crate::Objective<EvaluatedPoint>>(
+        &self,
+        objective: &O,
+    ) -> Option<&EvaluatedPoint> {
+        let mut best: Option<(&EvaluatedPoint, f64)> = None;
+        for p in &self.evaluated {
+            let score = objective.evaluate(p);
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((p, score));
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+}
+
+/// Evaluates strategy spaces against one cluster.
+///
+/// ```
+/// use optimus_hw::presets;
+/// use optimus_model::presets as models;
+/// use optimus_sweep::{SweepEngine, SweepSpace, Workload};
+///
+/// let cluster = presets::dgx_a100_hdr_cluster();
+/// let report = SweepEngine::new(&cluster).sweep(
+///     &models::llama2_13b(),
+///     &Workload::training(64, 2048),
+///     &SweepSpace::power_of_two(16),
+/// );
+/// assert!(!report.frontier.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngine<'a> {
+    cluster: &'a ClusterSpec,
+    energy: EnergyModel,
+    cost: CostModel,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// Creates an engine with energy/cost coefficients matched to the
+    /// cluster's accelerator generation (by preset name: A100, H100/H200,
+    /// B200). Unrecognized accelerators — including `tpu_v4` — fall back
+    /// to A100-class economics; use [`Self::with_energy_model`] and
+    /// [`Self::with_cost_model`] to supply accurate coefficients for such
+    /// devices.
+    #[must_use]
+    pub fn new(cluster: &'a ClusterSpec) -> Self {
+        let (energy, cost) = economics_for(cluster);
+        Self {
+            cluster,
+            energy,
+            cost,
+        }
+    }
+
+    /// Overrides the energy model.
+    #[must_use]
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Overrides the cost model.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enumerates, evaluates (in parallel), and extracts the Pareto
+    /// frontier. The result is deterministic: the same inputs produce the
+    /// same report regardless of `RAYON_NUM_THREADS`.
+    #[must_use]
+    pub fn sweep(
+        &self,
+        model: &ModelConfig,
+        workload: &Workload,
+        space: &SweepSpace,
+    ) -> SweepReport {
+        let points = space.enumerate(model, self.cluster, workload);
+        self.evaluate(model, workload, points)
+    }
+
+    /// Evaluates an explicit list of strategies in parallel, preserving
+    /// input order in `evaluated` (minus rejected points).
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        model: &ModelConfig,
+        workload: &Workload,
+        points: Vec<StrategyPoint>,
+    ) -> SweepReport {
+        let outcomes: Vec<Result<EvaluatedPoint, StrategyPoint>> = points
+            .into_par_iter()
+            .map(|point| self.evaluate_point(model, workload, point))
+            .collect();
+
+        let mut evaluated = Vec::with_capacity(outcomes.len());
+        let mut rejected = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(e) => evaluated.push(e),
+                Err(p) => rejected.push(p),
+            }
+        }
+        let frontier = pareto_frontier(&evaluated);
+        SweepReport {
+            evaluated,
+            frontier,
+            rejected,
+        }
+    }
+
+    /// Evaluates one strategy; `Err` carries the point back on estimator
+    /// rejection.
+    fn evaluate_point(
+        &self,
+        model: &ModelConfig,
+        workload: &Workload,
+        point: StrategyPoint,
+    ) -> Result<EvaluatedPoint, StrategyPoint> {
+        let gpus = point.gpus();
+        let energy_model = self.energy.scaled_for_precision(point.precision);
+        match workload {
+            Workload::Training {
+                batch,
+                seq,
+                recompute,
+                schedule,
+            } => {
+                let cfg = TrainingConfig::new(model.clone(), *batch, *seq, point.parallelism)
+                    .with_precision(point.precision)
+                    .with_recompute(*recompute)
+                    .with_schedule(*schedule);
+                let report = TrainingEstimator::new(self.cluster)
+                    .estimate(&cfg)
+                    .map_err(|_| point)?;
+                let energy = energy_model.training_energy(&report, gpus);
+                let cost = self.cost.training_cost(&report, &energy, gpus);
+                Ok(EvaluatedPoint {
+                    point,
+                    gpus,
+                    latency: report.time_per_batch,
+                    throughput: workload.work_units() / report.time_per_batch.secs(),
+                    memory_per_device: report.memory.total(),
+                    energy: energy.total(),
+                    cost_usd: cost.total_usd,
+                    mfu: Some(report.mfu),
+                })
+            }
+            Workload::Inference {
+                batch,
+                prefill,
+                generate,
+            } => {
+                let cfg = InferenceConfig::new(
+                    model.clone(),
+                    *batch,
+                    *prefill,
+                    *generate,
+                    point.parallelism.tp,
+                )
+                .with_precision(point.precision);
+                let report = InferenceEstimator::new(self.cluster)
+                    .estimate(&cfg)
+                    .map_err(|_| point)?;
+                let energy = energy_model.inference_energy(&report, gpus);
+                let cost = self.cost.inference_cost(&report, &energy, gpus);
+                Ok(EvaluatedPoint {
+                    point,
+                    gpus,
+                    latency: report.total,
+                    throughput: workload.work_units() / report.total.secs(),
+                    memory_per_device: report.memory.total(),
+                    energy: energy.total(),
+                    cost_usd: cost.total_usd,
+                    mfu: None,
+                })
+            }
+        }
+    }
+}
+
+/// Energy/cost coefficients by accelerator generation, keyed on the
+/// preset naming convention of `optimus-hw`. Unrecognized names default
+/// to A100-class coefficients (see [`SweepEngine::new`]).
+fn economics_for(cluster: &ClusterSpec) -> (EnergyModel, CostModel) {
+    let name = cluster.accelerator().name.to_uppercase();
+    if name.contains("A100") {
+        (EnergyModel::a100_class(), CostModel::a100_system())
+    } else if name.contains("B200") {
+        (EnergyModel::b200_class(), CostModel::b200_system())
+    } else if name.contains("H100") || name.contains("H200") {
+        (EnergyModel::h100_class(), CostModel::h100_system())
+    } else {
+        (EnergyModel::a100_class(), CostModel::a100_system())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    #[test]
+    fn training_sweep_produces_consistent_rows() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = SweepEngine::new(&cluster).sweep(
+            &models::llama2_13b(),
+            &Workload::training(16, 2048),
+            &SweepSpace::power_of_two(16),
+        );
+        assert!(!report.evaluated.is_empty());
+        for row in &report.evaluated {
+            assert!(row.latency.secs() > 0.0, "{row:?}");
+            assert!(row.throughput > 0.0);
+            assert!(row.cost_usd > 0.0);
+            assert!(row.energy.joules() > 0.0);
+            assert!(row.mfu.is_some());
+        }
+    }
+
+    #[test]
+    fn fastest_and_cheapest_are_on_the_frontier() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = SweepEngine::new(&cluster).sweep(
+            &models::llama2_13b(),
+            &Workload::training(16, 2048),
+            &SweepSpace::power_of_two(16),
+        );
+        let fastest = report.fastest().unwrap();
+        let cheapest = report.cheapest().unwrap();
+        assert!(report.frontier.iter().any(|p| p.latency == fastest.latency));
+        assert!(report
+            .frontier
+            .iter()
+            .any(|p| p.cost_usd == cheapest.cost_usd));
+    }
+
+    #[test]
+    fn best_by_latency_objective_matches_fastest() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = SweepEngine::new(&cluster).sweep(
+            &models::llama2_13b(),
+            &Workload::inference(1, 200, 32),
+            &SweepSpace::power_of_two(8),
+        );
+        let by_objective = report
+            .best_by(&|p: &EvaluatedPoint| p.latency.secs())
+            .unwrap();
+        assert_eq!(by_objective.latency, report.fastest().unwrap().latency);
+    }
+
+    #[test]
+    fn economics_track_accelerator_generation() {
+        let (a100_e, a100_c) = economics_for(&presets::dgx_a100_hdr_cluster());
+        let (h100_e, h100_c) = economics_for(&presets::dgx_h100_ndr_cluster());
+        let (b200_e, b200_c) = economics_for(&presets::dgx_b200_nvs_cluster());
+        assert!(h100_e.compute_pj_per_flop < a100_e.compute_pj_per_flop);
+        assert!(
+            b200_e.compute_pj_per_flop < h100_e.compute_pj_per_flop,
+            "B200 must not reuse H100 energy coefficients"
+        );
+        assert!(a100_c.gpu_price_usd < h100_c.gpu_price_usd);
+        assert!(h100_c.gpu_price_usd < b200_c.gpu_price_usd);
+    }
+
+    #[test]
+    fn inference_sweep_is_tensor_parallel_only() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = SweepEngine::new(&cluster).sweep(
+            &models::llama2_13b(),
+            &Workload::inference(1, 200, 16),
+            &SweepSpace::power_of_two(64),
+        );
+        assert!(!report.evaluated.is_empty());
+        for row in &report.evaluated {
+            assert_eq!(row.point.parallelism.dp, 1);
+            assert_eq!(row.point.parallelism.pp, 1);
+            assert!(row.mfu.is_none());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Pareto-frontier extraction over (latency, cost).
+
+use crate::EvaluatedPoint;
+
+/// Extracts the minimal (latency, cost) Pareto frontier: every returned
+/// point is non-dominated, and every dominated input is excluded.
+///
+/// A point *p* dominates *q* when `p.latency ≤ q.latency` and
+/// `p.cost_usd ≤ q.cost_usd` with at least one strict inequality. Points
+/// with identical (latency, cost) coordinates are collapsed to the first
+/// in deterministic order, so the frontier is minimal.
+///
+/// The result is sorted by ascending latency (therefore descending cost),
+/// and is deterministic for a deterministic input order.
+#[must_use]
+pub fn pareto_frontier(points: &[EvaluatedPoint]) -> Vec<EvaluatedPoint> {
+    let mut sorted: Vec<&EvaluatedPoint> = points.iter().collect();
+    // Ascending latency; ties broken by cost, then by the stable strategy
+    // order so the scan below keeps exactly one of each coordinate pair.
+    sorted.sort_by(|a, b| {
+        a.latency
+            .cmp(&b.latency)
+            .then_with(|| a.cost_usd.total_cmp(&b.cost_usd))
+            .then_with(|| a.point.sort_key().cmp(&b.point.sort_key()))
+    });
+
+    let mut frontier: Vec<EvaluatedPoint> = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    for p in sorted {
+        // Strictly cheaper than everything faster-or-equal seen so far ⇒
+        // non-dominated. Equal cost at equal-or-higher latency is
+        // dominated (or a duplicate coordinate), so strict `<` also keeps
+        // the frontier minimal.
+        if p.cost_usd < best_cost {
+            best_cost = p.cost_usd;
+            frontier.push(p.clone());
+        }
+    }
+    frontier
+}
+
+/// Whether `a` dominates `b` on (latency, cost).
+#[must_use]
+pub fn dominates(a: &EvaluatedPoint, b: &EvaluatedPoint) -> bool {
+    let le = a.latency <= b.latency && a.cost_usd <= b.cost_usd;
+    let strict = a.latency < b.latency || a.cost_usd < b.cost_usd;
+    le && strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrategyPoint;
+    use optimus_hw::Precision;
+    use optimus_parallel::Parallelism;
+    use optimus_units::{Bytes, Energy, Time};
+
+    fn row(tp: usize, latency: f64, cost: f64) -> EvaluatedPoint {
+        EvaluatedPoint {
+            point: StrategyPoint {
+                parallelism: Parallelism::new(1, tp, 1),
+                precision: Precision::Fp16,
+            },
+            gpus: tp,
+            latency: Time::from_secs(latency),
+            throughput: 1.0 / latency,
+            memory_per_device: Bytes::from_gb(10.0),
+            energy: Energy::new(1.0),
+            cost_usd: cost,
+            mfu: None,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let rows = vec![row(1, 4.0, 1.0), row(2, 2.0, 2.0), row(4, 3.0, 3.0)];
+        let frontier = pareto_frontier(&rows);
+        // (3.0, 3.0) is dominated by (2.0, 2.0).
+        assert_eq!(frontier.len(), 2);
+        assert!(frontier.iter().all(|p| p.latency.secs() != 3.0));
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_minimal() {
+        let rows = vec![
+            row(1, 5.0, 1.0),
+            row(2, 4.0, 2.0),
+            row(4, 3.0, 3.0),
+            row(8, 2.0, 5.0),
+            row(8, 2.5, 4.0),
+        ];
+        let frontier = pareto_frontier(&rows);
+        assert!(frontier
+            .windows(2)
+            .all(|w| w[0].latency < w[1].latency || w[0].cost_usd > w[1].cost_usd));
+        for (i, a) in frontier.iter().enumerate() {
+            for (j, b) in frontier.iter().enumerate() {
+                if i != j {
+                    assert!(!dominates(a, b), "{i} dominates {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_collapse() {
+        let rows = vec![row(1, 2.0, 2.0), row(2, 2.0, 2.0)];
+        let frontier = pareto_frontier(&rows);
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].point.parallelism.tp, 1, "first in stable order");
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let rows = vec![row(1, 1.0, 1.0)];
+        assert_eq!(pareto_frontier(&rows).len(), 1);
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

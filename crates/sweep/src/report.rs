@@ -1,0 +1,90 @@
+//! Human-readable rendering of sweep results.
+
+use crate::{EvaluatedPoint, SweepReport};
+
+/// Column-aligned text table of evaluated points (one row each), with the
+/// frontier marked. `limit` caps the number of body rows (0 = no cap).
+#[must_use]
+pub fn render_table(report: &SweepReport, limit: usize) -> String {
+    let mut rows: Vec<&EvaluatedPoint> = report.evaluated.iter().collect();
+    rows.sort_by_key(|a| a.latency);
+    if limit > 0 {
+        rows.truncate(limit);
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<3} {:>14} {:>5} {:>6} {:>5} {:>5} {:>10} {:>12} {:>10} {:>10} {:>10} {:>6}\n",
+        "",
+        "dp-tp-pp-sp",
+        "ubat",
+        "prec",
+        "gpus",
+        "mfu",
+        "latency",
+        "throughput",
+        "mem/gpu",
+        "energy",
+        "cost",
+        "pareto"
+    ));
+    for row in rows {
+        let on_frontier = report.frontier.iter().any(|f| f.point == row.point);
+        out.push_str(&format!(
+            "{:<3} {:>14} {:>5} {:>6} {:>5} {:>5} {:>10} {:>12} {:>10} {:>10} {:>10} {:>6}\n",
+            if on_frontier { "*" } else { "" },
+            row.point.parallelism.to_string(),
+            row.point.parallelism.microbatch,
+            row.point.precision.to_string(),
+            row.gpus,
+            row.mfu
+                .map_or_else(|| "-".to_owned(), |m| format!("{:.2}", m)),
+            format!("{:.4} s", row.latency.secs()),
+            format!("{:.1}/s", row.throughput),
+            format!("{:.1} GB", row.memory_per_device.gb()),
+            format!("{:.1} kJ", row.energy.joules() / 1e3),
+            format!("${:.4}", row.cost_usd),
+            if on_frontier { "yes" } else { "" },
+        ));
+    }
+    out
+}
+
+/// Renders only the Pareto frontier, ascending latency.
+#[must_use]
+pub fn render_frontier(report: &SweepReport) -> String {
+    let mut out = String::from("pareto frontier (latency vs cost):\n");
+    for row in &report.frontier {
+        out.push_str(&format!(
+            "  {:>14} ubatch={:<2} {:>5}  {:>5} gpus  {:>10}  ${:.4}\n",
+            row.point.parallelism.to_string(),
+            row.point.parallelism.microbatch,
+            row.point.precision.to_string(),
+            row.gpus,
+            format!("{:.4} s", row.latency.secs()),
+            row.cost_usd,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SweepEngine, SweepSpace, Workload};
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    #[test]
+    fn table_marks_frontier_rows() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = SweepEngine::new(&cluster).sweep(
+            &models::llama2_13b(),
+            &Workload::inference(1, 200, 16),
+            &SweepSpace::power_of_two(8),
+        );
+        let table = super::render_table(&report, 0);
+        assert!(table.contains("pareto"));
+        assert!(table.contains("yes"));
+        let frontier = super::render_frontier(&report);
+        assert!(frontier.lines().count() >= 2);
+    }
+}

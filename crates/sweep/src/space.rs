@@ -1,0 +1,398 @@
+//! The strategy space: candidate axes, enumeration, and validity pruning.
+
+use optimus_hw::{ClusterSpec, Precision};
+use optimus_memory::{inference_memory, training_memory, RecomputeMode, TrainingMemorySpec};
+use optimus_model::ModelConfig;
+use optimus_parallel::{Parallelism, PipelineSchedule};
+use serde::{Deserialize, Serialize};
+
+/// One candidate distributed-execution strategy: a full parallelization
+/// plus the numeric precision it runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StrategyPoint {
+    /// DP/TP/PP/SP/microbatch configuration.
+    pub parallelism: Parallelism,
+    /// Compute precision for weights and activations.
+    pub precision: Precision,
+}
+
+impl StrategyPoint {
+    /// Total devices the strategy occupies.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.parallelism.total_gpus()
+    }
+
+    /// A stable total order over points, used to keep enumeration and
+    /// reporting deterministic regardless of evaluation order.
+    #[must_use]
+    pub fn sort_key(&self) -> (usize, usize, usize, usize, bool, u8) {
+        let p = self.parallelism;
+        (
+            p.tp,
+            p.pp,
+            p.dp,
+            p.microbatch,
+            p.sp,
+            precision_rank(self.precision),
+        )
+    }
+}
+
+/// Stable rank of a precision for ordering (widest first, like
+/// [`Precision::all`]).
+fn precision_rank(p: Precision) -> u8 {
+    Precision::all()
+        .iter()
+        .position(|q| *q == p)
+        .map_or(u8::MAX, |i| i as u8)
+}
+
+impl core::fmt::Display for StrategyPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ubatch={} {}",
+            self.parallelism, self.parallelism.microbatch, self.precision
+        )
+    }
+}
+
+/// The workload a sweep optimizes for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// One training batch.
+    Training {
+        /// Global batch size (samples).
+        batch: usize,
+        /// Sequence length.
+        seq: usize,
+        /// Activation recomputation strategy.
+        recompute: RecomputeMode,
+        /// Pipeline schedule.
+        schedule: PipelineSchedule,
+    },
+    /// One serving request batch (prefill + auto-regressive decode).
+    Inference {
+        /// Serving batch size.
+        batch: usize,
+        /// Prompt length in tokens.
+        prefill: usize,
+        /// Generated tokens.
+        generate: usize,
+    },
+}
+
+impl Workload {
+    /// A training workload with the paper's defaults (1F1B, selective
+    /// recomputation).
+    #[must_use]
+    pub fn training(batch: usize, seq: usize) -> Self {
+        Self::Training {
+            batch,
+            seq,
+            recompute: RecomputeMode::Selective,
+            schedule: PipelineSchedule::OneFOneB,
+        }
+    }
+
+    /// An inference workload.
+    #[must_use]
+    pub fn inference(batch: usize, prefill: usize, generate: usize) -> Self {
+        Self::Inference {
+            batch,
+            prefill,
+            generate,
+        }
+    }
+
+    /// Work units completed per execution: samples for training, generated
+    /// tokens for inference (the denominators of throughput and
+    /// cost-per-unit).
+    #[must_use]
+    pub fn work_units(&self) -> f64 {
+        match self {
+            Self::Training { batch, .. } => *batch as f64,
+            Self::Inference {
+                batch, generate, ..
+            } => (*batch * *generate) as f64,
+        }
+    }
+}
+
+/// Candidate axes of the sweep. Axes are sorted and deduplicated at
+/// enumeration time, and every combination is filtered through the
+/// validity rules of [`SweepSpace::enumerate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpace {
+    /// Largest total device count a strategy may occupy.
+    pub max_gpus: usize,
+    /// Tensor-parallel degrees to try.
+    pub tp: Vec<usize>,
+    /// Pipeline-parallel degrees to try.
+    pub pp: Vec<usize>,
+    /// Data-parallel degrees to try.
+    pub dp: Vec<usize>,
+    /// Microbatch sizes to try (training only).
+    pub microbatch: Vec<usize>,
+    /// Precisions to try (pruned to what the device supports).
+    pub precisions: Vec<Precision>,
+    /// Whether to include sequence-parallel variants of TP>1 points.
+    pub try_sequence_parallel: bool,
+}
+
+impl SweepSpace {
+    /// Power-of-two axes up to `max_gpus`, FP16/BF16, with SP variants —
+    /// the space the paper's Megatron-style configurations live in.
+    #[must_use]
+    pub fn power_of_two(max_gpus: usize) -> Self {
+        assert!(max_gpus > 0, "sweep needs at least one device");
+        let pows = |cap: usize| -> Vec<usize> {
+            (0..)
+                .map(|e| 1usize << e)
+                .take_while(|v| *v <= cap)
+                .collect()
+        };
+        Self {
+            max_gpus,
+            tp: pows(max_gpus),
+            pp: pows(max_gpus),
+            dp: pows(max_gpus),
+            microbatch: vec![1, 2, 4, 8],
+            precisions: vec![Precision::Fp16, Precision::Bf16],
+            try_sequence_parallel: true,
+        }
+    }
+
+    /// Overrides the precision axis.
+    #[must_use]
+    pub fn with_precisions(mut self, precisions: Vec<Precision>) -> Self {
+        self.precisions = precisions;
+        self
+    }
+
+    /// Enumerates every **valid** strategy point, in a deterministic order
+    /// that does not depend on thread count or hash state.
+    ///
+    /// A point survives pruning when:
+    ///
+    /// * the TP group fits in one node and divides both the query-head and
+    ///   KV-head counts (a head cannot be split across TP ranks);
+    /// * PP divides the layer count;
+    /// * `dp · microbatch` divides the training batch (inference strategies
+    ///   are TP-only: `dp = pp = microbatch = 1`);
+    /// * the device supports the precision;
+    /// * the total device count is within `max_gpus`;
+    /// * the per-device memory footprint (weights, optimizer state,
+    ///   activations / KV-cache) fits the device DRAM capacity.
+    #[must_use]
+    pub fn enumerate(
+        &self,
+        model: &ModelConfig,
+        cluster: &ClusterSpec,
+        workload: &Workload,
+    ) -> Vec<StrategyPoint> {
+        let device = cluster.accelerator();
+        let gpus_per_node = cluster.node.gpus_per_node;
+
+        let mut tp_axis = self.sorted_axis(&self.tp);
+        tp_axis.retain(|&tp| {
+            tp <= gpus_per_node
+                && model.heads.is_multiple_of(tp)
+                && model.kv_heads().is_multiple_of(tp)
+        });
+        let mut pp_axis = self.sorted_axis(&self.pp);
+        pp_axis.retain(|&pp| model.layers.is_multiple_of(pp) && pp <= self.max_gpus);
+        let dp_axis = self.sorted_axis(&self.dp);
+        let mb_axis = self.sorted_axis(&self.microbatch);
+        let precisions: Vec<Precision> = {
+            let mut ps: Vec<Precision> = self
+                .precisions
+                .iter()
+                .copied()
+                .filter(|&p| device.peak(p).is_ok())
+                .collect();
+            ps.sort_by_key(|&p| precision_rank(p));
+            ps.dedup();
+            ps
+        };
+
+        let mut points = Vec::new();
+        match workload {
+            Workload::Training {
+                batch,
+                seq,
+                recompute,
+                schedule,
+            } => {
+                for &tp in &tp_axis {
+                    for &pp in &pp_axis {
+                        for &dp in &dp_axis {
+                            if dp * tp * pp > self.max_gpus {
+                                continue;
+                            }
+                            for &mb in &mb_axis {
+                                if !batch.is_multiple_of(dp * mb) {
+                                    continue;
+                                }
+                                for sp in self.sp_variants(tp) {
+                                    let parallelism = Parallelism::new(dp, tp, pp)
+                                        .with_sp(sp)
+                                        .with_microbatch(mb);
+                                    for &precision in &precisions {
+                                        let spec = TrainingMemorySpec {
+                                            batch: *batch,
+                                            seq: *seq,
+                                            parallelism,
+                                            schedule: *schedule,
+                                            precision,
+                                            recompute: *recompute,
+                                        };
+                                        let fits = training_memory(model, &spec)
+                                            .is_ok_and(|m| m.fits(device.dram.capacity));
+                                        if fits {
+                                            points.push(StrategyPoint {
+                                                parallelism,
+                                                precision,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Workload::Inference {
+                batch,
+                prefill,
+                generate,
+            } => {
+                let context = prefill + generate;
+                for &tp in &tp_axis {
+                    if tp > self.max_gpus {
+                        continue;
+                    }
+                    let parallelism = Parallelism::tensor_parallel(tp);
+                    for &precision in &precisions {
+                        let memory = inference_memory(model, *batch, context, tp, precision);
+                        if memory.fits(device.dram.capacity) {
+                            points.push(StrategyPoint {
+                                parallelism,
+                                precision,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        points.sort_by_key(StrategyPoint::sort_key);
+        points.dedup();
+        points
+    }
+
+    fn sorted_axis(&self, axis: &[usize]) -> Vec<usize> {
+        let mut out: Vec<usize> = axis.iter().copied().filter(|&v| v > 0).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// SP variants to try for a TP degree: plain TP always; the
+    /// sequence-parallel variant only where SP differs (TP > 1).
+    fn sp_variants(&self, tp: usize) -> impl Iterator<Item = bool> {
+        let with_sp = self.try_sequence_parallel && tp > 1;
+        core::iter::once(false).chain(with_sp.then_some(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    #[test]
+    fn axes_are_deduplicated_and_sorted() {
+        let mut space = SweepSpace::power_of_two(8);
+        space.tp = vec![8, 1, 2, 2, 4];
+        let points = space.enumerate(
+            &models::llama2_13b(),
+            &presets::dgx_a100_hdr_cluster(),
+            &Workload::inference(1, 200, 200),
+        );
+        let tps: Vec<usize> = points.iter().map(|p| p.parallelism.tp).collect();
+        assert!(
+            tps.windows(2).all(|w| w[0] <= w[1]),
+            "inference axis must come out sorted: {tps:?}"
+        );
+        assert_eq!(points.len(), {
+            let mut unique = points.clone();
+            unique.dedup();
+            unique.len()
+        });
+    }
+
+    #[test]
+    fn tp_respects_head_divisibility() {
+        // GPT-22B has 64 heads; Llama2-70B has 64 query heads but only
+        // 8 KV heads, so TP is capped by both.
+        let space = SweepSpace::power_of_two(64);
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let points = space.enumerate(
+            &models::llama2_70b(),
+            &cluster,
+            &Workload::inference(1, 200, 200),
+        );
+        assert!(points.iter().all(|p| models::llama2_70b()
+            .kv_heads()
+            .is_multiple_of(p.parallelism.tp)));
+    }
+
+    #[test]
+    fn pp_must_divide_layers() {
+        let space = SweepSpace::power_of_two(64);
+        let cluster = presets::dgx_a100_hdr_cluster();
+        // Llama2-13B has 40 layers: pp ∈ {1, 2, 4, 8} from the
+        // power-of-two axis (16 does not divide 40).
+        let points = space.enumerate(
+            &models::llama2_13b(),
+            &cluster,
+            &Workload::training(64, 2048),
+        );
+        assert!(points.iter().all(|p| 40 % p.parallelism.pp == 0));
+        assert!(points.iter().any(|p| p.parallelism.pp == 8));
+        assert!(!points.iter().any(|p| p.parallelism.pp == 16));
+    }
+
+    #[test]
+    fn memory_overflow_is_pruned() {
+        // GPT-175B on a single device can never fit: every surviving
+        // point must use many GPUs.
+        let space = SweepSpace::power_of_two(64);
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let points = space.enumerate(&models::gpt_175b(), &cluster, &Workload::training(64, 2048));
+        assert!(!points.is_empty(), "some sharded config must fit");
+        assert!(
+            points.iter().all(|p| p.gpus() >= 16),
+            "a 175B model cannot train on a handful of 80 GB devices"
+        );
+    }
+
+    #[test]
+    fn batch_divisibility_is_enforced() {
+        let space = SweepSpace::power_of_two(8);
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let points = space.enumerate(
+            &models::llama2_13b(),
+            &cluster,
+            &Workload::training(6, 2048),
+        );
+        for p in &points {
+            assert!(
+                6 % (p.parallelism.dp * p.parallelism.microbatch) == 0,
+                "{p}"
+            );
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the sweep engine's headline guarantees: the
+//! acceptance-scale strategy count, byte-identical results across thread
+//! counts and repeated runs, and Pareto-frontier minimality.
+
+use optimus_hw::presets;
+use optimus_model::presets as models;
+use optimus_sweep::{dominates, SweepEngine, SweepSpace, Workload};
+
+/// The paper's headline question at acceptance scale: Llama2-13B training
+/// on a DGX-A100 cluster must yield well over 200 valid strategies.
+#[test]
+fn llama13b_on_a100_enumerates_hundreds_of_strategies() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let space = SweepSpace::power_of_two(64);
+    let points = space.enumerate(
+        &models::llama2_13b(),
+        &cluster,
+        &Workload::training(64, 2048),
+    );
+    assert!(
+        points.len() >= 200,
+        "expected ≥200 valid strategies, got {}",
+        points.len()
+    );
+}
+
+/// The full report — every row, every field — must be byte-identical when
+/// evaluated on one thread and on many, and across repeated runs.
+///
+/// Explicit `ThreadPoolBuilder::install` scopes (not `RAYON_NUM_THREADS`
+/// mutation) pin the pool size, so the comparison also holds against real
+/// rayon, whose global pool reads the environment only once.
+#[test]
+fn report_is_byte_identical_across_thread_counts_and_runs() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let engine = SweepEngine::new(&cluster);
+    let model = models::llama2_13b();
+    let workload = Workload::training(32, 2048);
+    let space = SweepSpace::power_of_two(32);
+    let run = || serde_json::to_string(&engine.sweep(&model, &workload, &space)).unwrap();
+    let pool = |n: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    };
+
+    let single = pool(1).install(run);
+    let seven = pool(7).install(run);
+    let default_threads = run();
+    let repeat = run();
+
+    assert_eq!(single, seven, "1 thread vs 7 threads");
+    assert_eq!(single, default_threads, "1 thread vs default threads");
+    assert_eq!(default_threads, repeat, "repeated runs");
+}
+
+/// No frontier point may dominate another (minimality), and every
+/// evaluated point must be dominated by or equal to something on the
+/// frontier (completeness).
+#[test]
+fn frontier_is_minimal_and_complete() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let report = SweepEngine::new(&cluster).sweep(
+        &models::llama2_13b(),
+        &Workload::training(64, 2048),
+        &SweepSpace::power_of_two(64),
+    );
+    assert!(!report.frontier.is_empty());
+
+    for (i, a) in report.frontier.iter().enumerate() {
+        for (j, b) in report.frontier.iter().enumerate() {
+            if i != j {
+                assert!(
+                    !dominates(a, b),
+                    "frontier point {i} dominates frontier point {j}"
+                );
+            }
+        }
+    }
+
+    for p in &report.evaluated {
+        let covered = report
+            .frontier
+            .iter()
+            .any(|f| dominates(f, p) || (f.latency == p.latency && f.cost_usd == p.cost_usd));
+        assert!(
+            covered,
+            "evaluated point {:?} escapes the frontier",
+            p.point
+        );
+    }
+}
+
+/// Sequence-parallel variants appear only for TP > 1, and every strategy
+/// respects the cluster's node size.
+#[test]
+fn structural_invariants_hold() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let report = SweepEngine::new(&cluster).sweep(
+        &models::llama2_13b(),
+        &Workload::training(64, 2048),
+        &SweepSpace::power_of_two(64),
+    );
+    for row in &report.evaluated {
+        let p = row.point.parallelism;
+        assert!(p.tp <= cluster.node.gpus_per_node);
+        assert!(!(p.sp && p.tp == 1), "SP without TP is a duplicate point");
+        assert!(row.gpus <= 64);
+        assert!(row.memory_per_device <= cluster.accelerator().dram.capacity);
+    }
+}
+
+/// The sweep JSON round-trips through the serialization layer.
+#[test]
+fn report_roundtrips_through_json() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let report = SweepEngine::new(&cluster).sweep(
+        &models::llama2_13b(),
+        &Workload::inference(1, 200, 8),
+        &SweepSpace::power_of_two(8),
+    );
+    let json = serde_json::to_string(&report).unwrap();
+    let back: optimus_sweep::SweepReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}

@@ -221,18 +221,24 @@ mod tests {
         );
         let base_peak = engine.baseline().peak(Precision::Fp16).unwrap();
         let synth_peak = synth.peak(Precision::Fp16).unwrap();
-        assert!((synth_peak / base_peak - 1.0).abs() < 1e-9, "compute roundtrip");
+        assert!(
+            (synth_peak / base_peak - 1.0).abs() < 1e-9,
+            "compute roundtrip"
+        );
         let base_l2 = engine.baseline().level(MemoryLevelKind::L2).unwrap();
         let synth_l2 = synth.level(MemoryLevelKind::L2).unwrap().capacity;
-        assert!((synth_l2 / base_l2.capacity - 1.0).abs() < 1e-9, "L2 roundtrip");
+        assert!(
+            (synth_l2 / base_l2.capacity - 1.0).abs() < 1e-9,
+            "L2 roundtrip"
+        );
     }
 
     #[test]
     fn compute_is_power_limited_on_advanced_nodes() {
         let engine = UArchEngine::a100_at_n7();
         let n5 = engine.synthesize_at_node(TechNode::N5, DramTechnology::Hbm2e);
-        let peak_ratio = n5.peak(Precision::Fp16).unwrap()
-            / engine.baseline().peak(Precision::Fp16).unwrap();
+        let peak_ratio =
+            n5.peak(Precision::Fp16).unwrap() / engine.baseline().peak(Precision::Fp16).unwrap();
         // Power factor 1.3 binds, not the 1.8 area factor.
         assert!((peak_ratio - 1.3).abs() < 1e-9, "got {peak_ratio}");
     }

@@ -150,9 +150,8 @@ impl<'a> TrainingEstimator<'a> {
         // --- TP/SP collectives per layer per microbatch -------------------
         // Block outputs are the full microbatch activation s·b·h at the
         // training precision.
-        let act_volume = Bytes::new(
-            (p.microbatch * cfg.seq * cfg.model.hidden) as f64 * cfg.precision.bytes(),
-        );
+        let act_volume =
+            Bytes::new((p.microbatch * cfg.seq * cfg.model.hidden) as f64 * cfg.precision.bytes());
         let tp_per_layer = plan.tp_layer_forward(act_volume) + plan.tp_layer_backward(act_volume);
 
         // --- embedding + LM head (first/last stage), amortized ------------
@@ -161,7 +160,9 @@ impl<'a> TrainingEstimator<'a> {
             .chain(graph::head_ops(&cfg.model, &gp))
             .collect();
         // Backward of the head/embedding roughly doubles it.
-        let emb_head_cost = self.ops_cost_at(&roofline, &emb_head_ops, cfg.precision)?.scaled(3.0);
+        let emb_head_cost = self
+            .ops_cost_at(&roofline, &emb_head_ops, cfg.precision)?
+            .scaled(3.0);
         let t_emb_head = emb_head_cost.time;
 
         // --- pipeline assembly --------------------------------------------
@@ -183,8 +184,7 @@ impl<'a> TrainingEstimator<'a> {
         let weight_update = self.weight_update_time(cfg, params_per_device);
 
         // --- aggregate -------------------------------------------------------
-        let compute = (layer_time * layers_per_stage as f64 + stage_extra)
-            * microbatches as f64;
+        let compute = (layer_time * layers_per_stage as f64 + stage_extra) * microbatches as f64;
         let tp_comm = stage_tp * microbatches as f64;
         let pp_comm = p2p_per_ubatch * microbatches as f64;
         let breakdown = TrainingBreakdown {
@@ -200,7 +200,8 @@ impl<'a> TrainingEstimator<'a> {
         // --- per-device energy-relevant totals ---------------------------
         let ubatches = microbatches as f64;
         let device_flops = FlopCount::new(
-            (layer_cost.flops.get() * layers_per_stage as f64 + emb_head_cost.flops.get() / p.pp as f64)
+            (layer_cost.flops.get() * layers_per_stage as f64
+                + emb_head_cost.flops.get() / p.pp as f64)
                 * ubatches,
         );
         let optimizer_traffic =
@@ -265,9 +266,12 @@ impl<'a> TrainingEstimator<'a> {
             let cost = match op.kind {
                 OpKind::Gemm(g) => roofline.batched_gemm(g, precision)?,
                 OpKind::Eltwise(e) => roofline.eltwise(e),
-                OpKind::Flash(fa) => {
-                    roofline.custom_kernel("flash-attention", fa.flops(), &fa.traffic(), precision)?
-                }
+                OpKind::Flash(fa) => roofline.custom_kernel(
+                    "flash-attention",
+                    fa.flops(),
+                    &fa.traffic(),
+                    precision,
+                )?,
             };
             total.time += cost.total();
             total.flops += cost.flops;

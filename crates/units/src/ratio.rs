@@ -81,7 +81,8 @@ impl Eq for Ratio {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for Ratio {
     fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        self.partial_cmp(other).expect("NaN rejected at construction")
+        self.partial_cmp(other)
+            .expect("NaN rejected at construction")
     }
 }
 

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let cost = CostModel::a100_system().training_cost(&report, &energy, 64);
     println!("cost: {cost}");
-    println!(
-        "  => {:.0} samples per dollar\n",
-        cost.perf_per_usd(64.0)
-    );
+    println!("  => {:.0} samples per dollar\n", cost.perf_per_usd(64.0));
 
     // --- inference: energy per generated token ----------------------------
     let serving = InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), 1);

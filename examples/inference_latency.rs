@@ -20,8 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "TP", "total ms", "prefill", "decode", "memory", "comm"
         );
         for tp in [1usize, 2, 4, 8] {
-            let cfg =
-                InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), tp);
+            let cfg = InferenceConfig::nvidia_llama_benchmark(model::presets::llama2_13b(), tp);
             let r = InferenceEstimator::new(cluster).estimate(&cfg)?;
             println!(
                 "{:>4} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
@@ -42,7 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = InferenceEstimator::new(cluster).estimate(&cfg)?;
     println!("decode-layer GEMMs at full context (A100, TP=1):");
     for g in &r.decode_gemms {
-        println!("  {:<20} {:>10.1} us  {}", g.role.to_string(), g.time.micros(), g.bound);
+        println!(
+            "  {:<20} {:>10.1} us  {}",
+            g.role.to_string(),
+            g.time.micros(),
+            g.bound
+        );
     }
     println!(
         "\nweights {:.1} GB + KV-cache {:.2} GB per device",

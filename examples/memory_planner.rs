@@ -11,7 +11,11 @@ use optimus_suite as optimus;
 fn main() {
     let capacity = Bytes::from_gb(80.0);
     let models = [
-        (model::presets::gpt_175b(), 64usize, Parallelism::new(1, 8, 8)),
+        (
+            model::presets::gpt_175b(),
+            64usize,
+            Parallelism::new(1, 8, 8),
+        ),
         (model::presets::gpt_530b(), 280, Parallelism::new(1, 8, 35)),
         (model::presets::gpt_1008b(), 512, Parallelism::new(1, 8, 64)),
     ];

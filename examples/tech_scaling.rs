@@ -63,9 +63,10 @@ fn main() {
         let baseline_s = training_time(&mk_cluster(baseline_acc));
 
         // DSE: re-balance compute vs. SRAM area at this node.
-        let result = GradientDescent::default().minimize(&SearchSpace::default(), |alloc: Allocation| {
-            training_time(&mk_cluster(engine.synthesize(node, budget, alloc, dram)))
-        });
+        let result =
+            GradientDescent::default().minimize(&SearchSpace::default(), |alloc: Allocation| {
+                training_time(&mk_cluster(engine.synthesize(node, budget, alloc, dram)))
+            });
 
         println!(
             "{:>5} {:>12.0} {:>12.1} {:>14.3} {:>12.3} {:>7.0}%/{:.0}%",

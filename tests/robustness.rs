@@ -39,7 +39,10 @@ fn unsupported_precision_is_a_clean_error() {
         .with_precision(Precision::Fp4);
     let err = TrainingEstimator::new(&a100()).estimate(&cfg).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("FP4"), "error should name the precision: {msg}");
+    assert!(
+        msg.contains("FP4"),
+        "error should name the precision: {msg}"
+    );
     assert!(msg.contains("A100"), "error should name the device: {msg}");
 }
 
@@ -123,7 +126,11 @@ fn report_invariants_hold_across_a_config_sweep() {
         );
         assert!(report.device_flops.get() > 0.0);
         assert!(report.dram_traffic.bytes() > 0.0);
-        assert!(report.mfu > 0.05 && report.mfu < 0.95, "{dp}-{tp}-{pp}: MFU {}", report.mfu);
+        assert!(
+            report.mfu > 0.05 && report.mfu < 0.95,
+            "{dp}-{tp}-{pp}: MFU {}",
+            report.mfu
+        );
     }
 }
 

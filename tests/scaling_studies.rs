@@ -35,7 +35,10 @@ fn fig5_speedups_track_the_papers_chain() {
     // The headline: B200-NVS-L lands in the ~25-45x band ("~35x speed-up
     // closely following NVIDIA's scaling trend").
     let total = speedup("B200-NVS-L");
-    assert!((20.0..50.0).contains(&total), "A100→B200 speedup {total:.1}x");
+    assert!(
+        (20.0..50.0).contains(&total),
+        "A100→B200 speedup {total:.1}x"
+    );
     // B200 at FP4 with NDR roughly triples H100-NDR at FP8 (§5.2: "boosts
     // the performance by 3x with NDR IB").
     let b200_over_h100 = speedup("B200-NDR") / speedup("H100-NDR");
@@ -71,8 +74,10 @@ fn fig7_memory_boundedness_grows_with_node_scaling() {
             .memory_fraction()
     };
     use optimus_suite as optimus;
-    assert!(at_n1(optimus::hw::memtech::DramTechnology::Hbm2)
-        > at_n1(optimus::hw::memtech::DramTechnology::Hbm4));
+    assert!(
+        at_n1(optimus::hw::memtech::DramTechnology::Hbm2)
+            > at_n1(optimus::hw::memtech::DramTechnology::Hbm4)
+    );
 }
 
 #[test]
@@ -152,9 +157,7 @@ fn fig9_h100_reference_lines_beat_projected_a100_hbm3e() {
     let h100 = fig9::h100_reference();
     let a100_hbm3e_8 = bars
         .iter()
-        .find(|b| {
-            b.dram == optimus::hw::memtech::DramTechnology::Hbm3e && b.gpus == 8
-        })
+        .find(|b| b.dram == optimus::hw::memtech::DramTechnology::Hbm3e && b.gpus == 8)
         .unwrap()
         .total_s();
     assert!(h100.eight_gpu_s < a100_hbm3e_8);

@@ -1,0 +1,151 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the `Criterion::bench_function` / `Bencher::iter` surface
+//! plus the `criterion_group!`/`criterion_main!` macros, backed by a
+//! simple median-of-samples timer instead of criterion's statistical
+//! machinery. Good enough to compare orders of magnitude between runs and
+//! to keep `cargo bench` green offline; swap the manifest back to the
+//! real crate for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box, matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 12 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark (builder form,
+    /// matching `criterion::Criterion::sample_size`).
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        self.samples = samples;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark, printing its median
+    /// per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            per_iter: Vec::with_capacity(self.samples),
+        };
+        for _ in 0..self.samples {
+            f(&mut bencher);
+        }
+        let median = bencher.median();
+        println!("bench: {id:<44} {}", format_duration(median));
+        self
+    }
+}
+
+/// Hands the closure under measurement to the driver.
+pub struct Bencher {
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of the closure, adaptively choosing an iteration
+    /// count so fast closures are measured over a meaningful window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: aim for ~2 ms per sample, capped for slow closures.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.per_iter.push(start.elapsed() / iters as u32);
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.per_iter.is_empty() {
+            return Duration::ZERO;
+        }
+        self.per_iter.sort();
+        self.per_iter[self.per_iter.len() / 2]
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a function running a group of benchmarks, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(1500)).ends_with("ms"));
+    }
+}

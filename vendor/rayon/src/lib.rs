@@ -1,0 +1,318 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset the sweep engine uses —
+//! `into_par_iter()` / `par_iter()` followed by `map(..).collect()` — on
+//! top of `std::thread::scope`. Work is split into contiguous chunks, one
+//! per worker, and results are concatenated **in input order**, so a
+//! parallel map returns exactly what the sequential map would (the
+//! determinism property `optimus-sweep` tests rely on).
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set (the same
+//! environment variable the real crate honors), else from
+//! `std::thread::available_parallelism`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+std::thread_local! {
+    /// Thread count forced by an enclosing [`ThreadPool::install`] call.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a parallel iterator will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Error building a thread pool (the stub cannot actually fail; the type
+/// exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl core::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for explicit pool sizes.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (environment-driven) size.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker-thread count (0 = default sizing).
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stub; the `Result` mirrors the real signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped worker pool: inside [`ThreadPool::install`], parallel
+/// iterators use this pool's thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing parallel
+    /// iterators started from the calling thread. The previous setting is
+    /// restored even if `f` panics.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(|c| c.replace(self.num_threads)));
+        f()
+    }
+
+    /// This pool's configured thread count (0 = default sizing).
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Parallel-iterator traits and adapters.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion of an owned collection into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// The parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Conversion of `&collection` into a parallel iterator of references.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: Send;
+        /// The parallel iterator.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    /// An eager parallel iterator over owned items.
+    pub struct ParIter<I> {
+        items: Vec<I>,
+    }
+
+    impl<I: Send> ParIter<I> {
+        /// Maps each element through `f` on the worker pool.
+        pub fn map<O, F>(self, f: F) -> MapParIter<I, F>
+        where
+            O: Send,
+            F: Fn(I) -> O + Sync,
+        {
+            MapParIter {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Number of elements.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// Whether the iterator is empty.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// The `map` adapter; terminal `collect` runs the pool.
+    pub struct MapParIter<I, F> {
+        items: Vec<I>,
+        f: F,
+    }
+
+    impl<I, O, F> MapParIter<I, F>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        /// Runs the map on the worker pool and collects results in input
+        /// order.
+        pub fn collect<C: FromParallelIterator<O>>(self) -> C {
+            C::from_ordered_vec(parallel_map(self.items, &self.f))
+        }
+    }
+
+    /// Collections buildable from an ordered parallel map result.
+    pub trait FromParallelIterator<O> {
+        /// Builds the collection from results already in input order.
+        fn from_ordered_vec(items: Vec<O>) -> Self;
+    }
+
+    impl<O> FromParallelIterator<O> for Vec<O> {
+        fn from_ordered_vec(items: Vec<O>) -> Self {
+            items
+        }
+    }
+
+    /// Chunked order-preserving parallel map.
+    fn parallel_map<I, O, F>(items: Vec<I>, f: &F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let n = items.len();
+        let workers = current_num_threads().min(n.max(1));
+        if workers <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Split into contiguous chunks, one per worker; keep chunk index so
+        // results can be reassembled in input order.
+        let chunk_size = n.div_ceil(workers);
+        let mut chunks: Vec<(usize, Vec<I>)> = Vec::with_capacity(workers);
+        let mut rest = items;
+        let mut index = 0;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(chunk_size));
+            chunks.push((index, rest));
+            rest = tail;
+            index += 1;
+        }
+        let mut results: Vec<(usize, Vec<O>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(i, chunk)| {
+                    scope.spawn(move || (i, chunk.into_iter().map(f).collect::<Vec<O>>()))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        results.sort_by_key(|(i, _)| *i);
+        results.into_iter().flat_map(|(_, v)| v).collect()
+    }
+}
+
+/// The glob import used by rayon callers.
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::ParallelIterator;
+}
+
+pub use iter::{IntoParallelIterator, IntoParallelRefIterator};
+
+/// Alias so callers can name the iterator family the way real rayon does.
+pub use iter::ParIter as ParallelIterator;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let sequential: Vec<usize> = input.iter().map(|x| x * 3).collect();
+        let parallel: Vec<usize> = input.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn par_iter_over_references() {
+        let input: Vec<String> = (0..64).map(|i| format!("x{i}")).collect();
+        let lens: Vec<usize> = input.par_iter().map(String::len).collect();
+        assert_eq!(lens.len(), 64);
+        assert_eq!(lens[0], 2);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        let nested: Vec<usize> = pool.install(|| {
+            (0..100usize)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|x| x + 1)
+                .collect()
+        });
+        assert_eq!(nested[99], 100);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![7u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small serialization framework that is **API-compatible with the subset
+//! of serde this codebase uses**: `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(transparent)]`, and the `serde::Serialize` /
+//! `serde::de::DeserializeOwned` bounds taken by `serde_json`.
+//!
+//! Instead of serde's zero-copy visitor architecture, this stand-in
+//! round-trips everything through a [`Value`] tree — entirely adequate for
+//! the configuration and report types of an analytical model, and two
+//! orders of magnitude simpler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the interchange format of the stand-in.
+///
+/// Object fields keep insertion order (like `serde_json`'s
+/// `preserve_order` feature), so serialized structs list fields in
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// A shared `Null` to return references to.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up a key of an object; `None` for missing keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, returning `Null` when absent — how the derive
+    /// treats missing fields, so `Option` fields deserialize to `None`.
+    #[must_use]
+    pub fn field_or_null(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+
+    /// A short description of the value's type for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error: a rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl core::fmt::Display) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses an instance out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization-side re-exports mirroring `serde::de`.
+pub mod de {
+    pub use crate::Deserialize;
+    /// In real serde `DeserializeOwned` lifts the `Deserialize<'de>`
+    /// lifetime; the stand-in's `Deserialize` already owns everything.
+    pub use crate::Deserialize as DeserializeOwned;
+    pub use crate::Error;
+}
+
+/// Serialization-side re-exports mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Error;
+    pub use crate::Serialize;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    #[allow(clippy::cast_possible_truncation)]
+                    Value::Num(n) => Ok(*n as $ty),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f64, f32);
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            /// Like real `serde_json`, integer targets reject fractional
+            /// and out-of-range numbers instead of truncating them. The
+            /// value-tree stores numbers as `f64`, so integers are also
+            /// confined to the exactly-representable ±2^53 range (`MAX as
+            /// f64` rounds up for 64-bit types, which would otherwise let
+            /// out-of-range values saturate through the cast).
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const EXACT_F64_INT: f64 = 9_007_199_254_740_992.0; // 2^53
+                match v {
+                    Value::Num(n)
+                        if n.fract() == 0.0
+                            && n.abs() <= EXACT_F64_INT
+                            && *n >= <$ty>::MIN as f64
+                            && *n <= <$ty>::MAX as f64 =>
+                    {
+                        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                        Ok(*n as $ty)
+                    }
+                    Value::Num(n) => Err(Error::custom(format!(
+                        concat!("number {} does not fit ", stringify!($ty)),
+                        n
+                    ))),
+                    other => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    /// Maps serialize as JSON objects; keys must serialize to strings
+    /// (plain strings or unit enum variants), as in `serde_json`.
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => panic!("map key must serialize to a string, got {}", other.kind()),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::custom(format!(
+                "expected 2-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            other => Err(Error::custom(format!(
+                "expected 3-element array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.get("a"), Some(&Value::Num(1.0)));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(v.field_or_null("b"), &Value::Null);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3usize).to_value(), Value::Num(3.0));
+        assert_eq!(Option::<usize>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<usize>::from_value(&Value::Num(3.0)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let v = (1.5f64, 2.5f64).to_value();
+        let back: (f64, f64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (1.5, 2.5));
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` generates visitor-based implementations against
+//! serde's `Serializer`/`Deserializer` traits. This workspace vendors a
+//! value-tree serde (see `vendor/serde`), so the derive here is much
+//! simpler: it parses the container definition by hand (no `syn`/`quote`
+//! in an offline build) and emits `to_value`/`from_value` implementations.
+//!
+//! Supported container shapes — exactly the ones used in this workspace:
+//!
+//! * structs with named fields;
+//! * single-field tuple structs (newtypes), which serialize transparently
+//!   like real serde newtype structs;
+//! * enums with unit variants and struct variants (externally tagged).
+//!
+//! The only recognized container attribute is `#[serde(transparent)]`.
+//! Generics are intentionally unsupported; the workspace derives only on
+//! plain owned types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (value-tree) trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree) trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// A variant body: unit, a single unnamed field, or named fields.
+enum VariantShape {
+    Unit,
+    Newtype,
+    Named(Vec<String>),
+}
+
+/// The parsed container definition.
+enum Container {
+    /// `struct Name { a: A, b: B }`
+    Struct {
+        name: String,
+        fields: Vec<String>,
+        transparent: bool,
+    },
+    /// `struct Name(Inner);`
+    Newtype { name: String },
+    /// `enum Name { Unit, Struct { f: F } }`
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
+}
+
+fn parse(input: TokenStream) -> Container {
+    let mut tokens = input.into_iter().peekable();
+    let mut transparent = false;
+
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") && body.contains("transparent") {
+                        transparent = true;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Skip a `(crate)`-style restriction if present.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected container name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) stub does not support generic containers");
+    }
+
+    match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Container::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+                transparent,
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_top_level_fields(g.stream());
+            assert!(
+                arity == 1,
+                "tuple struct `{name}` has {arity} fields; only newtypes are supported"
+            );
+            Container::Newtype { name }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Container::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            }
+        }
+        (k, other) => panic!("unsupported container `{k}` body: {other:?}"),
+    }
+}
+
+/// Parses `attr* vis? ident : Type ,` sequences, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+                continue;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let field = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                _ => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple-struct body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => saw_token = true,
+        }
+    }
+    fields + usize::from(saw_token)
+}
+
+/// Parses `attr* Ident body? ,` variant sequences.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+                continue;
+            }
+            _ => {}
+        }
+        let variant = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                assert!(
+                    arity == 1,
+                    "tuple enum variant `{variant}` has {arity} fields; only newtype \
+                     variants are supported"
+                );
+                tokens.next();
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((variant, shape));
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    variants
+}
+
+fn named_to_value(fields: &[String], access_prefix: &str) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+fn named_from_value(fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({source}.field_or_null(\"{f}\"))?"))
+        .collect();
+    format!("{{ {} }}", inits.join(", "))
+}
+
+fn gen_serialize(container: &Container) -> String {
+    match container {
+        Container::Struct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let body = if *transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            } else {
+                named_to_value(fields, "self.")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+            )
+        }
+        Container::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }} }}"
+        ),
+        Container::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    ),
+                    VariantShape::Newtype => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(__f0))])"
+                    ),
+                    VariantShape::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let inner = named_to_value(fields, "");
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => ::serde::Value::Object(\
+                             ::std::vec![(::std::string::String::from(\"{v}\"), {inner})])"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                 fn to_value(&self) -> ::serde::Value {{ \
+                 match self {{ {} }} }} }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(container: &Container) -> String {
+    match container {
+        Container::Struct {
+            name,
+            fields,
+            transparent,
+        } => {
+            let body = if *transparent && fields.len() == 1 {
+                format!(
+                    "::core::result::Result::Ok(Self {{ {}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    fields[0]
+                )
+            } else {
+                format!(
+                    "::core::result::Result::Ok(Self {})",
+                    named_from_value(fields, "__v")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+            )
+        }
+        Container::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::Error> {{ \
+             ::core::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?)) }} }}"
+        ),
+        Container::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => unit_arms.push(format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v})"
+                    )),
+                    VariantShape::Newtype => tagged_arms.push(format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?))"
+                    )),
+                    VariantShape::Named(fields) => tagged_arms.push(format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v} {})",
+                        named_from_value(fields, "__inner")
+                    )),
+                }
+            }
+            let unit_match = format!(
+                "match __s.as_str() {{ {}, _ => ::core::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __s))) }}",
+                if unit_arms.is_empty() {
+                    "\"\" if false => ::core::result::Result::Err(::serde::Error::custom(\"\"))"
+                        .to_owned()
+                } else {
+                    unit_arms.join(", ")
+                }
+            );
+            let tagged_match = format!(
+                "match __tag.as_str() {{ {}, _ => ::core::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __tag))) }}",
+                if tagged_arms.is_empty() {
+                    "\"\" if false => ::core::result::Result::Err(::serde::Error::custom(\"\"))"
+                        .to_owned()
+                } else {
+                    tagged_arms.join(", ")
+                }
+            );
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                 fn from_value(__v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{ \
+                 match __v {{ \
+                 ::serde::Value::Str(__s) => {unit_match}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = (&__pairs[0].0, &__pairs[0].1); \
+                 {tagged_match} }}, \
+                 _ => ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected a variant name or single-key object for enum {name}\")) \
+                 }} }} }}"
+            )
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored [`serde::Value`] tree to JSON text and parses JSON
+//! text back. Covers the workspace's needs: `to_string`,
+//! `to_string_pretty`, `from_str`, and the [`Value`] type with `get()`.
+//!
+//! Numbers are stored as `f64` (like JavaScript); integers up to 2^53
+//! round-trip exactly, and whole numbers are printed without a decimal
+//! point so `usize` fields look like integers in the output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+pub use serde::Error;
+pub use serde::Value;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// The value-tree stand-in cannot fail to serialize; the `Result` exists
+/// for signature compatibility with the real `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON with two-space indentation.
+///
+/// # Errors
+///
+/// See [`to_string`]; the stand-in cannot fail.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+/// Whole numbers in the `f64`-exact integer range print without a decimal
+/// point; everything else uses Rust's shortest-roundtrip float formatting.
+fn write_number(out: &mut String, n: f64) {
+    use core::fmt::Write as _;
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; match serde_json's `null` for non-finite.
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use core::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    /// Reads four hex digits starting at `at` as a UTF-16 code unit.
+    fn read_hex4(&self, at: usize) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        let hex = core::str::from_utf8(hex).map_err(|_| Error::custom("invalid \\u escape"))?;
+        u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let code = match code {
+                                // High surrogate: a `\uXXXX` low surrogate
+                                // must follow (UTF-16 pair, as serde_json
+                                // accepts).
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos + 1..self.pos + 3)
+                                        != Some(b"\\u".as_slice())
+                                    {
+                                        return Err(Error::custom(
+                                            "high surrogate without a following \\u escape",
+                                        ));
+                                    }
+                                    let low = self.read_hex4(self.pos + 3)?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(Error::custom(
+                                            "expected a low surrogate after a high surrogate",
+                                        ));
+                                    }
+                                    self.pos += 6;
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(Error::custom("unexpected lone low surrogate"))
+                                }
+                                other => other,
+                            };
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape {:?}",
+                                other.map(|b| b as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]`, got {:?}",
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                other => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}`, got {:?}",
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(to_string(&4.735f64).unwrap(), "4.735");
+        assert_eq!(to_string(&64usize).unwrap(), "64");
+        let x: f64 = from_str("1000000000.0").unwrap();
+        assert_eq!(x, 1e9);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x\n"], "b": null, "c": true}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Value::Null));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let escaped: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(escaped, "\u{1f600}");
+        let raw: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(raw, "\u{1f600}");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err(), "lone high");
+        assert!(from_str::<String>(r#""\ude00""#).is_err(), "lone low");
+    }
+
+    #[test]
+    fn integer_targets_reject_bad_numbers() {
+        assert!(from_str::<usize>("-1").is_err());
+        assert!(from_str::<usize>("2.7").is_err());
+        assert_eq!(from_str::<usize>("64").unwrap(), 64);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        // Beyond ±2^53 integers are not exactly representable in the f64
+        // value tree; they must error, not saturate (i64::MAX + 1 here).
+        assert!(from_str::<i64>("9223372036854775808").is_err());
+        assert!(from_str::<u64>("18446744073709551616").is_err());
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v: Value = from_str(r#"{"a": 1}"#).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+}
