@@ -223,6 +223,11 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
             "--top does not apply with --frontier-only".to_owned(),
         ));
     }
+    if args.flag("full") && (args.flag("frontier-only") || args.get("top").is_some()) {
+        return Err(ArgError(
+            "--full does not apply with --frontier-only or --top".to_owned(),
+        ));
+    }
 
     let workload = match args.get_or("workload", "train") {
         "train" | "training" => {
@@ -260,7 +265,7 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
         space = space.with_precisions(precisions);
     }
 
-    let report = SweepEngine::new(&cluster).sweep(&model, &workload, &space);
+    let mut report = SweepEngine::new(&cluster).sweep(&model, &workload, &space);
     if report.evaluated.is_empty() {
         return Err(ArgError(format!(
             "no valid strategy for {} on {} within {max_gpus} GPUs",
@@ -269,6 +274,22 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     }
 
     if args.flag("json") {
+        // JSON honors the same shaping flags as the text output:
+        // `--frontier-only` emits just the frontier array, `--top N` caps
+        // `evaluated` at the N lowest-latency strategies (0 = no cap, rows
+        // sorted by latency), and the default — spellable explicitly as
+        // `--full` — dumps the complete report in stable strategy order.
+        if args.flag("frontier-only") {
+            return serde_json::to_string_pretty(&report.frontier)
+                .map_err(|e| ArgError(e.to_string()));
+        }
+        if args.get("top").is_some() {
+            let top = args.get_usize("top", 20)?;
+            report.evaluated.sort_by_key(|r| r.latency);
+            if top > 0 {
+                report.evaluated.truncate(top);
+            }
+        }
         return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
     }
 
@@ -283,7 +304,12 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     );
     out.push_str(&render_frontier(&report));
     if !args.flag("frontier-only") {
-        let top = args.get_usize("top", 20)?;
+        // `--full` is the explicit spelling of an uncapped table (= --top 0).
+        let top = if args.flag("full") {
+            0
+        } else {
+            args.get_usize("top", 20)?
+        };
         if top == 0 {
             // `render_table` treats 0 as "no cap": label it accordingly.
             out.push_str(&format!(
@@ -336,8 +362,15 @@ USAGE:
   optimus-cli sweep  [--model M] [--cluster C] [--workload train|infer]
                      [--max-gpus N] [--batch N] [--seq N] [--prefill N]
                      [--generate N] [--recompute MODE] [--precisions P,P]
-                     [--top N] [--frontier-only] [--json]
+                     [--top N] [--frontier-only] [--full] [--json]
   optimus-cli list
+
+SWEEP OUTPUT SHAPING (text and JSON alike):
+  --frontier-only   only the Pareto frontier (JSON: the frontier array)
+  --top N           cap the strategy rows at the N lowest-latency entries
+                    (0 = no cap; JSON rows come out latency-sorted)
+  --full            the complete report — the default for --json, spelled
+                    out; for text, an uncapped table (default caps at 20)
 
 EXAMPLES:
   optimus-cli train --model gpt-175b --cluster a100-hdr --batch 64 \\
@@ -472,6 +505,74 @@ mod tests {
     fn sweep_rejects_top_with_frontier_only() {
         let err = sweep(&args("sweep --frontier-only --top 5")).unwrap_err();
         assert!(err.to_string().contains("does not apply"), "{err}");
+    }
+
+    #[test]
+    fn sweep_rejects_full_with_shaping_flags() {
+        for bad in ["sweep --full --top 5", "sweep --full --frontier-only"] {
+            let err = sweep(&args(bad)).unwrap_err();
+            assert!(err.to_string().contains("does not apply"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_json_respects_frontier_only() {
+        let base = "sweep --model llama2-13b --workload infer --generate 16 --max-gpus 8";
+        let full: serde_json::Value =
+            serde_json::from_str(&sweep(&args(&format!("{base} --json"))).unwrap()).unwrap();
+        let frontier_len = full.get("frontier").unwrap().as_array().unwrap().len();
+        let only: serde_json::Value =
+            serde_json::from_str(&sweep(&args(&format!("{base} --json --frontier-only"))).unwrap())
+                .unwrap();
+        let rows = only
+            .as_array()
+            .expect("--frontier-only emits the frontier array");
+        assert_eq!(rows.len(), frontier_len);
+        assert!(rows[0].get("latency").is_some());
+    }
+
+    #[test]
+    fn sweep_json_respects_top() {
+        let base = "sweep --model llama2-13b --workload train --batch 16 --max-gpus 16";
+        let top: serde_json::Value =
+            serde_json::from_str(&sweep(&args(&format!("{base} --json --top 3"))).unwrap())
+                .unwrap();
+        let rows = top.get("evaluated").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 3, "--top must cap the JSON rows");
+        // Rows come out latency-sorted: the cap keeps the fastest ones.
+        let lat = |v: &serde_json::Value| {
+            v.get("latency")
+                .and_then(|l| l.get("secs"))
+                .and_then(serde_json::Value::as_f64)
+                .or_else(|| v.get("latency").and_then(serde_json::Value::as_f64))
+                .expect("latency field")
+        };
+        assert!(lat(&rows[0]) <= lat(&rows[1]) && lat(&rows[1]) <= lat(&rows[2]));
+        assert!(
+            top.get("frontier").is_some(),
+            "frontier stays in the report"
+        );
+    }
+
+    #[test]
+    fn sweep_json_full_matches_default() {
+        let base = "sweep --model llama2-7b --workload infer --generate 8 --max-gpus 8";
+        let default = sweep(&args(&format!("{base} --json"))).unwrap();
+        let full = sweep(&args(&format!("{base} --json --full"))).unwrap();
+        assert_eq!(
+            default, full,
+            "--full is the explicit spelling of the default"
+        );
+    }
+
+    #[test]
+    fn sweep_full_text_is_uncapped() {
+        let out = sweep(&args(
+            "sweep --model llama2-13b --workload train --batch 16 --max-gpus 16 --full",
+        ))
+        .unwrap();
+        assert!(out.contains("all "), "{out}");
+        assert!(out.contains("strategies by latency"), "{out}");
     }
 
     #[test]

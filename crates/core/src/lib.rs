@@ -66,13 +66,17 @@ pub mod refdata;
 pub mod prelude {
     pub use crate::hw;
     pub use crate::hw::{Accelerator, ClusterSpec, Precision};
-    pub use crate::infer::{InferenceConfig, InferenceEstimator, InferenceReport};
+    pub use crate::infer::{
+        InferenceConfig, InferenceEstimator, InferenceReport, PreparedInferenceEstimator,
+    };
     pub use crate::memory::RecomputeMode;
     pub use crate::model;
     pub use crate::model::ModelConfig;
     pub use crate::parallel::{Parallelism, PipelineSchedule};
     pub use crate::refdata;
-    pub use crate::train::{TrainingConfig, TrainingEstimator, TrainingReport};
+    pub use crate::train::{
+        PreparedTrainingEstimator, TrainingConfig, TrainingEstimator, TrainingReport,
+    };
     pub use crate::units::{Bandwidth, Bytes, FlopCount, FlopThroughput, Ratio, Time};
 }
 

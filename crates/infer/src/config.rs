@@ -4,13 +4,18 @@ use optimus_collective::CommModel;
 use optimus_hw::Precision;
 use optimus_model::ModelConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One LLM serving request shape: a prompt is *summarized* (prefill) and
 /// `generate` tokens are produced auto-regressively with a KV-cache (§3.5).
+///
+/// The model is held behind an [`Arc`] so that sweeps evaluating many TP ×
+/// precision configurations of one architecture share a single allocation
+/// instead of deep-cloning the [`ModelConfig`] per point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceConfig {
     /// The served model.
-    pub model: ModelConfig,
+    pub model: Arc<ModelConfig>,
     /// Serving batch size.
     pub batch: usize,
     /// Prompt (summarization) length in tokens.
@@ -29,13 +34,15 @@ pub struct InferenceConfig {
 
 impl InferenceConfig {
     /// Creates a config at FP16 with automatic collective selection.
+    /// Accepts an owned [`ModelConfig`] or an existing [`Arc`] (shared
+    /// across sweep points).
     ///
     /// # Panics
     ///
     /// Panics if any count is zero.
     #[must_use]
     pub fn new(
-        model: ModelConfig,
+        model: impl Into<Arc<ModelConfig>>,
         batch: usize,
         prefill: usize,
         generate: usize,
@@ -46,7 +53,7 @@ impl InferenceConfig {
             "inference shape must be positive"
         );
         Self {
-            model,
+            model: model.into(),
             batch,
             prefill,
             generate,
@@ -72,7 +79,7 @@ impl InferenceConfig {
 
     /// The paper's Table 2 shape: B = 1, 200-token prompt, 200 generated.
     #[must_use]
-    pub fn nvidia_llama_benchmark(model: ModelConfig, tp: usize) -> Self {
+    pub fn nvidia_llama_benchmark(model: impl Into<Arc<ModelConfig>>, tp: usize) -> Self {
         Self::new(model, 1, 200, 200, tp)
     }
 }

@@ -1,12 +1,7 @@
 //! The end-to-end inference-latency estimator.
 
-use crate::{GemmAnalysis, InferenceBreakdown, InferenceConfig, InferenceReport};
+use crate::{InferenceConfig, InferenceReport, PreparedInferenceEstimator};
 use optimus_hw::{ClusterSpec, HwError};
-use optimus_memory::inference_memory;
-use optimus_model::{graph, GraphParams, Op, OpKind};
-use optimus_parallel::{CommPlan, Parallelism};
-use optimus_roofline::{KernelCost, RooflineModel};
-use optimus_units::{Bytes, FlopCount};
 
 /// Predicts end-to-end LLM serving latency on a (single- or multi-GPU)
 /// system.
@@ -17,6 +12,11 @@ use optimus_units::{Bytes, FlopCount};
 /// DRAM-bound) followed by two tensor-parallel all-reduces per layer whose
 /// kilobyte-sized messages are latency-dominated (§3.4). The decode loop is
 /// evaluated **exactly**, token by token, so KV-cache growth is captured.
+///
+/// This type is the convenient one-shot entry point; it delegates to
+/// [`PreparedInferenceEstimator`], which carries the actual model and
+/// memoizes per-step kernel costs when many (TP, precision) points are
+/// evaluated against one request shape.
 ///
 /// ```
 /// use optimus_hw::presets;
@@ -47,186 +47,8 @@ impl<'a> InferenceEstimator<'a> {
     ///
     /// Returns [`HwError`] when the device lacks the serving precision.
     pub fn estimate(&self, cfg: &InferenceConfig) -> Result<InferenceReport, HwError> {
-        let device = self.cluster.accelerator();
-        let roofline = RooflineModel::new(device);
-        let parallelism = Parallelism::tensor_parallel(cfg.tp);
-        let plan = CommPlan::new(self.cluster, parallelism, cfg.comm);
-
-        // --- prefill -----------------------------------------------------
-        let pre_params = GraphParams::prefill(cfg.batch, cfg.prefill, cfg.tp, cfg.precision);
-        let pre_layer_ops = graph::layer_forward_ops(&cfg.model, &pre_params);
-        let mut prefill_bd = InferenceBreakdown::default();
-        let mut device_flops = FlopCount::ZERO;
-        let mut dram_traffic = Bytes::ZERO;
-        let mut network_traffic = Bytes::ZERO;
-        let layers = cfg.model.layers as f64;
-        let (pre_layer, pre_flops, pre_dram) =
-            self.ops_breakdown(&roofline, &pre_layer_ops, cfg)?;
-        add_scaled(&mut prefill_bd, &pre_layer, layers);
-        device_flops += pre_flops * layers;
-        dram_traffic += pre_dram * layers;
-
-        // Two all-reduces per layer over the full prompt activations.
-        let pre_volume =
-            Bytes::new((cfg.batch * cfg.prefill * cfg.model.hidden) as f64 * cfg.precision.bytes());
-        prefill_bd.communication += plan.tp_layer_inference(pre_volume) * cfg.model.layers as f64;
-        network_traffic += plan.tp_layer_forward_wire_bytes(pre_volume) * layers;
-
-        // Embedding + head once (only the final token's logits matter for
-        // generation, but serving stacks compute the full prompt's logits
-        // in the summarization pass).
-        let pre_extra: Vec<Op> = graph::embedding_ops(&cfg.model, &pre_params)
-            .into_iter()
-            .chain(graph::head_ops(&cfg.model, &pre_params))
-            .collect();
-        let (extra_bd, extra_flops, extra_dram) = self.ops_breakdown(&roofline, &pre_extra, cfg)?;
-        add_scaled(&mut prefill_bd, &extra_bd, 1.0);
-        device_flops += extra_flops;
-        dram_traffic += extra_dram;
-
-        let prefill_time = prefill_bd.total();
-
-        // --- decode loop (exact, token by token) ---------------------------
-        let mut decode_bd = InferenceBreakdown::default();
-        let decode_comm_volume =
-            Bytes::new((cfg.batch * cfg.model.hidden) as f64 * cfg.precision.bytes());
-        for step in 0..cfg.generate {
-            let ctx = cfg.prefill + step;
-            let dp = GraphParams::decode(cfg.batch, ctx, cfg.tp, cfg.precision);
-            let layer_ops = graph::layer_forward_ops(&cfg.model, &dp);
-            let (layer_bd, layer_flops, layer_dram) =
-                self.ops_breakdown(&roofline, &layer_ops, cfg)?;
-            add_scaled(&mut decode_bd, &layer_bd, layers);
-            device_flops += layer_flops * layers;
-            dram_traffic += layer_dram * layers;
-            decode_bd.communication +=
-                plan.tp_layer_inference(decode_comm_volume) * cfg.model.layers as f64;
-            network_traffic += plan.tp_layer_forward_wire_bytes(decode_comm_volume) * layers;
-
-            let extra: Vec<Op> = graph::embedding_ops(&cfg.model, &dp)
-                .into_iter()
-                .chain(graph::head_ops(&cfg.model, &dp))
-                .collect();
-            let (extra_bd, extra_flops, extra_dram) = self.ops_breakdown(&roofline, &extra, cfg)?;
-            add_scaled(&mut decode_bd, &extra_bd, 1.0);
-            device_flops += extra_flops;
-            dram_traffic += extra_dram;
-        }
-        let decode_time = decode_bd.total();
-        let per_token = decode_time / cfg.generate as f64;
-
-        // --- totals ---------------------------------------------------------
-        let mut breakdown = prefill_bd;
-        add_scaled(&mut breakdown, &decode_bd, 1.0);
-        // `add_scaled` does not sum communication (it is not a KernelCost
-        // category); combine explicitly.
-        breakdown.communication = prefill_bd.communication + decode_bd.communication;
-
-        let memory = inference_memory(
-            &cfg.model,
-            cfg.batch,
-            cfg.prefill + cfg.generate,
-            cfg.tp,
-            cfg.precision,
-        );
-
-        // --- per-GEMM analyses ------------------------------------------------
-        let prefill_gemms = self.gemm_table(&roofline, &pre_layer_ops, cfg)?;
-        let final_ctx = cfg.prefill + cfg.generate - 1;
-        let decode_params = GraphParams::decode(cfg.batch, final_ctx, cfg.tp, cfg.precision);
-        let decode_ops = graph::layer_forward_ops(&cfg.model, &decode_params);
-        let decode_gemms = self.gemm_table(&roofline, &decode_ops, cfg)?;
-
-        Ok(InferenceReport {
-            total: prefill_time + decode_time,
-            prefill: prefill_time,
-            decode: decode_time,
-            per_token,
-            breakdown,
-            prefill_breakdown: prefill_bd,
-            memory,
-            prefill_gemms,
-            decode_gemms,
-            device_flops,
-            dram_traffic,
-            network_traffic,
-        })
+        PreparedInferenceEstimator::from_config(self.cluster, cfg).estimate(cfg.tp, cfg.precision)
     }
-
-    /// Costs an operator list, accumulating each kernel's time into the
-    /// breakdown category of its bound type.
-    fn ops_breakdown(
-        &self,
-        roofline: &RooflineModel<'_>,
-        ops: &[Op],
-        cfg: &InferenceConfig,
-    ) -> Result<(InferenceBreakdown, FlopCount, Bytes), HwError> {
-        let mut bd = InferenceBreakdown::default();
-        let mut flops = FlopCount::ZERO;
-        let mut dram = Bytes::ZERO;
-        for op in ops {
-            let cost = self.op_cost(roofline, op, cfg)?;
-            accumulate(&mut bd, &cost);
-            flops += cost.flops;
-            dram += cost.dram_traffic();
-        }
-        Ok((bd, flops, dram))
-    }
-
-    fn op_cost(
-        &self,
-        roofline: &RooflineModel<'_>,
-        op: &Op,
-        cfg: &InferenceConfig,
-    ) -> Result<KernelCost, HwError> {
-        match op.kind {
-            OpKind::Gemm(g) => roofline.batched_gemm(g, cfg.precision),
-            OpKind::Eltwise(e) => Ok(roofline.eltwise(e)),
-            OpKind::Flash(fa) => {
-                roofline.custom_kernel("flash-attention", fa.flops(), &fa.traffic(), cfg.precision)
-            }
-        }
-    }
-
-    fn gemm_table(
-        &self,
-        roofline: &RooflineModel<'_>,
-        ops: &[Op],
-        cfg: &InferenceConfig,
-    ) -> Result<Vec<GemmAnalysis>, HwError> {
-        let mut rows = Vec::new();
-        for op in ops {
-            if let OpKind::Gemm(g) = op.kind {
-                let cost = roofline.batched_gemm(g, cfg.precision)?;
-                rows.push(GemmAnalysis {
-                    role: op.role,
-                    time: cost.total(),
-                    bound: cost.bound(),
-                });
-            }
-        }
-        Ok(rows)
-    }
-}
-
-/// Adds `scale` copies of `src` kernel categories into `dst`
-/// (communication is handled separately by the caller).
-fn add_scaled(dst: &mut InferenceBreakdown, src: &InferenceBreakdown, scale: f64) {
-    dst.compute += src.compute * scale;
-    dst.memory += src.memory * scale;
-    dst.overhead += src.overhead * scale;
-}
-
-/// Files one kernel's roofline time under its bound type, and its fixed
-/// overhead under `overhead`.
-fn accumulate(bd: &mut InferenceBreakdown, cost: &KernelCost) {
-    let t = cost.roofline_time();
-    if cost.bound().is_compute() {
-        bd.compute += t;
-    } else {
-        bd.memory += t;
-    }
-    bd.overhead += cost.overhead;
 }
 
 #[cfg(test)]

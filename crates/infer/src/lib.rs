@@ -14,8 +14,10 @@
 
 mod config;
 mod estimator;
+mod prepared;
 mod report;
 
 pub use config::InferenceConfig;
 pub use estimator::InferenceEstimator;
+pub use prepared::PreparedInferenceEstimator;
 pub use report::{GemmAnalysis, InferenceBreakdown, InferenceReport};

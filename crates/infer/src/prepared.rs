@@ -1,0 +1,430 @@
+//! The memoized two-phase inference estimator.
+//!
+//! An inference sweep evaluates every feasible (TP, precision) pair of one
+//! (model, cluster, request-shape) triple, and the decode loop alone costs
+//! `generate` operator-graph traversals per point. The per-step kernel
+//! costs depend only on `(seq, kv_len, tp, precision)` — and the
+//! embedding/LM-head stage does not even see `kv_len`, so all decode steps
+//! of a point share one entry. [`PreparedInferenceEstimator`] holds the
+//! roofline and two concurrent memo tables over those keys; per-point
+//! evaluation reduces to lookups plus the communication and assembly
+//! arithmetic.
+//!
+//! Memo values are pure functions of their keys, so concurrent fill order
+//! cannot change any result: a memoized sweep is byte-identical to naive
+//! per-point evaluation.
+
+use crate::{GemmAnalysis, InferenceBreakdown, InferenceConfig, InferenceReport};
+use optimus_collective::CommModel;
+use optimus_hw::{ClusterSpec, HwError, Precision};
+use optimus_memory::{inference_memory, InferenceMemoryReport};
+use optimus_model::{graph, GraphParams, ModelConfig, Op, OpKind};
+use optimus_parallel::{CommPlan, Parallelism};
+use optimus_roofline::{KernelCost, RooflineModel};
+use optimus_units::{Bytes, FlopCount};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Cost of one operator list: bound-type time breakdown, the
+/// energy-relevant volumes, and the per-GEMM analysis rows (memoized with
+/// the rest so warm points never re-cost a GEMM). Cached behind an [`Arc`]
+/// so warm lookups clone a pointer, not the rows.
+#[derive(Debug, Clone, Default)]
+struct StepCost {
+    bd: InferenceBreakdown,
+    flops: FlopCount,
+    dram: Bytes,
+    gemms: Vec<GemmAnalysis>,
+}
+
+/// Memo key of one transformer layer's kernels: `(seq, kv_len, tp,
+/// precision)`. `seq` is the prompt length for prefill and 1 for decode;
+/// `kv_len` is the attention context.
+type LayerKey = (usize, usize, usize, Precision);
+
+/// Memo key of the embedding + LM-head stage: `(seq, tp, precision)` —
+/// these ops never read the attention context, which is what collapses the
+/// whole decode loop's head work onto a single entry.
+type ExtraKey = (usize, usize, Precision);
+
+/// Phase-1 state of the two-phase inference estimator: the roofline and
+/// the per-step kernel-cost memo tables, fixed to one (model, cluster,
+/// request shape). Build once per sweep, call
+/// [`PreparedInferenceEstimator::estimate`] per (TP, precision) point.
+///
+/// ```
+/// use optimus_hw::presets;
+/// use optimus_hw::Precision;
+/// use optimus_infer::PreparedInferenceEstimator;
+/// use optimus_model::presets as models;
+/// use std::sync::Arc;
+///
+/// let cluster = presets::dgx_a100_hdr_cluster();
+/// let prepared = PreparedInferenceEstimator::new(
+///     &cluster, Arc::new(models::llama2_13b()), 1, 200, 200);
+/// let t1 = prepared.estimate(1, Precision::Fp16).unwrap();
+/// let t8 = prepared.estimate(8, Precision::Fp16).unwrap();
+/// assert!(t8.total < t1.total);
+/// ```
+#[derive(Debug)]
+pub struct PreparedInferenceEstimator<'a> {
+    cluster: &'a ClusterSpec,
+    roofline: RooflineModel<'a>,
+    model: Arc<ModelConfig>,
+    batch: usize,
+    prefill: usize,
+    generate: usize,
+    comm: CommModel,
+    layer_cache: RwLock<HashMap<LayerKey, Result<Arc<StepCost>, HwError>>>,
+    extra_cache: RwLock<HashMap<ExtraKey, Result<Arc<StepCost>, HwError>>>,
+}
+
+impl<'a> PreparedInferenceEstimator<'a> {
+    /// Prepares an estimator for one (model, cluster, request shape) with
+    /// automatic collective selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero (same contract as
+    /// [`InferenceConfig::new`]).
+    #[must_use]
+    pub fn new(
+        cluster: &'a ClusterSpec,
+        model: Arc<ModelConfig>,
+        batch: usize,
+        prefill: usize,
+        generate: usize,
+    ) -> Self {
+        assert!(
+            batch > 0 && prefill > 0 && generate > 0,
+            "inference shape must be positive"
+        );
+        Self {
+            cluster,
+            roofline: RooflineModel::new(cluster.accelerator()),
+            model,
+            batch,
+            prefill,
+            generate,
+            comm: CommModel::Auto,
+            layer_cache: RwLock::new(HashMap::new()),
+            extra_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Prepares from a full [`InferenceConfig`], adopting its request-level
+    /// fields. The config's `tp` and `precision` are *per-point* inputs —
+    /// pass them to [`Self::estimate`] instead.
+    #[must_use]
+    pub fn from_config(cluster: &'a ClusterSpec, cfg: &InferenceConfig) -> Self {
+        Self::new(
+            cluster,
+            Arc::clone(&cfg.model),
+            cfg.batch,
+            cfg.prefill,
+            cfg.generate,
+        )
+        .with_comm(cfg.comm)
+    }
+
+    /// Sets the collective policy.
+    #[must_use]
+    pub fn with_comm(mut self, comm: CommModel) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Number of distinct per-step kernel keys materialized so far.
+    #[must_use]
+    pub fn cached_keys(&self) -> usize {
+        self.layer_cache.read().expect("layer cache poisoned").len()
+            + self.extra_cache.read().expect("extra cache poisoned").len()
+    }
+
+    /// Phase-2 evaluation of one (TP, precision) point, computing the
+    /// memory footprint in-line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError`] when the device lacks the serving precision.
+    pub fn estimate(&self, tp: usize, precision: Precision) -> Result<InferenceReport, HwError> {
+        let memory = inference_memory(
+            &self.model,
+            self.batch,
+            self.prefill + self.generate,
+            tp,
+            precision,
+        );
+        self.estimate_with_memory(tp, precision, memory)
+    }
+
+    /// Phase-2 evaluation with a memory footprint computed elsewhere — the
+    /// sweep engine passes the footprint its pruning pass already derived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError`] when the device lacks the serving precision.
+    pub fn estimate_with_memory(
+        &self,
+        tp: usize,
+        precision: Precision,
+        memory: InferenceMemoryReport,
+    ) -> Result<InferenceReport, HwError> {
+        assert!(tp > 0, "tp must be positive");
+        let parallelism = Parallelism::tensor_parallel(tp);
+        let plan = CommPlan::new(self.cluster, parallelism, self.comm);
+        let layers = self.model.layers as f64;
+
+        // --- prefill -----------------------------------------------------
+        let pre_params = GraphParams::prefill(self.batch, self.prefill, tp, precision);
+        let mut prefill_bd = InferenceBreakdown::default();
+        let mut device_flops = FlopCount::ZERO;
+        let mut dram_traffic = Bytes::ZERO;
+        let mut network_traffic = Bytes::ZERO;
+        let pre_layer = self.layer_cost(&pre_params)?;
+        add_scaled(&mut prefill_bd, &pre_layer.bd, layers);
+        device_flops += pre_layer.flops * layers;
+        dram_traffic += pre_layer.dram * layers;
+
+        // Two all-reduces per layer over the full prompt activations.
+        let pre_volume =
+            Bytes::new((self.batch * self.prefill * self.model.hidden) as f64 * precision.bytes());
+        prefill_bd.communication += plan.tp_layer_inference(pre_volume) * layers;
+        network_traffic += plan.tp_layer_forward_wire_bytes(pre_volume) * layers;
+
+        // Embedding + head once (only the final token's logits matter for
+        // generation, but serving stacks compute the full prompt's logits
+        // in the summarization pass).
+        let pre_extra = self.extra_cost(&pre_params)?;
+        add_scaled(&mut prefill_bd, &pre_extra.bd, 1.0);
+        device_flops += pre_extra.flops;
+        dram_traffic += pre_extra.dram;
+
+        let prefill_time = prefill_bd.total();
+
+        // --- decode loop (exact, token by token) ---------------------------
+        let mut decode_bd = InferenceBreakdown::default();
+        let decode_comm_volume =
+            Bytes::new((self.batch * self.model.hidden) as f64 * precision.bytes());
+        for step in 0..self.generate {
+            let ctx = self.prefill + step;
+            let dp = GraphParams::decode(self.batch, ctx, tp, precision);
+            let layer = self.layer_cost(&dp)?;
+            add_scaled(&mut decode_bd, &layer.bd, layers);
+            device_flops += layer.flops * layers;
+            dram_traffic += layer.dram * layers;
+            decode_bd.communication += plan.tp_layer_inference(decode_comm_volume) * layers;
+            network_traffic += plan.tp_layer_forward_wire_bytes(decode_comm_volume) * layers;
+
+            let extra = self.extra_cost(&dp)?;
+            add_scaled(&mut decode_bd, &extra.bd, 1.0);
+            device_flops += extra.flops;
+            dram_traffic += extra.dram;
+        }
+        let decode_time = decode_bd.total();
+        let per_token = decode_time / self.generate as f64;
+
+        // --- totals ---------------------------------------------------------
+        let mut breakdown = prefill_bd;
+        add_scaled(&mut breakdown, &decode_bd, 1.0);
+        // `add_scaled` does not sum communication (it is not a KernelCost
+        // category); combine explicitly.
+        breakdown.communication = prefill_bd.communication + decode_bd.communication;
+
+        // --- per-GEMM analyses ------------------------------------------------
+        // Both tables are warm memo hits: the prefill layer was costed
+        // above, and the final decode context is the last loop step.
+        let prefill_gemms = pre_layer.gemms.clone();
+        let final_ctx = self.prefill + self.generate - 1;
+        let decode_params = GraphParams::decode(self.batch, final_ctx, tp, precision);
+        let decode_gemms = self.layer_cost(&decode_params)?.gemms.clone();
+
+        Ok(InferenceReport {
+            total: prefill_time + decode_time,
+            prefill: prefill_time,
+            decode: decode_time,
+            per_token,
+            breakdown,
+            prefill_breakdown: prefill_bd,
+            memory,
+            prefill_gemms,
+            decode_gemms,
+            device_flops,
+            dram_traffic,
+            network_traffic,
+        })
+    }
+
+    /// One transformer layer's kernels for the pass described by `gp`,
+    /// memoized on `(seq, kv_len, tp, precision)`.
+    fn layer_cost(&self, gp: &GraphParams) -> Result<Arc<StepCost>, HwError> {
+        let key = (gp.seq, gp.kv_len, gp.tp, gp.precision);
+        if let Some(hit) = self
+            .layer_cache
+            .read()
+            .expect("layer cache poisoned")
+            .get(&key)
+        {
+            return hit.clone();
+        }
+        let computed = self
+            .ops_cost(&graph::layer_forward_ops(&self.model, gp), gp.precision)
+            .map(Arc::new);
+        self.layer_cache
+            .write()
+            .expect("layer cache poisoned")
+            .entry(key)
+            .or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// The embedding + LM-head stage for the pass described by `gp`,
+    /// memoized on `(seq, tp, precision)` — `kv_len` never reaches these
+    /// ops, so every decode step shares one entry.
+    fn extra_cost(&self, gp: &GraphParams) -> Result<Arc<StepCost>, HwError> {
+        let key = (gp.seq, gp.tp, gp.precision);
+        if let Some(hit) = self
+            .extra_cache
+            .read()
+            .expect("extra cache poisoned")
+            .get(&key)
+        {
+            return hit.clone();
+        }
+        let ops: Vec<Op> = graph::embedding_ops(&self.model, gp)
+            .into_iter()
+            .chain(graph::head_ops(&self.model, gp))
+            .collect();
+        let computed = self.ops_cost(&ops, gp.precision).map(Arc::new);
+        self.extra_cache
+            .write()
+            .expect("extra cache poisoned")
+            .entry(key)
+            .or_insert_with(|| computed.clone());
+        computed
+    }
+
+    /// Costs an operator list, accumulating each kernel's time into the
+    /// breakdown category of its bound type.
+    fn ops_cost(&self, ops: &[Op], precision: Precision) -> Result<StepCost, HwError> {
+        let mut total = StepCost::default();
+        for op in ops {
+            let cost = self.op_cost(op, precision)?;
+            accumulate(&mut total.bd, &cost);
+            total.flops += cost.flops;
+            total.dram += cost.dram_traffic();
+            if let OpKind::Gemm(_) = op.kind {
+                total.gemms.push(GemmAnalysis {
+                    role: op.role,
+                    time: cost.total(),
+                    bound: cost.bound(),
+                });
+            }
+        }
+        Ok(total)
+    }
+
+    fn op_cost(&self, op: &Op, precision: Precision) -> Result<KernelCost, HwError> {
+        match op.kind {
+            OpKind::Gemm(g) => self.roofline.batched_gemm(g, precision),
+            OpKind::Eltwise(e) => Ok(self.roofline.eltwise(e)),
+            OpKind::Flash(fa) => {
+                self.roofline
+                    .custom_kernel("flash-attention", fa.flops(), &fa.traffic(), precision)
+            }
+        }
+    }
+}
+
+/// Adds `scale` copies of `src` kernel categories into `dst`
+/// (communication is handled separately by the caller).
+fn add_scaled(dst: &mut InferenceBreakdown, src: &InferenceBreakdown, scale: f64) {
+    dst.compute += src.compute * scale;
+    dst.memory += src.memory * scale;
+    dst.overhead += src.overhead * scale;
+}
+
+/// Files one kernel's roofline time under its bound type, and its fixed
+/// overhead under `overhead`.
+fn accumulate(bd: &mut InferenceBreakdown, cost: &KernelCost) {
+    let t = cost.roofline_time();
+    if cost.bound().is_compute() {
+        bd.compute += t;
+    } else {
+        bd.memory += t;
+    }
+    bd.overhead += cost.overhead;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InferenceConfig, InferenceEstimator};
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    /// The prepared path and the one-shot estimator must produce identical
+    /// reports — same code, memoized vs not.
+    #[test]
+    fn prepared_matches_one_shot_estimator() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_13b());
+        let prepared = PreparedInferenceEstimator::new(&cluster, Arc::clone(&model), 1, 200, 32);
+        for tp in [1, 2, 8] {
+            let cfg = InferenceConfig::new(Arc::clone(&model), 1, 200, 32, tp);
+            let one_shot = InferenceEstimator::new(&cluster).estimate(&cfg).unwrap();
+            let fast = prepared.estimate(tp, Precision::Fp16).unwrap();
+            assert_eq!(one_shot, fast, "tp={tp}");
+        }
+    }
+
+    /// The load-bearing assumption behind [`ExtraKey`]: the embedding and
+    /// LM-head operator lists must be **identical across context lengths**
+    /// (only `seq`/`tp`/`precision` may shape them). This pins the graph
+    /// builder itself, independently of the memoized evaluation path — if
+    /// a future graph change makes these ops read `kv_len`, this fails
+    /// even though the memoized and naive paths would agree (both would
+    /// share the same wrong entry).
+    #[test]
+    fn extra_ops_are_context_independent() {
+        let model = models::llama2_70b(); // GQA: the most structured head
+        for tp in [1, 4] {
+            let short = GraphParams::decode(2, 10, tp, Precision::Fp16);
+            let long = GraphParams::decode(2, 4000, tp, Precision::Fp16);
+            assert_eq!(
+                graph::embedding_ops(&model, &short),
+                graph::embedding_ops(&model, &long),
+                "embedding ops must not depend on kv_len (tp={tp})"
+            );
+            assert_eq!(
+                graph::head_ops(&model, &short),
+                graph::head_ops(&model, &long),
+                "head ops must not depend on kv_len (tp={tp})"
+            );
+        }
+    }
+
+    /// All decode steps of one point share a single embedding/head entry,
+    /// so the extra cache stays tiny while the layer cache holds one entry
+    /// per distinct context length.
+    #[test]
+    fn decode_steps_share_the_head_entry() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let generate = 16;
+        let prepared = PreparedInferenceEstimator::new(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            1,
+            100,
+            generate,
+        );
+        prepared.estimate(1, Precision::Fp16).unwrap();
+        // Layer entries: 1 prefill + `generate` decode contexts; extra
+        // entries: 1 prefill + 1 decode.
+        let after_one = prepared.cached_keys();
+        assert_eq!(after_one, (1 + generate) + 2);
+        // A second estimate at the same point adds nothing.
+        prepared.estimate(1, Precision::Fp16).unwrap();
+        assert_eq!(prepared.cached_keys(), after_one);
+    }
+}

@@ -6,6 +6,23 @@ use optimus_model::ModelConfig;
 use optimus_parallel::{ParallelError, Parallelism, PipelineSchedule};
 use optimus_units::Bytes;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide count of footprint computations, for regression tests
+/// that pin down how often the estimator pipeline re-derives memory.
+static FOOTPRINT_COMPUTATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times [`training_memory`] or [`inference_memory`] has run in
+/// this process. Purely observational instrumentation (one relaxed atomic
+/// increment per call): the sweep pipeline promises exactly one footprint
+/// computation per candidate point — during pruning — and its tests assert
+/// the evaluation phase adds zero by differencing this counter. Counts
+/// from concurrently running code are included, so tests that difference
+/// it must own the process (run in their own integration-test binary).
+#[must_use]
+pub fn footprint_computations() -> usize {
+    FOOTPRINT_COMPUTATIONS.load(Ordering::Relaxed)
+}
 
 /// Bytes per parameter of Adam optimizer state in mixed-precision training:
 /// FP32 master weights + first moment + second moment.
@@ -91,6 +108,7 @@ pub fn training_memory(
     model: &ModelConfig,
     spec: &TrainingMemorySpec,
 ) -> Result<TrainingMemoryReport, ParallelError> {
+    FOOTPRINT_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
     let p = spec.parallelism;
     let params = params_per_device(model, p)?;
     let microbatches = p.microbatches(spec.batch)?;
@@ -147,6 +165,7 @@ pub fn inference_memory(
     tp: usize,
     precision: Precision,
 ) -> InferenceMemoryReport {
+    FOOTPRINT_COMPUTATIONS.fetch_add(1, Ordering::Relaxed);
     assert!(tp > 0, "tp must be positive");
     InferenceMemoryReport {
         weights: Bytes::new(model.param_count() * precision.bytes() / tp as f64),

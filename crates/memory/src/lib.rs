@@ -41,8 +41,8 @@ mod kv;
 mod recompute;
 
 pub use footprint::{
-    inference_memory, training_memory, InferenceMemoryReport, TrainingMemoryReport,
-    TrainingMemorySpec,
+    footprint_computations, inference_memory, training_memory, InferenceMemoryReport,
+    TrainingMemoryReport, TrainingMemorySpec,
 };
 pub use kv::kv_cache_bytes;
 pub use recompute::{

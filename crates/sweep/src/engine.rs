@@ -1,14 +1,23 @@
 //! Parallel evaluation of enumerated strategies.
+//!
+//! Evaluation is two-phase (the memoized pipeline of `optimus-train` /
+//! `optimus-infer`): one [`optimus_train::PreparedTrainingEstimator`] or
+//! [`optimus_infer::PreparedInferenceEstimator`] is built per sweep and
+//! shared — memo tables included — by every rayon worker, and each point
+//! reuses the memory footprint the pruning pass already computed. The hot
+//! loop is `O(distinct-kernel-keys × ops + points × cheap-assembly)`
+//! instead of `O(points × ops)`.
 
-use crate::{pareto_frontier, StrategyPoint, SweepSpace, Workload};
+use crate::{pareto_frontier, PointMemory, StrategyPoint, SweepSpace, Workload};
 use optimus_energy::{CostModel, EnergyModel};
 use optimus_hw::ClusterSpec;
-use optimus_infer::{InferenceConfig, InferenceEstimator};
+use optimus_infer::PreparedInferenceEstimator;
 use optimus_model::ModelConfig;
-use optimus_train::{TrainingConfig, TrainingEstimator};
+use optimus_train::PreparedTrainingEstimator;
 use optimus_units::{Bytes, Energy, Time};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One fully evaluated strategy: predicted latency, throughput, memory,
 /// energy, and dollars.
@@ -148,12 +157,22 @@ impl<'a> SweepEngine<'a> {
         workload: &Workload,
         space: &SweepSpace,
     ) -> SweepReport {
-        let points = space.enumerate(model, self.cluster, workload);
-        self.evaluate(model, workload, points)
+        let points = space.enumerate_with_memory(model, self.cluster, workload);
+        self.run(
+            model,
+            workload,
+            points
+                .into_iter()
+                .map(|(point, memory)| (point, Some(memory)))
+                .collect(),
+        )
     }
 
     /// Evaluates an explicit list of strategies in parallel, preserving
-    /// input order in `evaluated` (minus rejected points).
+    /// input order in `evaluated` (minus rejected points). Memory
+    /// footprints are derived in-line here (an explicit list carries
+    /// none); [`Self::sweep`] reuses the pruning pass's footprints
+    /// instead.
     #[must_use]
     pub fn evaluate(
         &self,
@@ -161,9 +180,25 @@ impl<'a> SweepEngine<'a> {
         workload: &Workload,
         points: Vec<StrategyPoint>,
     ) -> SweepReport {
+        self.run(
+            model,
+            workload,
+            points.into_iter().map(|point| (point, None)).collect(),
+        )
+    }
+
+    /// Builds the phase-1 prepared context once, evaluates every point
+    /// through it in parallel, and assembles the report.
+    fn run(
+        &self,
+        model: &ModelConfig,
+        workload: &Workload,
+        points: Vec<(StrategyPoint, Option<PointMemory>)>,
+    ) -> SweepReport {
+        let prepared = PreparedSweep::new(self, model, workload);
         let outcomes: Vec<Result<EvaluatedPoint, StrategyPoint>> = points
             .into_par_iter()
-            .map(|point| self.evaluate_point(model, workload, point))
+            .map(|(point, memory)| prepared.evaluate_point(point, memory))
             .collect();
 
         let mut evaluated = Vec::with_capacity(outcomes.len());
@@ -181,67 +216,102 @@ impl<'a> SweepEngine<'a> {
             rejected,
         }
     }
+}
 
-    /// Evaluates one strategy; `Err` carries the point back on estimator
-    /// rejection.
-    fn evaluate_point(
-        &self,
-        model: &ModelConfig,
-        workload: &Workload,
-        point: StrategyPoint,
-    ) -> Result<EvaluatedPoint, StrategyPoint> {
-        let gpus = point.gpus();
-        let energy_model = self.energy.scaled_for_precision(point.precision);
-        match workload {
+/// The phase-1 context of one sweep: the prepared estimator (whose memo
+/// tables are shared by every evaluation worker) plus the economics.
+struct PreparedSweep<'e, 'a> {
+    engine: &'e SweepEngine<'a>,
+    workload: &'e Workload,
+    kind: PreparedKind<'a>,
+}
+
+enum PreparedKind<'a> {
+    Train(PreparedTrainingEstimator<'a>),
+    Infer(PreparedInferenceEstimator<'a>),
+}
+
+impl<'e, 'a> PreparedSweep<'e, 'a> {
+    fn new(engine: &'e SweepEngine<'a>, model: &ModelConfig, workload: &'e Workload) -> Self {
+        // One deep clone per sweep; every point then shares the Arc.
+        let model = Arc::new(model.clone());
+        let kind = match workload {
             Workload::Training {
                 batch,
                 seq,
                 recompute,
                 schedule,
-            } => {
-                let cfg = TrainingConfig::new(model.clone(), *batch, *seq, point.parallelism)
-                    .with_precision(point.precision)
+            } => PreparedKind::Train(
+                PreparedTrainingEstimator::new(engine.cluster, model, *batch, *seq)
                     .with_recompute(*recompute)
-                    .with_schedule(*schedule);
-                let report = TrainingEstimator::new(self.cluster)
-                    .estimate(&cfg)
-                    .map_err(|_| point)?;
+                    .with_schedule(*schedule),
+            ),
+            Workload::Inference {
+                batch,
+                prefill,
+                generate,
+            } => PreparedKind::Infer(PreparedInferenceEstimator::new(
+                engine.cluster,
+                model,
+                *batch,
+                *prefill,
+                *generate,
+            )),
+        };
+        Self {
+            engine,
+            workload,
+            kind,
+        }
+    }
+
+    /// Evaluates one strategy; `Err` carries the point back on estimator
+    /// rejection. `memory` is the footprint the pruning pass computed for
+    /// this point, if the caller has one.
+    fn evaluate_point(
+        &self,
+        point: StrategyPoint,
+        memory: Option<PointMemory>,
+    ) -> Result<EvaluatedPoint, StrategyPoint> {
+        let gpus = point.gpus();
+        let energy_model = self.engine.energy.scaled_for_precision(point.precision);
+        match &self.kind {
+            PreparedKind::Train(prepared) => {
+                let report = match memory {
+                    Some(PointMemory::Training(m)) => {
+                        prepared.estimate_with_memory(point.parallelism, point.precision, m)
+                    }
+                    _ => prepared.estimate(point.parallelism, point.precision),
+                }
+                .map_err(|_| point)?;
                 let energy = energy_model.training_energy(&report, gpus);
-                let cost = self.cost.training_cost(&report, &energy, gpus);
+                let cost = self.engine.cost.training_cost(&report, &energy, gpus);
                 Ok(EvaluatedPoint {
                     point,
                     gpus,
                     latency: report.time_per_batch,
-                    throughput: workload.work_units() / report.time_per_batch.secs(),
+                    throughput: self.workload.work_units() / report.time_per_batch.secs(),
                     memory_per_device: report.memory.total(),
                     energy: energy.total(),
                     cost_usd: cost.total_usd,
                     mfu: Some(report.mfu),
                 })
             }
-            Workload::Inference {
-                batch,
-                prefill,
-                generate,
-            } => {
-                let cfg = InferenceConfig::new(
-                    model.clone(),
-                    *batch,
-                    *prefill,
-                    *generate,
-                    point.parallelism.tp,
-                )
-                .with_precision(point.precision);
-                let report = InferenceEstimator::new(self.cluster)
-                    .estimate(&cfg)
-                    .map_err(|_| point)?;
+            PreparedKind::Infer(prepared) => {
+                let report = match memory {
+                    Some(PointMemory::Inference(m)) => {
+                        prepared.estimate_with_memory(point.parallelism.tp, point.precision, m)
+                    }
+                    _ => prepared.estimate(point.parallelism.tp, point.precision),
+                }
+                .map_err(|_| point)?;
                 let energy = energy_model.inference_energy(&report, gpus);
-                let cost = self.cost.inference_cost(&report, &energy, gpus);
+                let cost = self.engine.cost.inference_cost(&report, &energy, gpus);
                 Ok(EvaluatedPoint {
                     point,
                     gpus,
                     latency: report.total,
-                    throughput: workload.work_units() / report.total.secs(),
+                    throughput: self.workload.work_units() / report.total.secs(),
                     memory_per_device: report.memory.total(),
                     energy: energy.total(),
                     cost_usd: cost.total_usd,

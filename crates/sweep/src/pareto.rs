@@ -11,29 +11,45 @@ use crate::EvaluatedPoint;
 /// in deterministic order, so the frontier is minimal.
 ///
 /// The result is sorted by ascending latency (therefore descending cost),
-/// and is deterministic for a deterministic input order.
+/// and is deterministic for a deterministic input order. This is a
+/// materializing wrapper over [`pareto_frontier_indices`]: the scan runs
+/// entirely over indices and each frontier point is cloned exactly once,
+/// at the end — this runs on every sweep, so no [`EvaluatedPoint`] (with
+/// its nested report data) is copied speculatively.
 #[must_use]
 pub fn pareto_frontier(points: &[EvaluatedPoint]) -> Vec<EvaluatedPoint> {
-    let mut sorted: Vec<&EvaluatedPoint> = points.iter().collect();
+    pareto_frontier_indices(points)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// The frontier as indices into `points`, ascending latency — the
+/// allocation-free core of [`pareto_frontier`] for callers that only need
+/// to mark or count frontier rows.
+#[must_use]
+pub fn pareto_frontier_indices(points: &[EvaluatedPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
     // Ascending latency; ties broken by cost, then by the stable strategy
     // order so the scan below keeps exactly one of each coordinate pair.
-    sorted.sort_by(|a, b| {
+    order.sort_by(|&a, &b| {
+        let (a, b) = (&points[a], &points[b]);
         a.latency
             .cmp(&b.latency)
             .then_with(|| a.cost_usd.total_cmp(&b.cost_usd))
             .then_with(|| a.point.sort_key().cmp(&b.point.sort_key()))
     });
 
-    let mut frontier: Vec<EvaluatedPoint> = Vec::new();
+    let mut frontier = Vec::new();
     let mut best_cost = f64::INFINITY;
-    for p in sorted {
+    for i in order {
         // Strictly cheaper than everything faster-or-equal seen so far ⇒
         // non-dominated. Equal cost at equal-or-higher latency is
         // dominated (or a duplicate coordinate), so strict `<` also keeps
         // the frontier minimal.
-        if p.cost_usd < best_cost {
-            best_cost = p.cost_usd;
-            frontier.push(p.clone());
+        if points[i].cost_usd < best_cost {
+            best_cost = points[i].cost_usd;
+            frontier.push(i);
         }
     }
     frontier
@@ -108,6 +124,23 @@ mod tests {
         let frontier = pareto_frontier(&rows);
         assert_eq!(frontier.len(), 1);
         assert_eq!(frontier[0].point.parallelism.tp, 1, "first in stable order");
+    }
+
+    #[test]
+    fn indices_agree_with_materialized_frontier() {
+        let rows = vec![
+            row(1, 5.0, 1.0),
+            row(2, 4.0, 2.0),
+            row(4, 3.0, 3.0),
+            row(8, 2.0, 5.0),
+            row(8, 2.5, 4.0),
+        ];
+        let indices = pareto_frontier_indices(&rows);
+        let materialized = pareto_frontier(&rows);
+        assert_eq!(indices.len(), materialized.len());
+        for (&i, p) in indices.iter().zip(&materialized) {
+            assert_eq!(&rows[i], p);
+        }
     }
 
     #[test]

@@ -1,10 +1,37 @@
 //! The strategy space: candidate axes, enumeration, and validity pruning.
 
 use optimus_hw::{ClusterSpec, Precision};
-use optimus_memory::{inference_memory, training_memory, RecomputeMode, TrainingMemorySpec};
+use optimus_memory::{
+    inference_memory, training_memory, InferenceMemoryReport, RecomputeMode, TrainingMemoryReport,
+    TrainingMemorySpec,
+};
 use optimus_model::ModelConfig;
 use optimus_parallel::{Parallelism, PipelineSchedule};
+use optimus_units::Bytes;
 use serde::{Deserialize, Serialize};
+
+/// The per-device memory footprint the pruning pass derived for a
+/// surviving strategy point. Enumeration already has to compute this to
+/// decide feasibility; returning it lets the evaluation phase reuse the
+/// breakdown instead of re-deriving it per point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PointMemory {
+    /// A training footprint (weights/grads/optimizer/activations).
+    Training(TrainingMemoryReport),
+    /// An inference footprint (weights/KV-cache).
+    Inference(InferenceMemoryReport),
+}
+
+impl PointMemory {
+    /// Total per-device bytes.
+    #[must_use]
+    pub fn total(&self) -> Bytes {
+        match self {
+            Self::Training(m) => m.total(),
+            Self::Inference(m) => m.total(),
+        }
+    }
+}
 
 /// One candidate distributed-execution strategy: a full parallelization
 /// plus the numeric precision it runs at.
@@ -192,6 +219,23 @@ impl SweepSpace {
         cluster: &ClusterSpec,
         workload: &Workload,
     ) -> Vec<StrategyPoint> {
+        self.enumerate_with_memory(model, cluster, workload)
+            .into_iter()
+            .map(|(point, _)| point)
+            .collect()
+    }
+
+    /// Like [`Self::enumerate`], but returns each surviving point together
+    /// with the [`PointMemory`] footprint the pruning pass computed for it,
+    /// so evaluation never re-derives memory. The point order and survivor
+    /// set are identical to [`Self::enumerate`].
+    #[must_use]
+    pub fn enumerate_with_memory(
+        &self,
+        model: &ModelConfig,
+        cluster: &ClusterSpec,
+        workload: &Workload,
+    ) -> Vec<(StrategyPoint, PointMemory)> {
         let device = cluster.accelerator();
         let gpus_per_node = cluster.node.gpus_per_node;
 
@@ -248,13 +292,16 @@ impl SweepSpace {
                                             precision,
                                             recompute: *recompute,
                                         };
-                                        let fits = training_memory(model, &spec)
-                                            .is_ok_and(|m| m.fits(device.dram.capacity));
-                                        if fits {
-                                            points.push(StrategyPoint {
-                                                parallelism,
-                                                precision,
-                                            });
+                                        if let Ok(m) = training_memory(model, &spec) {
+                                            if m.fits(device.dram.capacity) {
+                                                points.push((
+                                                    StrategyPoint {
+                                                        parallelism,
+                                                        precision,
+                                                    },
+                                                    PointMemory::Training(m),
+                                                ));
+                                            }
                                         }
                                     }
                                 }
@@ -277,17 +324,20 @@ impl SweepSpace {
                     for &precision in &precisions {
                         let memory = inference_memory(model, *batch, context, tp, precision);
                         if memory.fits(device.dram.capacity) {
-                            points.push(StrategyPoint {
-                                parallelism,
-                                precision,
-                            });
+                            points.push((
+                                StrategyPoint {
+                                    parallelism,
+                                    precision,
+                                },
+                                PointMemory::Inference(memory),
+                            ));
                         }
                     }
                 }
             }
         }
-        points.sort_by_key(StrategyPoint::sort_key);
-        points.dedup();
+        points.sort_by_key(|(point, _)| point.sort_key());
+        points.dedup_by(|a, b| a.0 == b.0);
         points
     }
 

@@ -55,6 +55,36 @@ fn report_is_byte_identical_across_thread_counts_and_runs() {
     assert_eq!(default_threads, repeat, "repeated runs");
 }
 
+/// The memo table of the two-phase pipeline must not introduce thread
+/// sensitivity: on one thread the table fills strictly in point order; on
+/// eight, workers race to publish entries and hit each other's results.
+/// Both schedules must produce byte-identical reports — for training
+/// (layer-cost table) and inference (per-step tables). Exercised at
+/// `RAYON_NUM_THREADS ∈ {1, 8}` via explicitly installed pools.
+#[test]
+fn memo_table_is_deterministic_across_one_and_eight_threads() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let engine = SweepEngine::new(&cluster);
+    let model = models::llama2_13b();
+    let space = SweepSpace::power_of_two(16);
+    let pool = |n: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+    };
+
+    for workload in [
+        Workload::training(16, 2048),
+        Workload::inference(1, 200, 16),
+    ] {
+        let run = || serde_json::to_string(&engine.sweep(&model, &workload, &space)).unwrap();
+        let one = pool(1).install(run);
+        let eight = pool(8).install(run);
+        assert_eq!(one, eight, "1 thread vs 8 threads for {workload:?}");
+    }
+}
+
 /// No frontier point may dominate another (minimality), and every
 /// evaluated point must be dominated by or equal to something on the
 /// frontier (completeness).

@@ -1,0 +1,96 @@
+//! The memoization contract: a sweep through the shared, memoized
+//! phase-1 context must be **byte-identical** (via JSON) to evaluating
+//! every point naively — one fresh estimator context per point, no shared
+//! memo state, memory footprint re-derived from scratch.
+
+use optimus_hw::presets;
+use optimus_model::presets as models;
+use optimus_sweep::{pareto_frontier, SweepEngine, SweepReport, SweepSpace, Workload};
+
+/// Builds the naive report: every point goes through its own
+/// single-point `evaluate` call, so nothing is shared or reused between
+/// points — each call builds a fresh prepared context whose memo tables
+/// see exactly one strategy.
+fn naive_report(
+    engine: &SweepEngine<'_>,
+    cluster: &optimus_hw::ClusterSpec,
+    model: &optimus_model::ModelConfig,
+    workload: &Workload,
+    space: &SweepSpace,
+) -> SweepReport {
+    let points = space.enumerate(model, cluster, workload);
+    let mut evaluated = Vec::new();
+    let mut rejected = Vec::new();
+    for point in points {
+        let one = engine.evaluate(model, workload, vec![point]);
+        evaluated.extend(one.evaluated);
+        rejected.extend(one.rejected);
+    }
+    let frontier = pareto_frontier(&evaluated);
+    SweepReport {
+        evaluated,
+        frontier,
+        rejected,
+    }
+}
+
+#[test]
+fn memoized_training_sweep_is_byte_identical_to_naive() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let engine = SweepEngine::new(&cluster);
+    let model = models::llama2_13b();
+    let workload = Workload::training(16, 2048);
+    let space = SweepSpace::power_of_two(16);
+
+    let memoized = engine.sweep(&model, &workload, &space);
+    let naive = naive_report(&engine, &cluster, &model, &workload, &space);
+
+    assert!(!memoized.evaluated.is_empty());
+    let memoized_json = serde_json::to_string(&memoized).unwrap();
+    let naive_json = serde_json::to_string(&naive).unwrap();
+    assert_eq!(
+        memoized_json, naive_json,
+        "memoized sweep diverges from naive per-point evaluation"
+    );
+}
+
+#[test]
+fn memoized_inference_sweep_is_byte_identical_to_naive() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let engine = SweepEngine::new(&cluster);
+    let model = models::llama2_13b();
+    let workload = Workload::inference(1, 200, 16);
+    let space = SweepSpace::power_of_two(8);
+
+    let memoized = engine.sweep(&model, &workload, &space);
+    let naive = naive_report(&engine, &cluster, &model, &workload, &space);
+
+    assert!(!memoized.evaluated.is_empty());
+    let memoized_json = serde_json::to_string(&memoized).unwrap();
+    let naive_json = serde_json::to_string(&naive).unwrap();
+    assert_eq!(
+        memoized_json, naive_json,
+        "memoized sweep diverges from naive per-point evaluation"
+    );
+}
+
+/// `evaluate` on an explicit point list (which derives memory in-line)
+/// must agree with `sweep` (which reuses the pruning pass's footprints)
+/// over the same points.
+#[test]
+fn pruned_footprints_match_inline_derivation() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let engine = SweepEngine::new(&cluster);
+    let model = models::llama2_13b();
+    let workload = Workload::training(16, 2048);
+    let space = SweepSpace::power_of_two(16);
+
+    let swept = engine.sweep(&model, &workload, &space);
+    let points = space.enumerate(&model, &cluster, &workload);
+    let explicit = engine.evaluate(&model, &workload, points);
+
+    assert_eq!(
+        serde_json::to_string(&swept).unwrap(),
+        serde_json::to_string(&explicit).unwrap()
+    );
+}

@@ -1,0 +1,64 @@
+//! Regression pin: `enumerate` + `evaluate` performs **exactly one**
+//! memory-footprint computation per candidate point — during pruning —
+//! and the evaluation phase performs **zero**.
+//!
+//! The probe is `optimus_memory::footprint_computations()`, a process-wide
+//! counter, so this file holds a single `#[test]` (its own integration-test
+//! binary = its own process) to keep the differences exact.
+
+use optimus_hw::presets;
+use optimus_memory::footprint_computations;
+use optimus_model::presets as models;
+use optimus_sweep::{SweepEngine, SweepSpace, Workload};
+
+#[test]
+fn evaluation_never_recomputes_the_pruning_footprints() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let engine = SweepEngine::new(&cluster);
+    let model = models::llama2_13b();
+    let space = SweepSpace::power_of_two(16);
+
+    for workload in [
+        Workload::training(16, 2048),
+        Workload::inference(1, 200, 16),
+    ] {
+        // Enumeration computes one footprint per *candidate* (surviving or
+        // memory-pruned — it must, to decide which is which).
+        let before_enumerate = footprint_computations();
+        let points = space.enumerate_with_memory(&model, &cluster, &workload);
+        let per_candidate = footprint_computations() - before_enumerate;
+        assert!(
+            per_candidate >= points.len(),
+            "pruning must cost at least one footprint per survivor \
+             ({per_candidate} computations, {} survivors)",
+            points.len()
+        );
+
+        // The full sweep = the same enumeration + evaluation. If evaluation
+        // re-derived memory, the sweep would exceed the enumeration count.
+        let before_sweep = footprint_computations();
+        let report = engine.sweep(&model, &workload, &space);
+        let during_sweep = footprint_computations() - before_sweep;
+        assert_eq!(report.evaluated.len(), points.len());
+        assert_eq!(
+            during_sweep,
+            per_candidate,
+            "the evaluation phase re-computed {} memory footprints that \
+             pruning already derived",
+            during_sweep - per_candidate
+        );
+
+        // Explicit point lists carry no footprints, so `evaluate` derives
+        // exactly one per point — and no more.
+        let strategy_points: Vec<_> = points.iter().map(|(p, _)| *p).collect();
+        let n = strategy_points.len();
+        let before_explicit = footprint_computations();
+        let explicit = engine.evaluate(&model, &workload, strategy_points);
+        assert_eq!(explicit.evaluated.len(), n);
+        assert_eq!(
+            footprint_computations() - before_explicit,
+            n,
+            "explicit evaluation must derive exactly one footprint per point"
+        );
+    }
+}

@@ -6,14 +6,19 @@ use optimus_memory::RecomputeMode;
 use optimus_model::ModelConfig;
 use optimus_parallel::{Parallelism, PipelineSchedule};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything that defines one distributed training job: the model, the
 /// global batch shape, numeric precision, the parallelization, the pipeline
 /// schedule, and the activation-recomputation strategy.
+///
+/// The model is held behind an [`Arc`] so that sweeps evaluating hundreds
+/// of configurations against one architecture share a single allocation
+/// instead of deep-cloning the [`ModelConfig`] per point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingConfig {
     /// The model being trained.
-    pub model: ModelConfig,
+    pub model: Arc<ModelConfig>,
     /// Global batch size in samples.
     pub batch: usize,
     /// Sequence length.
@@ -35,11 +40,17 @@ pub struct TrainingConfig {
 
 impl TrainingConfig {
     /// Creates a config with 1F1B scheduling, no recomputation, FP16, and
-    /// automatic collective selection.
+    /// automatic collective selection. Accepts an owned [`ModelConfig`] or
+    /// an existing [`Arc`] (shared across sweep points).
     #[must_use]
-    pub fn new(model: ModelConfig, batch: usize, seq: usize, parallelism: Parallelism) -> Self {
+    pub fn new(
+        model: impl Into<Arc<ModelConfig>>,
+        batch: usize,
+        seq: usize,
+        parallelism: Parallelism,
+    ) -> Self {
         Self {
-            model,
+            model: model.into(),
             batch,
             seq,
             precision: Precision::Fp16,

@@ -1,12 +1,8 @@
 //! The end-to-end training-time estimator.
 
-use crate::{GemmBoundSplit, TrainingBreakdown, TrainingConfig, TrainingReport};
+use crate::{PreparedTrainingEstimator, TrainingConfig, TrainingReport};
 use optimus_hw::{ClusterSpec, HwError};
-use optimus_memory::{training_memory, RecomputeMode, TrainingMemorySpec};
-use optimus_model::{graph, GraphParams, Op, OpKind};
-use optimus_parallel::{CommPlan, ParallelError};
-use optimus_roofline::RooflineModel;
-use optimus_units::{Bytes, FlopCount, Time};
+use optimus_parallel::ParallelError;
 
 /// Error produced by a training estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,33 +44,6 @@ impl From<HwError> for TrainError {
     }
 }
 
-/// Per-operator-list cost accumulator: time plus the energy-relevant
-/// volumes.
-#[derive(Debug, Clone, Copy, Default)]
-struct OpsCost {
-    time: Time,
-    flops: FlopCount,
-    dram: Bytes,
-}
-
-impl OpsCost {
-    fn plus(&self, other: &Self) -> Self {
-        Self {
-            time: self.time + other.time,
-            flops: self.flops + other.flops,
-            dram: self.dram + other.dram,
-        }
-    }
-
-    fn scaled(&self, factor: f64) -> Self {
-        Self {
-            time: self.time * factor,
-            flops: self.flops * factor,
-            dram: self.dram * factor,
-        }
-    }
-}
-
 /// Predicts the time per batch of a distributed training job on a cluster.
 ///
 /// Composition (paper Fig. 1): the model's per-layer operator graph is
@@ -83,6 +52,12 @@ impl OpsCost {
 /// microbatch are costed by the α–β model on the intra-node fabric, the
 /// pipeline schedule contributes its bubble and point-to-point time, and
 /// the batch ends with the DP gradient all-reduce and the optimizer update.
+///
+/// This type is the convenient one-shot entry point; it delegates to
+/// [`PreparedTrainingEstimator`], which carries the actual model and is the
+/// right interface when many strategies are evaluated against one
+/// (model, cluster, workload) triple — it memoizes per-layer kernel costs
+/// across calls instead of re-deriving them.
 ///
 /// ```
 /// use optimus_hw::presets;
@@ -116,227 +91,8 @@ impl<'a> TrainingEstimator<'a> {
     /// Returns [`TrainError`] if the parallelization does not divide the
     /// workload/cluster or the precision is unsupported by the device.
     pub fn estimate(&self, cfg: &TrainingConfig) -> Result<TrainingReport, TrainError> {
-        let p = cfg.parallelism;
-        p.validate(self.cluster)?;
-        let microbatches = p.microbatches(cfg.batch)?;
-        let layers_per_stage = p.layers_per_stage(cfg.model.layers)?;
-
-        let device = self.cluster.accelerator();
-        let roofline = RooflineModel::new(device);
-        let plan = CommPlan::new(self.cluster, p, cfg.comm);
-
-        let gp = GraphParams::prefill(p.microbatch, cfg.seq, p.tp, cfg.precision)
-            .with_sp(p.sp)
-            .with_flash(cfg.flash);
-
-        // --- per-layer device kernel times (one microbatch) --------------
-        let fwd_ops = graph::layer_forward_ops(&cfg.model, &gp);
-        let bwd_ops = graph::layer_backward_ops(&cfg.model, &gp);
-        let fwd_cost = self.ops_cost_at(&roofline, &fwd_ops, cfg.precision)?;
-        let bwd_cost = self.ops_cost_at(&roofline, &bwd_ops, cfg.precision)?;
-        let rc_cost = match cfg.recompute {
-            RecomputeMode::None => OpsCost::default(),
-            RecomputeMode::Selective => self.ops_cost_at(
-                &roofline,
-                &graph::selective_recompute_ops(&cfg.model, &gp),
-                cfg.precision,
-            )?,
-            // Full recomputation replays the whole forward pass.
-            RecomputeMode::Full { .. } => fwd_cost,
-        };
-        let layer_cost = fwd_cost.plus(&bwd_cost).plus(&rc_cost);
-        let layer_time = layer_cost.time;
-
-        // --- TP/SP collectives per layer per microbatch -------------------
-        // Block outputs are the full microbatch activation s·b·h at the
-        // training precision.
-        let act_volume =
-            Bytes::new((p.microbatch * cfg.seq * cfg.model.hidden) as f64 * cfg.precision.bytes());
-        let tp_per_layer = plan.tp_layer_forward(act_volume) + plan.tp_layer_backward(act_volume);
-
-        // --- embedding + LM head (first/last stage), amortized ------------
-        let emb_head_ops: Vec<Op> = graph::embedding_ops(&cfg.model, &gp)
-            .into_iter()
-            .chain(graph::head_ops(&cfg.model, &gp))
-            .collect();
-        // Backward of the head/embedding roughly doubles it.
-        let emb_head_cost = self
-            .ops_cost_at(&roofline, &emb_head_ops, cfg.precision)?
-            .scaled(3.0);
-        let t_emb_head = emb_head_cost.time;
-
-        // --- pipeline assembly --------------------------------------------
-        let stage_compute = layer_time * layers_per_stage as f64;
-        let stage_tp = tp_per_layer * layers_per_stage as f64;
-        let stage_extra = t_emb_head / p.pp as f64;
-        // Two stage-boundary crossings per microbatch (forward activation
-        // out, backward gradient in), times the interleaving multiplier.
-        let p2p_per_ubatch = plan.pp_hop(act_volume) * 2.0 * cfg.schedule.p2p_multiplier();
-
-        let stage_time = stage_compute + stage_tp + stage_extra + p2p_per_ubatch;
-        let busy = stage_time * microbatches as f64;
-        let bubble = busy * cfg.schedule.bubble_fraction(p.pp, microbatches);
-
-        // --- once-per-batch terms ------------------------------------------
-        let params_per_device = self.params_per_device(cfg, layers_per_stage);
-        let grad_volume = Bytes::new(params_per_device * cfg.precision.bytes());
-        let dp_comm = plan.dp_gradient_allreduce(grad_volume);
-        let weight_update = self.weight_update_time(cfg, params_per_device);
-
-        // --- aggregate -------------------------------------------------------
-        let compute = (layer_time * layers_per_stage as f64 + stage_extra) * microbatches as f64;
-        let tp_comm = stage_tp * microbatches as f64;
-        let pp_comm = p2p_per_ubatch * microbatches as f64;
-        let breakdown = TrainingBreakdown {
-            compute,
-            tp_comm,
-            pp_comm,
-            dp_comm,
-            bubble,
-            weight_update,
-        };
-        let time_per_batch = breakdown.total();
-
-        // --- per-device energy-relevant totals ---------------------------
-        let ubatches = microbatches as f64;
-        let device_flops = FlopCount::new(
-            (layer_cost.flops.get() * layers_per_stage as f64
-                + emb_head_cost.flops.get() / p.pp as f64)
-                * ubatches,
-        );
-        let optimizer_traffic =
-            Bytes::new(params_per_device * (16.0 + 12.0 + cfg.precision.bytes()));
-        let dram_traffic = Bytes::new(
-            (layer_cost.dram.bytes() * layers_per_stage as f64
-                + emb_head_cost.dram.bytes() / p.pp as f64)
-                * ubatches,
-        ) + optimizer_traffic;
-        let network_traffic = plan.tp_layer_forward_wire_bytes(act_volume)
-            * (2.0 * layers_per_stage as f64 * ubatches)
-            + plan.pp_wire_bytes(act_volume) * (2.0 * cfg.schedule.p2p_multiplier() * ubatches)
-            + plan.dp_wire_bytes(grad_volume);
-
-        // --- memory ----------------------------------------------------------
-        let memory = training_memory(
-            &cfg.model,
-            &TrainingMemorySpec {
-                batch: cfg.batch,
-                seq: cfg.seq,
-                parallelism: p,
-                schedule: cfg.schedule,
-                precision: cfg.precision,
-                recompute: cfg.recompute,
-            },
-        )?;
-
-        // --- MFU ---------------------------------------------------------------
-        let model_flops = self.model_flops(cfg);
-        let peak = device.peak(cfg.precision)?;
-        let system_peak = peak * p.total_gpus() as f64;
-        let mfu = model_flops.get() / (system_peak.get() * time_per_batch.secs());
-
-        // --- per-layer GEMM bound split (Fig. 7) -------------------------------
-        let layer_gemm_split = self.gemm_split(&roofline, cfg, &fwd_ops, &bwd_ops)?;
-
-        Ok(TrainingReport {
-            time_per_batch,
-            breakdown,
-            memory,
-            microbatches,
-            model_flops,
-            mfu,
-            layer_gemm_split,
-            device_flops,
-            dram_traffic,
-            network_traffic,
-        })
-    }
-
-    /// Total device time, FLOPs, and DRAM traffic of an operator list at
-    /// the given GEMM precision (streaming ops already carry their element
-    /// widths).
-    fn ops_cost_at(
-        &self,
-        roofline: &RooflineModel<'_>,
-        ops: &[Op],
-        precision: optimus_hw::Precision,
-    ) -> Result<OpsCost, TrainError> {
-        let mut total = OpsCost::default();
-        for op in ops {
-            let cost = match op.kind {
-                OpKind::Gemm(g) => roofline.batched_gemm(g, precision)?,
-                OpKind::Eltwise(e) => roofline.eltwise(e),
-                OpKind::Flash(fa) => roofline.custom_kernel(
-                    "flash-attention",
-                    fa.flops(),
-                    &fa.traffic(),
-                    precision,
-                )?,
-            };
-            total.time += cost.total();
-            total.flops += cost.flops;
-            total.dram += cost.dram_traffic();
-        }
-        Ok(total)
-    }
-
-    fn params_per_device(&self, cfg: &TrainingConfig, layers_per_stage: usize) -> f64 {
-        let p = cfg.parallelism;
-        layers_per_stage as f64 * cfg.model.layer_param_count() / p.tp as f64
-            + cfg.model.embedding_param_count() / p.tp as f64
-    }
-
-    /// Optimizer update: stream gradients, Adam moments, master weights
-    /// (read + write) and store the new low-precision weights.
-    fn weight_update_time(&self, cfg: &TrainingConfig, params: f64) -> Time {
-        // Reads: grad(4) + m(4) + v(4) + master(4); writes: m, v, master,
-        // weight(precision).
-        let traffic = Bytes::new(params * (16.0 + 12.0 + cfg.precision.bytes()));
-        let dram = self.cluster.accelerator().dram.bandwidth;
-        let util = self
-            .cluster
-            .accelerator()
-            .calibration
-            .dram_utilization
-            .factor(traffic);
-        traffic / (dram * util.get())
-    }
-
-    /// Useful (non-recompute) model FLOPs per batch: 3× the forward GEMM
-    /// work of the full model (backward counts double), plus head.
-    fn model_flops(&self, cfg: &TrainingConfig) -> FlopCount {
-        let gp = GraphParams::prefill(cfg.batch, cfg.seq, 1, cfg.precision);
-        let layer: f64 = graph::layer_forward_ops(&cfg.model, &gp)
-            .iter()
-            .filter_map(|o| o.as_gemm().map(|g| g.flops().get()))
-            .sum();
-        let head: f64 = graph::head_ops(&cfg.model, &gp)
-            .iter()
-            .filter_map(|o| o.as_gemm().map(|g| g.flops().get()))
-            .sum();
-        FlopCount::new(3.0 * (layer * cfg.model.layers as f64 + head))
-    }
-
-    /// Bound-type split of the fwd+bwd GEMMs of one layer (one microbatch).
-    fn gemm_split(
-        &self,
-        roofline: &RooflineModel<'_>,
-        cfg: &TrainingConfig,
-        fwd: &[Op],
-        bwd: &[Op],
-    ) -> Result<GemmBoundSplit, TrainError> {
-        let mut split = GemmBoundSplit::default();
-        for op in fwd.iter().chain(bwd.iter()) {
-            if let OpKind::Gemm(g) = op.kind {
-                let cost = roofline.batched_gemm(g, cfg.precision)?;
-                if cost.bound().is_compute() {
-                    split.compute_bound += cost.total();
-                } else {
-                    split.memory_bound += cost.total();
-                }
-            }
-        }
-        Ok(split)
+        PreparedTrainingEstimator::from_config(self.cluster, cfg)
+            .estimate(cfg.parallelism, cfg.precision)
     }
 }
 
@@ -344,8 +100,10 @@ impl<'a> TrainingEstimator<'a> {
 mod tests {
     use super::*;
     use optimus_hw::presets;
+    use optimus_memory::RecomputeMode;
     use optimus_model::presets as models;
     use optimus_parallel::{Parallelism, PipelineSchedule};
+    use optimus_units::Time;
 
     fn a100() -> ClusterSpec {
         presets::dgx_a100_hdr_cluster()

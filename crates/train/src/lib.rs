@@ -15,8 +15,10 @@
 
 mod config;
 mod estimator;
+mod prepared;
 mod report;
 
 pub use config::TrainingConfig;
 pub use estimator::{TrainError, TrainingEstimator};
+pub use prepared::PreparedTrainingEstimator;
 pub use report::{GemmBoundSplit, TrainingBreakdown, TrainingReport};

@@ -57,6 +57,36 @@ impl Value {
         self.get(key).unwrap_or(&NULL)
     }
 
+    /// The elements of an array value (`None` for non-arrays), matching
+    /// `serde_json::Value::as_array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric content of a number value (`None` otherwise), matching
+    /// `serde_json::Value::as_f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string content of a string value (`None` otherwise), matching
+    /// `serde_json::Value::as_str`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// A short description of the value's type for error messages.
     #[must_use]
     pub fn kind(&self) -> &'static str {
@@ -172,6 +202,18 @@ impl Deserialize for String {
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
     }
 }
 

@@ -14,8 +14,12 @@
 //! * enums with unit variants and struct variants (externally tagged).
 //!
 //! The only recognized container attribute is `#[serde(transparent)]`.
-//! Generics are intentionally unsupported; the workspace derives only on
-//! plain owned types.
+//! Any other `#[serde(...)]` attribute — container-, field-, or
+//! variant-level — is a **compile error**, not a silent no-op, so a
+//! derive that relies on real-serde behavior this stub lacks (renames,
+//! skips, defaults, tagging modes, …) fails loudly at build time instead
+//! of producing subtly wrong JSON. Generics are intentionally
+//! unsupported; the workspace derives only on plain owned types.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -61,6 +65,56 @@ enum Container {
     },
 }
 
+/// Container-level `#[serde(...)]` arguments the stub implements.
+const CONTAINER_ALLOWLIST: &[&str] = &["transparent"];
+/// Field- and variant-level serde attributes are entirely unsupported.
+const NO_ATTRS: &[&str] = &[];
+
+/// Validates one attribute's bracket-group stream against the serde
+/// allowlist for its position, returning the recognized arguments.
+///
+/// Non-serde attributes (doc comments, `derive`, `must_use`, …) pass
+/// through untouched as an empty list. A `#[serde(...)]` argument outside
+/// `allowed` panics — which surfaces as a compile error at the derive
+/// site — so real-serde behaviors the stub lacks (renames, skips,
+/// defaults, tagging modes, …) fail loudly instead of silently emitting
+/// wrong JSON.
+fn serde_attr_args(attr: TokenStream, allowed: &[&str], position: &str) -> Vec<String> {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let args_group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!(
+            "malformed {position} attribute `#[serde ...]` (found {other:?}): the vendored \
+             serde_derive stub expects `#[serde(arg, ...)]`"
+        ),
+    };
+    let mut args = Vec::new();
+    for token in args_group.stream() {
+        match token {
+            TokenTree::Ident(id) => {
+                let arg = id.to_string();
+                assert!(
+                    allowed.contains(&arg.as_str()),
+                    "unsupported {position} attribute `#[serde({arg})]`: the vendored \
+                     serde_derive stub implements only {allowed:?} at this position; extend \
+                     the stub in vendor/serde_derive or drop the attribute"
+                );
+                args.push(arg);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!(
+                "unsupported {position} attribute syntax `#[serde({other} ...)]`: the \
+                 vendored serde_derive stub implements only bare arguments ({allowed:?})"
+            ),
+        }
+    }
+    args
+}
+
 fn parse(input: TokenStream) -> Container {
     let mut tokens = input.into_iter().peekable();
     let mut transparent = false;
@@ -70,8 +124,8 @@ fn parse(input: TokenStream) -> Container {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 if let Some(TokenTree::Group(g)) = tokens.next() {
-                    let body = g.stream().to_string();
-                    if body.starts_with("serde") && body.contains("transparent") {
+                    let args = serde_attr_args(g.stream(), CONTAINER_ALLOWLIST, "container");
+                    if args.iter().any(|a| a == "transparent") {
                         transparent = true;
                     }
                 }
@@ -137,7 +191,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             None => break,
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
-                tokens.next(); // the [...] group
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    serde_attr_args(g.stream(), NO_ATTRS, "field");
+                }
                 continue;
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -211,7 +267,9 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
             None => break,
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
-                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    serde_attr_args(g.stream(), NO_ATTRS, "variant");
+                }
                 continue;
             }
             _ => {}
