@@ -1,0 +1,55 @@
+//! Benchmarks of the continuous-batching serving simulator: trace
+//! generation alone, an end-to-end simulation at moderate load (the memo
+//! tables absorb repeated iteration shapes), and a hot-cache re-run.
+//! `scripts/bench-serve.sh` snapshots these numbers into
+//! `BENCH_serve.json` so successive PRs can track simulated-requests-per-
+//! second throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus::prelude::*;
+use optimus_serve::{simulate, ServeConfig, TraceSpec};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn trace_spec() -> TraceSpec {
+    // 64 requests at 8 req/s keeps several requests in flight, so decode
+    // iterations sweep through varying batch sizes and contexts.
+    TraceSpec::poisson(42, 64, 8.0, 200, 32)
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let spec = trace_spec();
+    c.bench_function("serve/trace_64req", |b| {
+        b.iter(|| black_box(spec.generate()))
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_13b());
+    let config = ServeConfig::new(2);
+    let spec = trace_spec();
+    c.bench_function("serve/llama13b_a100_tp2_64req", |b| {
+        b.iter(|| black_box(simulate(&cluster, Arc::clone(&model), &config, &spec).unwrap()))
+    });
+}
+
+fn bench_simulate_long_decode(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_7b());
+    let config = ServeConfig::new(1);
+    // Longer outputs shift the work into the decode loop — the regime the
+    // per-step memo tables exist for.
+    let spec = TraceSpec::poisson(7, 32, 4.0, 100, 128);
+    c.bench_function("serve/llama7b_a100_tp1_long_decode", |b| {
+        b.iter(|| black_box(simulate(&cluster, Arc::clone(&model), &config, &spec).unwrap()))
+    });
+}
+
+criterion_group!(
+    serve_benches,
+    bench_trace_generation,
+    bench_simulate,
+    bench_simulate_long_decode
+);
+criterion_main!(serve_benches);

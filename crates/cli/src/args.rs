@@ -85,6 +85,23 @@ impl Args {
         }
     }
 
+    /// A floating-point option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse as a finite
+    /// number.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| ArgError(format!("--{key} expects a number, got `{v}`"))),
+        }
+    }
+
     /// Whether a boolean flag was given.
     #[must_use]
     pub fn flag(&self, key: &str) -> bool {
@@ -127,5 +144,20 @@ mod tests {
     fn rejects_bad_number() {
         let a = parse("train --tp eight").unwrap();
         assert!(a.get_usize("tp", 1).is_err());
+    }
+
+    #[test]
+    fn parses_floats_with_defaults() {
+        let a = parse("serve --rate 2.5").unwrap();
+        assert_eq!(a.get_f64("rate", 1.0).unwrap(), 2.5);
+        assert_eq!(a.get_f64("interval", 4.0).unwrap(), 4.0);
+        assert!(parse("serve --rate fast")
+            .unwrap()
+            .get_f64("rate", 1.0)
+            .is_err());
+        assert!(parse("serve --rate inf")
+            .unwrap()
+            .get_f64("rate", 1.0)
+            .is_err());
     }
 }

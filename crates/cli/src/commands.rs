@@ -165,6 +165,113 @@ pub fn infer(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Parses a token-length option: either a single count (`200`) or an
+/// inclusive `LO:HI` range (`50:400`).
+fn length_dist_of(key: &str, value: &str) -> Result<optimus_serve::LengthDist, ArgError> {
+    use optimus_serve::LengthDist;
+    let parse_tokens = |v: &str| -> Result<usize, ArgError> {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| ArgError(format!("--{key} expects a positive token count, got `{v}`")))
+    };
+    match value.split_once(':') {
+        None => Ok(LengthDist::Fixed {
+            tokens: parse_tokens(value)?,
+        }),
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse_tokens(lo)?, parse_tokens(hi)?);
+            if lo > hi {
+                return Err(ArgError(format!(
+                    "--{key} range must satisfy LO <= HI, got `{value}`"
+                )));
+            }
+            Ok(LengthDist::Uniform { lo, hi })
+        }
+    }
+}
+
+/// `optimus-cli serve …` — continuous-batching serving simulation with
+/// SLO metrics.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for bad options or configurations that cannot
+/// serve (weights overflow the device, TP beyond a node).
+pub fn serve(args: &Args) -> Result<String, ArgError> {
+    use optimus_serve::{simulate, ArrivalProcess, ServeConfig, SloSpec, TraceSpec};
+    let model = model_preset(args.get_or("model", "llama2-13b"))?;
+    let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
+    let tp = args.get_usize("tp", 1)?;
+    if tp == 0 {
+        return Err(ArgError("--tp must be at least 1".to_owned()));
+    }
+    let precision = precision_of(args.get_or("precision", "fp16"))?;
+
+    let arrival = match (args.get("rate"), args.get("interval")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError(
+                "--rate (Poisson) and --interval (fixed spacing) are mutually exclusive".to_owned(),
+            ))
+        }
+        (_, None) => {
+            let rate_per_s = args.get_f64("rate", 2.0)?;
+            if rate_per_s <= 0.0 {
+                return Err(ArgError("--rate must be positive".to_owned()));
+            }
+            ArrivalProcess::Poisson { rate_per_s }
+        }
+        (None, Some(_)) => {
+            let interval_s = args.get_f64("interval", 1.0)?;
+            if interval_s <= 0.0 {
+                return Err(ArgError("--interval must be positive".to_owned()));
+            }
+            ArrivalProcess::Fixed { interval_s }
+        }
+    };
+    let requests = args.get_usize("requests", 100)?;
+    let ttft_slo = args.get_f64("ttft-slo", 2000.0)?;
+    let tpot_slo = args.get_f64("tpot-slo", 100.0)?;
+    if ttft_slo <= 0.0 || tpot_slo <= 0.0 {
+        return Err(ArgError("SLO targets must be positive".to_owned()));
+    }
+
+    let spec = TraceSpec {
+        seed: args.get_usize("seed", 42)? as u64,
+        requests,
+        arrival,
+        prompt: length_dist_of("prompt", args.get_or("prompt", "200"))?,
+        output: length_dist_of("output", args.get_or("output", "64"))?,
+    };
+    let config = ServeConfig::new(tp)
+        .with_precision(precision)
+        .with_slo(SloSpec {
+            ttft: optimus::units::Time::from_millis(ttft_slo),
+            tpot: optimus::units::Time::from_millis(tpot_slo),
+        });
+
+    let report = simulate(&cluster, std::sync::Arc::new(model), &config, &spec)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+    }
+    let arrival_desc = match arrival {
+        ArrivalProcess::Poisson { rate_per_s } => format!("poisson {rate_per_s} req/s"),
+        ArrivalProcess::Fixed { interval_s } => format!("fixed every {interval_s} s"),
+    };
+    let mut out = format!(
+        "serve: {} on {} (TP{tp}, {precision})\ntrace: {requests} requests, {arrival_desc}, \
+         seed {}\n\n{report}\n",
+        report.model, report.cluster, spec.seed
+    );
+    out.push_str(&format!(
+        "\niterations: {} prefill + {} decode (mean decode batch {:.1})\n",
+        report.prefill_iterations, report.decode_iterations, report.mean_decode_batch
+    ));
+    Ok(out)
+}
+
 /// `optimus-cli memory …` — training memory dissection.
 ///
 /// # Errors
@@ -357,6 +464,10 @@ USAGE:
                      [--flash] [--json]
   optimus-cli infer  [--model M] [--cluster C] [--batch N] [--prefill N]
                      [--generate N] [--tp N] [--precision P] [--json]
+  optimus-cli serve  [--model M] [--cluster C] [--tp N] [--precision P]
+                     [--requests N] [--seed N] [--rate R | --interval S]
+                     [--prompt N|LO:HI] [--output N|LO:HI]
+                     [--ttft-slo MS] [--tpot-slo MS] [--json]
   optimus-cli memory [--model M] [--batch N] [--seq N] [--dp N] [--tp N]
                      [--pp N] [--sp] [--recompute MODE] [--json]
   optimus-cli sweep  [--model M] [--cluster C] [--workload train|infer]
@@ -364,6 +475,14 @@ USAGE:
                      [--generate N] [--recompute MODE] [--precisions P,P]
                      [--top N] [--frontier-only] [--full] [--json]
   optimus-cli list
+
+SERVE TRAFFIC AND SLO OPTIONS:
+  --rate R          Poisson arrivals at R requests/s (default 2.0)
+  --interval S      evenly spaced arrivals every S seconds instead
+  --prompt N|LO:HI  prompt length: fixed or uniform over LO..=HI tokens
+  --output N|LO:HI  output length: fixed or uniform over LO..=HI tokens
+  --ttft-slo MS     time-to-first-token target, ms (default 2000)
+  --tpot-slo MS     time-per-output-token target, ms (default 100)
 
 SWEEP OUTPUT SHAPING (text and JSON alike):
   --frontier-only   only the Pareto frontier (JSON: the frontier array)
@@ -412,6 +531,66 @@ mod tests {
         let out = infer(&args("infer --model llama2-7b --tp 2")).unwrap();
         assert!(out.contains("latency"));
         assert!(out.contains("kv-cache"));
+    }
+
+    #[test]
+    fn serve_command_produces_report() {
+        let out = serve(&args(
+            "serve --model llama2-7b --tp 1 --requests 12 --rate 4 --prompt 100 --output 8",
+        ))
+        .unwrap();
+        assert!(out.contains("served 12/12"), "{out}");
+        assert!(out.contains("ttft"), "{out}");
+        assert!(out.contains("goodput"), "{out}");
+    }
+
+    #[test]
+    fn serve_json_is_valid() {
+        let out = serve(&args(
+            "serve --model llama2-7b --requests 8 --interval 5 --prompt 100 --output 4 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("ttft").is_some());
+        assert!(v.get("slo").is_some());
+        assert_eq!(
+            v.get("completed").and_then(serde_json::Value::as_f64),
+            Some(8.0)
+        );
+    }
+
+    #[test]
+    fn serve_accepts_length_ranges() {
+        let out = serve(&args(
+            "serve --model llama2-7b --requests 6 --rate 8 --prompt 50:150 --output 1:8",
+        ))
+        .unwrap();
+        assert!(out.contains("served 6/6"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_options() {
+        for bad in [
+            "serve --rate 0",
+            "serve --interval 0",
+            "serve --rate 2 --interval 3",
+            "serve --prompt 0",
+            "serve --prompt 200:100",
+            "serve --output 10:x",
+            "serve --tp 0",
+            "serve --ttft-slo 0",
+        ] {
+            assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn serve_surfaces_infeasible_configs_cleanly() {
+        // 175B weights cannot fit one 80 GB device at FP16.
+        let err = serve(&args("serve --model gpt-175b --requests 1")).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+        let err = serve(&args("serve --model llama2-7b --tp 16 --requests 1")).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
     }
 
     #[test]

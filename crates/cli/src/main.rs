@@ -3,6 +3,7 @@
 //! ```text
 //! optimus-cli train --model gpt-175b --cluster a100-hdr --batch 64 --tp 8 --pp 8 --sp
 //! optimus-cli infer --model llama2-70b --cluster h100-ndr --tp 8
+//! optimus-cli serve --model llama2-13b --cluster a100-hdr --tp 2 --rate 4 --requests 200
 //! optimus-cli memory --model gpt-530b --batch 280 --tp 8 --pp 35 --recompute full
 //! optimus-cli sweep --model llama2-13b --cluster a100-hdr --batch 64 --max-gpus 64
 //! optimus-cli list
@@ -25,6 +26,7 @@ fn main() {
     let result = match parsed.command.as_str() {
         "train" => commands::train(&parsed),
         "infer" => commands::infer(&parsed),
+        "serve" => commands::serve(&parsed),
         "memory" => commands::memory(&parsed),
         "sweep" => commands::sweep(&parsed),
         "list" => Ok(commands::list()),

@@ -21,7 +21,7 @@ use optimus_memory::{inference_memory, InferenceMemoryReport};
 use optimus_model::{graph, GraphParams, ModelConfig, Op, OpKind};
 use optimus_parallel::{CommPlan, Parallelism};
 use optimus_roofline::{KernelCost, RooflineModel};
-use optimus_units::{Bytes, FlopCount};
+use optimus_units::{Bytes, FlopCount, Time};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
@@ -37,15 +37,18 @@ struct StepCost {
     gemms: Vec<GemmAnalysis>,
 }
 
-/// Memo key of one transformer layer's kernels: `(seq, kv_len, tp,
+/// Memo key of one transformer layer's kernels: `(batch, seq, kv_len, tp,
 /// precision)`. `seq` is the prompt length for prefill and 1 for decode;
-/// `kv_len` is the attention context.
-type LayerKey = (usize, usize, usize, Precision);
+/// `kv_len` is the attention context. A one-shot estimate uses a single
+/// batch value, but the serving iteration APIs vary it — continuous
+/// batching grows and shrinks the decode batch every iteration — so the
+/// batch is part of the key.
+type LayerKey = (usize, usize, usize, usize, Precision);
 
-/// Memo key of the embedding + LM-head stage: `(seq, tp, precision)` —
-/// these ops never read the attention context, which is what collapses the
-/// whole decode loop's head work onto a single entry.
-type ExtraKey = (usize, usize, Precision);
+/// Memo key of the embedding + LM-head stage: `(batch, seq, tp,
+/// precision)` — these ops never read the attention context, which is what
+/// collapses the whole decode loop's head work onto a single entry.
+type ExtraKey = (usize, usize, usize, Precision);
 
 /// Phase-1 state of the two-phase inference estimator: the roofline and
 /// the per-step kernel-cost memo tables, fixed to one (model, cluster,
@@ -125,6 +128,15 @@ impl<'a> PreparedInferenceEstimator<'a> {
             cfg.generate,
         )
         .with_comm(cfg.comm)
+    }
+
+    /// Prepares an estimator for iteration-level serving simulation, where
+    /// every batch/sequence shape arrives per call through
+    /// [`Self::prefill_iteration`] and [`Self::decode_iteration`] rather
+    /// than from a fixed request shape.
+    #[must_use]
+    pub fn for_serving(cluster: &'a ClusterSpec, model: Arc<ModelConfig>) -> Self {
+        Self::new(cluster, model, 1, 1, 1)
     }
 
     /// Sets the collective policy.
@@ -255,10 +267,87 @@ impl<'a> PreparedInferenceEstimator<'a> {
         })
     }
 
+    /// Wall-clock time of one continuous-batching **prefill iteration**:
+    /// `batch` prompts of `prompt` tokens each run through every layer
+    /// (with the per-layer TP all-reduces) plus the embedding/LM-head
+    /// stage. Memoized on `(batch, prompt, tp, precision)` like every
+    /// other step, so a serving simulator re-pricing the same prompt
+    /// length pays a hash lookup.
+    ///
+    /// The request-shape fields the estimator was prepared with (`batch`,
+    /// `prefill`, `generate`) are not consulted — iteration pricing is
+    /// fully parameterized by its arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError`] when the device lacks the serving precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`, `prompt`, or `tp` is zero.
+    pub fn prefill_iteration(
+        &self,
+        batch: usize,
+        prompt: usize,
+        tp: usize,
+        precision: Precision,
+    ) -> Result<Time, HwError> {
+        assert!(
+            batch > 0 && prompt > 0 && tp > 0,
+            "degenerate prefill iteration"
+        );
+        let gp = GraphParams::prefill(batch, prompt, tp, precision);
+        let layer = self.layer_cost(&gp)?;
+        let extra = self.extra_cost(&gp)?;
+        let layers = self.model.layers as f64;
+        let plan = CommPlan::new(self.cluster, Parallelism::tensor_parallel(tp), self.comm);
+        let volume = Bytes::new((batch * prompt * self.model.hidden) as f64 * precision.bytes());
+        Ok(layer.bd.total() * layers + plan.tp_layer_inference(volume) * layers + extra.bd.total())
+    }
+
+    /// Wall-clock time of one continuous-batching **decode iteration**:
+    /// `batch` requests each generate one token attending over `kv_len`
+    /// cached entries (a mixed batch is priced at its aggregate context —
+    /// see `optimus-serve`), through every layer plus the per-layer TP
+    /// all-reduces and the LM-head stage. Memoized on
+    /// `(batch, kv_len, tp, precision)`.
+    ///
+    /// For `batch = 1` this is exactly the per-step term of
+    /// [`Self::estimate`]'s decode loop, which is what lets a serving
+    /// simulator degenerate to the static analytical model when requests
+    /// never overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError`] when the device lacks the serving precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch`, `kv_len`, or `tp` is zero.
+    pub fn decode_iteration(
+        &self,
+        batch: usize,
+        kv_len: usize,
+        tp: usize,
+        precision: Precision,
+    ) -> Result<Time, HwError> {
+        assert!(
+            batch > 0 && kv_len > 0 && tp > 0,
+            "degenerate decode iteration"
+        );
+        let gp = GraphParams::decode(batch, kv_len, tp, precision);
+        let layer = self.layer_cost(&gp)?;
+        let extra = self.extra_cost(&gp)?;
+        let layers = self.model.layers as f64;
+        let plan = CommPlan::new(self.cluster, Parallelism::tensor_parallel(tp), self.comm);
+        let volume = Bytes::new((batch * self.model.hidden) as f64 * precision.bytes());
+        Ok(layer.bd.total() * layers + plan.tp_layer_inference(volume) * layers + extra.bd.total())
+    }
+
     /// One transformer layer's kernels for the pass described by `gp`,
-    /// memoized on `(seq, kv_len, tp, precision)`.
+    /// memoized on `(batch, seq, kv_len, tp, precision)`.
     fn layer_cost(&self, gp: &GraphParams) -> Result<Arc<StepCost>, HwError> {
-        let key = (gp.seq, gp.kv_len, gp.tp, gp.precision);
+        let key = (gp.batch, gp.seq, gp.kv_len, gp.tp, gp.precision);
         if let Some(hit) = self
             .layer_cache
             .read()
@@ -279,10 +368,10 @@ impl<'a> PreparedInferenceEstimator<'a> {
     }
 
     /// The embedding + LM-head stage for the pass described by `gp`,
-    /// memoized on `(seq, tp, precision)` — `kv_len` never reaches these
-    /// ops, so every decode step shares one entry.
+    /// memoized on `(batch, seq, tp, precision)` — `kv_len` never reaches
+    /// these ops, so every decode step shares one entry.
     fn extra_cost(&self, gp: &GraphParams) -> Result<Arc<StepCost>, HwError> {
-        let key = (gp.seq, gp.tp, gp.precision);
+        let key = (gp.batch, gp.seq, gp.tp, gp.precision);
         if let Some(hit) = self
             .extra_cache
             .read()
@@ -402,6 +491,59 @@ mod tests {
                 "head ops must not depend on kv_len (tp={tp})"
             );
         }
+    }
+
+    /// The serving iteration APIs are the static estimator's own terms: a
+    /// prefill iteration plus the per-step decode iterations must sum to
+    /// the one-shot report's end-to-end latency (up to f64 summation
+    /// order).
+    #[test]
+    fn iterations_sum_to_the_one_shot_estimate() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_13b());
+        let (batch, prompt, generate) = (2, 150, 24);
+        for tp in [1, 4] {
+            let prepared = PreparedInferenceEstimator::new(
+                &cluster,
+                Arc::clone(&model),
+                batch,
+                prompt,
+                generate,
+            );
+            let report = prepared.estimate(tp, Precision::Fp16).unwrap();
+            let serving = PreparedInferenceEstimator::for_serving(&cluster, Arc::clone(&model));
+            let mut total = serving
+                .prefill_iteration(batch, prompt, tp, Precision::Fp16)
+                .unwrap();
+            for step in 0..generate {
+                total += serving
+                    .decode_iteration(batch, prompt + step, tp, Precision::Fp16)
+                    .unwrap();
+            }
+            let rel = (total.secs() - report.total.secs()).abs() / report.total.secs();
+            assert!(rel < 1e-9, "tp={tp}: rel err {rel}");
+        }
+    }
+
+    /// Decode iterations must be priced per batch size: a batch of 8
+    /// decodes costs more than a batch of 1 (weights amortize, KV reads
+    /// do not) but far less than 8 separate batch-1 iterations.
+    #[test]
+    fn decode_iterations_batch_sublinearly() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let serving =
+            PreparedInferenceEstimator::for_serving(&cluster, Arc::new(models::llama2_13b()));
+        let one = serving
+            .decode_iteration(1, 500, 1, Precision::Fp16)
+            .unwrap();
+        let eight = serving
+            .decode_iteration(8, 500, 1, Precision::Fp16)
+            .unwrap();
+        assert!(eight > one, "more work must take longer");
+        assert!(
+            eight < one * 8.0,
+            "batching must amortize the weight reads: {eight} vs 8×{one}"
+        );
     }
 
     /// All decode steps of one point share a single embedding/head entry,

@@ -1,0 +1,619 @@
+//! The discrete-event continuous-batching scheduler.
+//!
+//! Time advances iteration by iteration, the way an inference server's
+//! model-execution loop does:
+//!
+//! 1. arrivals up to the current clock join the admission queue;
+//! 2. the scheduler admits queued requests **FIFO** while their full KV
+//!    reservation (prompt + requested output tokens) fits the device's KV
+//!    budget — reservations are released only at completion, so the budget
+//!    can never be exceeded mid-decode;
+//! 3. if any admitted request still needs its prompt summarized, the next
+//!    iteration is a **prefill** of the oldest such request (prefill is
+//!    prioritized, the Orca/vLLM default); otherwise every running request
+//!    advances one token in a **decode** iteration priced at the batch's
+//!    aggregate context.
+//!
+//! Every iteration is priced through one shared
+//! [`PreparedInferenceEstimator`], so re-encountered `(batch, seq,
+//! kv_len)` shapes are memo lookups. The simulation is single-threaded
+//! and all randomness lives in the seeded trace, so reports are
+//! byte-identical across runs and thread counts.
+
+use crate::{
+    KvUsage, LatencyStats, QueueSample, QueueStats, Request, RequestMetrics, ServeReport,
+    SloReport, SloSpec, TraceSpec,
+};
+use optimus_hw::{ClusterSpec, Precision};
+use optimus_infer::PreparedInferenceEstimator;
+use optimus_memory::{inference_memory, kv_cache_bytes};
+use optimus_model::ModelConfig;
+use optimus_units::{Bytes, Time};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Cap on the queue-depth samples retained in a [`ServeReport`]; longer
+/// runs are down-sampled with an even stride.
+pub const MAX_QUEUE_SAMPLES: usize = 128;
+
+/// Serving-instance configuration: the strategy axes of one replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Serving precision.
+    pub precision: Precision,
+    /// The latency objective goodput is measured against.
+    pub slo: SloSpec,
+}
+
+impl ServeConfig {
+    /// A TP-`tp` FP16 instance with the default interactive SLO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tp` is zero.
+    #[must_use]
+    pub fn new(tp: usize) -> Self {
+        assert!(tp > 0, "tp must be positive");
+        Self {
+            tp,
+            precision: Precision::Fp16,
+            slo: SloSpec::default(),
+        }
+    }
+
+    /// Sets the serving precision.
+    #[must_use]
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Sets the SLO.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
+    }
+}
+
+/// Why a simulation could not run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The sharded weights alone overflow the device.
+    WeightsDontFit {
+        /// Human-readable description with the sizes involved.
+        detail: String,
+    },
+    /// The tensor-parallel degree cannot map onto the cluster.
+    InvalidConfig(String),
+    /// The estimator rejected the configuration (e.g. unsupported
+    /// precision).
+    Estimator(String),
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::WeightsDontFit { detail } => write!(f, "{detail}"),
+            Self::InvalidConfig(msg) | Self::Estimator(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// An admitted request's in-flight state.
+struct InFlight {
+    request: Request,
+    admitted_s: f64,
+    prefill_dur_s: f64,
+    first_token_s: Option<f64>,
+    generated: usize,
+    completed_s: f64,
+    reserved: Bytes,
+}
+
+/// Generates the trace from `spec` and simulates serving it on one
+/// `tp`-way instance of `model` over `cluster`.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] when the configuration cannot serve at all: the
+/// sharded weights overflow the device, `tp` does not fit a node, or the
+/// device lacks the precision.
+pub fn simulate(
+    cluster: &ClusterSpec,
+    model: Arc<ModelConfig>,
+    config: &ServeConfig,
+    spec: &TraceSpec,
+) -> Result<ServeReport, ServeError> {
+    simulate_trace(cluster, model, config, &spec.generate())
+}
+
+/// Like [`simulate`], over an explicit arrival-ordered request list.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] for configurations that cannot serve (see
+/// [`simulate`]).
+///
+/// # Panics
+///
+/// Panics if `trace` is not sorted by arrival time or contains a
+/// zero-length prompt or output.
+pub fn simulate_trace(
+    cluster: &ClusterSpec,
+    model: Arc<ModelConfig>,
+    config: &ServeConfig,
+    trace: &[Request],
+) -> Result<ServeReport, ServeError> {
+    assert!(
+        trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+        "trace must be sorted by arrival time"
+    );
+    assert!(
+        trace.iter().all(|r| r.prompt > 0 && r.output > 0),
+        "every request needs at least one prompt and one output token"
+    );
+    let tp = config.tp;
+    let precision = config.precision;
+    if tp > cluster.node.gpus_per_node {
+        return Err(ServeError::InvalidConfig(format!(
+            "tensor-parallel degree {tp} exceeds the {} GPUs of a node",
+            cluster.node.gpus_per_node
+        )));
+    }
+
+    let capacity = cluster.accelerator().dram.capacity;
+    // Weights via the shared footprint model (batch/context do not shape
+    // the weight term).
+    let weights = inference_memory(&model, 1, 1, tp, precision).weights;
+    if weights >= capacity {
+        return Err(ServeError::WeightsDontFit {
+            detail: format!(
+                "{} weights ({} at {precision}, TP{tp}) overflow the {} device",
+                model.name, weights, capacity
+            ),
+        });
+    }
+    let budget = capacity - weights;
+    let reservation =
+        |r: &Request| kv_cache_bytes(&model, 1, r.prompt + r.output, precision) / tp as f64;
+
+    let estimator = PreparedInferenceEstimator::for_serving(cluster, Arc::clone(&model));
+    let price = |e: optimus_hw::HwError| ServeError::Estimator(e.to_string());
+
+    // --- event loop ------------------------------------------------------
+    let mut clock = 0.0_f64;
+    let mut next_arrival = 0usize;
+    let mut pending: VecDeque<Request> = VecDeque::new();
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let mut awaiting_prefill: VecDeque<usize> = VecDeque::new();
+    let mut decoding: Vec<usize> = Vec::new();
+    let mut rejected_ids: Vec<usize> = Vec::new();
+
+    let mut reserved = Bytes::ZERO;
+    let mut kv_peak = Bytes::ZERO;
+    let mut prefill_iterations = 0usize;
+    let mut decode_iterations = 0usize;
+    let mut decode_batch_sum = 0usize;
+    let mut queue_area = 0.0_f64; // ∫ waiting dt
+    let mut peak_waiting = 0usize;
+    let mut peak_decoding = 0usize;
+    // Queue-depth samples are thinned online (keep-every-other + stride
+    // doubling once 2×MAX_QUEUE_SAMPLES accumulate), so memory stays
+    // O(MAX_QUEUE_SAMPLES) however long the trace runs.
+    let mut raw_samples: Vec<QueueSample> = Vec::new();
+    let mut sample_stride = 1usize;
+    let mut iteration = 0usize;
+
+    loop {
+        while next_arrival < trace.len() && trace[next_arrival].arrival_s <= clock {
+            pending.push_back(trace[next_arrival]);
+            next_arrival += 1;
+        }
+        while let Some(front) = pending.front() {
+            let need = reservation(front);
+            if need > budget {
+                // Could never be admitted, not even alone: drop it rather
+                // than block every request behind it forever.
+                rejected_ids.push(front.id);
+                pending.pop_front();
+                continue;
+            }
+            if reserved + need <= budget {
+                let request = *front;
+                pending.pop_front();
+                reserved += need;
+                kv_peak = kv_peak.max(reserved);
+                awaiting_prefill.push_back(inflight.len());
+                inflight.push(InFlight {
+                    request,
+                    admitted_s: clock,
+                    prefill_dur_s: 0.0,
+                    first_token_s: None,
+                    generated: 0,
+                    completed_s: 0.0,
+                    reserved: need,
+                });
+            } else {
+                break;
+            }
+        }
+        peak_waiting = peak_waiting.max(pending.len() + awaiting_prefill.len());
+
+        if awaiting_prefill.is_empty() && decoding.is_empty() {
+            assert!(
+                pending.is_empty(),
+                "an idle instance always admits the queue head"
+            );
+            if next_arrival >= trace.len() {
+                break;
+            }
+            clock = clock.max(trace[next_arrival].arrival_s);
+            continue;
+        }
+
+        // The waiting population over this iteration: arrived but no
+        // compute yet — whether blocked on KV admission or on a prefill
+        // slot. (The request prefilled this very iteration stops waiting
+        // now, so it is not counted.)
+        let waiting_before =
+            pending.len() + awaiting_prefill.len() - usize::from(!awaiting_prefill.is_empty());
+        let dur = if let Some(idx) = awaiting_prefill.pop_front() {
+            let prompt = inflight[idx].request.prompt;
+            let dur = estimator
+                .prefill_iteration(1, prompt, tp, precision)
+                .map_err(price)?
+                .secs();
+            inflight[idx].prefill_dur_s = dur;
+            decoding.push(idx);
+            prefill_iterations += 1;
+            dur
+        } else {
+            let batch = decoding.len();
+            // A mixed batch is priced at its aggregate context: attention
+            // cost is linear in total KV entries read, so batch × ⌈mean⌉
+            // preserves it while the GEMM terms see the true batch width.
+            let ctx_sum: usize = decoding
+                .iter()
+                .map(|&i| inflight[i].request.prompt + inflight[i].generated)
+                .sum();
+            let kv_len = ctx_sum.div_ceil(batch);
+            let dur = estimator
+                .decode_iteration(batch, kv_len, tp, precision)
+                .map_err(price)?
+                .secs();
+            decode_iterations += 1;
+            decode_batch_sum += batch;
+            let end = clock + dur;
+            for &i in &decoding {
+                let r = &mut inflight[i];
+                r.generated += 1;
+                if r.first_token_s.is_none() {
+                    r.first_token_s = Some(end);
+                }
+            }
+            decoding.retain(|&i| {
+                let r = &mut inflight[i];
+                if r.generated < r.request.output {
+                    return true;
+                }
+                r.completed_s = end;
+                reserved = reserved - r.reserved;
+                false
+            });
+            dur
+        };
+        clock += dur;
+        queue_area += waiting_before as f64 * dur;
+        peak_decoding = peak_decoding.max(decoding.len());
+        if iteration.is_multiple_of(sample_stride) {
+            raw_samples.push(QueueSample {
+                at: Time::from_secs(clock),
+                waiting: pending.len() + awaiting_prefill.len(),
+                decoding: decoding.len(),
+            });
+            if raw_samples.len() >= 2 * MAX_QUEUE_SAMPLES {
+                let mut keep = 0;
+                raw_samples.retain(|_| {
+                    keep += 1;
+                    keep % 2 == 1
+                });
+                sample_stride *= 2;
+            }
+        }
+        iteration += 1;
+    }
+
+    Ok(assemble_report(
+        cluster,
+        &model,
+        config,
+        trace.len(),
+        ReportInputs {
+            inflight,
+            rejected_ids,
+            makespan_s: clock,
+            weights,
+            budget,
+            kv_peak,
+            prefill_iterations,
+            decode_iterations,
+            decode_batch_sum,
+            queue_area,
+            peak_waiting,
+            peak_decoding,
+            raw_samples,
+        },
+    ))
+}
+
+/// Everything the event loop hands to report assembly.
+struct ReportInputs {
+    inflight: Vec<InFlight>,
+    rejected_ids: Vec<usize>,
+    makespan_s: f64,
+    weights: Bytes,
+    budget: Bytes,
+    kv_peak: Bytes,
+    prefill_iterations: usize,
+    decode_iterations: usize,
+    decode_batch_sum: usize,
+    queue_area: f64,
+    peak_waiting: usize,
+    peak_decoding: usize,
+    raw_samples: Vec<QueueSample>,
+}
+
+fn assemble_report(
+    cluster: &ClusterSpec,
+    model: &ModelConfig,
+    config: &ServeConfig,
+    requests: usize,
+    inputs: ReportInputs,
+) -> ServeReport {
+    let slo = config.slo;
+    // FIFO admission from an arrival-ordered queue means `inflight` is
+    // already in id order, and the event loop only exits once every
+    // admitted request has completed.
+    let per_request: Vec<RequestMetrics> = inputs
+        .inflight
+        .iter()
+        .map(|r| {
+            let first = r.first_token_s.expect("completed requests decoded");
+            let ttft = first - r.request.arrival_s;
+            let e2e = r.completed_s - r.request.arrival_s;
+            let tpot = (r.request.output > 1)
+                .then(|| Time::from_secs((r.completed_s - first) / (r.request.output - 1) as f64));
+            let met_slo = Time::from_secs(ttft) <= slo.ttft && tpot.is_none_or(|t| t <= slo.tpot);
+            RequestMetrics {
+                id: r.request.id,
+                prompt: r.request.prompt,
+                generated: r.generated,
+                arrival: Time::from_secs(r.request.arrival_s),
+                queue_wait: Time::from_secs(r.admitted_s - r.request.arrival_s),
+                prefill: Time::from_secs(r.prefill_dur_s),
+                ttft: Time::from_secs(ttft),
+                e2e: Time::from_secs(e2e),
+                tpot,
+                met_slo,
+            }
+        })
+        .collect();
+    debug_assert!(per_request.windows(2).all(|w| w[0].id < w[1].id));
+
+    let makespan = inputs.makespan_s;
+    let per_s = |count: f64| {
+        if makespan > 0.0 {
+            count / makespan
+        } else {
+            0.0
+        }
+    };
+    let generated_tokens: usize = per_request.iter().map(|m| m.generated).sum();
+    let met: Vec<&RequestMetrics> = per_request.iter().filter(|m| m.met_slo).collect();
+    let met_tokens: usize = met.iter().map(|m| m.generated).sum();
+
+    let ttfts: Vec<Time> = per_request.iter().map(|m| m.ttft).collect();
+    let tpots: Vec<Time> = per_request.iter().filter_map(|m| m.tpot).collect();
+    let e2es: Vec<Time> = per_request.iter().map(|m| m.e2e).collect();
+
+    let stride = inputs.raw_samples.len().div_ceil(MAX_QUEUE_SAMPLES).max(1);
+    let samples: Vec<QueueSample> = inputs.raw_samples.iter().step_by(stride).copied().collect();
+    let queue = QueueStats {
+        peak_waiting: inputs.peak_waiting,
+        mean_waiting: if makespan > 0.0 {
+            inputs.queue_area / makespan
+        } else {
+            0.0
+        },
+        peak_decoding: inputs.peak_decoding,
+        samples,
+    };
+
+    let completed = per_request.len();
+    ServeReport {
+        model: model.name.clone(),
+        cluster: cluster.name.clone(),
+        tp: config.tp,
+        precision: config.precision,
+        requests,
+        completed,
+        rejected: inputs.rejected_ids.len(),
+        rejected_ids: inputs.rejected_ids,
+        makespan: Time::from_secs(makespan),
+        generated_tokens,
+        tokens_per_s: per_s(generated_tokens as f64),
+        requests_per_s: per_s(completed as f64),
+        prefill_iterations: inputs.prefill_iterations,
+        decode_iterations: inputs.decode_iterations,
+        mean_decode_batch: if inputs.decode_iterations > 0 {
+            inputs.decode_batch_sum as f64 / inputs.decode_iterations as f64
+        } else {
+            0.0
+        },
+        ttft: LatencyStats::from_times(&ttfts),
+        tpot: LatencyStats::from_times(&tpots),
+        e2e: LatencyStats::from_times(&e2es),
+        queue,
+        kv: KvUsage {
+            weights: inputs.weights,
+            budget: inputs.budget,
+            peak: inputs.kv_peak,
+            peak_utilization: if inputs.budget.bytes() > 0.0 {
+                inputs.kv_peak.bytes() / inputs.budget.bytes()
+            } else {
+                0.0
+            },
+        },
+        slo: SloReport {
+            spec: slo,
+            met: met.len(),
+            attainment: if completed > 0 {
+                met.len() as f64 / completed as f64
+            } else {
+                1.0
+            },
+            goodput_tokens_per_s: per_s(met_tokens as f64),
+            goodput_requests_per_s: per_s(met.len() as f64),
+        },
+        per_request,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrivalProcess, LengthDist};
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    fn spec(seed: u64, requests: usize, rate: f64) -> TraceSpec {
+        TraceSpec {
+            seed,
+            requests,
+            arrival: ArrivalProcess::Poisson { rate_per_s: rate },
+            prompt: LengthDist::Uniform { lo: 50, hi: 200 },
+            output: LengthDist::Uniform { lo: 1, hi: 24 },
+        }
+    }
+
+    #[test]
+    fn all_requests_complete_and_conserve_tokens() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let trace = spec(9, 24, 4.0);
+        let report = simulate(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &ServeConfig::new(1),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(report.completed + report.rejected, report.requests);
+        assert_eq!(report.rejected, 0, "7B leaves ample KV budget");
+        let requested: usize = trace.generate().iter().map(|r| r.output).sum();
+        assert_eq!(report.generated_tokens, requested);
+        assert_eq!(report.per_request.len(), report.completed);
+        assert_eq!(report.prefill_iterations, report.completed);
+    }
+
+    #[test]
+    fn higher_load_means_deeper_queues_and_worse_tails() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_13b());
+        let cfg = ServeConfig::new(1);
+        let calm = simulate(&cluster, Arc::clone(&model), &cfg, &spec(5, 32, 0.05)).unwrap();
+        let slammed = simulate(&cluster, Arc::clone(&model), &cfg, &spec(5, 32, 50.0)).unwrap();
+        assert!(slammed.queue.peak_decoding >= calm.queue.peak_decoding);
+        assert!(
+            slammed.queue.peak_waiting > calm.queue.peak_waiting,
+            "compute-bound saturation must show up as waiting requests: {} vs {}",
+            slammed.queue.peak_waiting,
+            calm.queue.peak_waiting
+        );
+        assert!(slammed.queue.mean_waiting > calm.queue.mean_waiting);
+        assert!(
+            slammed.ttft.p99 > calm.ttft.p99,
+            "queueing must surface in the TTFT tail: {} vs {}",
+            slammed.ttft.p99,
+            calm.ttft.p99
+        );
+        assert!(slammed.slo.attainment <= calm.slo.attainment);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_not_wedged() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        // A llama2-13b KV reservation of ~500k tokens (~50 GB at FP16)
+        // next to 26 GB of weights can never fit an 80 GB device.
+        let trace = [
+            Request {
+                id: 0,
+                arrival_s: 0.1,
+                prompt: 500_000,
+                output: 4,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.2,
+                prompt: 100,
+                output: 4,
+            },
+        ];
+        let report = simulate_trace(
+            &cluster,
+            Arc::new(models::llama2_13b()),
+            &ServeConfig::new(1),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(report.rejected_ids, vec![0]);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.per_request[0].id, 1);
+    }
+
+    #[test]
+    fn weights_overflow_is_a_clean_error() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let err = simulate(
+            &cluster,
+            Arc::new(models::gpt_175b()),
+            &ServeConfig::new(1),
+            &TraceSpec::poisson(1, 1, 1.0, 10, 2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::WeightsDontFit { .. }), "{err}");
+    }
+
+    #[test]
+    fn tp_beyond_the_node_is_rejected() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let err = simulate(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &ServeConfig::new(16),
+            &TraceSpec::poisson(1, 1, 1.0, 10, 2),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_report() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = simulate_trace(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &ServeConfig::new(1),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan, Time::ZERO);
+        assert_eq!(report.tokens_per_s, 0.0);
+        assert_eq!(report.slo.attainment, 1.0);
+    }
+}

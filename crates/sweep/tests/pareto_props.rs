@@ -1,0 +1,141 @@
+//! Property tests of `pareto_frontier_indices` / `pareto_frontier` over
+//! random point clouds:
+//!
+//! * **minimality** — no frontier member dominates another;
+//! * **completeness** — every non-member is dominated by (or coordinate-
+//!   equal to) a frontier member;
+//! * **permutation invariance** — shuffling the input does not change the
+//!   frontier;
+//! * **idempotence** — the frontier of the frontier is the frontier.
+//!
+//! Coordinates are drawn from a small integer grid so duplicate latencies,
+//! duplicate costs, and fully duplicated points all occur often — the tie
+//! cases a hand-written example table tends to miss.
+
+use optimus_hw::Precision;
+use optimus_parallel::Parallelism;
+use optimus_sweep::{
+    dominates, pareto_frontier, pareto_frontier_indices, EvaluatedPoint, StrategyPoint,
+};
+use optimus_units::{Bytes, Energy, Time};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds an evaluated point with a unique identity (`microbatch = id`),
+/// so points with equal (latency, cost) coordinates remain
+/// distinguishable and the stable tie-break is observable.
+fn row(id: usize, latency_ms: usize, cost: usize) -> EvaluatedPoint {
+    EvaluatedPoint {
+        point: StrategyPoint {
+            parallelism: Parallelism::new(1, 1, 1).with_microbatch(id + 1),
+            precision: Precision::Fp16,
+        },
+        gpus: 1,
+        latency: Time::from_millis(latency_ms as f64),
+        throughput: 1.0,
+        memory_per_device: Bytes::from_gb(1.0),
+        energy: Energy::new(1.0),
+        cost_usd: cost as f64,
+        mfu: None,
+    }
+}
+
+/// Random clouds on an 8×8 grid: collisions on every axis are common.
+fn cloud() -> impl Strategy<Value = Vec<EvaluatedPoint>> {
+    proptest::collection::vec((0usize..8, 0usize..8), 1..40).prop_map(|coords| {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(id, (l, c))| row(id, l, c))
+            .collect()
+    })
+}
+
+/// Deterministic Fisher–Yates shuffle driven by a sampled seed.
+fn shuffled(points: &[EvaluatedPoint], seed: u64) -> Vec<EvaluatedPoint> {
+    let mut out = points.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..out.len()).rev() {
+        let j = rng.gen_range(0usize..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// The identity of a point for cross-permutation comparison.
+fn key(p: &EvaluatedPoint) -> (u64, u64, usize) {
+    (
+        p.latency.secs().to_bits(),
+        p.cost_usd.to_bits(),
+        p.point.parallelism.microbatch,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No frontier member may dominate another, and distinct members may
+    /// not even share coordinates (the frontier is minimal).
+    #[test]
+    fn frontier_is_minimal(points in cloud()) {
+        let frontier = pareto_frontier(&points);
+        prop_assert!(!frontier.is_empty(), "a non-empty cloud has a frontier");
+        for (i, a) in frontier.iter().enumerate() {
+            for (j, b) in frontier.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(a, b), "frontier member {i} dominates {j}");
+                    prop_assert!(
+                        !(a.latency == b.latency && a.cost_usd == b.cost_usd),
+                        "duplicate coordinates must collapse to one member"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every point outside the frontier is dominated by — or coordinate-
+    /// equal to — some frontier member (the frontier is complete).
+    #[test]
+    fn frontier_is_complete(points in cloud()) {
+        let frontier = pareto_frontier(&points);
+        for p in &points {
+            let covered = frontier
+                .iter()
+                .any(|f| dominates(f, p) || (f.latency == p.latency && f.cost_usd == p.cost_usd));
+            prop_assert!(covered, "point {:?} escapes the frontier", key(p));
+        }
+    }
+
+    /// Shuffling the input changes neither the frontier coordinates nor
+    /// which concrete points represent them: the tie-break runs on the
+    /// stable strategy order, not on input position.
+    #[test]
+    fn frontier_is_invariant_under_permutation((points, seed) in (cloud(), 0u64..1_000)) {
+        let baseline: Vec<_> = pareto_frontier(&points).iter().map(key).collect();
+
+        let perm = shuffled(&points, seed);
+        let of_perm: Vec<_> = pareto_frontier(&perm).iter().map(key).collect();
+        prop_assert_eq!(&baseline, &of_perm, "shuffle changed the frontier");
+
+        let mut reversed = points.clone();
+        reversed.reverse();
+        let of_rev: Vec<_> = pareto_frontier(&reversed).iter().map(key).collect();
+        prop_assert_eq!(&baseline, &of_rev, "reversal changed the frontier");
+    }
+
+    /// The frontier is a fixed point: extracting it from itself returns
+    /// it unchanged, and the index form agrees with the materialized form.
+    #[test]
+    fn frontier_is_idempotent_and_indices_agree(points in cloud()) {
+        let frontier = pareto_frontier(&points);
+        let again = pareto_frontier(&frontier);
+        prop_assert_eq!(&frontier, &again);
+
+        let indices = pareto_frontier_indices(&points);
+        prop_assert_eq!(indices.len(), frontier.len());
+        for (&i, f) in indices.iter().zip(&frontier) {
+            prop_assert_eq!(&points[i], f);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the serving-simulator benchmarks in quick mode (the vendored
+# criterion stub: 12 median-of-samples timings per bench) and snapshots
+# the results as BENCH_serve.json at the repo root, so successive PRs can
+# track simulator throughput. Usage:
+#
+#   scripts/bench-serve.sh [output.json]
+#
+# The JSON shape is { git_rev, date_utc, benches: { "<name>": "<median>" } }.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_serve.json}"
+raw=$(cargo bench -p optimus-bench --bench serve 2>&1 | grep '^bench:' || true)
+if [ -z "$raw" ]; then
+    echo "error: no bench output captured" >&2
+    exit 1
+fi
+
+{
+    printf '{\n'
+    printf '  "git_rev": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    printf '  "date_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "benches": {\n'
+    # "bench: <name>    <value> <unit>" -> "<name>": "<value> <unit>"
+    echo "$raw" | awk '{
+        name = $2
+        value = $3
+        for (i = 4; i <= NF; i++) value = value " " $i
+        rows[NR] = sprintf("    \"%s\": \"%s\"", name, value)
+    }
+    END {
+        for (i = 1; i <= NR; i++) printf "%s%s\n", rows[i], (i < NR ? "," : "")
+    }'
+    printf '  }\n'
+    printf '}\n'
+} > "$out_file"
+
+echo "wrote $out_file:"
+cat "$out_file"

@@ -1,6 +1,7 @@
 //! End-to-end validation of the inference estimator against the paper's
 //! Table 2 (NVIDIA-reported Llama-2 latencies) and Table 4 (per-GEMM
-//! bound analysis).
+//! bound analysis), plus the golden cross-check pinning the serving
+//! simulator to the static analytical model in the no-queueing limit.
 
 use optimus_experiments::{table2, table4};
 
@@ -87,6 +88,85 @@ fn table4_bound_types_fully_agree() {
             .map(|r| r.reference.gemm)
             .collect::<Vec<_>>()
     );
+}
+
+/// Golden cross-check: at an arrival rate so low that requests never
+/// overlap, the continuous-batching simulator must degenerate to the
+/// static `InferenceEstimator` — same model, same cluster, same request
+/// shape — to within 2% on both the decode latency and the end-to-end
+/// latency. Any scheduler, pricing, or accounting drift between the two
+/// inference paths shows up here.
+#[test]
+fn serving_simulator_degenerates_to_static_estimator_at_low_rate() {
+    use optimus::prelude::*;
+    use optimus_serve::{ArrivalProcess, LengthDist, ServeConfig, TraceSpec};
+    use std::sync::Arc;
+
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_13b());
+    let (prompt, output) = (200, 64);
+
+    for tp in [1, 2] {
+        let static_report = InferenceEstimator::new(&cluster)
+            .estimate(&InferenceConfig::new(
+                Arc::clone(&model),
+                1,
+                prompt,
+                output,
+                tp,
+            ))
+            .unwrap();
+
+        // 60 s between arrivals vs sub-second request latencies: the
+        // instance is always idle when the next request lands.
+        let spec = TraceSpec {
+            seed: 3,
+            requests: 5,
+            arrival: ArrivalProcess::Fixed { interval_s: 60.0 },
+            prompt: LengthDist::Fixed { tokens: prompt },
+            output: LengthDist::Fixed { tokens: output },
+        };
+        let report =
+            optimus_serve::simulate(&cluster, Arc::clone(&model), &ServeConfig::new(tp), &spec)
+                .unwrap();
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.queue.peak_decoding, 1, "no overlap at this rate");
+        assert_eq!(
+            report.queue.peak_waiting, 1,
+            "each request waits only for its own prefill"
+        );
+
+        for m in &report.per_request {
+            assert_eq!(
+                m.queue_wait.secs(),
+                0.0,
+                "an idle instance admits instantly"
+            );
+            // Simulated decode phase: everything after the prefill
+            // iteration.
+            let decode_sim = m.e2e.secs() - m.prefill.secs();
+            let decode_err =
+                (decode_sim - static_report.decode.secs()).abs() / static_report.decode.secs();
+            assert!(
+                decode_err < 0.02,
+                "TP{tp} request {}: simulated decode {:.4} s vs static {:.4} s ({:.2}%)",
+                m.id,
+                decode_sim,
+                static_report.decode.secs(),
+                decode_err * 100.0
+            );
+            let e2e_err =
+                (m.e2e.secs() - static_report.total.secs()).abs() / static_report.total.secs();
+            assert!(
+                e2e_err < 0.02,
+                "TP{tp} request {}: simulated e2e {:.4} s vs static {:.4} s ({:.2}%)",
+                m.id,
+                m.e2e.secs(),
+                static_report.total.secs(),
+                e2e_err * 100.0
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,10 +1,16 @@
 //! Offline stand-in for `rand` 0.8.
 //!
-//! Provides [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
-//! [`Rng::gen_range`] over integer and float ranges — the subset used by
-//! the design-space-exploration crate. The generator is xoshiro256++
-//! seeded through SplitMix64, so identical seeds produce identical
-//! sequences on every platform (the property the DSE tests rely on).
+//! Provides [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer and float ranges, and
+//! [`distributions::Exp`] — the subset used by the design-space
+//! exploration and serving-simulator crates. The generator is
+//! xoshiro256++ seeded through SplitMix64, so identical seeds produce
+//! identical sequences on every platform (the property the DSE and
+//! serving determinism tests rely on).
+//!
+//! The real ecosystem splits the exponential distribution into
+//! `rand_distr`; this stand-in hosts it under [`distributions`] to keep
+//! the workspace on a single vendored crate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,6 +95,64 @@ macro_rules! impl_int_range {
 
 impl_int_range!(usize, u64, u32, u16, u8);
 
+/// Non-uniform distributions (the `rand_distr` subset this workspace
+/// uses).
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// A source of samples of `T` driven by a word source.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The exponential distribution `Exp(λ)` — interarrival times of a
+    /// Poisson process with rate `λ` events per unit time.
+    ///
+    /// Sampled by inversion: `-ln(1 - U) / λ` with `U` uniform in
+    /// `[0, 1)`, so the result is finite and non-negative for every
+    /// generator word.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Exp {
+        lambda: f64,
+    }
+
+    impl Exp {
+        /// An exponential distribution with rate `lambda`.
+        ///
+        /// # Panics
+        ///
+        /// Panics unless `lambda` is finite and strictly positive.
+        #[must_use]
+        pub fn new(lambda: f64) -> Self {
+            assert!(
+                lambda.is_finite() && lambda > 0.0,
+                "Exp rate must be finite and positive, got {lambda}"
+            );
+            Self { lambda }
+        }
+
+        /// The rate parameter λ.
+        #[must_use]
+        pub fn rate(&self) -> f64 {
+            self.lambda
+        }
+
+        /// The mean `1/λ`.
+        #[must_use]
+        pub fn mean(&self) -> f64 {
+            1.0 / self.lambda
+        }
+    }
+
+    impl Distribution<f64> for Exp {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 1 - U ∈ (0, 1], so the log is finite and ≤ 0.
+            -(1.0 - unit_f64(rng.next_u64())).ln() / self.lambda
+        }
+    }
+}
+
 /// Standard generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -158,6 +222,44 @@ mod tests {
             let y = rng.gen_range(-2.0f64..=2.0);
             assert!((-2.0..=2.0).contains(&y));
         }
+    }
+
+    #[test]
+    fn exp_samples_are_positive_with_the_right_mean() {
+        use super::distributions::{Distribution, Exp};
+        let mut rng = StdRng::seed_from_u64(11);
+        let lambda = 4.0;
+        let exp = Exp::new(lambda);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exp.sample(&mut rng);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!(
+            (mean - exp.mean()).abs() < 0.01,
+            "mean {mean} vs {}",
+            exp.mean()
+        );
+    }
+
+    #[test]
+    fn exp_is_deterministic_for_fixed_seed() {
+        use super::distributions::{Distribution, Exp};
+        let exp = Exp::new(0.5);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..32 {
+            assert_eq!(exp.sample(&mut a).to_bits(), exp.sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn exp_rejects_non_positive_rate() {
+        let _ = super::distributions::Exp::new(0.0);
     }
 
     #[test]
