@@ -1,13 +1,17 @@
 //! Benchmarks of the continuous-batching serving simulator: trace
-//! generation alone, an end-to-end simulation at moderate load (the memo
-//! tables absorb repeated iteration shapes), and a hot-cache re-run.
+//! generation alone, end-to-end simulations at moderate load (the memo
+//! tables absorb repeated iteration shapes), a million-request trace on
+//! the streaming/sealed-table path, and a 16-point load sweep.
 //! `scripts/bench-serve.sh` snapshots these numbers into
 //! `BENCH_serve.json` so successive PRs can track simulated-requests-per-
 //! second throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use optimus::prelude::*;
-use optimus_serve::{simulate, ServeConfig, TraceSpec};
+use optimus_serve::{
+    load_sweep, simulate, simulate_trace, LengthDist, LoadStrategy, LoadSweepSpec, ServeConfig,
+    SloSpec, TraceSpec,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -46,10 +50,65 @@ fn bench_simulate_long_decode(c: &mut Criterion) {
     });
 }
 
+/// One million requests at deep saturation through the streaming path:
+/// sealed decode table, recycled slots, completion ring, histogram
+/// percentiles. The trace is pregenerated so the bench times the
+/// simulator alone; the `<2 s` release-mode budget from the scale work is
+/// what this number tracks.
+fn bench_simulate_1m(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_13b());
+    let config = ServeConfig::new(2);
+    let trace = TraceSpec {
+        seed: 42,
+        requests: 1_000_000,
+        arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: 500.0 },
+        prompt: LengthDist::Uniform { lo: 50, hi: 400 },
+        output: LengthDist::Uniform { lo: 8, hi: 64 },
+    }
+    .generate();
+    c.bench_function("serve/llama13b_1m_req", |b| {
+        b.iter(|| black_box(simulate_trace(&cluster, Arc::clone(&model), &config, &trace).unwrap()))
+    });
+}
+
+/// A 16-cell (4 rates × 4 TP strategies) load sweep at 20k requests per
+/// cell — the saturation-knee study shape, sealed tables shared per
+/// strategy, cells rayon-parallel.
+fn bench_load_sweep_16pt(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_13b());
+    let spec = LoadSweepSpec {
+        seed: 42,
+        requests: 20_000,
+        prompt: LengthDist::Uniform { lo: 50, hi: 400 },
+        output: LengthDist::Uniform { lo: 8, hi: 64 },
+        rates: vec![1.0, 8.0, 64.0, 256.0],
+        strategies: [1, 2, 4, 8]
+            .into_iter()
+            .map(|tp| LoadStrategy {
+                tp,
+                precision: Precision::Fp16,
+            })
+            .collect(),
+        slo: SloSpec::default(),
+    };
+    c.bench_function("load_sweep/16pt", |b| {
+        b.iter(|| black_box(load_sweep(&cluster, &model, &spec)))
+    });
+}
+
 criterion_group!(
     serve_benches,
     bench_trace_generation,
     bench_simulate,
     bench_simulate_long_decode
 );
-criterion_main!(serve_benches);
+criterion_group!(
+    name = scale_benches;
+    // Each sample runs a seven-figure simulation; a handful of samples
+    // keeps the snapshot honest without a minute-long bench run.
+    config = Criterion::default().sample_size(3);
+    targets = bench_simulate_1m, bench_load_sweep_16pt
+);
+criterion_main!(serve_benches, scale_benches);

@@ -191,6 +191,19 @@ fn length_dist_of(key: &str, value: &str) -> Result<optimus_serve::LengthDist, A
     }
 }
 
+/// Parses the SLO options shared by `serve` and `load-sweep`.
+fn slo_of(args: &Args) -> Result<optimus_serve::SloSpec, ArgError> {
+    let ttft_slo = args.get_f64("ttft-slo", 2000.0)?;
+    let tpot_slo = args.get_f64("tpot-slo", 100.0)?;
+    if ttft_slo <= 0.0 || tpot_slo <= 0.0 {
+        return Err(ArgError("SLO targets must be positive".to_owned()));
+    }
+    Ok(optimus_serve::SloSpec {
+        ttft: optimus::units::Time::from_millis(ttft_slo),
+        tpot: optimus::units::Time::from_millis(tpot_slo),
+    })
+}
+
 /// `optimus-cli serve …` — continuous-batching serving simulation with
 /// SLO metrics.
 ///
@@ -199,7 +212,7 @@ fn length_dist_of(key: &str, value: &str) -> Result<optimus_serve::LengthDist, A
 /// Returns [`ArgError`] for bad options or configurations that cannot
 /// serve (weights overflow the device, TP beyond a node).
 pub fn serve(args: &Args) -> Result<String, ArgError> {
-    use optimus_serve::{simulate, ArrivalProcess, ServeConfig, SloSpec, TraceSpec};
+    use optimus_serve::{simulate, ArrivalProcess, RecordMode, ServeConfig, TraceSpec};
     let model = model_preset(args.get_or("model", "llama2-13b"))?;
     let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
     let tp = args.get_usize("tp", 1)?;
@@ -230,11 +243,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         }
     };
     let requests = args.get_usize("requests", 100)?;
-    let ttft_slo = args.get_f64("ttft-slo", 2000.0)?;
-    let tpot_slo = args.get_f64("tpot-slo", 100.0)?;
-    if ttft_slo <= 0.0 || tpot_slo <= 0.0 {
-        return Err(ArgError("SLO targets must be positive".to_owned()));
-    }
+    let slo = slo_of(args)?;
 
     let spec = TraceSpec {
         seed: args.get_usize("seed", 42)? as u64,
@@ -243,12 +252,13 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         prompt: length_dist_of("prompt", args.get_or("prompt", "200"))?,
         output: length_dist_of("output", args.get_or("output", "64"))?,
     };
-    let config = ServeConfig::new(tp)
-        .with_precision(precision)
-        .with_slo(SloSpec {
-            ttft: optimus::units::Time::from_millis(ttft_slo),
-            tpot: optimus::units::Time::from_millis(tpot_slo),
-        });
+    // Per-request records default off beyond the exact-mode limit (a
+    // million-request trace would otherwise carry a million records);
+    // `--records` forces them on at any scale.
+    let mut config = ServeConfig::new(tp).with_precision(precision).with_slo(slo);
+    if args.flag("records") {
+        config = config.with_records(RecordMode::On);
+    }
 
     let report = simulate(&cluster, std::sync::Arc::new(model), &config, &spec)
         .map_err(|e| ArgError(e.to_string()))?;
@@ -269,6 +279,182 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         "\niterations: {} prefill + {} decode (mean decode batch {:.1})\n",
         report.prefill_iterations, report.decode_iterations, report.mean_decode_batch
     ));
+    Ok(out)
+}
+
+/// `optimus-cli load-sweep …` — saturation curves and the SLO-goodput
+/// frontier over an (arrival-rate × strategy) grid of serving
+/// simulations.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for bad options or a grid with no feasible
+/// strategy.
+pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
+    use optimus_serve::{load_sweep, LoadStrategy, LoadSweepSpec};
+
+    let model = model_preset(args.get_or("model", "llama2-13b"))?;
+    let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
+
+    // Strategy axis: a TP list crossed with a precision list.
+    let tps = args
+        .get_or("tp-list", "1,2,4,8")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| ArgError(format!("--tp-list expects positive integers, got `{t}`")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let precisions = args
+        .get_or("precisions", "fp16")
+        .split(',')
+        .map(precision_of)
+        .collect::<Result<Vec<_>, _>>()?;
+    let strategies: Vec<LoadStrategy> = tps
+        .iter()
+        .flat_map(|&tp| {
+            precisions
+                .iter()
+                .map(move |&precision| LoadStrategy { tp, precision })
+        })
+        .collect();
+
+    // Rate axis: an explicit list, or a geometric grid over
+    // [--min-rate, --max-rate] with --points entries.
+    let rates: Vec<f64> = if let Some(list) = args.get("rates") {
+        for key in ["min-rate", "max-rate", "points"] {
+            if args.get(key).is_some() {
+                return Err(ArgError(format!(
+                    "--{key} does not apply with an explicit --rates list"
+                )));
+            }
+        }
+        list.split(',')
+            .map(|r| {
+                r.trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x > 0.0)
+                    .ok_or_else(|| ArgError(format!("--rates expects positive numbers, got `{r}`")))
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        let lo = args.get_f64("min-rate", 0.5)?;
+        let hi = args.get_f64("max-rate", 128.0)?;
+        let points = args.get_usize("points", 16)?;
+        if !(lo > 0.0 && hi >= lo) {
+            return Err(ArgError(
+                "--min-rate must be positive and --max-rate at least --min-rate".to_owned(),
+            ));
+        }
+        if points == 0 {
+            return Err(ArgError("--points must be at least 1".to_owned()));
+        }
+        if points == 1 {
+            vec![lo]
+        } else {
+            (0..points)
+                .map(|i| lo * (hi / lo).powf(i as f64 / (points - 1) as f64))
+                .collect()
+        }
+    };
+
+    let spec = LoadSweepSpec {
+        seed: args.get_usize("seed", 42)? as u64,
+        requests: args.get_usize("requests", 1000)?,
+        prompt: length_dist_of("prompt", args.get_or("prompt", "200"))?,
+        output: length_dist_of("output", args.get_or("output", "64"))?,
+        rates,
+        strategies,
+        slo: slo_of(args)?,
+    };
+    if spec.requests == 0 {
+        return Err(ArgError("--requests must be at least 1".to_owned()));
+    }
+
+    let report = load_sweep(&cluster, &std::sync::Arc::new(model), &spec);
+    if report.curves.is_empty() {
+        let reasons: Vec<String> = report
+            .infeasible
+            .iter()
+            .map(|i| format!("TP{} {}: {}", i.tp, i.precision, i.reason))
+            .collect();
+        return Err(ArgError(format!(
+            "no feasible strategy in the grid:\n  {}",
+            reasons.join("\n  ")
+        )));
+    }
+
+    if args.flag("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+    }
+
+    let mut out = format!(
+        "load-sweep: {} on {} — {} rates × {} strategies, {} requests/point, seed {}\n\
+         slo: ttft ≤ {}, tpot ≤ {}\n",
+        report.model,
+        report.cluster,
+        spec.rates.len(),
+        spec.strategies.len(),
+        report.requests_per_point,
+        report.seed,
+        report.slo.ttft,
+        report.slo.tpot,
+    );
+    for curve in &report.curves {
+        out.push_str(&format!(
+            "\nTP{} {} ({} GPU{}):\n  {:>10}  {:>9}  {:>9}  {:>12}  {:>7}  {:>10}  {:>10}\n",
+            curve.tp,
+            curve.precision,
+            curve.gpus,
+            if curve.gpus == 1 { "" } else { "s" },
+            "offered/s",
+            "served/s",
+            "tok/s",
+            "goodput tok/s",
+            "slo %",
+            "ttft p99",
+            "tpot p99",
+        ));
+        for p in &curve.points {
+            out.push_str(&format!(
+                "  {:>10.2}  {:>9.2}  {:>9.1}  {:>12.1}  {:>7.1}  {:>10}  {:>10}\n",
+                p.offered_rate_per_s,
+                p.requests_per_s,
+                p.tokens_per_s,
+                p.goodput_tokens_per_s,
+                p.attainment * 100.0,
+                p.ttft_p99.to_string(),
+                p.tpot_p99.to_string(),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\nSLO-goodput frontier ({} point{}):\n",
+        report.frontier.len(),
+        if report.frontier.len() == 1 { "" } else { "s" }
+    ));
+    for p in &report.frontier {
+        out.push_str(&format!(
+            "  TP{} {} @ {:.2} req/s offered → {:.1} goodput tok/s on {} GPU{} ({:.1}% slo)\n",
+            p.tp,
+            p.precision,
+            p.offered_rate_per_s,
+            p.goodput_tokens_per_s,
+            p.gpus,
+            if p.gpus == 1 { "" } else { "s" },
+            p.attainment * 100.0,
+        ));
+    }
+    for i in &report.infeasible {
+        out.push_str(&format!(
+            "\ninfeasible: TP{} {}: {}\n",
+            i.tp, i.precision, i.reason
+        ));
+    }
     Ok(out)
 }
 
@@ -467,6 +653,12 @@ USAGE:
   optimus-cli serve  [--model M] [--cluster C] [--tp N] [--precision P]
                      [--requests N] [--seed N] [--rate R | --interval S]
                      [--prompt N|LO:HI] [--output N|LO:HI]
+                     [--ttft-slo MS] [--tpot-slo MS] [--records] [--json]
+  optimus-cli load-sweep
+                     [--model M] [--cluster C] [--tp-list N,N,..]
+                     [--precisions P,P] [--requests N] [--seed N]
+                     [--rates R,R,.. | --min-rate R --max-rate R --points N]
+                     [--prompt N|LO:HI] [--output N|LO:HI]
                      [--ttft-slo MS] [--tpot-slo MS] [--json]
   optimus-cli memory [--model M] [--batch N] [--seq N] [--dp N] [--tp N]
                      [--pp N] [--sp] [--recompute MODE] [--json]
@@ -483,6 +675,17 @@ SERVE TRAFFIC AND SLO OPTIONS:
   --output N|LO:HI  output length: fixed or uniform over LO..=HI tokens
   --ttft-slo MS     time-to-first-token target, ms (default 2000)
   --tpot-slo MS     time-per-output-token target, ms (default 100)
+  --records         force per-request records into the report; beyond
+                    10k requests they default off (aggregates stay exact)
+
+LOAD-SWEEP GRID OPTIONS:
+  --tp-list N,N     tensor-parallel degrees to sweep (default 1,2,4,8)
+  --precisions P,P  precisions to cross with the TP list (default fp16)
+  --rates R,R       explicit offered arrival rates, req/s
+  --min-rate R      geometric rate grid start (default 0.5)
+  --max-rate R      geometric rate grid end (default 128)
+  --points N        geometric rate grid size (default 16)
+  --requests N      requests simulated per grid cell (default 1000)
 
 SWEEP OUTPUT SHAPING (text and JSON alike):
   --frontier-only   only the Pareto frontier (JSON: the frontier array)
@@ -591,6 +794,100 @@ mod tests {
         assert!(err.to_string().contains("overflow"), "{err}");
         let err = serve(&args("serve --model llama2-7b --tp 16 --requests 1")).unwrap_err();
         assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn serve_records_flag_restores_per_request_output() {
+        // Past the 10k auto-off limit the report drops per-request
+        // records; the flag must bring them back through the CLI wiring.
+        // Tiny fixed lengths keep the just-over-the-limit trace cheap.
+        let base = "serve --model llama2-7b --requests 10001 --rate 400 --prompt 20 --output 2";
+        let per_request_len = |out: String| {
+            serde_json::from_str::<serde_json::Value>(&out)
+                .unwrap()
+                .get("per_request")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len()
+        };
+        let without = serve(&args(&format!("{base} --json"))).unwrap();
+        assert_eq!(per_request_len(without), 0, "records default off past 10k");
+        let with = serve(&args(&format!("{base} --json --records"))).unwrap();
+        assert_eq!(per_request_len(with), 10001);
+    }
+
+    #[test]
+    fn load_sweep_command_produces_curves_and_frontier() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1,2 --rates 1,8 --requests 24 \
+             --prompt 100 --output 8",
+        ))
+        .unwrap();
+        assert!(out.contains("2 rates × 2 strategies"), "{out}");
+        assert!(out.contains("TP1"), "{out}");
+        assert!(out.contains("TP2"), "{out}");
+        assert!(out.contains("SLO-goodput frontier"), "{out}");
+    }
+
+    #[test]
+    fn load_sweep_json_is_valid_and_deterministic() {
+        let cmd = "load-sweep --model llama2-7b --tp-list 1,2 --rates 2,16 --requests 16 \
+                   --prompt 50:150 --output 4:12 --json";
+        let a = load_sweep(&args(cmd)).unwrap();
+        let b = load_sweep(&args(cmd)).unwrap();
+        assert_eq!(a, b);
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(v.get("curves").unwrap().as_array().unwrap().len(), 2);
+        assert!(v.get("frontier").is_some());
+        assert!(v.get("infeasible").is_some());
+    }
+
+    #[test]
+    fn load_sweep_geometric_grid_and_defaults() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1 --min-rate 1 --max-rate 4 --points 3 \
+             --requests 8 --prompt 100 --output 4",
+        ))
+        .unwrap();
+        assert!(out.contains("3 rates × 1 strategies"), "{out}");
+    }
+
+    #[test]
+    fn load_sweep_reports_infeasible_strategies() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1,16 --rates 4 --requests 8 \
+             --prompt 100 --output 4",
+        ))
+        .unwrap();
+        assert!(out.contains("infeasible: TP16"), "{out}");
+    }
+
+    #[test]
+    fn load_sweep_rejects_bad_options() {
+        for bad in [
+            "load-sweep --rates 0",
+            "load-sweep --rates 2,x",
+            "load-sweep --rates 2 --min-rate 1",
+            "load-sweep --min-rate 0",
+            "load-sweep --min-rate 8 --max-rate 2",
+            "load-sweep --points 0",
+            "load-sweep --tp-list 0",
+            "load-sweep --tp-list 1,a",
+            "load-sweep --requests 0",
+            "load-sweep --ttft-slo 0",
+        ] {
+            assert!(load_sweep(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn load_sweep_with_no_feasible_strategy_is_an_error() {
+        let err = load_sweep(&args(
+            "load-sweep --model gpt-175b --tp-list 1 --rates 4 --requests 4",
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("no feasible strategy"), "{err}");
     }
 
     #[test]

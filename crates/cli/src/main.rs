@@ -4,6 +4,7 @@
 //! optimus-cli train --model gpt-175b --cluster a100-hdr --batch 64 --tp 8 --pp 8 --sp
 //! optimus-cli infer --model llama2-70b --cluster h100-ndr --tp 8
 //! optimus-cli serve --model llama2-13b --cluster a100-hdr --tp 2 --rate 4 --requests 200
+//! optimus-cli load-sweep --model llama2-13b --tp-list 1,2,4 --min-rate 1 --max-rate 64 --points 8
 //! optimus-cli memory --model gpt-530b --batch 280 --tp 8 --pp 35 --recompute full
 //! optimus-cli sweep --model llama2-13b --cluster a100-hdr --batch 64 --max-gpus 64
 //! optimus-cli list
@@ -27,6 +28,7 @@ fn main() {
         "train" => commands::train(&parsed),
         "infer" => commands::infer(&parsed),
         "serve" => commands::serve(&parsed),
+        "load-sweep" => commands::load_sweep(&parsed),
         "memory" => commands::memory(&parsed),
         "sweep" => commands::sweep(&parsed),
         "list" => Ok(commands::list()),

@@ -344,6 +344,77 @@ impl<'a> PreparedInferenceEstimator<'a> {
         Ok(layer.bd.total() * layers + plan.tp_layer_inference(volume) * layers + extra.bd.total())
     }
 
+    /// Seals decode-iteration costs for one `(tp, precision)` strategy
+    /// into an immutable [`crate::DecodeCostTable`] covering batches up to
+    /// `max_batch` and aggregate contexts up to `max_kv` on the default
+    /// quantization grids (exact to [`crate::sealed::BATCH_EXACT`] /
+    /// [`crate::sealed::KV_EXACT`], then
+    /// [`crate::sealed::BUCKETS_PER_OCTAVE`] log-scale buckets per
+    /// doubling).
+    ///
+    /// Each entry is computed through the same operator-costing path as
+    /// [`Self::decode_iteration`], with the same floating-point evaluation
+    /// order, so grid points are **bit-identical** to the memoized path —
+    /// but the fill bypasses the memo tables entirely: sealing neither
+    /// takes the locks per entry nor grows the maps, and lookups against
+    /// the sealed table do zero locking and zero hashing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError`] when the device lacks the serving precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch`, `max_kv`, or `tp` is zero.
+    pub fn seal_decode_costs(
+        &self,
+        max_batch: usize,
+        max_kv: usize,
+        tp: usize,
+        precision: Precision,
+    ) -> Result<crate::DecodeCostTable, HwError> {
+        use crate::sealed::{LogGrid, BATCH_EXACT, BUCKETS_PER_OCTAVE, KV_EXACT};
+        assert!(
+            max_batch > 0 && max_kv > 0 && tp > 0,
+            "degenerate decode-table bounds"
+        );
+        let batch_grid = LogGrid::new(BATCH_EXACT, BUCKETS_PER_OCTAVE, max_batch);
+        let kv_grid = LogGrid::new(KV_EXACT, BUCKETS_PER_OCTAVE, max_kv);
+        let layers = self.model.layers as f64;
+        let plan = CommPlan::new(self.cluster, Parallelism::tensor_parallel(tp), self.comm);
+        let mut costs = Vec::with_capacity(batch_grid.len() * kv_grid.len());
+        for &batch in batch_grid.values() {
+            // The embedding/LM-head stage and the per-layer all-reduce
+            // volume never see the context (pinned by
+            // `extra_ops_are_context_independent`) — one evaluation per
+            // batch row, built at any representative context.
+            let head_gp = GraphParams::decode(batch, 1, tp, precision);
+            let extra_ops: Vec<Op> = graph::embedding_ops(&self.model, &head_gp)
+                .into_iter()
+                .chain(graph::head_ops(&self.model, &head_gp))
+                .collect();
+            let extra = self.ops_cost(&extra_ops, precision)?;
+            let volume = Bytes::new((batch * self.model.hidden) as f64 * precision.bytes());
+            for &kv_len in kv_grid.values() {
+                let gp = GraphParams::decode(batch, kv_len, tp, precision);
+                let layer =
+                    self.ops_cost(&graph::layer_forward_ops(&self.model, &gp), precision)?;
+                // Identical expression (and f64 evaluation order) to
+                // `decode_iteration`, so exact-grid entries match it
+                // bit-for-bit.
+                let total = layer.bd.total() * layers
+                    + plan.tp_layer_inference(volume) * layers
+                    + extra.bd.total();
+                costs.push(total.secs());
+            }
+        }
+        Ok(crate::DecodeCostTable {
+            batch_grid,
+            kv_grid,
+            costs,
+        })
+    }
+
     /// One transformer layer's kernels for the pass described by `gp`,
     /// memoized on `(batch, seq, kv_len, tp, precision)`.
     fn layer_cost(&self, gp: &GraphParams) -> Result<Arc<StepCost>, HwError> {
@@ -543,6 +614,77 @@ mod tests {
         assert!(
             eight < one * 8.0,
             "batching must amortize the weight reads: {eight} vs 8×{one}"
+        );
+    }
+
+    /// The sealed decode-cost table must be **bit-identical** to the
+    /// memoized `decode_iteration` path on its exact grid region, and
+    /// within one round-up bucket of it beyond — same costing code, with
+    /// vs without the per-call locking and hashing.
+    #[test]
+    fn sealed_table_matches_decode_iteration_on_the_exact_grid() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let serving =
+            PreparedInferenceEstimator::for_serving(&cluster, Arc::new(models::llama2_13b()));
+        for tp in [1, 2] {
+            let table = serving
+                .seal_decode_costs(200, 1000, tp, Precision::Fp16)
+                .unwrap();
+            // Exact region: every covered (batch, kv) pair matches the
+            // memoized path bit-for-bit.
+            for batch in [1usize, 2, 17, 64] {
+                for kv in [1usize, 3, 100, 256] {
+                    let sealed = table.decode_iteration(batch, kv);
+                    let memoized = serving
+                        .decode_iteration(batch, kv, tp, Precision::Fp16)
+                        .unwrap();
+                    assert_eq!(
+                        sealed.secs().to_bits(),
+                        memoized.secs().to_bits(),
+                        "tp={tp} batch={batch} kv={kv}"
+                    );
+                }
+            }
+            // Bucketed region: the sealed cost is the memoized cost of the
+            // round-up representative — never cheaper than exact.
+            for (batch, kv) in [(100usize, 300usize), (199, 999)] {
+                let rep_b = table.batch_grid().round_up(batch);
+                let rep_k = table.kv_grid().round_up(kv);
+                let sealed = table.decode_iteration(batch, kv);
+                let at_rep = serving
+                    .decode_iteration(rep_b, rep_k, tp, Precision::Fp16)
+                    .unwrap();
+                assert_eq!(sealed.secs().to_bits(), at_rep.secs().to_bits());
+                let exact = serving
+                    .decode_iteration(batch, kv, tp, Precision::Fp16)
+                    .unwrap();
+                assert!(sealed >= exact, "rounding up must never price cheaper");
+            }
+        }
+    }
+
+    /// Sealing must not grow the memo tables: the whole point is a
+    /// bounded, immutable structure next to (not inside) the caches.
+    #[test]
+    fn sealing_bypasses_the_memo_tables() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let serving =
+            PreparedInferenceEstimator::for_serving(&cluster, Arc::new(models::llama2_7b()));
+        let before = serving.cached_keys();
+        let table = serving
+            .seal_decode_costs(500, 2000, 1, Precision::Fp16)
+            .unwrap();
+        assert!(table.entries() > 0);
+        assert_eq!(
+            serving.cached_keys(),
+            before,
+            "sealing must not touch the RwLock'd memo tables"
+        );
+        // The table stays logarithmically small even for generous bounds.
+        assert!(
+            table.entries() < 80_000,
+            "table blew up: {} entries",
+            table.entries()
         );
     }
 

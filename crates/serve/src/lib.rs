@@ -39,12 +39,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod load;
 mod report;
 mod sim;
+pub mod stats;
 mod trace;
 
+pub use load::{
+    load_sweep, InfeasibleStrategy, LoadPoint, LoadStrategy, LoadSweepReport, LoadSweepSpec,
+    SaturationCurve,
+};
 pub use report::{
     KvUsage, LatencyStats, QueueSample, QueueStats, RequestMetrics, ServeReport, SloReport, SloSpec,
 };
-pub use sim::{simulate, simulate_trace, ServeConfig, ServeError, MAX_QUEUE_SAMPLES};
+pub use sim::{
+    simulate, simulate_trace, PricingMode, RecordMode, ServeConfig, ServeError, ServeInstance,
+    EXACT_MODE_LIMIT, MAX_QUEUE_SAMPLES,
+};
+pub use stats::{LatencyAccumulator, LogHistogram};
 pub use trace::{ArrivalProcess, LengthDist, Request, TraceSpec};

@@ -1,0 +1,456 @@
+//! The load-sweep engine: saturation curves and an SLO-goodput frontier.
+//!
+//! The paper's workload analysis (and the Orca/vLLM serving lineage it
+//! cites) characterizes a deployment by sweeping offered load against
+//! serving strategy and reading off the saturation knee — the arrival
+//! rate where queueing detaches latency from the service time — and the
+//! SLO-feasible operating points. [`load_sweep`] evaluates an
+//! (arrival-rate × strategy) grid of full serving simulations: one
+//! [`ServeInstance`] is prepared per strategy (its memoized estimator and
+//! sealed decode-cost table shared by every rate), the grid cells run
+//! rayon-parallel, and every cell replays the *same seed* so curves are
+//! paired — a throughput difference between two strategies is never
+//! sampling noise.
+//!
+//! The result is deterministic: cells are collected in grid order
+//! regardless of thread count, and the SLO-goodput Pareto frontier
+//! (maximum goodput per device count) is extracted with the same
+//! tie-break discipline as the strategy sweep's
+//! [`optimus_sweep::frontier_indices_by`] core.
+
+use crate::sim::EXACT_MODE_LIMIT;
+use crate::{
+    ArrivalProcess, LengthDist, ServeConfig, ServeInstance, ServeReport, SloSpec, TraceSpec,
+};
+use optimus_hw::{ClusterSpec, Precision};
+use optimus_model::ModelConfig;
+use optimus_sweep::frontier_indices_by;
+use optimus_units::Time;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One serving strategy axis of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadStrategy {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Serving precision.
+    pub precision: Precision,
+}
+
+/// The (arrival-rate × strategy) grid to evaluate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSweepSpec {
+    /// Trace seed, shared by every cell (paired comparison).
+    pub seed: u64,
+    /// Requests simulated per cell.
+    pub requests: usize,
+    /// Prompt-length distribution.
+    pub prompt: LengthDist,
+    /// Output-length distribution.
+    pub output: LengthDist,
+    /// Offered Poisson arrival rates, requests per second.
+    pub rates: Vec<f64>,
+    /// Strategies to sweep.
+    pub strategies: Vec<LoadStrategy>,
+    /// The SLO goodput is measured against.
+    pub slo: SloSpec,
+}
+
+/// One fully simulated grid cell, summarized for curve plotting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// Tensor-parallel degree of the strategy.
+    pub tp: usize,
+    /// Serving precision of the strategy.
+    pub precision: Precision,
+    /// Devices the strategy occupies (= `tp` for a single replica).
+    pub gpus: usize,
+    /// Offered arrival rate, requests per second.
+    pub offered_rate_per_s: f64,
+    /// Sustained generation throughput, tokens per second.
+    pub tokens_per_s: f64,
+    /// Sustained request throughput (the saturation curve's y-axis: it
+    /// tracks the offered rate until the knee, then flattens).
+    pub requests_per_s: f64,
+    /// Generated tokens of SLO-meeting requests per second.
+    pub goodput_tokens_per_s: f64,
+    /// SLO-meeting requests per second.
+    pub goodput_requests_per_s: f64,
+    /// Fraction of completed requests meeting the SLO.
+    pub attainment: f64,
+    /// Median time-to-first-token.
+    pub ttft_p50: Time,
+    /// 99th-percentile time-to-first-token.
+    pub ttft_p99: Time,
+    /// 99th-percentile time-per-output-token.
+    pub tpot_p99: Time,
+    /// 99th-percentile end-to-end latency.
+    pub e2e_p99: Time,
+    /// Mean decode-batch width (how full the continuous batch ran).
+    pub mean_decode_batch: f64,
+    /// Peak KV occupancy over budget.
+    pub kv_peak_utilization: f64,
+    /// Requests that ran to completion.
+    pub completed: usize,
+    /// Requests rejected on arrival.
+    pub rejected: usize,
+}
+
+impl LoadPoint {
+    fn from_report(strategy: LoadStrategy, rate: f64, report: &ServeReport) -> Self {
+        Self {
+            tp: strategy.tp,
+            precision: strategy.precision,
+            gpus: strategy.tp,
+            offered_rate_per_s: rate,
+            tokens_per_s: report.tokens_per_s,
+            requests_per_s: report.requests_per_s,
+            goodput_tokens_per_s: report.slo.goodput_tokens_per_s,
+            goodput_requests_per_s: report.slo.goodput_requests_per_s,
+            attainment: report.slo.attainment,
+            ttft_p50: report.ttft.p50,
+            ttft_p99: report.ttft.p99,
+            tpot_p99: report.tpot.p99,
+            e2e_p99: report.e2e.p99,
+            mean_decode_batch: report.mean_decode_batch,
+            kv_peak_utilization: report.kv.peak_utilization,
+            completed: report.completed,
+            rejected: report.rejected,
+        }
+    }
+}
+
+/// One strategy's saturation curve: its cells in ascending-rate order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationCurve {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Serving precision.
+    pub precision: Precision,
+    /// Devices occupied.
+    pub gpus: usize,
+    /// One point per offered rate, in the spec's rate order.
+    pub points: Vec<LoadPoint>,
+}
+
+/// A strategy the sweep could not run at all, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfeasibleStrategy {
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Serving precision.
+    pub precision: Precision,
+    /// Why it cannot serve (weights overflow, TP beyond a node,
+    /// unsupported precision).
+    pub reason: String,
+}
+
+/// The complete outcome of one load sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSweepReport {
+    /// Model name.
+    pub model: String,
+    /// Cluster name.
+    pub cluster: String,
+    /// Trace seed shared by every cell.
+    pub seed: u64,
+    /// Requests simulated per cell.
+    pub requests_per_point: usize,
+    /// The SLO goodput was measured against.
+    pub slo: SloSpec,
+    /// One saturation curve per feasible strategy, in spec order.
+    pub curves: Vec<SaturationCurve>,
+    /// The SLO-goodput Pareto frontier over every cell: the points where
+    /// no other cell achieves at least the goodput with at most the
+    /// devices. Ascending device count, therefore ascending goodput.
+    pub frontier: Vec<LoadPoint>,
+    /// Strategies that could not serve, with reasons.
+    pub infeasible: Vec<InfeasibleStrategy>,
+}
+
+/// Evaluates the (arrival-rate × strategy) grid rayon-parallel.
+///
+/// Each feasible strategy gets one prepared [`ServeInstance`]; above
+/// [`EXACT_MODE_LIMIT`] requests per cell its decode-cost table is sealed
+/// once — deterministically, from the length-distribution bounds, before
+/// any cell runs — and shared lock-free by every rate. The report is
+/// byte-identical across `RAYON_NUM_THREADS` settings.
+///
+/// # Errors
+///
+/// Returns [`crate::ServeError`] only via the per-strategy `infeasible`
+/// list — the sweep itself always succeeds if the spec is well-formed.
+///
+/// # Panics
+///
+/// Panics on a degenerate spec: no rates, no strategies, zero requests,
+/// or a non-positive/non-finite rate.
+#[must_use]
+pub fn load_sweep(
+    cluster: &ClusterSpec,
+    model: &Arc<ModelConfig>,
+    spec: &LoadSweepSpec,
+) -> LoadSweepReport {
+    assert!(spec.requests > 0, "a load sweep needs requests");
+    assert!(!spec.rates.is_empty(), "a load sweep needs arrival rates");
+    assert!(!spec.strategies.is_empty(), "a load sweep needs strategies");
+    assert!(
+        spec.rates.iter().all(|r| r.is_finite() && *r > 0.0),
+        "arrival rates must be finite and positive"
+    );
+
+    // --- phase 1: one instance per strategy, sealed and probed ----------
+    let prepared: Vec<Result<ServeInstance<'_>, InfeasibleStrategy>> = spec
+        .strategies
+        .par_iter()
+        .map(|s| prepare_strategy(cluster, model, spec, *s))
+        .collect();
+    let mut instances: Vec<(LoadStrategy, ServeInstance<'_>)> = Vec::new();
+    let mut infeasible = Vec::new();
+    for (s, outcome) in spec.strategies.iter().zip(prepared) {
+        match outcome {
+            Ok(instance) => instances.push((*s, instance)),
+            Err(reason) => infeasible.push(reason),
+        }
+    }
+
+    // --- phase 2: the grid, cells in parallel ---------------------------
+    // Traces depend on the rate alone, not the strategy: generate each
+    // once and share it by reference across the row of cells (a sweep
+    // therefore holds rates × requests requests in memory — ~32 B each).
+    let traces: Vec<Vec<crate::Request>> = spec
+        .rates
+        .par_iter()
+        .map(|&rate| {
+            TraceSpec {
+                seed: spec.seed,
+                requests: spec.requests,
+                arrival: ArrivalProcess::Poisson { rate_per_s: rate },
+                prompt: spec.prompt,
+                output: spec.output,
+            }
+            .generate()
+        })
+        .collect();
+    let cells: Vec<(usize, usize)> = (0..instances.len())
+        .flat_map(|si| (0..spec.rates.len()).map(move |ri| (si, ri)))
+        .collect();
+    let points: Vec<LoadPoint> = cells
+        .into_par_iter()
+        .map(|(si, ri)| {
+            let (strategy, instance) = &instances[si];
+            let report = instance
+                .simulate(&traces[ri])
+                .expect("strategy feasibility was probed in phase 1");
+            LoadPoint::from_report(*strategy, spec.rates[ri], &report)
+        })
+        .collect();
+
+    // --- phase 3: curves and the SLO-goodput frontier -------------------
+    let curves: Vec<SaturationCurve> = instances
+        .iter()
+        .enumerate()
+        .map(|(si, (s, _))| SaturationCurve {
+            tp: s.tp,
+            precision: s.precision,
+            gpus: s.tp,
+            points: points[si * spec.rates.len()..(si + 1) * spec.rates.len()].to_vec(),
+        })
+        .collect();
+    // Minimize devices, maximize goodput (negated). The tie-break runs on
+    // point identity — (tp, precision, rate) — so the frontier is
+    // permutation invariant like the strategy sweep's.
+    let frontier = frontier_indices_by(
+        &points,
+        |p| (p.gpus as f64, -p.goodput_tokens_per_s),
+        |a, b| {
+            (a.tp, a.precision)
+                .cmp(&(b.tp, b.precision))
+                .then_with(|| a.offered_rate_per_s.total_cmp(&b.offered_rate_per_s))
+        },
+    )
+    .into_iter()
+    .map(|i| points[i])
+    .collect();
+
+    LoadSweepReport {
+        model: model.name.clone(),
+        cluster: cluster.name.clone(),
+        seed: spec.seed,
+        requests_per_point: spec.requests,
+        slo: spec.slo,
+        curves,
+        frontier,
+        infeasible,
+    }
+}
+
+/// Builds, seals (for streaming-scale cells), and probes one strategy's
+/// instance. Sealing happens here — before any cell runs, with bounds
+/// derived from the length distributions rather than any one trace — so
+/// the table grid never depends on which cell a thread pool ran first.
+fn prepare_strategy<'a>(
+    cluster: &'a ClusterSpec,
+    model: &Arc<ModelConfig>,
+    spec: &LoadSweepSpec,
+    strategy: LoadStrategy,
+) -> Result<ServeInstance<'a>, InfeasibleStrategy> {
+    let infeasible = |reason: String| InfeasibleStrategy {
+        tp: strategy.tp,
+        precision: strategy.precision,
+        reason,
+    };
+    let config = ServeConfig::new(strategy.tp)
+        .with_precision(strategy.precision)
+        .with_slo(spec.slo);
+    let instance = ServeInstance::new(cluster, Arc::clone(model), config)
+        .map_err(|e| infeasible(e.to_string()))?;
+    let max_kv = spec.prompt.max_tokens() + spec.output.max_tokens();
+    if spec.requests > EXACT_MODE_LIMIT {
+        // The same batch-ceiling computation the per-trace bound scan
+        // uses, fed the distributions' minimum reservation — so these
+        // bounds dominate every trace's and no cell ever clamps.
+        let min_request = crate::Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt: spec.prompt.min_tokens(),
+            output: spec.output.min_tokens(),
+        };
+        let min_reservation = instance.reservation(&min_request).bytes();
+        let max_batch = instance.batch_ceiling(min_reservation, spec.requests);
+        instance
+            .seal(max_batch, max_kv)
+            .map_err(|e| infeasible(e.to_string()))?;
+    } else {
+        // Cheap probe so unsupported precisions surface as infeasible
+        // strategies instead of mid-grid panics.
+        instance.probe().map_err(|e| infeasible(e.to_string()))?;
+    }
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    fn small_spec() -> LoadSweepSpec {
+        LoadSweepSpec {
+            seed: 42,
+            requests: 48,
+            prompt: LengthDist::Uniform { lo: 50, hi: 200 },
+            output: LengthDist::Uniform { lo: 4, hi: 24 },
+            rates: vec![0.5, 4.0, 32.0],
+            strategies: vec![
+                LoadStrategy {
+                    tp: 1,
+                    precision: Precision::Fp16,
+                },
+                LoadStrategy {
+                    tp: 2,
+                    precision: Precision::Fp16,
+                },
+            ],
+            slo: SloSpec::default(),
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_pairing() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let report = load_sweep(&cluster, &model, &small_spec());
+        assert_eq!(report.curves.len(), 2);
+        assert!(report.infeasible.is_empty());
+        for curve in &report.curves {
+            assert_eq!(curve.points.len(), 3);
+            for (p, rate) in curve.points.iter().zip([0.5, 4.0, 32.0]) {
+                assert_eq!(p.offered_rate_per_s, rate);
+                assert_eq!(p.completed + p.rejected, 48);
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_with_offered_load() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let report = load_sweep(&cluster, &model, &small_spec());
+        for curve in &report.curves {
+            // Below the knee the served rate tracks the offered rate;
+            // past it the curve flattens — it must never exceed offered.
+            for p in &curve.points {
+                assert!(
+                    p.requests_per_s <= p.offered_rate_per_s * 1.5,
+                    "served {} at offered {}",
+                    p.requests_per_s,
+                    p.offered_rate_per_s
+                );
+            }
+            let served: Vec<f64> = curve.points.iter().map(|p| p.requests_per_s).collect();
+            assert!(
+                served.windows(2).all(|w| w[1] >= w[0] * 0.9),
+                "served rate should not collapse as load grows: {served:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_is_minimal_and_complete_over_the_grid() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let report = load_sweep(&cluster, &model, &small_spec());
+        let all: Vec<&LoadPoint> = report.curves.iter().flat_map(|c| &c.points).collect();
+        let dominates = |a: &LoadPoint, b: &LoadPoint| {
+            a.gpus <= b.gpus
+                && a.goodput_tokens_per_s >= b.goodput_tokens_per_s
+                && (a.gpus < b.gpus || a.goodput_tokens_per_s > b.goodput_tokens_per_s)
+        };
+        for (i, a) in report.frontier.iter().enumerate() {
+            for (j, b) in report.frontier.iter().enumerate() {
+                assert!(
+                    i == j || !dominates(a, b),
+                    "frontier member {i} dominates {j}"
+                );
+            }
+        }
+        for p in all {
+            assert!(
+                report.frontier.iter().any(|f| {
+                    dominates(f, p)
+                        || (f.gpus == p.gpus && f.goodput_tokens_per_s == p.goodput_tokens_per_s)
+                }),
+                "point escapes the frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_strategies_are_reported_not_fatal() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.strategies.push(LoadStrategy {
+            tp: 64,
+            precision: Precision::Fp16,
+        });
+        let report = load_sweep(&cluster, &model, &spec);
+        assert_eq!(report.curves.len(), 2);
+        assert_eq!(report.infeasible.len(), 1);
+        assert_eq!(report.infeasible[0].tp, 64);
+        assert!(report.infeasible[0].reason.contains("exceeds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rates")]
+    fn degenerate_rates_are_rejected() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.rates = vec![0.0];
+        let _ = load_sweep(&cluster, &model, &spec);
+    }
+}

@@ -14,27 +14,70 @@
 //!    advances one token in a **decode** iteration priced at the batch's
 //!    aggregate context.
 //!
-//! Every iteration is priced through one shared
-//! [`PreparedInferenceEstimator`], so re-encountered `(batch, seq,
-//! kv_len)` shapes are memo lookups. The simulation is single-threaded
-//! and all randomness lives in the seeded trace, so reports are
-//! byte-identical across runs and thread counts.
+//! The event loop is streaming: the admission queue is a cursor into the
+//! arrival-ordered trace, in-flight state lives in a recycled slot arena,
+//! decode completions are scheduled on an epoch ring (every request costs
+//! O(1) bookkeeping per iteration it participates in, with no per-member
+//! scans), and per-request records plus exact percentile buffers are kept
+//! only within [`EXACT_MODE_LIMIT`] (or on request). Decode pricing runs
+//! either through the memoized [`PreparedInferenceEstimator`] (exact) or
+//! through a sealed, lock-free [`DecodeCostTable`]; prefill pricing
+//! always hits a dense per-prompt-length cache. The simulation is
+//! single-threaded and all randomness lives in the seeded trace, so
+//! reports are byte-identical across runs and thread counts.
 
+use crate::stats::LatencyAccumulator;
 use crate::{
-    KvUsage, LatencyStats, QueueSample, QueueStats, Request, RequestMetrics, ServeReport,
-    SloReport, SloSpec, TraceSpec,
+    KvUsage, QueueSample, QueueStats, Request, RequestMetrics, ServeReport, SloReport, SloSpec,
+    TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
-use optimus_infer::PreparedInferenceEstimator;
+use optimus_infer::{DecodeCostTable, PreparedInferenceEstimator};
 use optimus_memory::{inference_memory, kv_cache_bytes};
 use optimus_model::ModelConfig;
 use optimus_units::{Bytes, Time};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Cap on the queue-depth samples retained in a [`ServeReport`]; longer
-/// runs are down-sampled with an even stride.
+/// runs are down-sampled with an even stride (plus the final sample, so
+/// the series always ends at trace end).
 pub const MAX_QUEUE_SAMPLES: usize = 128;
+
+/// Trace size up to which the simulator defaults to full fidelity: exact
+/// memoized decode pricing, exact percentile selection, and per-request
+/// records. Above it the defaults switch to the streaming machinery —
+/// sealed-table pricing, log-histogram percentiles, records off — sized
+/// for million-request traces.
+pub const EXACT_MODE_LIMIT: usize = 10_000;
+
+/// How decode iterations are priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingMode {
+    /// Exact within [`EXACT_MODE_LIMIT`] requests, sealed beyond.
+    #[default]
+    Auto,
+    /// Always the memoized estimator: exact `(batch, kv)` pricing, with
+    /// per-iteration lock + hash overhead and memo tables that grow with
+    /// the number of distinct shapes.
+    Exact,
+    /// Always the sealed [`DecodeCostTable`]: zero locking and hashing,
+    /// bounded memory, `(batch, kv)` rounded up to quantized buckets
+    /// (within one bucket ratio, ≈4.4%, of exact).
+    Sealed,
+}
+
+/// Whether per-request [`RequestMetrics`] records are collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Records within [`EXACT_MODE_LIMIT`] requests, none beyond.
+    #[default]
+    Auto,
+    /// Always collect (a million-request trace stores a million records).
+    On,
+    /// Never collect; `per_request` comes back empty.
+    Off,
+}
 
 /// Serving-instance configuration: the strategy axes of one replica.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,10 +88,15 @@ pub struct ServeConfig {
     pub precision: Precision,
     /// The latency objective goodput is measured against.
     pub slo: SloSpec,
+    /// Decode-pricing fidelity.
+    pub pricing: PricingMode,
+    /// Per-request record collection.
+    pub records: RecordMode,
 }
 
 impl ServeConfig {
-    /// A TP-`tp` FP16 instance with the default interactive SLO.
+    /// A TP-`tp` FP16 instance with the default interactive SLO and
+    /// automatic fidelity.
     ///
     /// # Panics
     ///
@@ -60,6 +108,8 @@ impl ServeConfig {
             tp,
             precision: Precision::Fp16,
             slo: SloSpec::default(),
+            pricing: PricingMode::default(),
+            records: RecordMode::default(),
         }
     }
 
@@ -74,6 +124,20 @@ impl ServeConfig {
     #[must_use]
     pub fn with_slo(mut self, slo: SloSpec) -> Self {
         self.slo = slo;
+        self
+    }
+
+    /// Sets the decode-pricing mode.
+    #[must_use]
+    pub fn with_pricing(mut self, pricing: PricingMode) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Sets the record-collection mode.
+    #[must_use]
+    pub fn with_records(mut self, records: RecordMode) -> Self {
+        self.records = records;
         self
     }
 }
@@ -104,15 +168,231 @@ impl core::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// An admitted request's in-flight state.
-struct InFlight {
-    request: Request,
-    admitted_s: f64,
-    prefill_dur_s: f64,
-    first_token_s: Option<f64>,
-    generated: usize,
-    completed_s: f64,
-    reserved: Bytes,
+/// A validated serving instance: one (cluster, model, strategy) triple
+/// with its prepared estimator and, once sealed, its immutable decode
+/// table. Build once, simulate many traces — the load-sweep engine runs
+/// every arrival rate of a strategy through one shared instance.
+#[derive(Debug)]
+pub struct ServeInstance<'a> {
+    cluster: &'a ClusterSpec,
+    model: Arc<ModelConfig>,
+    config: ServeConfig,
+    weights: Bytes,
+    budget: Bytes,
+    estimator: PreparedInferenceEstimator<'a>,
+    table: OnceLock<Result<DecodeCostTable, String>>,
+}
+
+impl<'a> ServeInstance<'a> {
+    /// Validates the strategy and prepares the pricing estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the configuration cannot serve at all:
+    /// the sharded weights overflow the device or `tp` does not fit a
+    /// node.
+    pub fn new(
+        cluster: &'a ClusterSpec,
+        model: Arc<ModelConfig>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let tp = config.tp;
+        let precision = config.precision;
+        if tp > cluster.node.gpus_per_node {
+            return Err(ServeError::InvalidConfig(format!(
+                "tensor-parallel degree {tp} exceeds the {} GPUs of a node",
+                cluster.node.gpus_per_node
+            )));
+        }
+        let capacity = cluster.accelerator().dram.capacity;
+        // Weights via the shared footprint model (batch/context do not
+        // shape the weight term).
+        let weights = inference_memory(&model, 1, 1, tp, precision).weights;
+        if weights >= capacity {
+            return Err(ServeError::WeightsDontFit {
+                detail: format!(
+                    "{} weights ({} at {precision}, TP{tp}) overflow the {} device",
+                    model.name, weights, capacity
+                ),
+            });
+        }
+        let estimator = PreparedInferenceEstimator::for_serving(cluster, Arc::clone(&model));
+        Ok(Self {
+            cluster,
+            model,
+            config,
+            weights,
+            budget: capacity - weights,
+            estimator,
+            table: OnceLock::new(),
+        })
+    }
+
+    /// The per-device KV budget (capacity minus sharded weights).
+    #[must_use]
+    pub fn kv_budget(&self) -> Bytes {
+        self.budget
+    }
+
+    /// The full KV reservation of one request on this instance.
+    #[must_use]
+    pub fn reservation(&self, request: &Request) -> Bytes {
+        kv_cache_bytes(
+            &self.model,
+            1,
+            request.prompt + request.output,
+            self.config.precision,
+        ) / self.config.tp as f64
+    }
+
+    /// Upper bound on the concurrent decode batch when the smallest
+    /// possible reservation is `min_reservation` bytes: how many such
+    /// reservations fit the KV budget at once, clamped to `[1, cap]`.
+    /// Both the per-trace bound scan and the load-sweep's
+    /// distribution-derived seal bounds go through this one computation,
+    /// so a pre-sealed table provably covers every trace drawn from the
+    /// distributions it was sized for.
+    pub(crate) fn batch_ceiling(&self, min_reservation: f64, cap: usize) -> usize {
+        let by_memory = if min_reservation > 0.0 {
+            (self.budget.bytes() / min_reservation).floor() as usize
+        } else {
+            cap
+        };
+        by_memory.clamp(1, cap.max(1))
+    }
+
+    /// Seals the decode-cost table for batches up to `max_batch` and
+    /// aggregate contexts up to `max_kv` (idempotent: the first seal
+    /// wins). The load-sweep engine calls this once per strategy with
+    /// bounds derived from the length distributions;
+    /// [`ServeInstance::simulate`] seals lazily from trace bounds when a
+    /// large trace arrives first, and **errors** on any later trace that
+    /// exceeds the sealed grid rather than silently clamping onto it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Estimator`] when the device lacks the
+    /// serving precision.
+    pub fn seal(&self, max_batch: usize, max_kv: usize) -> Result<&DecodeCostTable, ServeError> {
+        self.table
+            .get_or_init(|| {
+                self.estimator
+                    .seal_decode_costs(
+                        max_batch.max(1),
+                        max_kv.max(1),
+                        self.config.tp,
+                        self.config.precision,
+                    )
+                    .map_err(|e| e.to_string())
+            })
+            .as_ref()
+            .map_err(|msg| ServeError::Estimator(msg.clone()))
+    }
+
+    /// Cheaply verifies the estimator accepts this strategy (the one
+    /// runtime-rejectable axis is the precision), so callers can surface
+    /// an unsupported precision before running a grid of simulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Estimator`] when the device lacks the
+    /// serving precision.
+    pub fn probe(&self) -> Result<(), ServeError> {
+        self.estimator
+            .decode_iteration(1, 1, self.config.tp, self.config.precision)
+            .map(|_| ())
+            .map_err(|e| ServeError::Estimator(e.to_string()))
+    }
+
+    /// Simulates serving `trace` on this instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Estimator`] when the device lacks the
+    /// serving precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is not sorted by arrival time or contains a
+    /// zero-length prompt or output.
+    pub fn simulate(&self, trace: &[Request]) -> Result<ServeReport, ServeError> {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
+            "trace must be sorted by arrival time"
+        );
+        assert!(
+            trace.iter().all(|r| r.prompt > 0 && r.output > 0),
+            "every request needs at least one prompt and one output token"
+        );
+        let sealed = match self.config.pricing {
+            PricingMode::Exact => false,
+            PricingMode::Sealed => true,
+            PricingMode::Auto => trace.len() > EXACT_MODE_LIMIT,
+        };
+        let bounds = TraceBounds::scan(self, trace);
+        let table = if sealed && bounds.admittable > 0 {
+            let table = self.seal(bounds.max_batch, bounds.max_kv)?;
+            // The first seal fixes the grid. Clamping a bigger trace onto
+            // a smaller grid would underprice its decode iterations by an
+            // unbounded factor, so refuse instead.
+            if bounds.max_batch > table.batch_grid().max() || bounds.max_kv > table.kv_grid().max()
+            {
+                return Err(ServeError::InvalidConfig(format!(
+                    "trace exceeds the sealed decode-cost grid (needs batch ≤ {}, kv ≤ {}; \
+                     sealed at {}, {}): seal() the instance with covering bounds up front",
+                    bounds.max_batch,
+                    bounds.max_kv,
+                    table.batch_grid().max(),
+                    table.kv_grid().max(),
+                )));
+            }
+            Some(table)
+        } else {
+            None
+        };
+        self.run(trace, &bounds, table)
+    }
+}
+
+/// Bounds of the admittable portion of a trace, derived in one scan:
+/// everything the sealed table, the prefill cache, and the completion
+/// ring need to size themselves.
+struct TraceBounds {
+    /// Requests whose lone reservation fits the budget.
+    admittable: usize,
+    /// Largest prompt among admittable requests.
+    max_prompt: usize,
+    /// Largest prompt + output among admittable requests.
+    max_kv: usize,
+    /// Upper bound on the concurrent decode batch: how many of the
+    /// smallest admittable reservations fit the budget at once.
+    max_batch: usize,
+}
+
+impl TraceBounds {
+    fn scan(instance: &ServeInstance<'_>, trace: &[Request]) -> Self {
+        let mut bounds = Self {
+            admittable: 0,
+            max_prompt: 0,
+            max_kv: 0,
+            max_batch: 1,
+        };
+        let mut min_reservation = f64::INFINITY;
+        for r in trace {
+            let need = instance.reservation(r);
+            if need > instance.budget {
+                continue;
+            }
+            bounds.admittable += 1;
+            bounds.max_prompt = bounds.max_prompt.max(r.prompt);
+            bounds.max_kv = bounds.max_kv.max(r.prompt + r.output);
+            min_reservation = min_reservation.min(need.bytes());
+        }
+        if bounds.admittable > 0 {
+            bounds.max_batch = instance.batch_ceiling(min_reservation, bounds.admittable);
+        }
+        bounds
+    }
 }
 
 /// Generates the trace from `spec` and simulates serving it on one
@@ -149,215 +429,406 @@ pub fn simulate_trace(
     config: &ServeConfig,
     trace: &[Request],
 ) -> Result<ServeReport, ServeError> {
-    assert!(
-        trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
-        "trace must be sorted by arrival time"
-    );
-    assert!(
-        trace.iter().all(|r| r.prompt > 0 && r.output > 0),
-        "every request needs at least one prompt and one output token"
-    );
-    let tp = config.tp;
-    let precision = config.precision;
-    if tp > cluster.node.gpus_per_node {
-        return Err(ServeError::InvalidConfig(format!(
-            "tensor-parallel degree {tp} exceeds the {} GPUs of a node",
-            cluster.node.gpus_per_node
-        )));
-    }
+    ServeInstance::new(cluster, model, *config)?.simulate(trace)
+}
 
-    let capacity = cluster.accelerator().dram.capacity;
-    // Weights via the shared footprint model (batch/context do not shape
-    // the weight term).
-    let weights = inference_memory(&model, 1, 1, tp, precision).weights;
-    if weights >= capacity {
-        return Err(ServeError::WeightsDontFit {
-            detail: format!(
-                "{} weights ({} at {precision}, TP{tp}) overflow the {} device",
-                model.name, weights, capacity
-            ),
-        });
-    }
-    let budget = capacity - weights;
-    let reservation =
-        |r: &Request| kv_cache_bytes(&model, 1, r.prompt + r.output, precision) / tp as f64;
+/// An admitted request's in-flight state (slot-arena entry, recycled at
+/// completion).
+struct Slot {
+    request: Request,
+    admitted_s: f64,
+    prefill_dur_s: f64,
+    first_token_s: f64,
+    reserved: Bytes,
+}
 
-    let estimator = PreparedInferenceEstimator::for_serving(cluster, Arc::clone(&model));
-    let price = |e: optimus_hw::HwError| ServeError::Estimator(e.to_string());
+/// Streaming aggregation of completion events: latency accumulators plus
+/// the scalar counters, and (when enabled) the per-request records.
+struct CompletionSink {
+    slo: SloSpec,
+    records_on: bool,
+    records: Vec<RequestMetrics>,
+    ttft: LatencyAccumulator,
+    tpot: LatencyAccumulator,
+    e2e: LatencyAccumulator,
+    completed: usize,
+    generated_tokens: usize,
+    met: usize,
+    met_tokens: usize,
+}
 
-    // --- event loop ------------------------------------------------------
-    let mut clock = 0.0_f64;
-    let mut next_arrival = 0usize;
-    let mut pending: VecDeque<Request> = VecDeque::new();
-    let mut inflight: Vec<InFlight> = Vec::new();
-    let mut awaiting_prefill: VecDeque<usize> = VecDeque::new();
-    let mut decoding: Vec<usize> = Vec::new();
-    let mut rejected_ids: Vec<usize> = Vec::new();
-
-    let mut reserved = Bytes::ZERO;
-    let mut kv_peak = Bytes::ZERO;
-    let mut prefill_iterations = 0usize;
-    let mut decode_iterations = 0usize;
-    let mut decode_batch_sum = 0usize;
-    let mut queue_area = 0.0_f64; // ∫ waiting dt
-    let mut peak_waiting = 0usize;
-    let mut peak_decoding = 0usize;
-    // Queue-depth samples are thinned online (keep-every-other + stride
-    // doubling once 2×MAX_QUEUE_SAMPLES accumulate), so memory stays
-    // O(MAX_QUEUE_SAMPLES) however long the trace runs.
-    let mut raw_samples: Vec<QueueSample> = Vec::new();
-    let mut sample_stride = 1usize;
-    let mut iteration = 0usize;
-
-    loop {
-        while next_arrival < trace.len() && trace[next_arrival].arrival_s <= clock {
-            pending.push_back(trace[next_arrival]);
-            next_arrival += 1;
+impl CompletionSink {
+    fn new(slo: SloSpec, expected: usize, records_on: bool) -> Self {
+        Self {
+            slo,
+            records_on,
+            records: Vec::new(),
+            ttft: LatencyAccumulator::for_population(expected),
+            tpot: LatencyAccumulator::for_population(expected),
+            e2e: LatencyAccumulator::for_population(expected),
+            completed: 0,
+            generated_tokens: 0,
+            met: 0,
+            met_tokens: 0,
         }
-        while let Some(front) = pending.front() {
-            let need = reservation(front);
-            if need > budget {
-                // Could never be admitted, not even alone: drop it rather
-                // than block every request behind it forever.
-                rejected_ids.push(front.id);
-                pending.pop_front();
+    }
+
+    /// Folds one completed request into the aggregates.
+    fn complete(&mut self, slot: &Slot, completed_s: f64) {
+        let r = &slot.request;
+        let first = slot.first_token_s;
+        let ttft = first - r.arrival_s;
+        let e2e = completed_s - r.arrival_s;
+        let tpot =
+            (r.output > 1).then(|| Time::from_secs((completed_s - first) / (r.output - 1) as f64));
+        let met_slo =
+            Time::from_secs(ttft) <= self.slo.ttft && tpot.is_none_or(|t| t <= self.slo.tpot);
+        self.ttft.record(Time::from_secs(ttft));
+        self.e2e.record(Time::from_secs(e2e));
+        if let Some(t) = tpot {
+            self.tpot.record(t);
+        }
+        self.completed += 1;
+        self.generated_tokens += r.output;
+        if met_slo {
+            self.met += 1;
+            self.met_tokens += r.output;
+        }
+        if self.records_on {
+            self.records.push(RequestMetrics {
+                id: r.id,
+                prompt: r.prompt,
+                generated: r.output,
+                arrival: Time::from_secs(r.arrival_s),
+                queue_wait: Time::from_secs(slot.admitted_s - r.arrival_s),
+                prefill: Time::from_secs(slot.prefill_dur_s),
+                ttft: Time::from_secs(ttft),
+                e2e: Time::from_secs(e2e),
+                tpot,
+                met_slo,
+            });
+        }
+    }
+}
+
+impl<'a> ServeInstance<'a> {
+    /// The event loop.
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        &self,
+        trace: &[Request],
+        bounds: &TraceBounds,
+        table: Option<&DecodeCostTable>,
+    ) -> Result<ServeReport, ServeError> {
+        let config = &self.config;
+        let (tp, precision, budget) = (config.tp, config.precision, self.budget);
+        let records_on = match config.records {
+            RecordMode::On => true,
+            RecordMode::Off => false,
+            RecordMode::Auto => trace.len() <= EXACT_MODE_LIMIT,
+        };
+        let price = |e: optimus_hw::HwError| ServeError::Estimator(e.to_string());
+
+        // Dense prefill-duration cache by prompt length: the simulator
+        // prices every distinct admittable prompt once, lock-free after.
+        let mut prefill_cache = vec![f64::NAN; bounds.max_prompt + 1];
+
+        // Completion ring: requests joining the decode batch with `n`
+        // output tokens complete exactly `n` decode epochs later.
+        let ring_len = bounds.max_kv.max(1) + 1; // ≥ max_output + 1
+        let mut calendar: Vec<Vec<u32>> = vec![Vec::new(); ring_len];
+        let mut decode_epoch = 0usize;
+
+        // --- event loop ---------------------------------------------------
+        let mut clock = 0.0_f64;
+        let mut arrived = 0usize; // trace[..arrived] have arrived
+        let mut admit_cursor = 0usize; // trace[admit_cursor..arrived] queue
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut free_slots: Vec<u32> = Vec::new();
+        let mut awaiting_prefill: VecDeque<u32> = VecDeque::new();
+        let mut pending_first: Vec<u32> = Vec::new();
+        let mut decoding_count = 0usize;
+        let mut ctx_sum = 0usize; // Σ (prompt + generated) over decoding
+        let mut rejected_ids: Vec<usize> = Vec::new();
+        let mut sink = CompletionSink::new(config.slo, trace.len(), records_on);
+
+        let mut reserved = Bytes::ZERO;
+        let mut kv_peak = Bytes::ZERO;
+        let mut prefill_iterations = 0usize;
+        let mut decode_iterations = 0usize;
+        let mut decode_batch_sum = 0usize;
+        let mut queue_area = 0.0_f64; // ∫ waiting dt
+        let mut peak_waiting = 0usize;
+        let mut peak_decoding = 0usize;
+        // Queue-depth samples are thinned online (keep-every-other + stride
+        // doubling once 2×MAX_QUEUE_SAMPLES accumulate), so memory stays
+        // O(MAX_QUEUE_SAMPLES) however long the trace runs.
+        let mut raw_samples: Vec<QueueSample> = Vec::new();
+        let mut sample_stride = 1usize;
+        let mut iteration = 0usize;
+
+        loop {
+            while arrived < trace.len() && trace[arrived].arrival_s <= clock {
+                arrived += 1;
+            }
+            while admit_cursor < arrived {
+                let front = &trace[admit_cursor];
+                let need = self.reservation(front);
+                if need > budget {
+                    // Could never be admitted, not even alone: drop it
+                    // rather than block every request behind it forever.
+                    rejected_ids.push(front.id);
+                    admit_cursor += 1;
+                    continue;
+                }
+                if reserved + need <= budget {
+                    reserved += need;
+                    kv_peak = kv_peak.max(reserved);
+                    let slot = Slot {
+                        request: *front,
+                        admitted_s: clock,
+                        prefill_dur_s: 0.0,
+                        first_token_s: 0.0,
+                        reserved: need,
+                    };
+                    let idx = if let Some(free) = free_slots.pop() {
+                        slots[free as usize] = slot;
+                        free
+                    } else {
+                        slots.push(slot);
+                        u32::try_from(slots.len() - 1).expect("slot arena fits u32")
+                    };
+                    awaiting_prefill.push_back(idx);
+                    admit_cursor += 1;
+                } else {
+                    break;
+                }
+            }
+            let pending_len = arrived - admit_cursor;
+            peak_waiting = peak_waiting.max(pending_len + awaiting_prefill.len());
+
+            if awaiting_prefill.is_empty() && decoding_count == 0 {
+                assert!(
+                    pending_len == 0,
+                    "an idle instance always admits the queue head"
+                );
+                if arrived >= trace.len() {
+                    break;
+                }
+                clock = clock.max(trace[arrived].arrival_s);
                 continue;
             }
-            if reserved + need <= budget {
-                let request = *front;
-                pending.pop_front();
-                reserved += need;
-                kv_peak = kv_peak.max(reserved);
-                awaiting_prefill.push_back(inflight.len());
-                inflight.push(InFlight {
-                    request,
-                    admitted_s: clock,
-                    prefill_dur_s: 0.0,
-                    first_token_s: None,
-                    generated: 0,
-                    completed_s: 0.0,
-                    reserved: need,
-                });
+
+            // The waiting population over this iteration: arrived but no
+            // compute yet — whether blocked on KV admission or on a prefill
+            // slot. (The request prefilled this very iteration stops
+            // waiting now, so it is not counted.)
+            let waiting_before =
+                pending_len + awaiting_prefill.len() - usize::from(!awaiting_prefill.is_empty());
+            let dur = if let Some(idx) = awaiting_prefill.pop_front() {
+                let prompt = slots[idx as usize].request.prompt;
+                let cached = prefill_cache[prompt];
+                let dur = if cached.is_nan() {
+                    let computed = self
+                        .estimator
+                        .prefill_iteration(1, prompt, tp, precision)
+                        .map_err(price)?
+                        .secs();
+                    prefill_cache[prompt] = computed;
+                    computed
+                } else {
+                    cached
+                };
+                slots[idx as usize].prefill_dur_s = dur;
+                // Join the decode batch: first token next decode epoch,
+                // completion `output` epochs out.
+                decoding_count += 1;
+                ctx_sum += prompt;
+                pending_first.push(idx);
+                let due = (decode_epoch + slots[idx as usize].request.output) % ring_len;
+                calendar[due].push(idx);
+                prefill_iterations += 1;
+                dur
             } else {
-                break;
-            }
-        }
-        peak_waiting = peak_waiting.max(pending.len() + awaiting_prefill.len());
-
-        if awaiting_prefill.is_empty() && decoding.is_empty() {
-            assert!(
-                pending.is_empty(),
-                "an idle instance always admits the queue head"
-            );
-            if next_arrival >= trace.len() {
-                break;
-            }
-            clock = clock.max(trace[next_arrival].arrival_s);
-            continue;
-        }
-
-        // The waiting population over this iteration: arrived but no
-        // compute yet — whether blocked on KV admission or on a prefill
-        // slot. (The request prefilled this very iteration stops waiting
-        // now, so it is not counted.)
-        let waiting_before =
-            pending.len() + awaiting_prefill.len() - usize::from(!awaiting_prefill.is_empty());
-        let dur = if let Some(idx) = awaiting_prefill.pop_front() {
-            let prompt = inflight[idx].request.prompt;
-            let dur = estimator
-                .prefill_iteration(1, prompt, tp, precision)
-                .map_err(price)?
-                .secs();
-            inflight[idx].prefill_dur_s = dur;
-            decoding.push(idx);
-            prefill_iterations += 1;
-            dur
-        } else {
-            let batch = decoding.len();
-            // A mixed batch is priced at its aggregate context: attention
-            // cost is linear in total KV entries read, so batch × ⌈mean⌉
-            // preserves it while the GEMM terms see the true batch width.
-            let ctx_sum: usize = decoding
-                .iter()
-                .map(|&i| inflight[i].request.prompt + inflight[i].generated)
-                .sum();
-            let kv_len = ctx_sum.div_ceil(batch);
-            let dur = estimator
-                .decode_iteration(batch, kv_len, tp, precision)
-                .map_err(price)?
-                .secs();
-            decode_iterations += 1;
-            decode_batch_sum += batch;
-            let end = clock + dur;
-            for &i in &decoding {
-                let r = &mut inflight[i];
-                r.generated += 1;
-                if r.first_token_s.is_none() {
-                    r.first_token_s = Some(end);
+                let batch = decoding_count;
+                // A mixed batch is priced at its aggregate context:
+                // attention cost is linear in total KV entries read, so
+                // batch × ⌈mean⌉ preserves it while the GEMM terms see the
+                // true batch width.
+                let kv_len = ctx_sum.div_ceil(batch);
+                let dur = match table {
+                    Some(t) => t.decode_iteration(batch, kv_len).secs(),
+                    None => self
+                        .estimator
+                        .decode_iteration(batch, kv_len, tp, precision)
+                        .map_err(price)?
+                        .secs(),
+                };
+                decode_iterations += 1;
+                decode_batch_sum += batch;
+                let end = clock + dur;
+                decode_epoch += 1;
+                // Every member generates one token.
+                ctx_sum += batch;
+                for idx in pending_first.drain(..) {
+                    slots[idx as usize].first_token_s = end;
+                }
+                // Requests whose token quota fills this epoch complete, in
+                // join order.
+                let done = core::mem::take(&mut calendar[decode_epoch % ring_len]);
+                for idx in done {
+                    let slot = &slots[idx as usize];
+                    sink.complete(slot, end);
+                    reserved = reserved - slot.reserved;
+                    ctx_sum -= slot.request.prompt + slot.request.output;
+                    decoding_count -= 1;
+                    free_slots.push(idx);
+                }
+                dur
+            };
+            clock += dur;
+            queue_area += waiting_before as f64 * dur;
+            peak_decoding = peak_decoding.max(decoding_count);
+            if iteration.is_multiple_of(sample_stride) {
+                raw_samples.push(QueueSample {
+                    at: Time::from_secs(clock),
+                    waiting: (arrived - admit_cursor) + awaiting_prefill.len(),
+                    decoding: decoding_count,
+                });
+                if raw_samples.len() >= 2 * MAX_QUEUE_SAMPLES {
+                    let mut keep = 0;
+                    raw_samples.retain(|_| {
+                        keep += 1;
+                        keep % 2 == 1
+                    });
+                    sample_stride *= 2;
                 }
             }
-            decoding.retain(|&i| {
-                let r = &mut inflight[i];
-                if r.generated < r.request.output {
-                    return true;
-                }
-                r.completed_s = end;
-                reserved = reserved - r.reserved;
-                false
-            });
-            dur
-        };
-        clock += dur;
-        queue_area += waiting_before as f64 * dur;
-        peak_decoding = peak_decoding.max(decoding.len());
-        if iteration.is_multiple_of(sample_stride) {
+            iteration += 1;
+        }
+
+        // The series must end at trace end: if the stride skipped the
+        // final iteration, append the terminal (idle) observation.
+        if raw_samples.last().is_some_and(|s| s.at.secs() < clock) {
             raw_samples.push(QueueSample {
                 at: Time::from_secs(clock),
-                waiting: pending.len() + awaiting_prefill.len(),
-                decoding: decoding.len(),
+                waiting: 0,
+                decoding: 0,
             });
-            if raw_samples.len() >= 2 * MAX_QUEUE_SAMPLES {
-                let mut keep = 0;
-                raw_samples.retain(|_| {
-                    keep += 1;
-                    keep % 2 == 1
-                });
-                sample_stride *= 2;
-            }
         }
-        iteration += 1;
+
+        Ok(self.assemble_report(
+            trace.len(),
+            ReportInputs {
+                sink,
+                rejected_ids,
+                makespan_s: clock,
+                kv_peak,
+                prefill_iterations,
+                decode_iterations,
+                decode_batch_sum,
+                queue_area,
+                peak_waiting,
+                peak_decoding,
+                raw_samples,
+            },
+        ))
     }
 
-    Ok(assemble_report(
-        cluster,
-        &model,
-        config,
-        trace.len(),
-        ReportInputs {
-            inflight,
-            rejected_ids,
-            makespan_s: clock,
-            weights,
-            budget,
-            kv_peak,
-            prefill_iterations,
-            decode_iterations,
-            decode_batch_sum,
-            queue_area,
-            peak_waiting,
-            peak_decoding,
-            raw_samples,
-        },
-    ))
+    fn assemble_report(&self, requests: usize, inputs: ReportInputs) -> ServeReport {
+        let config = &self.config;
+        let mut sink = inputs.sink;
+        // Completion order is not id order (short outputs overtake long
+        // ones); records report in id order like the trace.
+        sink.records.sort_by_key(|m| m.id);
+
+        let makespan = inputs.makespan_s;
+        let per_s = |count: f64| {
+            if makespan > 0.0 {
+                count / makespan
+            } else {
+                0.0
+            }
+        };
+
+        let stride = inputs.raw_samples.len().div_ceil(MAX_QUEUE_SAMPLES).max(1);
+        let mut samples: Vec<QueueSample> =
+            inputs.raw_samples.iter().step_by(stride).copied().collect();
+        // Stride thinning keeps index 0, s, 2s, …, which drops the final
+        // observation unless the length cooperates; re-append it so the
+        // retained series still ends at trace end.
+        if let (Some(kept), Some(last)) = (samples.last(), inputs.raw_samples.last()) {
+            if kept != last {
+                samples.push(*last);
+            }
+        }
+        let queue = QueueStats {
+            peak_waiting: inputs.peak_waiting,
+            mean_waiting: if makespan > 0.0 {
+                inputs.queue_area / makespan
+            } else {
+                0.0
+            },
+            peak_decoding: inputs.peak_decoding,
+            samples,
+        };
+
+        let completed = sink.completed;
+        ServeReport {
+            model: self.model.name.clone(),
+            cluster: self.cluster.name.clone(),
+            tp: config.tp,
+            precision: config.precision,
+            requests,
+            completed,
+            rejected: inputs.rejected_ids.len(),
+            rejected_ids: inputs.rejected_ids,
+            makespan: Time::from_secs(makespan),
+            generated_tokens: sink.generated_tokens,
+            tokens_per_s: per_s(sink.generated_tokens as f64),
+            requests_per_s: per_s(completed as f64),
+            prefill_iterations: inputs.prefill_iterations,
+            decode_iterations: inputs.decode_iterations,
+            mean_decode_batch: if inputs.decode_iterations > 0 {
+                inputs.decode_batch_sum as f64 / inputs.decode_iterations as f64
+            } else {
+                0.0
+            },
+            ttft: sink.ttft.finish(),
+            tpot: sink.tpot.finish(),
+            e2e: sink.e2e.finish(),
+            queue,
+            kv: KvUsage {
+                weights: self.weights,
+                budget: self.budget,
+                peak: inputs.kv_peak,
+                peak_utilization: if self.budget.bytes() > 0.0 {
+                    inputs.kv_peak.bytes() / self.budget.bytes()
+                } else {
+                    0.0
+                },
+            },
+            slo: SloReport {
+                spec: config.slo,
+                met: sink.met,
+                attainment: if completed > 0 {
+                    sink.met as f64 / completed as f64
+                } else {
+                    1.0
+                },
+                goodput_tokens_per_s: per_s(sink.met_tokens as f64),
+                goodput_requests_per_s: per_s(sink.met as f64),
+            },
+            per_request: sink.records,
+        }
+    }
 }
 
 /// Everything the event loop hands to report assembly.
 struct ReportInputs {
-    inflight: Vec<InFlight>,
+    sink: CompletionSink,
     rejected_ids: Vec<usize>,
     makespan_s: f64,
-    weights: Bytes,
-    budget: Bytes,
     kv_peak: Bytes,
     prefill_iterations: usize,
     decode_iterations: usize,
@@ -366,122 +837,6 @@ struct ReportInputs {
     peak_waiting: usize,
     peak_decoding: usize,
     raw_samples: Vec<QueueSample>,
-}
-
-fn assemble_report(
-    cluster: &ClusterSpec,
-    model: &ModelConfig,
-    config: &ServeConfig,
-    requests: usize,
-    inputs: ReportInputs,
-) -> ServeReport {
-    let slo = config.slo;
-    // FIFO admission from an arrival-ordered queue means `inflight` is
-    // already in id order, and the event loop only exits once every
-    // admitted request has completed.
-    let per_request: Vec<RequestMetrics> = inputs
-        .inflight
-        .iter()
-        .map(|r| {
-            let first = r.first_token_s.expect("completed requests decoded");
-            let ttft = first - r.request.arrival_s;
-            let e2e = r.completed_s - r.request.arrival_s;
-            let tpot = (r.request.output > 1)
-                .then(|| Time::from_secs((r.completed_s - first) / (r.request.output - 1) as f64));
-            let met_slo = Time::from_secs(ttft) <= slo.ttft && tpot.is_none_or(|t| t <= slo.tpot);
-            RequestMetrics {
-                id: r.request.id,
-                prompt: r.request.prompt,
-                generated: r.generated,
-                arrival: Time::from_secs(r.request.arrival_s),
-                queue_wait: Time::from_secs(r.admitted_s - r.request.arrival_s),
-                prefill: Time::from_secs(r.prefill_dur_s),
-                ttft: Time::from_secs(ttft),
-                e2e: Time::from_secs(e2e),
-                tpot,
-                met_slo,
-            }
-        })
-        .collect();
-    debug_assert!(per_request.windows(2).all(|w| w[0].id < w[1].id));
-
-    let makespan = inputs.makespan_s;
-    let per_s = |count: f64| {
-        if makespan > 0.0 {
-            count / makespan
-        } else {
-            0.0
-        }
-    };
-    let generated_tokens: usize = per_request.iter().map(|m| m.generated).sum();
-    let met: Vec<&RequestMetrics> = per_request.iter().filter(|m| m.met_slo).collect();
-    let met_tokens: usize = met.iter().map(|m| m.generated).sum();
-
-    let ttfts: Vec<Time> = per_request.iter().map(|m| m.ttft).collect();
-    let tpots: Vec<Time> = per_request.iter().filter_map(|m| m.tpot).collect();
-    let e2es: Vec<Time> = per_request.iter().map(|m| m.e2e).collect();
-
-    let stride = inputs.raw_samples.len().div_ceil(MAX_QUEUE_SAMPLES).max(1);
-    let samples: Vec<QueueSample> = inputs.raw_samples.iter().step_by(stride).copied().collect();
-    let queue = QueueStats {
-        peak_waiting: inputs.peak_waiting,
-        mean_waiting: if makespan > 0.0 {
-            inputs.queue_area / makespan
-        } else {
-            0.0
-        },
-        peak_decoding: inputs.peak_decoding,
-        samples,
-    };
-
-    let completed = per_request.len();
-    ServeReport {
-        model: model.name.clone(),
-        cluster: cluster.name.clone(),
-        tp: config.tp,
-        precision: config.precision,
-        requests,
-        completed,
-        rejected: inputs.rejected_ids.len(),
-        rejected_ids: inputs.rejected_ids,
-        makespan: Time::from_secs(makespan),
-        generated_tokens,
-        tokens_per_s: per_s(generated_tokens as f64),
-        requests_per_s: per_s(completed as f64),
-        prefill_iterations: inputs.prefill_iterations,
-        decode_iterations: inputs.decode_iterations,
-        mean_decode_batch: if inputs.decode_iterations > 0 {
-            inputs.decode_batch_sum as f64 / inputs.decode_iterations as f64
-        } else {
-            0.0
-        },
-        ttft: LatencyStats::from_times(&ttfts),
-        tpot: LatencyStats::from_times(&tpots),
-        e2e: LatencyStats::from_times(&e2es),
-        queue,
-        kv: KvUsage {
-            weights: inputs.weights,
-            budget: inputs.budget,
-            peak: inputs.kv_peak,
-            peak_utilization: if inputs.budget.bytes() > 0.0 {
-                inputs.kv_peak.bytes() / inputs.budget.bytes()
-            } else {
-                0.0
-            },
-        },
-        slo: SloReport {
-            spec: slo,
-            met: met.len(),
-            attainment: if completed > 0 {
-                met.len() as f64 / completed as f64
-            } else {
-                1.0
-            },
-            goodput_tokens_per_s: per_s(met_tokens as f64),
-            goodput_requests_per_s: per_s(met.len() as f64),
-        },
-        per_request,
-    }
 }
 
 #[cfg(test)]
@@ -615,5 +970,144 @@ mod tests {
         assert_eq!(report.makespan, Time::ZERO);
         assert_eq!(report.tokens_per_s, 0.0);
         assert_eq!(report.slo.attainment, 1.0);
+    }
+
+    /// Sealed pricing reproduces the exact path's scheduling and
+    /// conservation outcomes, and its latencies stay within the bucket
+    /// quantization envelope of exact (identical below the exact grid
+    /// region, never more than a few percent above it).
+    #[test]
+    fn sealed_pricing_tracks_exact_pricing() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let spec = spec(11, 64, 20.0);
+        let exact = simulate(
+            &cluster,
+            Arc::clone(&model),
+            &ServeConfig::new(1).with_pricing(PricingMode::Exact),
+            &spec,
+        )
+        .unwrap();
+        let sealed = simulate(
+            &cluster,
+            Arc::clone(&model),
+            &ServeConfig::new(1).with_pricing(PricingMode::Sealed),
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(sealed.completed, exact.completed);
+        assert_eq!(sealed.generated_tokens, exact.generated_tokens);
+        assert_eq!(sealed.prefill_iterations, exact.prefill_iterations);
+        // Round-up quantization can only slow iterations, so makespan is
+        // bounded below by exact and above by one bucket ratio.
+        let ratio = sealed.makespan.secs() / exact.makespan.secs();
+        assert!(
+            (1.0..1.10).contains(&ratio),
+            "sealed/exact makespan ratio {ratio}"
+        );
+    }
+
+    /// A pre-sealed instance must refuse a trace whose bounds exceed its
+    /// grid instead of silently clamping (which would underprice decode
+    /// by an unbounded factor).
+    #[test]
+    fn sealed_grid_too_small_is_an_error_not_a_clamp() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let instance = ServeInstance::new(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            ServeConfig::new(1).with_pricing(PricingMode::Sealed),
+        )
+        .unwrap();
+        instance.seal(8, 64).unwrap();
+        // Fits the grid: runs fine.
+        instance
+            .simulate(&TraceSpec::poisson(1, 4, 1.0, 30, 8).generate())
+            .unwrap();
+        // kv bound 500 + 50 far exceeds the sealed 64.
+        let err = instance
+            .simulate(&TraceSpec::poisson(1, 4, 1.0, 500, 50).generate())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("sealed decode-cost grid"), "{err}");
+    }
+
+    /// `RecordMode::On` must restore per-request records beyond the
+    /// auto-off limit, and `Auto` must drop them there — same aggregates
+    /// either way.
+    #[test]
+    fn records_forced_on_beyond_the_limit() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        // Tiny fixed lengths keep a just-over-the-limit trace cheap.
+        let spec = TraceSpec::poisson(5, EXACT_MODE_LIMIT + 1, 400.0, 20, 2);
+        let auto = simulate(&cluster, Arc::clone(&model), &ServeConfig::new(1), &spec).unwrap();
+        assert!(
+            auto.per_request.is_empty(),
+            "records default off past the limit"
+        );
+        let forced = simulate(
+            &cluster,
+            Arc::clone(&model),
+            &ServeConfig::new(1).with_records(RecordMode::On),
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(forced.per_request.len(), forced.completed);
+        assert!(
+            forced.per_request.windows(2).all(|w| w[0].id < w[1].id),
+            "records come back in id order"
+        );
+        assert_eq!(forced.completed, auto.completed);
+        assert_eq!(forced.generated_tokens, auto.generated_tokens);
+        assert_eq!(forced.makespan, auto.makespan);
+    }
+
+    /// Records off must empty `per_request` without changing any
+    /// aggregate.
+    #[test]
+    fn record_mode_off_only_drops_the_records() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let spec = spec(3, 40, 8.0);
+        let with = simulate(&cluster, Arc::clone(&model), &ServeConfig::new(1), &spec).unwrap();
+        let without = simulate(
+            &cluster,
+            Arc::clone(&model),
+            &ServeConfig::new(1).with_records(RecordMode::Off),
+            &spec,
+        )
+        .unwrap();
+        assert!(without.per_request.is_empty());
+        assert_eq!(with.per_request.len(), with.completed);
+        let strip = |mut r: ServeReport| {
+            r.per_request.clear();
+            r
+        };
+        assert_eq!(strip(with), strip(without));
+    }
+
+    /// The down-sampled queue series always ends at the trace end, even
+    /// when the thinning stride would skip the final iteration.
+    #[test]
+    fn queue_samples_end_at_trace_end() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        // Enough iterations to engage both the online stride doubling and
+        // the assembly-time thinning.
+        let report = simulate(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &ServeConfig::new(1),
+            &spec(21, 600, 12.0),
+        )
+        .unwrap();
+        assert!(report.queue.samples.len() <= MAX_QUEUE_SAMPLES + 1);
+        let last = report.queue.samples.last().expect("non-empty series");
+        assert_eq!(
+            last.at, report.makespan,
+            "series must end at the makespan, not at the last stride hit"
+        );
+        assert_eq!(last.waiting, 0, "the run ends idle");
+        assert_eq!(last.decoding, 0, "the run ends idle");
     }
 }

@@ -1,0 +1,252 @@
+//! Streaming latency statistics for million-request traces.
+//!
+//! The exact [`LatencyStats::from_times`] path materializes one `Time`
+//! per request and selects order statistics at the end — fine to
+//! [`EXACT_MODE_LIMIT`](crate::EXACT_MODE_LIMIT) requests, pure memory
+//! churn beyond. [`LatencyAccumulator`] keeps both regimes behind one
+//! `record`/`finish` interface: small populations stay exact, large ones
+//! stream into a fixed-bin log-scale [`LogHistogram`] whose percentile
+//! estimates are within one bin width (≈2.2% at 32 bins per doubling) of
+//! the exact nearest-rank values, with count, mean, and max always exact.
+
+use crate::report::LatencyStats;
+use optimus_units::Time;
+
+/// Log-scale resolution: bins per doubling of latency.
+pub const HISTOGRAM_BINS_PER_OCTAVE: usize = 32;
+/// Smallest representable latency (values below clamp into the first
+/// bin): one nanosecond.
+const MIN_SECS: f64 = 1e-9;
+/// Largest representable latency (values above clamp into the last bin):
+/// ~11.6 days, far beyond any simulated makespan.
+const MAX_SECS: f64 = 1e6;
+
+/// A fixed-bin log-scale latency histogram: bin `i` covers
+/// `[MIN·2^(i/B), MIN·2^((i+1)/B))` seconds with `B` bins per doubling.
+///
+/// Memory is a few kilobytes regardless of population size, and recording
+/// is a `log2`, a multiply, and an increment — no allocation, no
+/// sorting.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram spanning 1 ns to ~11.6 days.
+    #[must_use]
+    pub fn new() -> Self {
+        let octaves = (MAX_SECS / MIN_SECS).log2().ceil() as usize;
+        Self {
+            counts: vec![0; octaves * HISTOGRAM_BINS_PER_OCTAVE + 1],
+            total: 0,
+        }
+    }
+
+    /// Index of the bin holding `secs` (clamped to the covered range).
+    fn bin_of(secs: f64) -> usize {
+        if secs <= MIN_SECS {
+            return 0;
+        }
+        let i = ((secs / MIN_SECS).log2() * HISTOGRAM_BINS_PER_OCTAVE as f64).floor() as usize;
+        i.min(Self::bin_count() - 1)
+    }
+
+    fn bin_count() -> usize {
+        let octaves = (MAX_SECS / MIN_SECS).log2().ceil() as usize;
+        octaves * HISTOGRAM_BINS_PER_OCTAVE + 1
+    }
+
+    /// The upper edge of bin `i` — the conservative representative a
+    /// percentile query returns (never below any value in the bin).
+    fn bin_upper(i: usize) -> f64 {
+        MIN_SECS * 2f64.powf((i + 1) as f64 / HISTOGRAM_BINS_PER_OCTAVE as f64)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: Time) {
+        self.counts[Self::bin_of(value.secs())] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Nearest-rank percentile estimate: the upper edge of the bin
+    /// holding the rank-`⌈q·n⌉` observation — within one bin width
+    /// (a factor of `2^(1/32)` ≈ 2.2%) above the exact order statistic.
+    /// Zero for an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Time {
+        if self.total == 0 {
+            return Time::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Time::from_secs(Self::bin_upper(i));
+            }
+        }
+        Time::from_secs(Self::bin_upper(Self::bin_count() - 1))
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One latency population's accumulator: exact below the cutover,
+/// histogram-backed streaming above. Count, mean, and max are exact in
+/// both regimes; only the streamed percentiles are approximate.
+#[derive(Debug)]
+pub enum LatencyAccumulator {
+    /// Materialize every observation; `finish` runs the exact
+    /// nearest-rank selection of [`LatencyStats::from_times`].
+    Exact(Vec<Time>),
+    /// Stream observations into a [`LogHistogram`] plus exact running
+    /// aggregates.
+    Streaming {
+        /// Percentile sketch.
+        histogram: LogHistogram,
+        /// Running sum of seconds (mean stays exact).
+        sum_secs: f64,
+        /// Exact maximum.
+        max: Time,
+    },
+}
+
+impl LatencyAccumulator {
+    /// Chooses the regime for a population of up to `expected`
+    /// observations: exact within [`crate::EXACT_MODE_LIMIT`], streaming
+    /// beyond.
+    #[must_use]
+    pub fn for_population(expected: usize) -> Self {
+        if expected <= crate::EXACT_MODE_LIMIT {
+            Self::Exact(Vec::new())
+        } else {
+            Self::Streaming {
+                histogram: LogHistogram::new(),
+                sum_secs: 0.0,
+                max: Time::ZERO,
+            }
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: Time) {
+        match self {
+            Self::Exact(values) => values.push(value),
+            Self::Streaming {
+                histogram,
+                sum_secs,
+                max,
+            } => {
+                histogram.record(value);
+                *sum_secs += value.secs();
+                *max = (*max).max(value);
+            }
+        }
+    }
+
+    /// Finalizes the statistics.
+    #[must_use]
+    pub fn finish(&self) -> LatencyStats {
+        match self {
+            Self::Exact(values) => LatencyStats::from_times(values),
+            Self::Streaming {
+                histogram,
+                sum_secs,
+                max,
+            } => {
+                let n = histogram.count();
+                if n == 0 {
+                    return LatencyStats::default();
+                }
+                LatencyStats {
+                    count: n as usize,
+                    p50: histogram.percentile(0.50),
+                    p90: histogram.percentile(0.90),
+                    p99: histogram.percentile(0.99),
+                    mean: Time::from_secs(sum_secs / n as f64),
+                    max: *max,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_track_exact_within_one_bin() {
+        let values: Vec<Time> = (1..=1000)
+            .map(|i| Time::from_millis(f64::from(i) * 0.37))
+            .collect();
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let exact = LatencyStats::from_times(&values);
+        let bin_ratio = 2f64.powf(1.0 / HISTOGRAM_BINS_PER_OCTAVE as f64);
+        for (q, e) in [(0.5, exact.p50), (0.9, exact.p90), (0.99, exact.p99)] {
+            let est = h.percentile(q).secs();
+            assert!(
+                est >= e.secs() && est <= e.secs() * bin_ratio * bin_ratio,
+                "q={q}: estimate {est} vs exact {}",
+                e.secs()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range_values() {
+        let mut h = LogHistogram::new();
+        h.record(Time::from_secs(1e-12));
+        h.record(Time::from_secs(1e9));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(0.5) > Time::ZERO);
+    }
+
+    #[test]
+    fn empty_accumulators_finish_to_zeros() {
+        for acc in [
+            LatencyAccumulator::Exact(Vec::new()),
+            LatencyAccumulator::for_population(1_000_000),
+        ] {
+            let s = acc.finish();
+            assert_eq!(s.count, 0);
+            assert_eq!(s.p99, Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn streaming_count_mean_max_are_exact() {
+        let mut acc = LatencyAccumulator::for_population(1_000_000);
+        assert!(matches!(acc, LatencyAccumulator::Streaming { .. }));
+        for i in 1..=100 {
+            acc.record(Time::from_millis(f64::from(i)));
+        }
+        let s = acc.finish();
+        assert_eq!(s.count, 100);
+        assert!((s.mean.millis() - 50.5).abs() < 1e-9);
+        assert!((s.max.millis() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_populations_choose_the_exact_regime() {
+        let mut acc = LatencyAccumulator::for_population(100);
+        assert!(matches!(acc, LatencyAccumulator::Exact(_)));
+        acc.record(Time::from_millis(7.0));
+        assert_eq!(acc.finish().p50, Time::from_millis(7.0));
+    }
+}

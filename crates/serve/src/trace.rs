@@ -68,6 +68,24 @@ pub enum LengthDist {
 }
 
 impl LengthDist {
+    /// Smallest length the distribution can draw.
+    #[must_use]
+    pub fn min_tokens(&self) -> usize {
+        match *self {
+            Self::Fixed { tokens } => tokens,
+            Self::Uniform { lo, .. } => lo,
+        }
+    }
+
+    /// Largest length the distribution can draw.
+    #[must_use]
+    pub fn max_tokens(&self) -> usize {
+        match *self {
+            Self::Fixed { tokens } => tokens,
+            Self::Uniform { hi, .. } => hi,
+        }
+    }
+
     fn sample(&self, rng: &mut StdRng) -> usize {
         match *self {
             Self::Fixed { tokens } => tokens,

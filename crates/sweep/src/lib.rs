@@ -53,6 +53,6 @@ pub use engine::{EvaluatedPoint, SweepEngine, SweepReport};
 /// The shared search-evaluation interface, re-exported from `optimus-dse`
 /// so both searches are driven through one trait.
 pub use optimus_dse::Objective;
-pub use pareto::{dominates, pareto_frontier, pareto_frontier_indices};
+pub use pareto::{dominates, frontier_indices_by, pareto_frontier, pareto_frontier_indices};
 pub use report::{render_frontier, render_table};
 pub use space::{PointMemory, StrategyPoint, SweepSpace, Workload};

@@ -29,26 +29,53 @@ pub fn pareto_frontier(points: &[EvaluatedPoint]) -> Vec<EvaluatedPoint> {
 /// to mark or count frontier rows.
 #[must_use]
 pub fn pareto_frontier_indices(points: &[EvaluatedPoint]) -> Vec<usize> {
+    frontier_indices_by(
+        points,
+        |p| (p.latency.secs(), p.cost_usd),
+        |a, b| a.point.sort_key().cmp(&b.point.sort_key()),
+    )
+}
+
+/// The minimal Pareto frontier of an arbitrary point cloud under two
+/// minimized objectives, as indices into `points` sorted by the first
+/// objective — the generic core behind [`pareto_frontier_indices`], also
+/// reused by the serving load-sweep's SLO-goodput frontier (an axis to be
+/// maximized is negated before being passed in).
+///
+/// `objectives` maps a point to its `(primary, secondary)` coordinates
+/// (compared with [`f64::total_cmp`], so any finite values work, negatives
+/// included); `tie_break` orders points with identical coordinates so the
+/// survivor of a duplicate-coordinate collapse does not depend on input
+/// order. The result is minimal (no member dominates another), complete
+/// (every non-member is dominated or coordinate-equal), and permutation
+/// invariant when `tie_break` is a total order on point identity.
+#[must_use]
+pub fn frontier_indices_by<T>(
+    points: &[T],
+    objectives: impl Fn(&T) -> (f64, f64),
+    tie_break: impl Fn(&T, &T) -> core::cmp::Ordering,
+) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
-    // Ascending latency; ties broken by cost, then by the stable strategy
-    // order so the scan below keeps exactly one of each coordinate pair.
+    // Ascending primary objective; ties broken by the secondary, then by
+    // the caller's stable identity order so the scan below keeps exactly
+    // one of each coordinate pair.
     order.sort_by(|&a, &b| {
-        let (a, b) = (&points[a], &points[b]);
-        a.latency
-            .cmp(&b.latency)
-            .then_with(|| a.cost_usd.total_cmp(&b.cost_usd))
-            .then_with(|| a.point.sort_key().cmp(&b.point.sort_key()))
+        let ((pa, sa), (pb, sb)) = (objectives(&points[a]), objectives(&points[b]));
+        pa.total_cmp(&pb)
+            .then_with(|| sa.total_cmp(&sb))
+            .then_with(|| tie_break(&points[a], &points[b]))
     });
 
     let mut frontier = Vec::new();
-    let mut best_cost = f64::INFINITY;
+    let mut best_secondary = f64::INFINITY;
     for i in order {
-        // Strictly cheaper than everything faster-or-equal seen so far ⇒
-        // non-dominated. Equal cost at equal-or-higher latency is
-        // dominated (or a duplicate coordinate), so strict `<` also keeps
-        // the frontier minimal.
-        if points[i].cost_usd < best_cost {
-            best_cost = points[i].cost_usd;
+        // Strictly better on the secondary objective than everything
+        // primary-better-or-equal seen so far ⇒ non-dominated. An equal
+        // secondary at equal-or-worse primary is dominated (or a duplicate
+        // coordinate), so strict `<` also keeps the frontier minimal.
+        let (_, secondary) = objectives(&points[i]);
+        if secondary < best_secondary {
+            best_secondary = secondary;
             frontier.push(i);
         }
     }

@@ -303,11 +303,30 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: the overwhelmingly common case.
+                    s.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 code point.
-                    let rest = core::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::custom("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    // Consume one multi-byte UTF-8 code point. Validate a
+                    // bounded window (a sequence is at most 4 bytes), not
+                    // the whole remaining input — per-character tail
+                    // validation made parsing quadratic in document size.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let valid = match core::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // A trailing truncated sequence inside the window
+                        // is fine as long as a whole code point precedes
+                        // it; an invalid leading sequence is not.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            core::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error::custom("invalid utf-8 in string")),
+                    };
+                    let c = valid.chars().next().expect("peeked non-empty");
                     s.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -398,6 +417,30 @@ mod tests {
         let text = to_string(&v).unwrap();
         let back: Value = from_str(&text).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn multibyte_strings_parse_in_linear_time() {
+        // Mixed ASCII + multi-byte content across many strings: the
+        // bounded-window decoder must stay exact (the old whole-tail
+        // validation was quadratic in document size).
+        let doc = format!(
+            "[{}]",
+            std::iter::repeat_n(r#""héllo wörld — ünïcode 😀 tail""#, 2000)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let v: Vec<String> = from_str(&doc).unwrap();
+        assert_eq!(v.len(), 2000);
+        assert!(v.iter().all(|s| s == "héllo wörld — ünïcode 😀 tail"));
+        // A 4-byte character as the final string content exercises the
+        // window's truncation edge (only the closing quote follows).
+        let tail: String = from_str("\"x😀\"").unwrap();
+        assert_eq!(tail, "x😀");
+        // A 2-byte character directly followed by more multi-byte content
+        // exercises the valid-prefix arm (the window splits a sequence).
+        let split: String = from_str("\"é😀é😀\"").unwrap();
+        assert_eq!(split, "é😀é😀");
     }
 
     #[test]
