@@ -9,8 +9,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use optimus::prelude::*;
 use optimus_serve::{
-    load_sweep, simulate, simulate_trace, LengthDist, LoadStrategy, LoadSweepSpec, ServeConfig,
-    SloSpec, TraceSpec,
+    load_sweep, simulate, simulate_fleet_trace, simulate_trace, FleetConfig, LengthDist,
+    LoadStrategy, LoadSweepSpec, RouterPolicy, ServeConfig, SloSpec, TraceSpec,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -72,6 +72,33 @@ fn bench_simulate_1m(c: &mut Criterion) {
     });
 }
 
+/// A 4-replica fleet with the state-aware least-outstanding router over
+/// a 200k-request trace: every arrival steps all four replica engines to
+/// the arrival instant before routing, so this tracks the stepped-engine
+/// overhead on top of the streaming single-replica path.
+fn bench_fleet_4rep(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_13b());
+    let config = FleetConfig {
+        replicas: 4,
+        router: RouterPolicy::LeastOutstanding,
+        replica: ServeConfig::new(2),
+    };
+    let trace = TraceSpec {
+        seed: 42,
+        requests: 200_000,
+        arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: 1200.0 },
+        prompt: LengthDist::Uniform { lo: 50, hi: 400 },
+        output: LengthDist::Uniform { lo: 8, hi: 64 },
+    }
+    .generate();
+    c.bench_function("fleet/llama13b_4rep", |b| {
+        b.iter(|| {
+            black_box(simulate_fleet_trace(&cluster, Arc::clone(&model), &config, &trace).unwrap())
+        })
+    });
+}
+
 /// A 16-cell (4 rates × 4 TP strategies) load sweep at 20k requests per
 /// cell — the saturation-knee study shape, sealed tables shared per
 /// strategy, cells rayon-parallel.
@@ -86,12 +113,10 @@ fn bench_load_sweep_16pt(c: &mut Criterion) {
         rates: vec![1.0, 8.0, 64.0, 256.0],
         strategies: [1, 2, 4, 8]
             .into_iter()
-            .map(|tp| LoadStrategy {
-                tp,
-                precision: Precision::Fp16,
-            })
+            .map(|tp| LoadStrategy::single(tp, Precision::Fp16))
             .collect(),
         slo: SloSpec::default(),
+        router: RouterPolicy::RoundRobin,
     };
     c.bench_function("load_sweep/16pt", |b| {
         b.iter(|| black_box(load_sweep(&cluster, &model, &spec)))
@@ -109,6 +134,6 @@ criterion_group!(
     // Each sample runs a seven-figure simulation; a handful of samples
     // keeps the snapshot honest without a minute-long bench run.
     config = Criterion::default().sample_size(3);
-    targets = bench_simulate_1m, bench_load_sweep_16pt
+    targets = bench_simulate_1m, bench_fleet_4rep, bench_load_sweep_16pt
 );
 criterion_main!(serve_benches, scale_benches);

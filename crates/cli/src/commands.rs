@@ -191,6 +191,32 @@ fn length_dist_of(key: &str, value: &str) -> Result<optimus_serve::LengthDist, A
     }
 }
 
+/// Parses the routing options shared by `serve` and `load-sweep`:
+/// `--router NAME` (+ `--router-seed N` for the random policy).
+fn router_of(args: &Args) -> Result<optimus_serve::RouterPolicy, ArgError> {
+    use optimus_serve::RouterPolicy;
+    let name = args.get_or("router", "round-robin");
+    if args.get("router-seed").is_some() && name != "random" {
+        return Err(ArgError(
+            "--router-seed only applies with --router random".to_owned(),
+        ));
+    }
+    Ok(match name {
+        "round-robin" => RouterPolicy::RoundRobin,
+        "random" => RouterPolicy::Random {
+            seed: args.get_usize("router-seed", 0)? as u64,
+        },
+        "least-outstanding" => RouterPolicy::LeastOutstanding,
+        "shortest-queue" | "join-shortest-queue" => RouterPolicy::JoinShortestQueue,
+        other => {
+            return Err(ArgError(format!(
+                "unknown router `{other}`; try one of: round-robin, random, \
+                 least-outstanding, shortest-queue"
+            )))
+        }
+    })
+}
+
 /// Parses the SLO options shared by `serve` and `load-sweep`.
 fn slo_of(args: &Args) -> Result<optimus_serve::SloSpec, ArgError> {
     let ttft_slo = args.get_f64("ttft-slo", 2000.0)?;
@@ -205,14 +231,17 @@ fn slo_of(args: &Args) -> Result<optimus_serve::SloSpec, ArgError> {
 }
 
 /// `optimus-cli serve …` — continuous-batching serving simulation with
-/// SLO metrics.
+/// SLO metrics, over one replica or (with `--replicas N`) a routed
+/// fleet.
 ///
 /// # Errors
 ///
 /// Returns [`ArgError`] for bad options or configurations that cannot
 /// serve (weights overflow the device, TP beyond a node).
 pub fn serve(args: &Args) -> Result<String, ArgError> {
-    use optimus_serve::{simulate, ArrivalProcess, RecordMode, ServeConfig, TraceSpec};
+    use optimus_serve::{
+        simulate, simulate_fleet, ArrivalProcess, FleetConfig, RecordMode, ServeConfig, TraceSpec,
+    };
     let model = model_preset(args.get_or("model", "llama2-13b"))?;
     let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
     let tp = args.get_usize("tp", 1)?;
@@ -260,16 +289,68 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         config = config.with_records(RecordMode::On);
     }
 
+    let arrival_desc = match arrival {
+        ArrivalProcess::Poisson { rate_per_s } => format!("poisson {rate_per_s} req/s"),
+        ArrivalProcess::Fixed { interval_s } => format!("fixed every {interval_s} s"),
+    };
+
+    let replicas = args.get_usize("replicas", 1)?;
+    if replicas == 0 {
+        return Err(ArgError("--replicas must be at least 1".to_owned()));
+    }
+    if replicas > 1 {
+        // Fleet path: route the trace online across identical replicas.
+        let fleet_config = FleetConfig {
+            replicas,
+            router: router_of(args)?,
+            replica: config,
+        };
+        let report = simulate_fleet(&cluster, std::sync::Arc::new(model), &fleet_config, &spec)
+            .map_err(|e| ArgError(e.to_string()))?;
+        if args.flag("json") {
+            return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
+        }
+        let mut out = format!(
+            "serve: {} on {} ({replicas} × TP{tp}, {precision}, {} GPUs)\ntrace: {requests} \
+             requests, {arrival_desc}, seed {}\n\n{report}\n\nper replica:\n",
+            report.model, report.cluster, report.gpus, spec.seed
+        );
+        for (i, r) in report.per_replica.iter().enumerate() {
+            out.push_str(&format!(
+                "  {i}: {:>6} routed, {:>6} completed  |  {:>8.1} tok/s, ttft p99 {:>10}, \
+                 slo {:>5.1}%\n",
+                report.routed[i],
+                r.completed,
+                r.tokens_per_s,
+                r.ttft.p99.to_string(),
+                r.slo.attainment * 100.0,
+            ));
+        }
+        let (prefills, decodes): (usize, usize) =
+            report.per_replica.iter().fold((0, 0), |(p, d), r| {
+                (p + r.prefill_iterations, d + r.decode_iterations)
+            });
+        out.push_str(&format!(
+            "\niterations: {prefills} prefill + {decodes} decode across replicas \
+             (mean decode batch {:.1})\n",
+            report.mean_decode_batch
+        ));
+        return Ok(out);
+    }
+    for key in ["router", "router-seed"] {
+        if args.get(key).is_some() {
+            return Err(ArgError(format!(
+                "--{key} does not apply without --replicas 2 or more"
+            )));
+        }
+    }
+
     let report = simulate(&cluster, std::sync::Arc::new(model), &config, &spec)
         .map_err(|e| ArgError(e.to_string()))?;
 
     if args.flag("json") {
         return serde_json::to_string_pretty(&report).map_err(|e| ArgError(e.to_string()));
     }
-    let arrival_desc = match arrival {
-        ArrivalProcess::Poisson { rate_per_s } => format!("poisson {rate_per_s} req/s"),
-        ArrivalProcess::Fixed { interval_s } => format!("fixed every {interval_s} s"),
-    };
     let mut out = format!(
         "serve: {} on {} (TP{tp}, {precision})\ntrace: {requests} requests, {arrival_desc}, \
          seed {}\n\n{report}\n",
@@ -296,31 +377,44 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
     let model = model_preset(args.get_or("model", "llama2-13b"))?;
     let cluster = cluster_preset(args.get_or("cluster", "a100-hdr"))?;
 
-    // Strategy axis: a TP list crossed with a precision list.
-    let tps = args
-        .get_or("tp-list", "1,2,4,8")
-        .split(',')
-        .map(|t| {
-            t.trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| ArgError(format!("--tp-list expects positive integers, got `{t}`")))
-        })
-        .collect::<Result<Vec<_>, _>>()?;
+    // Strategy axis: a TP list crossed with a precision list and a
+    // replica-count list — `gpus = tp × replicas`, so the frontier trades
+    // TP-up against replicate-out at equal device counts.
+    let positive_list = |key: &str, default: &str| -> Result<Vec<usize>, ArgError> {
+        args.get_or(key, default)
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| {
+                        ArgError(format!("--{key} expects positive integers, got `{t}`"))
+                    })
+            })
+            .collect()
+    };
+    let tps = positive_list("tp-list", "1,2,4,8")?;
+    let replicas_list = positive_list("replicas-list", "1")?;
+    if args.get("router").is_some() && replicas_list.iter().all(|&r| r == 1) {
+        return Err(ArgError(
+            "--router does not apply without a --replicas-list entry of 2 or more".to_owned(),
+        ));
+    }
+    let router = router_of(args)?;
     let precisions = args
         .get_or("precisions", "fp16")
         .split(',')
         .map(precision_of)
         .collect::<Result<Vec<_>, _>>()?;
-    let strategies: Vec<LoadStrategy> = tps
-        .iter()
-        .flat_map(|&tp| {
-            precisions
-                .iter()
-                .map(move |&precision| LoadStrategy { tp, precision })
-        })
-        .collect();
+    let mut strategies: Vec<LoadStrategy> = Vec::new();
+    for &tp in &tps {
+        for &precision in &precisions {
+            for &replicas in &replicas_list {
+                strategies.push(LoadStrategy::single(tp, precision).with_replicas(replicas));
+            }
+        }
+    }
 
     // Rate axis: an explicit list, or a geometric grid over
     // [--min-rate, --max-rate] with --points entries.
@@ -370,6 +464,7 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         rates,
         strategies,
         slo: slo_of(args)?,
+        router,
     };
     if spec.requests == 0 {
         return Err(ArgError("--requests must be at least 1".to_owned()));
@@ -405,8 +500,14 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         report.slo.tpot,
     );
     for curve in &report.curves {
+        let replicas_desc = if curve.replicas == 1 {
+            String::new()
+        } else {
+            format!(" × {} replicas", curve.replicas)
+        };
         out.push_str(&format!(
-            "\nTP{} {} ({} GPU{}):\n  {:>10}  {:>9}  {:>9}  {:>12}  {:>7}  {:>10}  {:>10}\n",
+            "\nTP{} {}{replicas_desc} ({} GPU{}):\n  {:>10}  {:>9}  {:>9}  {:>12}  {:>7}  \
+             {:>10}  {:>10}\n",
             curve.tp,
             curve.precision,
             curve.gpus,
@@ -438,8 +539,14 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         if report.frontier.len() == 1 { "" } else { "s" }
     ));
     for p in &report.frontier {
+        let replicas_desc = if p.replicas == 1 {
+            String::new()
+        } else {
+            format!(" × {} replicas", p.replicas)
+        };
         out.push_str(&format!(
-            "  TP{} {} @ {:.2} req/s offered → {:.1} goodput tok/s on {} GPU{} ({:.1}% slo)\n",
+            "  TP{} {}{replicas_desc} @ {:.2} req/s offered → {:.1} goodput tok/s on {} GPU{} \
+             ({:.1}% slo)\n",
             p.tp,
             p.precision,
             p.offered_rate_per_s,
@@ -451,8 +558,8 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
     }
     for i in &report.infeasible {
         out.push_str(&format!(
-            "\ninfeasible: TP{} {}: {}\n",
-            i.tp, i.precision, i.reason
+            "\ninfeasible: TP{} {} × {} replica(s): {}\n",
+            i.tp, i.precision, i.replicas, i.reason
         ));
     }
     Ok(out)
@@ -651,11 +758,13 @@ USAGE:
   optimus-cli infer  [--model M] [--cluster C] [--batch N] [--prefill N]
                      [--generate N] [--tp N] [--precision P] [--json]
   optimus-cli serve  [--model M] [--cluster C] [--tp N] [--precision P]
+                     [--replicas N] [--router POLICY] [--router-seed N]
                      [--requests N] [--seed N] [--rate R | --interval S]
                      [--prompt N|LO:HI] [--output N|LO:HI]
                      [--ttft-slo MS] [--tpot-slo MS] [--records] [--json]
   optimus-cli load-sweep
                      [--model M] [--cluster C] [--tp-list N,N,..]
+                     [--replicas-list N,N,..] [--router POLICY]
                      [--precisions P,P] [--requests N] [--seed N]
                      [--rates R,R,.. | --min-rate R --max-rate R --points N]
                      [--prompt N|LO:HI] [--output N|LO:HI]
@@ -667,6 +776,14 @@ USAGE:
                      [--generate N] [--recompute MODE] [--precisions P,P]
                      [--top N] [--frontier-only] [--full] [--json]
   optimus-cli list
+
+FLEET OPTIONS (serve with --replicas ≥ 2, load-sweep with --replicas-list):
+  --replicas N      identical replicas behind one router; the fleet
+                    occupies tp × N GPUs (serve default 1)
+  --router POLICY   round-robin (default), random, least-outstanding, or
+                    shortest-queue; the state-aware policies observe live
+                    per-replica queue depth at each arrival
+  --router-seed N   RNG seed of the random router (default 0)
 
 SERVE TRAFFIC AND SLO OPTIONS:
   --rate R          Poisson arrivals at R requests/s (default 2.0)
@@ -680,6 +797,8 @@ SERVE TRAFFIC AND SLO OPTIONS:
 
 LOAD-SWEEP GRID OPTIONS:
   --tp-list N,N     tensor-parallel degrees to sweep (default 1,2,4,8)
+  --replicas-list N,N  replica counts to cross with the TP list (default
+                    1); each strategy occupies tp × replicas GPUs
   --precisions P,P  precisions to cross with the TP list (default fp16)
   --rates R,R       explicit offered arrival rates, req/s
   --min-rate R      geometric rate grid start (default 0.5)
@@ -818,6 +937,54 @@ mod tests {
     }
 
     #[test]
+    fn serve_replicas_runs_a_fleet() {
+        let out = serve(&args(
+            "serve --model llama2-7b --tp 1 --replicas 3 --router least-outstanding \
+             --requests 30 --rate 12 --prompt 100 --output 8",
+        ))
+        .unwrap();
+        assert!(out.contains("3 × TP1"), "{out}");
+        assert!(out.contains("3 GPUs"), "{out}");
+        assert!(out.contains("least-outstanding"), "{out}");
+        assert!(out.contains("per replica:"), "{out}");
+        assert!(out.contains("served 30/30"), "{out}");
+    }
+
+    #[test]
+    fn serve_fleet_json_is_valid() {
+        let out = serve(&args(
+            "serve --model llama2-7b --replicas 2 --router random --router-seed 7 \
+             --requests 16 --rate 8 --prompt 100 --output 4 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            v.get("replicas").and_then(serde_json::Value::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(v.get("gpus").and_then(serde_json::Value::as_f64), Some(2.0));
+        assert_eq!(v.get("per_replica").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            v.get("completed").and_then(serde_json::Value::as_f64),
+            Some(16.0)
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_fleet_options() {
+        for bad in [
+            "serve --replicas 0",
+            "serve --replicas 2 --router teleport",
+            "serve --router least-outstanding",
+            "serve --router-seed 9",
+            "serve --replicas 1 --router round-robin",
+            "serve --replicas 2 --router round-robin --router-seed 3",
+        ] {
+            assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
     fn load_sweep_command_produces_curves_and_frontier() {
         let out = load_sweep(&args(
             "load-sweep --model llama2-7b --tp-list 1,2 --rates 1,8 --requests 24 \
@@ -851,6 +1018,55 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("3 rates × 1 strategies"), "{out}");
+    }
+
+    #[test]
+    fn load_sweep_replicas_list_adds_fleet_strategies() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1 --replicas-list 1,2 \
+             --router shortest-queue --rates 2,24 --requests 24 --prompt 100 --output 8",
+        ))
+        .unwrap();
+        assert!(out.contains("2 rates × 2 strategies"), "{out}");
+        assert!(out.contains("TP1 FP16 (1 GPU)"), "{out}");
+        assert!(out.contains("TP1 FP16 × 2 replicas (2 GPUs)"), "{out}");
+    }
+
+    #[test]
+    fn load_sweep_multi_replica_frontier_point() {
+        // The acceptance shape: llama2-7b on the A100 preset with
+        // --replicas-list 1,2,4 must place at least one multi-replica
+        // point on the SLO-goodput frontier, with gpus = tp × replicas.
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --cluster a100-hdr --tp-list 1,2 \
+             --replicas-list 1,2,4 --rates 4,64 --requests 64 --prompt 50:200 \
+             --output 4:24 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let frontier = v.get("frontier").unwrap().as_array().unwrap();
+        let as_u = |p: &serde_json::Value, k: &str| {
+            p.get(k).and_then(serde_json::Value::as_f64).unwrap() as usize
+        };
+        assert!(
+            frontier.iter().any(|p| as_u(p, "replicas") > 1),
+            "no multi-replica frontier point in {out}"
+        );
+        for p in frontier {
+            assert_eq!(as_u(p, "gpus"), as_u(p, "tp") * as_u(p, "replicas"));
+        }
+    }
+
+    #[test]
+    fn load_sweep_rejects_bad_fleet_options() {
+        for bad in [
+            "load-sweep --replicas-list 0",
+            "load-sweep --replicas-list 1,x",
+            "load-sweep --router least-outstanding",
+            "load-sweep --replicas-list 1 --router round-robin",
+        ] {
+            assert!(load_sweep(&args(bad)).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The resumable per-replica event loop.
+//!
+//! [`ReplicaEngine`] is the continuous-batching scheduler of **one**
+//! serving replica, factored out of the monolithic `ServeInstance::run`
+//! so it can be driven two ways:
+//!
+//! * **batch** — push an entire trace, [`ReplicaEngine::finish`], read
+//!   the report (the single-replica [`crate::ServeInstance::simulate`]
+//!   path);
+//! * **stepped** — interleave [`ReplicaEngine::push`] with
+//!   [`ReplicaEngine::advance_to`] so an online router can observe live
+//!   queue depth and outstanding work *at each arrival instant* before
+//!   deciding which replica receives the request (the
+//!   [`crate::FleetInstance`] path). State-aware routing policies are
+//!   exactly why the engine is steppable rather than trace-split: the
+//!   decision for request *n* depends on simulated state that requests
+//!   `0..n` produced.
+//!
+//! Stepping semantics: an iteration is indivisible and starts whenever
+//! the previous one ends — a real server cannot consult future arrivals —
+//! so `advance_to(t)` runs every iteration that *starts* before `t` and
+//! may leave the clock past `t` (mid-iteration overshoot). An idle engine
+//! never invents work: it jumps its clock forward only to the next queued
+//! arrival within the target.
+
+use crate::sim::{ServeError, ServeInstance, TraceBounds};
+use crate::stats::LatencyAccumulator;
+use crate::{QueueSample, Request, RequestMetrics, SloSpec, MAX_QUEUE_SAMPLES};
+use optimus_infer::DecodeCostTable;
+use optimus_units::{Bytes, Time};
+use std::collections::VecDeque;
+
+/// An admitted request's in-flight state (slot-arena entry, recycled at
+/// completion).
+struct Slot {
+    request: Request,
+    admitted_s: f64,
+    prefill_dur_s: f64,
+    first_token_s: f64,
+    reserved: Bytes,
+}
+
+/// Streaming aggregation of completion events: latency accumulators plus
+/// the scalar counters, and (when enabled) the per-request records.
+pub(crate) struct CompletionSink {
+    slo: SloSpec,
+    records_on: bool,
+    pub(crate) records: Vec<RequestMetrics>,
+    pub(crate) ttft: LatencyAccumulator,
+    pub(crate) tpot: LatencyAccumulator,
+    pub(crate) e2e: LatencyAccumulator,
+    pub(crate) completed: usize,
+    pub(crate) generated_tokens: usize,
+    pub(crate) met: usize,
+    pub(crate) met_tokens: usize,
+}
+
+impl CompletionSink {
+    fn new(slo: SloSpec, expected: usize, records_on: bool) -> Self {
+        Self {
+            slo,
+            records_on,
+            records: Vec::new(),
+            ttft: LatencyAccumulator::for_population(expected),
+            tpot: LatencyAccumulator::for_population(expected),
+            e2e: LatencyAccumulator::for_population(expected),
+            completed: 0,
+            generated_tokens: 0,
+            met: 0,
+            met_tokens: 0,
+        }
+    }
+
+    /// Folds one completed request into the aggregates.
+    fn complete(&mut self, slot: &Slot, completed_s: f64) {
+        let r = &slot.request;
+        let first = slot.first_token_s;
+        let ttft = first - r.arrival_s;
+        let e2e = completed_s - r.arrival_s;
+        let tpot =
+            (r.output > 1).then(|| Time::from_secs((completed_s - first) / (r.output - 1) as f64));
+        let met_slo =
+            Time::from_secs(ttft) <= self.slo.ttft && tpot.is_none_or(|t| t <= self.slo.tpot);
+        self.ttft.record(Time::from_secs(ttft));
+        self.e2e.record(Time::from_secs(e2e));
+        if let Some(t) = tpot {
+            self.tpot.record(t);
+        }
+        self.completed += 1;
+        self.generated_tokens += r.output;
+        if met_slo {
+            self.met += 1;
+            self.met_tokens += r.output;
+        }
+        if self.records_on {
+            self.records.push(RequestMetrics {
+                id: r.id,
+                prompt: r.prompt,
+                generated: r.output,
+                arrival: Time::from_secs(r.arrival_s),
+                queue_wait: Time::from_secs(slot.admitted_s - r.arrival_s),
+                prefill: Time::from_secs(slot.prefill_dur_s),
+                ttft: Time::from_secs(ttft),
+                e2e: Time::from_secs(e2e),
+                tpot,
+                met_slo,
+            });
+        }
+    }
+}
+
+/// Everything one engine hands to report assembly.
+pub(crate) struct ReportInputs {
+    pub(crate) sink: CompletionSink,
+    pub(crate) rejected_ids: Vec<usize>,
+    pub(crate) makespan_s: f64,
+    pub(crate) kv_peak: Bytes,
+    pub(crate) prefill_iterations: usize,
+    pub(crate) decode_iterations: usize,
+    pub(crate) decode_batch_sum: usize,
+    pub(crate) queue_area: f64,
+    pub(crate) peak_waiting: usize,
+    pub(crate) peak_decoding: usize,
+    pub(crate) raw_samples: Vec<QueueSample>,
+}
+
+/// One replica's resumable scheduler state. See the module docs for the
+/// batch/stepped driving modes.
+pub(crate) struct ReplicaEngine<'i, 'a> {
+    instance: &'i ServeInstance<'a>,
+    table: Option<&'i DecodeCostTable>,
+    budget: Bytes,
+
+    // Dense prefill-duration cache by prompt length: each distinct
+    // admittable prompt is priced once per engine, lock-free after.
+    prefill_cache: Vec<f64>,
+
+    // Completion ring: requests joining the decode batch with `n` output
+    // tokens complete exactly `n` decode epochs later.
+    calendar: Vec<Vec<u32>>,
+    decode_epoch: usize,
+
+    // The engine's trace: in batch mode the whole input, in stepped mode
+    // whatever the router has assigned so far (always arrival-ordered).
+    trace: Vec<Request>,
+    arrived: usize,      // trace[..arrived] have arrived (arrival ≤ clock)
+    admit_cursor: usize, // trace[admit_cursor..arrived] queue for admission
+
+    clock: f64,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    awaiting_prefill: VecDeque<u32>,
+    pending_first: Vec<u32>,
+    decoding_count: usize,
+    ctx_sum: usize, // Σ (prompt + generated) over decoding
+    rejected_ids: Vec<usize>,
+    sink: CompletionSink,
+
+    reserved: Bytes,
+    kv_peak: Bytes,
+    prefill_iterations: usize,
+    decode_iterations: usize,
+    decode_batch_sum: usize,
+    queue_area: f64, // ∫ waiting dt
+    peak_waiting: usize,
+    peak_decoding: usize,
+    // Queue-depth samples are thinned online (keep-every-other + stride
+    // doubling once 2×MAX_QUEUE_SAMPLES accumulate), so memory stays
+    // O(MAX_QUEUE_SAMPLES) however long the trace runs.
+    raw_samples: Vec<QueueSample>,
+    sample_stride: usize,
+    iteration: usize,
+}
+
+impl<'i, 'a> ReplicaEngine<'i, 'a> {
+    /// A fresh engine over `instance`, sized by `bounds` (which must cover
+    /// every request this engine will ever be pushed). `expected` sizes
+    /// the latency accumulators' exact/streaming regime choice — fleet
+    /// drivers pass the *whole* trace length so every replica picks the
+    /// same regime and their populations merge loss-free.
+    pub(crate) fn new(
+        instance: &'i ServeInstance<'a>,
+        table: Option<&'i DecodeCostTable>,
+        bounds: &TraceBounds,
+        expected: usize,
+        records_on: bool,
+    ) -> Self {
+        let ring_len = bounds.max_kv.max(1) + 1; // ≥ max_output + 1
+        Self {
+            instance,
+            table,
+            budget: instance.kv_budget(),
+            prefill_cache: vec![f64::NAN; bounds.max_prompt + 1],
+            calendar: vec![Vec::new(); ring_len],
+            decode_epoch: 0,
+            trace: Vec::new(),
+            arrived: 0,
+            admit_cursor: 0,
+            clock: 0.0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            awaiting_prefill: VecDeque::new(),
+            pending_first: Vec::new(),
+            decoding_count: 0,
+            ctx_sum: 0,
+            rejected_ids: Vec::new(),
+            sink: CompletionSink::new(instance.config().slo, expected, records_on),
+            reserved: Bytes::ZERO,
+            kv_peak: Bytes::ZERO,
+            prefill_iterations: 0,
+            decode_iterations: 0,
+            decode_batch_sum: 0,
+            queue_area: 0.0,
+            peak_waiting: 0,
+            peak_decoding: 0,
+            raw_samples: Vec::new(),
+            sample_stride: 1,
+            iteration: 0,
+        }
+    }
+
+    /// Assigns one request to this replica. Requests must be pushed in
+    /// arrival order.
+    pub(crate) fn push(&mut self, request: Request) {
+        debug_assert!(
+            self.trace
+                .last()
+                .is_none_or(|prev| prev.arrival_s <= request.arrival_s),
+            "requests must be pushed in arrival order"
+        );
+        self.trace.push(request);
+    }
+
+    /// Requests with **no compute yet**: routed but unadmitted (queued for
+    /// KV space) plus admitted but still awaiting their prefill iteration.
+    /// After `advance_to(t)`, this is exactly the waiting population a
+    /// join-shortest-queue router should see at time `t`.
+    pub(crate) fn waiting(&self) -> usize {
+        (self.trace.len() - self.admit_cursor) + self.awaiting_prefill.len()
+    }
+
+    /// Requests routed to this replica and not yet completed — waiting or
+    /// decoding. The least-outstanding router's load signal.
+    pub(crate) fn outstanding(&self) -> usize {
+        self.waiting() + self.decoding_count
+    }
+
+    /// Runs every iteration that starts before `target`. On return either
+    /// the clock has reached (or overshot) `target`, or the engine is idle
+    /// with no queued arrival before `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Estimator`] when iteration pricing fails
+    /// (unsupported precision).
+    pub(crate) fn advance_to(&mut self, target: f64) -> Result<(), ServeError> {
+        loop {
+            while self.arrived < self.trace.len()
+                && self.trace[self.arrived].arrival_s <= self.clock
+            {
+                self.arrived += 1;
+            }
+            while self.admit_cursor < self.arrived {
+                let front = &self.trace[self.admit_cursor];
+                let need = self.instance.reservation(front);
+                if need > self.budget {
+                    // Could never be admitted, not even alone: drop it
+                    // rather than block every request behind it forever.
+                    self.rejected_ids.push(front.id);
+                    self.admit_cursor += 1;
+                    continue;
+                }
+                if self.reserved + need <= self.budget {
+                    self.reserved += need;
+                    self.kv_peak = self.kv_peak.max(self.reserved);
+                    let slot = Slot {
+                        request: *front,
+                        admitted_s: self.clock,
+                        prefill_dur_s: 0.0,
+                        first_token_s: 0.0,
+                        reserved: need,
+                    };
+                    let idx = if let Some(free) = self.free_slots.pop() {
+                        self.slots[free as usize] = slot;
+                        free
+                    } else {
+                        self.slots.push(slot);
+                        u32::try_from(self.slots.len() - 1).expect("slot arena fits u32")
+                    };
+                    self.awaiting_prefill.push_back(idx);
+                    self.admit_cursor += 1;
+                } else {
+                    break;
+                }
+            }
+            let pending_len = self.arrived - self.admit_cursor;
+
+            if self.awaiting_prefill.is_empty() && self.decoding_count == 0 {
+                assert!(
+                    pending_len == 0,
+                    "an idle instance always admits the queue head"
+                );
+                if self.arrived >= self.trace.len() {
+                    return Ok(()); // idle, nothing queued: wait for pushes
+                }
+                let next = self.trace[self.arrived].arrival_s;
+                if next > target {
+                    return Ok(()); // next arrival is beyond the target
+                }
+                self.clock = self.clock.max(next);
+                continue;
+            }
+            if self.clock >= target {
+                return Ok(());
+            }
+
+            // The waiting population over this iteration: arrived but no
+            // compute yet — whether blocked on KV admission or on a
+            // prefill slot. The request prefilled this very iteration
+            // stops waiting now, so it is not counted; `peak_waiting`
+            // observes the same population as the time-weighted mean.
+            let waiting_before = pending_len + self.awaiting_prefill.len()
+                - usize::from(!self.awaiting_prefill.is_empty());
+            self.peak_waiting = self.peak_waiting.max(waiting_before);
+            let dur = if let Some(idx) = self.awaiting_prefill.pop_front() {
+                self.prefill(idx)?
+            } else {
+                self.decode()?
+            };
+            self.clock += dur;
+            self.queue_area += waiting_before as f64 * dur;
+            self.peak_decoding = self.peak_decoding.max(self.decoding_count);
+            if self.iteration.is_multiple_of(self.sample_stride) {
+                // The sample observes the *end* of the iteration, so it
+                // must count every request that arrived while the
+                // iteration ran — advance the arrival cursor to the new
+                // clock before reading the waiting depth.
+                while self.arrived < self.trace.len()
+                    && self.trace[self.arrived].arrival_s <= self.clock
+                {
+                    self.arrived += 1;
+                }
+                self.raw_samples.push(QueueSample {
+                    at: Time::from_secs(self.clock),
+                    waiting: (self.arrived - self.admit_cursor) + self.awaiting_prefill.len(),
+                    decoding: self.decoding_count,
+                });
+                if self.raw_samples.len() >= 2 * MAX_QUEUE_SAMPLES {
+                    let mut keep = 0;
+                    self.raw_samples.retain(|_| {
+                        keep += 1;
+                        keep % 2 == 1
+                    });
+                    self.sample_stride *= 2;
+                }
+            }
+            self.iteration += 1;
+        }
+    }
+
+    /// One prefill iteration of slot `idx`; returns its duration.
+    fn prefill(&mut self, idx: u32) -> Result<f64, ServeError> {
+        let (tp, precision) = {
+            let c = self.instance.config();
+            (c.tp, c.precision)
+        };
+        let prompt = self.slots[idx as usize].request.prompt;
+        let cached = self.prefill_cache[prompt];
+        let dur = if cached.is_nan() {
+            let computed = self
+                .instance
+                .estimator()
+                .prefill_iteration(1, prompt, tp, precision)
+                .map_err(|e| ServeError::Estimator(e.to_string()))?
+                .secs();
+            self.prefill_cache[prompt] = computed;
+            computed
+        } else {
+            cached
+        };
+        self.slots[idx as usize].prefill_dur_s = dur;
+        // Join the decode batch: first token next decode epoch, completion
+        // `output` epochs out.
+        self.decoding_count += 1;
+        self.ctx_sum += prompt;
+        self.pending_first.push(idx);
+        let due =
+            (self.decode_epoch + self.slots[idx as usize].request.output) % self.calendar.len();
+        self.calendar[due].push(idx);
+        self.prefill_iterations += 1;
+        Ok(dur)
+    }
+
+    /// One decode iteration of the whole running batch; returns its
+    /// duration.
+    fn decode(&mut self) -> Result<f64, ServeError> {
+        let batch = self.decoding_count;
+        // A mixed batch is priced at its aggregate context: attention cost
+        // is linear in total KV entries read, so batch × ⌈mean⌉ preserves
+        // it while the GEMM terms see the true batch width.
+        let kv_len = self.ctx_sum.div_ceil(batch);
+        let dur = match self.table {
+            Some(t) => t.decode_iteration(batch, kv_len).secs(),
+            None => {
+                let c = self.instance.config();
+                self.instance
+                    .estimator()
+                    .decode_iteration(batch, kv_len, c.tp, c.precision)
+                    .map_err(|e| ServeError::Estimator(e.to_string()))?
+                    .secs()
+            }
+        };
+        self.decode_iterations += 1;
+        self.decode_batch_sum += batch;
+        let end = self.clock + dur;
+        self.decode_epoch += 1;
+        // Every member generates one token.
+        self.ctx_sum += batch;
+        for idx in self.pending_first.drain(..) {
+            self.slots[idx as usize].first_token_s = end;
+        }
+        // Requests whose token quota fills this epoch complete, in join
+        // order.
+        let due_slot = self.decode_epoch % self.calendar.len();
+        let done = core::mem::take(&mut self.calendar[due_slot]);
+        for idx in done {
+            let slot = &self.slots[idx as usize];
+            self.sink.complete(slot, end);
+            self.reserved = self.reserved - slot.reserved;
+            self.ctx_sum -= slot.request.prompt + slot.request.output;
+            self.decoding_count -= 1;
+            self.free_slots.push(idx);
+        }
+        Ok(dur)
+    }
+
+    /// Drains every pushed request to completion and closes the
+    /// queue-depth series at the engine's final clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Estimator`] when iteration pricing fails.
+    pub(crate) fn finish(&mut self) -> Result<(), ServeError> {
+        self.advance_to(f64::INFINITY)?;
+        // The series must end at trace end: if the stride skipped the
+        // final iteration, append the terminal (idle) observation.
+        if self
+            .raw_samples
+            .last()
+            .is_some_and(|s| s.at.secs() < self.clock)
+        {
+            self.raw_samples.push(QueueSample {
+                at: Time::from_secs(self.clock),
+                waiting: 0,
+                decoding: 0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes the engine into (requests routed, report inputs). Call
+    /// after [`ReplicaEngine::finish`].
+    pub(crate) fn into_parts(self) -> (usize, ReportInputs) {
+        (
+            self.trace.len(),
+            ReportInputs {
+                sink: self.sink,
+                rejected_ids: self.rejected_ids,
+                makespan_s: self.clock,
+                kv_peak: self.kv_peak,
+                prefill_iterations: self.prefill_iterations,
+                decode_iterations: self.decode_iterations,
+                decode_batch_sum: self.decode_batch_sum,
+                queue_area: self.queue_area,
+                peak_waiting: self.peak_waiting,
+                peak_decoding: self.peak_decoding,
+                raw_samples: self.raw_samples,
+            },
+        )
+    }
+}

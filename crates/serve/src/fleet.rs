@@ -1,0 +1,753 @@
+//! Multi-replica fleet serving with online request routing.
+//!
+//! The paper's workload analysis treats inference deployments as
+//! *fleets*: under a fixed GPU budget the operative capacity question is
+//! **TP-up vs. replicate-out** — shard one replica wider, or run more
+//! independent replicas of a narrower one. A [`FleetInstance`] simulates
+//! `replicas` identical [`crate::ServeInstance`] replicas fed by one
+//! front-door router that assigns each arriving request to exactly one
+//! replica, online:
+//!
+//! * stateless policies ([`RouterPolicy::RoundRobin`],
+//!   [`RouterPolicy::Random`]) decide from the arrival sequence alone;
+//! * state-aware policies ([`RouterPolicy::LeastOutstanding`],
+//!   [`RouterPolicy::JoinShortestQueue`]) observe **live** per-replica
+//!   queue depth and outstanding work *at the arrival instant* — every
+//!   replica engine is stepped to the arrival time before the decision,
+//!   which is exactly why the event loop is a resumable
+//!   `ReplicaEngine` rather than a trace splitter.
+//!
+//! The result is a [`FleetReport`]: per-replica [`ServeReport`]s plus
+//! fleet-level latency (per-replica populations merged exactly in the
+//! small-trace regime, histogram-merged in the streaming regime),
+//! throughput, and SLO goodput. Everything is single-threaded and seeded,
+//! so fleet reports are byte-identical across runs and thread counts.
+
+use crate::engine::ReplicaEngine;
+use crate::sim::TraceBounds;
+use crate::stats::LatencyAccumulator;
+use crate::{
+    LatencyStats, Request, ServeConfig, ServeError, ServeInstance, ServeReport, SloReport,
+    TraceSpec,
+};
+use optimus_hw::{ClusterSpec, Precision};
+use optimus_model::ModelConfig;
+use optimus_units::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How the fleet's front door assigns each arriving request to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouterPolicy {
+    /// Replica `i mod R` for the `i`-th routed request: perfectly
+    /// balanced counts, blind to load.
+    #[default]
+    RoundRobin,
+    /// Uniformly random replica from a seeded stream. Splitting a Poisson
+    /// arrival process this way yields `R` independent Poisson processes
+    /// at `rate / R` (thinning), so random routing is the stateless
+    /// baseline fleet scaling is measured against.
+    Random {
+        /// Seed of the router's RNG (independent of the trace seed).
+        seed: u64,
+    },
+    /// The replica with the fewest outstanding requests — waiting or
+    /// decoding — at the arrival instant; ties break to the lowest
+    /// replica index.
+    LeastOutstanding,
+    /// The replica with the shortest waiting queue (arrived but no
+    /// compute yet) at the arrival instant; ties break to the lowest
+    /// replica index. Ignores decode occupancy, so it reacts faster than
+    /// [`RouterPolicy::LeastOutstanding`] but can pile onto a replica
+    /// deep in decode work.
+    JoinShortestQueue,
+}
+
+impl core::fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::RoundRobin => write!(f, "round-robin"),
+            Self::Random { seed } => write!(f, "random(seed {seed})"),
+            Self::LeastOutstanding => write!(f, "least-outstanding"),
+            Self::JoinShortestQueue => write!(f, "shortest-queue"),
+        }
+    }
+}
+
+impl RouterPolicy {
+    /// Whether the policy observes live replica state at each arrival
+    /// (and therefore needs every engine stepped to the arrival time).
+    #[must_use]
+    pub fn is_state_aware(&self) -> bool {
+        matches!(self, Self::LeastOutstanding | Self::JoinShortestQueue)
+    }
+}
+
+/// Fleet configuration: how many replicas of which strategy, routed how.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Number of identical replicas (each `replica.tp` devices, so the
+    /// fleet occupies `replicas × tp` GPUs).
+    pub replicas: usize,
+    /// The request-routing policy.
+    pub router: RouterPolicy,
+    /// The per-replica serving strategy.
+    pub replica: ServeConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `replicas` TP-`tp` FP16 replicas behind a round-robin
+    /// router, with the default interactive SLO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `tp` is zero.
+    #[must_use]
+    pub fn new(replicas: usize, tp: usize) -> Self {
+        assert!(replicas > 0, "a fleet needs at least one replica");
+        Self {
+            replicas,
+            router: RouterPolicy::default(),
+            replica: ServeConfig::new(tp),
+        }
+    }
+
+    /// Sets the routing policy.
+    #[must_use]
+    pub fn with_router(mut self, router: RouterPolicy) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Sets the per-replica serving strategy wholesale.
+    #[must_use]
+    pub fn with_replica(mut self, replica: ServeConfig) -> Self {
+        self.replica = replica;
+        self
+    }
+}
+
+/// The complete outcome of one fleet simulation: fleet-level aggregates
+/// plus the per-replica [`ServeReport`]s they were derived from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Model name.
+    pub model: String,
+    /// Cluster name.
+    pub cluster: String,
+    /// Tensor-parallel degree of each replica.
+    pub tp: usize,
+    /// Serving precision.
+    pub precision: Precision,
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Devices the fleet occupies: `tp × replicas`.
+    pub gpus: usize,
+    /// The routing policy used.
+    pub router: RouterPolicy,
+    /// Requests in the trace.
+    pub requests: usize,
+    /// Requests that ran to completion (across all replicas).
+    pub completed: usize,
+    /// Requests rejected at the router (their lone KV reservation exceeds
+    /// a replica's whole budget — no replica could ever admit them).
+    pub rejected: usize,
+    /// Trace ids of rejected requests.
+    pub rejected_ids: Vec<usize>,
+    /// Fleet makespan: the latest completion time across replicas.
+    pub makespan: Time,
+    /// Tokens generated across all completed requests.
+    pub generated_tokens: usize,
+    /// Sustained generation throughput: generated tokens / makespan.
+    pub tokens_per_s: f64,
+    /// Sustained request throughput: completed requests / makespan.
+    pub requests_per_s: f64,
+    /// Mean decode-batch size across all replicas' decode iterations.
+    pub mean_decode_batch: f64,
+    /// Time-to-first-token statistics over the merged fleet population.
+    pub ttft: LatencyStats,
+    /// Time-per-output-token statistics over the merged fleet population.
+    pub tpot: LatencyStats,
+    /// End-to-end latency statistics over the merged fleet population.
+    pub e2e: LatencyStats,
+    /// Worst per-replica peak KV utilization (`peak / budget`).
+    pub kv_peak_utilization: f64,
+    /// Goodput under the configured SLO, over the merged population.
+    pub slo: SloReport,
+    /// Requests routed to each replica (`routed[i]` for replica `i`) —
+    /// the router's balance at a glance.
+    pub routed: Vec<usize>,
+    /// One full [`ServeReport`] per replica, in replica order.
+    pub per_replica: Vec<ServeReport>,
+}
+
+impl core::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "fleet of {} × TP{} ({} GPUs, {} router): served {}/{} requests ({} rejected) in {}",
+            self.replicas,
+            self.tp,
+            self.gpus,
+            self.router,
+            self.completed,
+            self.requests,
+            self.rejected,
+            self.makespan,
+        )?;
+        writeln!(
+            f,
+            "  {:.1} tok/s, {:.2} req/s fleet-wide  |  routed {:?}",
+            self.tokens_per_s, self.requests_per_s, self.routed
+        )?;
+        let line = |name: &str, s: &LatencyStats| {
+            format!(
+                "  {name:<6} p50 {:>10}  p90 {:>10}  p99 {:>10}  mean {:>10}  max {:>10}",
+                s.p50.to_string(),
+                s.p90.to_string(),
+                s.p99.to_string(),
+                s.mean.to_string(),
+                s.max.to_string()
+            )
+        };
+        writeln!(f, "{}", line("ttft", &self.ttft))?;
+        writeln!(f, "{}", line("tpot", &self.tpot))?;
+        writeln!(f, "{}", line("e2e", &self.e2e))?;
+        write!(
+            f,
+            "  slo    ttft ≤ {}, tpot ≤ {}: {}/{} met ({:.1}%), goodput {:.1} tok/s",
+            self.slo.spec.ttft,
+            self.slo.spec.tpot,
+            self.slo.met,
+            self.completed,
+            self.slo.attainment * 100.0,
+            self.slo.goodput_tokens_per_s
+        )
+    }
+}
+
+/// A validated fleet: one shared [`ServeInstance`] (replicas are
+/// identical, so they share the prepared estimator and sealed decode
+/// table) plus the routing configuration. Build once, simulate many
+/// traces.
+#[derive(Debug)]
+pub struct FleetInstance<'a> {
+    instance: ServeInstance<'a>,
+    config: FleetConfig,
+}
+
+impl<'a> FleetInstance<'a> {
+    /// Validates the per-replica strategy and prepares the shared pricing
+    /// estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the replica strategy cannot serve at
+    /// all (weights overflow the device, `tp` beyond a node) or
+    /// `replicas` is zero.
+    pub fn new(
+        cluster: &'a ClusterSpec,
+        model: Arc<ModelConfig>,
+        config: FleetConfig,
+    ) -> Result<Self, ServeError> {
+        if config.replicas == 0 {
+            return Err(ServeError::InvalidConfig(
+                "a fleet needs at least one replica".to_owned(),
+            ));
+        }
+        let instance = ServeInstance::new(cluster, model, config.replica)?;
+        Ok(Self { instance, config })
+    }
+
+    /// The shared per-replica instance.
+    #[must_use]
+    pub fn instance(&self) -> &ServeInstance<'a> {
+        &self.instance
+    }
+
+    /// Simulates serving `trace` on this fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Estimator`] when the device lacks the
+    /// serving precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is not sorted by arrival time or contains a
+    /// zero-length prompt or output.
+    pub fn simulate(&self, trace: &[Request]) -> Result<FleetReport, ServeError> {
+        run_fleet(
+            &self.instance,
+            self.config.replicas,
+            self.config.router,
+            trace,
+        )
+    }
+}
+
+/// The router's mutable decision state.
+enum RouterState {
+    RoundRobin { next: usize },
+    Random { rng: StdRng },
+    LeastOutstanding,
+    JoinShortestQueue,
+}
+
+impl RouterState {
+    fn new(policy: RouterPolicy) -> Self {
+        match policy {
+            RouterPolicy::RoundRobin => Self::RoundRobin { next: 0 },
+            RouterPolicy::Random { seed } => Self::Random {
+                rng: StdRng::seed_from_u64(seed),
+            },
+            RouterPolicy::LeastOutstanding => Self::LeastOutstanding,
+            RouterPolicy::JoinShortestQueue => Self::JoinShortestQueue,
+        }
+    }
+
+    /// Picks the replica for one arrival. `min_by_key` returns the first
+    /// minimum, so state-aware ties break to the lowest replica index —
+    /// deterministically.
+    fn pick(&mut self, engines: &[ReplicaEngine<'_, '_>]) -> usize {
+        match self {
+            Self::RoundRobin { next } => {
+                let choice = *next;
+                *next = (*next + 1) % engines.len();
+                choice
+            }
+            Self::Random { rng } => rng.gen_range(0..engines.len()),
+            Self::LeastOutstanding => {
+                engines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.outstanding())
+                    .expect("a fleet has at least one replica")
+                    .0
+            }
+            Self::JoinShortestQueue => {
+                engines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.waiting())
+                    .expect("a fleet has at least one replica")
+                    .0
+            }
+        }
+    }
+}
+
+/// The fleet event loop: route every request online, drain the replicas,
+/// merge their populations. Shared by [`FleetInstance::simulate`] and the
+/// load-sweep engine (which routes over instances it already prepared and
+/// sealed).
+///
+/// Online-knowledge caveat: a replica's queue-depth sample is taken at
+/// the end of each iteration from the requests routed to it *by then*. A
+/// request that arrives while an iteration is running is routed when the
+/// stepped engines next yield, so it shows up from the replica's next
+/// sample on — at most one iteration later than an omniscient observer
+/// would report. All latency, throughput, and peak/mean queue accounting
+/// is unaffected.
+pub(crate) fn run_fleet(
+    instance: &ServeInstance<'_>,
+    replicas: usize,
+    router: RouterPolicy,
+    trace: &[Request],
+) -> Result<FleetReport, ServeError> {
+    ServeInstance::validate_trace(trace);
+    // Global trace bounds dominate every replica's share, so one scan
+    // sizes all engines and (in the streaming regime) one shared sealed
+    // table prices all of them.
+    let bounds = TraceBounds::scan(instance, trace);
+    let table = instance.pricing_table(trace.len(), &bounds)?;
+    // Regime and record decisions run on the *whole* trace length, never
+    // a replica's share: every replica must pick the same accumulator
+    // regime for the fleet merge to be loss-free, and `Auto` thresholds
+    // would otherwise depend on the router's balance.
+    let records_on = instance.records_on(trace.len());
+    let mut engines: Vec<ReplicaEngine<'_, '_>> = (0..replicas)
+        .map(|_| ReplicaEngine::new(instance, table, &bounds, trace.len(), records_on))
+        .collect();
+
+    let mut state = RouterState::new(router);
+    let mut rejected_ids = Vec::new();
+    for r in trace {
+        // No replica could ever admit this request (replicas are
+        // identical), so the front door rejects it outright instead of
+        // letting it occupy a queue.
+        if instance.reservation(r) > instance.kv_budget() {
+            rejected_ids.push(r.id);
+            continue;
+        }
+        // A single replica needs no observation — every choice is 0 — so
+        // skip the stepping and let the lone engine run in batch mode
+        // (which also keeps a 1-replica fleet bit-identical to the
+        // single-instance path for every policy).
+        if replicas > 1 && router.is_state_aware() {
+            // Step every replica to the arrival instant so the router
+            // observes live queue depth / outstanding work, not stale
+            // snapshots.
+            for engine in &mut engines {
+                engine.advance_to(r.arrival_s)?;
+            }
+        }
+        let choice = state.pick(&engines);
+        engines[choice].push(*r);
+    }
+    for engine in &mut engines {
+        engine.finish()?;
+    }
+
+    // --- aggregate -------------------------------------------------------
+    let parts: Vec<(usize, crate::engine::ReportInputs)> =
+        engines.into_iter().map(ReplicaEngine::into_parts).collect();
+    let mut ttft = LatencyAccumulator::for_population(trace.len());
+    let mut tpot = LatencyAccumulator::for_population(trace.len());
+    let mut e2e = LatencyAccumulator::for_population(trace.len());
+    let mut completed = 0;
+    let mut generated_tokens = 0;
+    let mut met = 0;
+    let mut met_tokens = 0;
+    let mut decode_iterations = 0;
+    let mut decode_batch_sum = 0;
+    let mut makespan_s = 0.0_f64;
+    for (_, inputs) in &parts {
+        ttft.merge(&inputs.sink.ttft);
+        tpot.merge(&inputs.sink.tpot);
+        e2e.merge(&inputs.sink.e2e);
+        completed += inputs.sink.completed;
+        generated_tokens += inputs.sink.generated_tokens;
+        met += inputs.sink.met;
+        met_tokens += inputs.sink.met_tokens;
+        decode_iterations += inputs.decode_iterations;
+        decode_batch_sum += inputs.decode_batch_sum;
+        makespan_s = makespan_s.max(inputs.makespan_s);
+        debug_assert!(
+            inputs.rejected_ids.is_empty(),
+            "the router pre-rejects unservable requests"
+        );
+    }
+    let per_s = |count: f64| {
+        if makespan_s > 0.0 {
+            count / makespan_s
+        } else {
+            0.0
+        }
+    };
+    let routed: Vec<usize> = parts.iter().map(|(routed, _)| *routed).collect();
+    let per_replica: Vec<ServeReport> = parts
+        .into_iter()
+        .map(|(routed, inputs)| instance.assemble_report(routed, inputs))
+        .collect();
+    let config = instance.config();
+    Ok(FleetReport {
+        model: per_replica[0].model.clone(),
+        cluster: per_replica[0].cluster.clone(),
+        tp: config.tp,
+        precision: config.precision,
+        replicas,
+        gpus: config.tp * replicas,
+        router,
+        requests: trace.len(),
+        completed,
+        rejected: rejected_ids.len(),
+        rejected_ids,
+        makespan: Time::from_secs(makespan_s),
+        generated_tokens,
+        tokens_per_s: per_s(generated_tokens as f64),
+        requests_per_s: per_s(completed as f64),
+        mean_decode_batch: if decode_iterations > 0 {
+            decode_batch_sum as f64 / decode_iterations as f64
+        } else {
+            0.0
+        },
+        ttft: ttft.finish(),
+        tpot: tpot.finish(),
+        e2e: e2e.finish(),
+        kv_peak_utilization: per_replica
+            .iter()
+            .map(|r| r.kv.peak_utilization)
+            .fold(0.0, f64::max),
+        slo: SloReport {
+            spec: config.slo,
+            met,
+            attainment: if completed > 0 {
+                met as f64 / completed as f64
+            } else {
+                1.0
+            },
+            goodput_tokens_per_s: per_s(met_tokens as f64),
+            goodput_requests_per_s: per_s(met as f64),
+        },
+        routed,
+        per_replica,
+    })
+}
+
+/// Generates the trace from `spec` and simulates serving it on a fleet of
+/// `config.replicas` identical replicas of `model` over `cluster`.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] when the replica strategy cannot serve at all
+/// (see [`FleetInstance::new`]).
+pub fn simulate_fleet(
+    cluster: &ClusterSpec,
+    model: Arc<ModelConfig>,
+    config: &FleetConfig,
+    spec: &TraceSpec,
+) -> Result<FleetReport, ServeError> {
+    simulate_fleet_trace(cluster, model, config, &spec.generate())
+}
+
+/// Like [`simulate_fleet`], over an explicit arrival-ordered request
+/// list.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] for configurations that cannot serve (see
+/// [`FleetInstance::new`]).
+///
+/// # Panics
+///
+/// Panics if `trace` is not sorted by arrival time or contains a
+/// zero-length prompt or output.
+pub fn simulate_fleet_trace(
+    cluster: &ClusterSpec,
+    model: Arc<ModelConfig>,
+    config: &FleetConfig,
+    trace: &[Request],
+) -> Result<FleetReport, ServeError> {
+    FleetInstance::new(cluster, model, *config)?.simulate(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrivalProcess, LengthDist};
+    use optimus_hw::presets;
+    use optimus_model::presets as models;
+
+    fn spec(seed: u64, requests: usize, rate: f64) -> TraceSpec {
+        TraceSpec {
+            seed,
+            requests,
+            arrival: ArrivalProcess::Poisson { rate_per_s: rate },
+            prompt: LengthDist::Uniform { lo: 50, hi: 200 },
+            output: LengthDist::Uniform { lo: 2, hi: 24 },
+        }
+    }
+
+    fn policies() -> [RouterPolicy; 4] {
+        [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::Random { seed: 99 },
+            RouterPolicy::LeastOutstanding,
+            RouterPolicy::JoinShortestQueue,
+        ]
+    }
+
+    #[test]
+    fn every_policy_conserves_requests_and_tokens() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let trace = spec(17, 96, 24.0);
+        let requested: usize = trace.generate().iter().map(|r| r.output).sum();
+        for policy in policies() {
+            let config = FleetConfig::new(3, 1).with_router(policy);
+            let report = simulate_fleet(&cluster, Arc::clone(&model), &config, &trace).unwrap();
+            assert_eq!(
+                report.completed + report.rejected,
+                report.requests,
+                "{policy}"
+            );
+            assert_eq!(report.rejected, 0, "{policy}");
+            assert_eq!(report.generated_tokens, requested, "{policy}");
+            assert_eq!(
+                report.routed.iter().sum::<usize>(),
+                report.requests,
+                "{policy}"
+            );
+            assert_eq!(report.per_replica.len(), 3, "{policy}");
+            let replica_completed: usize = report.per_replica.iter().map(|r| r.completed).sum();
+            assert_eq!(replica_completed, report.completed, "{policy}");
+            assert_eq!(report.gpus, 3, "{policy}");
+        }
+    }
+
+    #[test]
+    fn round_robin_balances_counts_exactly() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = simulate_fleet(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &FleetConfig::new(4, 1),
+            &spec(5, 103, 16.0),
+        )
+        .unwrap();
+        let (min, max) = (
+            report.routed.iter().min().unwrap(),
+            report.routed.iter().max().unwrap(),
+        );
+        assert!(max - min <= 1, "round-robin routed {:?}", report.routed);
+    }
+
+    /// A single-replica fleet is exactly the single-instance simulation
+    /// for every policy: the per-replica report must equal
+    /// `ServeInstance::simulate`'s output field for field — the
+    /// refactor's ground truth, and what lets the load-sweep run all its
+    /// cells through `run_fleet`.
+    #[test]
+    fn one_replica_fleet_equals_single_instance() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_13b());
+        let trace = spec(11, 64, 8.0).generate();
+        let single =
+            crate::simulate_trace(&cluster, Arc::clone(&model), &ServeConfig::new(2), &trace)
+                .unwrap();
+        for policy in policies() {
+            let fleet = simulate_fleet_trace(
+                &cluster,
+                Arc::clone(&model),
+                &FleetConfig {
+                    replicas: 1,
+                    router: policy,
+                    replica: ServeConfig::new(2),
+                },
+                &trace,
+            )
+            .unwrap();
+            assert_eq!(fleet.per_replica[0], single, "{policy}");
+            assert_eq!(fleet.ttft, single.ttft, "{policy}");
+            assert_eq!(fleet.e2e, single.e2e, "{policy}");
+            assert_eq!(fleet.makespan, single.makespan, "{policy}");
+        }
+    }
+
+    /// State-aware routing must never leave one replica idle while
+    /// another queues: under sustained load, least-outstanding spreads
+    /// requests across all replicas.
+    #[test]
+    fn state_aware_routing_uses_every_replica() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        for policy in [
+            RouterPolicy::LeastOutstanding,
+            RouterPolicy::JoinShortestQueue,
+        ] {
+            let report = simulate_fleet(
+                &cluster,
+                Arc::new(models::llama2_7b()),
+                &FleetConfig::new(4, 1).with_router(policy),
+                &spec(23, 200, 200.0),
+            )
+            .unwrap();
+            assert!(
+                report.routed.iter().all(|&n| n > 0),
+                "{policy} starved a replica: {:?}",
+                report.routed
+            );
+        }
+    }
+
+    /// Unservable requests are rejected at the router, and every other
+    /// request still completes.
+    #[test]
+    fn oversized_request_is_rejected_at_the_router() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let trace = [
+            Request {
+                id: 0,
+                arrival_s: 0.1,
+                prompt: 500_000,
+                output: 4,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.2,
+                prompt: 100,
+                output: 4,
+            },
+            Request {
+                id: 2,
+                arrival_s: 0.3,
+                prompt: 120,
+                output: 4,
+            },
+        ];
+        let report = simulate_fleet_trace(
+            &cluster,
+            Arc::new(models::llama2_13b()),
+            &FleetConfig::new(2, 1).with_router(RouterPolicy::LeastOutstanding),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(report.rejected_ids, vec![0]);
+        assert_eq!(report.completed, 2);
+        assert!(report.per_replica.iter().all(|r| r.rejected == 0));
+    }
+
+    #[test]
+    fn zero_replicas_is_a_clean_error() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let err = FleetInstance::new(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            FleetConfig {
+                replicas: 0,
+                router: RouterPolicy::RoundRobin,
+                replica: ServeConfig::new(1),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_yields_an_empty_fleet_report() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = simulate_fleet_trace(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &FleetConfig::new(2, 1),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan, Time::ZERO);
+        assert_eq!(report.slo.attainment, 1.0);
+        assert_eq!(report.routed, vec![0, 0]);
+    }
+
+    /// More replicas at the same offered load strictly help the TTFT
+    /// tail once a single replica saturates.
+    #[test]
+    fn replication_relieves_a_saturated_replica() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_13b());
+        let trace = spec(7, 128, 50.0);
+        let one = simulate_fleet(
+            &cluster,
+            Arc::clone(&model),
+            &FleetConfig::new(1, 1),
+            &trace,
+        )
+        .unwrap();
+        let four = simulate_fleet(
+            &cluster,
+            Arc::clone(&model),
+            &FleetConfig::new(4, 1).with_router(RouterPolicy::LeastOutstanding),
+            &trace,
+        )
+        .unwrap();
+        assert!(
+            four.ttft.p99 < one.ttft.p99,
+            "4 replicas p99 {} vs 1 replica p99 {}",
+            four.ttft.p99,
+            one.ttft.p99
+        );
+        assert!(four.slo.attainment >= one.slo.attainment);
+    }
+}

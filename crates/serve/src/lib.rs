@@ -17,6 +17,15 @@
 //! to within 2% — and under load it surfaces exactly the queueing and
 //! batching effects the static model cannot express.
 //!
+//! Deployments are fleets, not single devices: [`FleetInstance`] runs
+//! `replicas` identical instances behind an online router
+//! ([`RouterPolicy`]: round-robin, seeded random, least-outstanding,
+//! join-shortest-queue — the state-aware policies observe live
+//! per-replica queue state at each arrival), merges the per-replica
+//! latency populations exactly, and reports fleet-level throughput and
+//! SLO goodput, so the load-sweep's frontier trades **TP-up against
+//! replicate-out** at equal device counts (`gpus = tp × replicas`).
+//!
 //! ```
 //! use optimus_hw::presets;
 //! use optimus_model::presets as models;
@@ -39,12 +48,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
+mod fleet;
 mod load;
 mod report;
 mod sim;
 pub mod stats;
 mod trace;
 
+pub use fleet::{
+    simulate_fleet, simulate_fleet_trace, FleetConfig, FleetInstance, FleetReport, RouterPolicy,
+};
 pub use load::{
     load_sweep, InfeasibleStrategy, LoadPoint, LoadStrategy, LoadSweepReport, LoadSweepSpec,
     SaturationCurve,

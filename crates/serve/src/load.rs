@@ -18,9 +18,11 @@
 //! tie-break discipline as the strategy sweep's
 //! [`optimus_sweep::frontier_indices_by`] core.
 
+use crate::fleet::run_fleet;
 use crate::sim::EXACT_MODE_LIMIT;
 use crate::{
-    ArrivalProcess, LengthDist, ServeConfig, ServeInstance, ServeReport, SloSpec, TraceSpec,
+    ArrivalProcess, FleetReport, LengthDist, RouterPolicy, ServeConfig, ServeInstance, SloSpec,
+    TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_model::ModelConfig;
@@ -30,13 +32,42 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// One serving strategy axis of the grid.
+/// One serving strategy axis of the grid: a replica shape plus how many
+/// of it, so the frontier trades **TP-up against replicate-out** at equal
+/// device counts (`gpus = tp × replicas`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoadStrategy {
-    /// Tensor-parallel degree.
+    /// Tensor-parallel degree of each replica.
     pub tp: usize,
     /// Serving precision.
     pub precision: Precision,
+    /// Number of identical replicas behind the sweep's router.
+    pub replicas: usize,
+}
+
+impl LoadStrategy {
+    /// A single replica at TP `tp`.
+    #[must_use]
+    pub fn single(tp: usize, precision: Precision) -> Self {
+        Self {
+            tp,
+            precision,
+            replicas: 1,
+        }
+    }
+
+    /// Sets the replica count.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Devices the strategy occupies.
+    #[must_use]
+    pub fn gpus(&self) -> usize {
+        self.tp * self.replicas
+    }
 }
 
 /// The (arrival-rate × strategy) grid to evaluate.
@@ -56,16 +87,20 @@ pub struct LoadSweepSpec {
     pub strategies: Vec<LoadStrategy>,
     /// The SLO goodput is measured against.
     pub slo: SloSpec,
+    /// The routing policy multi-replica strategies use.
+    pub router: RouterPolicy,
 }
 
 /// One fully simulated grid cell, summarized for curve plotting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LoadPoint {
-    /// Tensor-parallel degree of the strategy.
+    /// Tensor-parallel degree of each replica.
     pub tp: usize,
     /// Serving precision of the strategy.
     pub precision: Precision,
-    /// Devices the strategy occupies (= `tp` for a single replica).
+    /// Replica count of the strategy.
+    pub replicas: usize,
+    /// Devices the strategy occupies: `tp × replicas`.
     pub gpus: usize,
     /// Offered arrival rate, requests per second.
     pub offered_rate_per_s: f64,
@@ -99,11 +134,12 @@ pub struct LoadPoint {
 }
 
 impl LoadPoint {
-    fn from_report(strategy: LoadStrategy, rate: f64, report: &ServeReport) -> Self {
+    fn from_fleet(strategy: LoadStrategy, rate: f64, report: &FleetReport) -> Self {
         Self {
             tp: strategy.tp,
             precision: strategy.precision,
-            gpus: strategy.tp,
+            replicas: report.replicas,
+            gpus: report.gpus,
             offered_rate_per_s: rate,
             tokens_per_s: report.tokens_per_s,
             requests_per_s: report.requests_per_s,
@@ -115,7 +151,7 @@ impl LoadPoint {
             tpot_p99: report.tpot.p99,
             e2e_p99: report.e2e.p99,
             mean_decode_batch: report.mean_decode_batch,
-            kv_peak_utilization: report.kv.peak_utilization,
+            kv_peak_utilization: report.kv_peak_utilization,
             completed: report.completed,
             rejected: report.rejected,
         }
@@ -125,11 +161,13 @@ impl LoadPoint {
 /// One strategy's saturation curve: its cells in ascending-rate order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SaturationCurve {
-    /// Tensor-parallel degree.
+    /// Tensor-parallel degree of each replica.
     pub tp: usize,
     /// Serving precision.
     pub precision: Precision,
-    /// Devices occupied.
+    /// Replica count.
+    pub replicas: usize,
+    /// Devices occupied: `tp × replicas`.
     pub gpus: usize,
     /// One point per offered rate, in the spec's rate order.
     pub points: Vec<LoadPoint>,
@@ -138,12 +176,14 @@ pub struct SaturationCurve {
 /// A strategy the sweep could not run at all, with the reason.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InfeasibleStrategy {
-    /// Tensor-parallel degree.
+    /// Tensor-parallel degree of each replica.
     pub tp: usize,
     /// Serving precision.
     pub precision: Precision,
+    /// Replica count.
+    pub replicas: usize,
     /// Why it cannot serve (weights overflow, TP beyond a node,
-    /// unsupported precision).
+    /// unsupported precision, zero replicas).
     pub reason: String,
 }
 
@@ -215,6 +255,21 @@ pub fn load_sweep(
             Err(reason) => infeasible.push(reason),
         }
     }
+    // Nothing can run: report the reasons without generating a single
+    // rate trace (they can be enormous — rates × requests requests — and
+    // every byte would be thrown away).
+    if instances.is_empty() {
+        return LoadSweepReport {
+            model: model.name.clone(),
+            cluster: cluster.name.clone(),
+            seed: spec.seed,
+            requests_per_point: spec.requests,
+            slo: spec.slo,
+            curves: Vec::new(),
+            frontier: Vec::new(),
+            infeasible,
+        };
+    }
 
     // --- phase 2: the grid, cells in parallel ---------------------------
     // Traces depend on the rate alone, not the strategy: generate each
@@ -240,11 +295,15 @@ pub fn load_sweep(
     let points: Vec<LoadPoint> = cells
         .into_par_iter()
         .map(|(si, ri)| {
+            // Every cell — single replica included — runs through the
+            // fleet loop; a 1-replica fleet is bit-identical to the
+            // single-instance path (pinned by
+            // `one_replica_fleet_equals_single_instance`), so there is
+            // one code path to keep correct.
             let (strategy, instance) = &instances[si];
-            let report = instance
-                .simulate(&traces[ri])
+            let report = run_fleet(instance, strategy.replicas, spec.router, &traces[ri])
                 .expect("strategy feasibility was probed in phase 1");
-            LoadPoint::from_report(*strategy, spec.rates[ri], &report)
+            LoadPoint::from_fleet(*strategy, spec.rates[ri], &report)
         })
         .collect();
 
@@ -255,19 +314,20 @@ pub fn load_sweep(
         .map(|(si, (s, _))| SaturationCurve {
             tp: s.tp,
             precision: s.precision,
-            gpus: s.tp,
+            replicas: s.replicas,
+            gpus: s.gpus(),
             points: points[si * spec.rates.len()..(si + 1) * spec.rates.len()].to_vec(),
         })
         .collect();
     // Minimize devices, maximize goodput (negated). The tie-break runs on
-    // point identity — (tp, precision, rate) — so the frontier is
-    // permutation invariant like the strategy sweep's.
+    // point identity — (tp, precision, replicas, rate) — so the frontier
+    // is permutation invariant like the strategy sweep's.
     let frontier = frontier_indices_by(
         &points,
         |p| (p.gpus as f64, -p.goodput_tokens_per_s),
         |a, b| {
-            (a.tp, a.precision)
-                .cmp(&(b.tp, b.precision))
+            (a.tp, a.precision, a.replicas)
+                .cmp(&(b.tp, b.precision, b.replicas))
                 .then_with(|| a.offered_rate_per_s.total_cmp(&b.offered_rate_per_s))
         },
     )
@@ -300,8 +360,16 @@ fn prepare_strategy<'a>(
     let infeasible = |reason: String| InfeasibleStrategy {
         tp: strategy.tp,
         precision: strategy.precision,
+        replicas: strategy.replicas,
         reason,
     };
+    if strategy.replicas == 0 {
+        return Err(infeasible("a fleet needs at least one replica".to_owned()));
+    }
+    // Replicas are identical, so one prepared (and, at streaming scale,
+    // sealed) instance prices every replica of every rate cell. The seal
+    // bounds below are per replica — each replica's batch is capped by
+    // its own KV budget — so they cover any routed share of any trace.
     let config = ServeConfig::new(strategy.tp)
         .with_precision(strategy.precision)
         .with_slo(spec.slo);
@@ -345,16 +413,11 @@ mod tests {
             output: LengthDist::Uniform { lo: 4, hi: 24 },
             rates: vec![0.5, 4.0, 32.0],
             strategies: vec![
-                LoadStrategy {
-                    tp: 1,
-                    precision: Precision::Fp16,
-                },
-                LoadStrategy {
-                    tp: 2,
-                    precision: Precision::Fp16,
-                },
+                LoadStrategy::single(1, Precision::Fp16),
+                LoadStrategy::single(2, Precision::Fp16),
             ],
             slo: SloSpec::default(),
+            router: RouterPolicy::RoundRobin,
         }
     }
 
@@ -433,15 +496,72 @@ mod tests {
         let cluster = presets::dgx_a100_hdr_cluster();
         let model = Arc::new(models::llama2_7b());
         let mut spec = small_spec();
-        spec.strategies.push(LoadStrategy {
-            tp: 64,
-            precision: Precision::Fp16,
-        });
+        spec.strategies
+            .push(LoadStrategy::single(64, Precision::Fp16));
         let report = load_sweep(&cluster, &model, &spec);
         assert_eq!(report.curves.len(), 2);
         assert_eq!(report.infeasible.len(), 1);
         assert_eq!(report.infeasible[0].tp, 64);
         assert!(report.infeasible[0].reason.contains("exceeds"));
+    }
+
+    /// The replicas axis: a TP1×2 strategy occupies 2 GPUs like TP2, and
+    /// at saturation replication's goodput beats TP scaling's, so the
+    /// frontier carries at least one multi-replica point.
+    #[test]
+    fn replicas_axis_reaches_the_frontier() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.strategies = vec![
+            LoadStrategy::single(1, Precision::Fp16),
+            LoadStrategy::single(2, Precision::Fp16),
+            LoadStrategy::single(1, Precision::Fp16).with_replicas(2),
+            LoadStrategy::single(1, Precision::Fp16).with_replicas(4),
+        ];
+        spec.rates = vec![4.0, 32.0, 128.0];
+        let report = load_sweep(&cluster, &model, &spec);
+        assert_eq!(report.curves.len(), 4);
+        for curve in &report.curves {
+            assert_eq!(curve.gpus, curve.tp * curve.replicas);
+            for p in &curve.points {
+                assert_eq!(p.gpus, p.tp * p.replicas);
+                assert_eq!(p.completed + p.rejected, spec.requests);
+            }
+        }
+        assert!(
+            report.frontier.iter().any(|p| p.replicas > 1),
+            "replication must reach the SLO-goodput frontier: {:?}",
+            report
+                .frontier
+                .iter()
+                .map(|p| (p.tp, p.replicas, p.goodput_tokens_per_s))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// Regression: a sweep whose every strategy is infeasible used to
+    /// generate all rate traces anyway — with an absurd per-cell request
+    /// count that meant attempting a multi-terabyte allocation. It must
+    /// return the reasons without generating anything.
+    #[test]
+    fn all_infeasible_sweep_skips_trace_generation() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.strategies = vec![
+            LoadStrategy::single(64, Precision::Fp16),
+            LoadStrategy::single(1, Precision::Fp16).with_replicas(0),
+        ];
+        // Before the early exit this tried to materialize
+        // rates × 2^40 requests (~100 TB of Request structs).
+        spec.requests = 1 << 40;
+        let report = load_sweep(&cluster, &model, &spec);
+        assert!(report.curves.is_empty());
+        assert!(report.frontier.is_empty());
+        assert_eq!(report.infeasible.len(), 2);
+        assert!(report.infeasible[0].reason.contains("exceeds"));
+        assert!(report.infeasible[1].reason.contains("replica"));
     }
 
     #[test]

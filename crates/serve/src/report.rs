@@ -85,7 +85,11 @@ impl LatencyStats {
 /// compute yet** — both requests queued for admission (no KV space) and
 /// requests admitted but still awaiting their prefill iteration (no free
 /// step). Compute-bound saturation therefore shows up here even when the
-/// KV budget admits everything instantly.
+/// KV budget admits everything instantly. The request receiving its
+/// prefill in an iteration is *not* waiting, and a sample taken at an
+/// iteration's end counts requests that arrived while the iteration ran;
+/// [`QueueStats::peak_waiting`] and [`QueueStats::mean_waiting`] observe
+/// this same population.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueueSample {
     /// Simulation time of the observation.

@@ -26,17 +26,15 @@
 //! single-threaded and all randomness lives in the seeded trace, so
 //! reports are byte-identical across runs and thread counts.
 
-use crate::stats::LatencyAccumulator;
+use crate::engine::{ReplicaEngine, ReportInputs};
 use crate::{
-    KvUsage, QueueSample, QueueStats, Request, RequestMetrics, ServeReport, SloReport, SloSpec,
-    TraceSpec,
+    KvUsage, QueueSample, QueueStats, Request, ServeReport, SloReport, SloSpec, TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_infer::{DecodeCostTable, PreparedInferenceEstimator};
 use optimus_memory::{inference_memory, kv_cache_bytes};
 use optimus_model::ModelConfig;
 use optimus_units::{Bytes, Time};
-use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock};
 
 /// Cap on the queue-depth samples retained in a [`ServeReport`]; longer
@@ -67,7 +65,7 @@ pub enum PricingMode {
     Sealed,
 }
 
-/// Whether per-request [`RequestMetrics`] records are collected.
+/// Whether per-request [`crate::RequestMetrics`] records are collected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RecordMode {
     /// Records within [`EXACT_MODE_LIMIT`] requests, none beyond.
@@ -234,6 +232,17 @@ impl<'a> ServeInstance<'a> {
         self.budget
     }
 
+    /// The strategy this instance was validated for.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The prepared (memoized) pricing estimator.
+    pub(crate) fn estimator(&self) -> &PreparedInferenceEstimator<'a> {
+        &self.estimator
+    }
+
     /// The full KV reservation of one request on this instance.
     #[must_use]
     pub fn reservation(&self, request: &Request) -> Bytes {
@@ -316,6 +325,15 @@ impl<'a> ServeInstance<'a> {
     /// Panics if `trace` is not sorted by arrival time or contains a
     /// zero-length prompt or output.
     pub fn simulate(&self, trace: &[Request]) -> Result<ServeReport, ServeError> {
+        Self::validate_trace(trace);
+        let bounds = TraceBounds::scan(self, trace);
+        let table = self.pricing_table(trace.len(), &bounds)?;
+        self.run(trace, &bounds, table)
+    }
+
+    /// Panics on an unordered trace or zero-length prompts/outputs — the
+    /// shared precondition of the single-replica and fleet entry points.
+    pub(crate) fn validate_trace(trace: &[Request]) {
         assert!(
             trace.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s),
             "trace must be sorted by arrival time"
@@ -324,53 +342,70 @@ impl<'a> ServeInstance<'a> {
             trace.iter().all(|r| r.prompt > 0 && r.output > 0),
             "every request needs at least one prompt and one output token"
         );
+    }
+
+    /// Whether this run collects per-request records, given the trace
+    /// size.
+    pub(crate) fn records_on(&self, trace_len: usize) -> bool {
+        match self.config.records {
+            RecordMode::On => true,
+            RecordMode::Off => false,
+            RecordMode::Auto => trace_len <= EXACT_MODE_LIMIT,
+        }
+    }
+
+    /// Resolves the decode-pricing table for a trace of `trace_len`
+    /// requests with the given bounds: `None` for exact memoized pricing,
+    /// `Some` for the sealed fast path (sealing on first use, refusing a
+    /// trace that exceeds an already-sealed grid).
+    pub(crate) fn pricing_table(
+        &self,
+        trace_len: usize,
+        bounds: &TraceBounds,
+    ) -> Result<Option<&DecodeCostTable>, ServeError> {
         let sealed = match self.config.pricing {
             PricingMode::Exact => false,
             PricingMode::Sealed => true,
-            PricingMode::Auto => trace.len() > EXACT_MODE_LIMIT,
+            PricingMode::Auto => trace_len > EXACT_MODE_LIMIT,
         };
-        let bounds = TraceBounds::scan(self, trace);
-        let table = if sealed && bounds.admittable > 0 {
-            let table = self.seal(bounds.max_batch, bounds.max_kv)?;
-            // The first seal fixes the grid. Clamping a bigger trace onto
-            // a smaller grid would underprice its decode iterations by an
-            // unbounded factor, so refuse instead.
-            if bounds.max_batch > table.batch_grid().max() || bounds.max_kv > table.kv_grid().max()
-            {
-                return Err(ServeError::InvalidConfig(format!(
-                    "trace exceeds the sealed decode-cost grid (needs batch ≤ {}, kv ≤ {}; \
-                     sealed at {}, {}): seal() the instance with covering bounds up front",
-                    bounds.max_batch,
-                    bounds.max_kv,
-                    table.batch_grid().max(),
-                    table.kv_grid().max(),
-                )));
-            }
-            Some(table)
-        } else {
-            None
-        };
-        self.run(trace, &bounds, table)
+        if !(sealed && bounds.admittable > 0) {
+            return Ok(None);
+        }
+        let table = self.seal(bounds.max_batch, bounds.max_kv)?;
+        // The first seal fixes the grid. Clamping a bigger trace onto a
+        // smaller grid would underprice its decode iterations by an
+        // unbounded factor, so refuse instead.
+        if bounds.max_batch > table.batch_grid().max() || bounds.max_kv > table.kv_grid().max() {
+            return Err(ServeError::InvalidConfig(format!(
+                "trace exceeds the sealed decode-cost grid (needs batch ≤ {}, kv ≤ {}; \
+                 sealed at {}, {}): seal() the instance with covering bounds up front",
+                bounds.max_batch,
+                bounds.max_kv,
+                table.batch_grid().max(),
+                table.kv_grid().max(),
+            )));
+        }
+        Ok(Some(table))
     }
 }
 
 /// Bounds of the admittable portion of a trace, derived in one scan:
 /// everything the sealed table, the prefill cache, and the completion
 /// ring need to size themselves.
-struct TraceBounds {
+pub(crate) struct TraceBounds {
     /// Requests whose lone reservation fits the budget.
-    admittable: usize,
+    pub(crate) admittable: usize,
     /// Largest prompt among admittable requests.
-    max_prompt: usize,
+    pub(crate) max_prompt: usize,
     /// Largest prompt + output among admittable requests.
-    max_kv: usize,
+    pub(crate) max_kv: usize,
     /// Upper bound on the concurrent decode batch: how many of the
     /// smallest admittable reservations fit the budget at once.
-    max_batch: usize,
+    pub(crate) max_batch: usize,
 }
 
 impl TraceBounds {
-    fn scan(instance: &ServeInstance<'_>, trace: &[Request]) -> Self {
+    pub(crate) fn scan(instance: &ServeInstance<'_>, trace: &[Request]) -> Self {
         let mut bounds = Self {
             admittable: 0,
             max_prompt: 0,
@@ -432,310 +467,33 @@ pub fn simulate_trace(
     ServeInstance::new(cluster, model, *config)?.simulate(trace)
 }
 
-/// An admitted request's in-flight state (slot-arena entry, recycled at
-/// completion).
-struct Slot {
-    request: Request,
-    admitted_s: f64,
-    prefill_dur_s: f64,
-    first_token_s: f64,
-    reserved: Bytes,
-}
-
-/// Streaming aggregation of completion events: latency accumulators plus
-/// the scalar counters, and (when enabled) the per-request records.
-struct CompletionSink {
-    slo: SloSpec,
-    records_on: bool,
-    records: Vec<RequestMetrics>,
-    ttft: LatencyAccumulator,
-    tpot: LatencyAccumulator,
-    e2e: LatencyAccumulator,
-    completed: usize,
-    generated_tokens: usize,
-    met: usize,
-    met_tokens: usize,
-}
-
-impl CompletionSink {
-    fn new(slo: SloSpec, expected: usize, records_on: bool) -> Self {
-        Self {
-            slo,
-            records_on,
-            records: Vec::new(),
-            ttft: LatencyAccumulator::for_population(expected),
-            tpot: LatencyAccumulator::for_population(expected),
-            e2e: LatencyAccumulator::for_population(expected),
-            completed: 0,
-            generated_tokens: 0,
-            met: 0,
-            met_tokens: 0,
-        }
-    }
-
-    /// Folds one completed request into the aggregates.
-    fn complete(&mut self, slot: &Slot, completed_s: f64) {
-        let r = &slot.request;
-        let first = slot.first_token_s;
-        let ttft = first - r.arrival_s;
-        let e2e = completed_s - r.arrival_s;
-        let tpot =
-            (r.output > 1).then(|| Time::from_secs((completed_s - first) / (r.output - 1) as f64));
-        let met_slo =
-            Time::from_secs(ttft) <= self.slo.ttft && tpot.is_none_or(|t| t <= self.slo.tpot);
-        self.ttft.record(Time::from_secs(ttft));
-        self.e2e.record(Time::from_secs(e2e));
-        if let Some(t) = tpot {
-            self.tpot.record(t);
-        }
-        self.completed += 1;
-        self.generated_tokens += r.output;
-        if met_slo {
-            self.met += 1;
-            self.met_tokens += r.output;
-        }
-        if self.records_on {
-            self.records.push(RequestMetrics {
-                id: r.id,
-                prompt: r.prompt,
-                generated: r.output,
-                arrival: Time::from_secs(r.arrival_s),
-                queue_wait: Time::from_secs(slot.admitted_s - r.arrival_s),
-                prefill: Time::from_secs(slot.prefill_dur_s),
-                ttft: Time::from_secs(ttft),
-                e2e: Time::from_secs(e2e),
-                tpot,
-                met_slo,
-            });
-        }
-    }
-}
-
 impl<'a> ServeInstance<'a> {
-    /// The event loop.
-    #[allow(clippy::too_many_lines)]
+    /// The single-replica event loop: one [`ReplicaEngine`] driven in
+    /// batch mode over the whole trace.
     fn run(
         &self,
         trace: &[Request],
         bounds: &TraceBounds,
         table: Option<&DecodeCostTable>,
     ) -> Result<ServeReport, ServeError> {
-        let config = &self.config;
-        let (tp, precision, budget) = (config.tp, config.precision, self.budget);
-        let records_on = match config.records {
-            RecordMode::On => true,
-            RecordMode::Off => false,
-            RecordMode::Auto => trace.len() <= EXACT_MODE_LIMIT,
-        };
-        let price = |e: optimus_hw::HwError| ServeError::Estimator(e.to_string());
-
-        // Dense prefill-duration cache by prompt length: the simulator
-        // prices every distinct admittable prompt once, lock-free after.
-        let mut prefill_cache = vec![f64::NAN; bounds.max_prompt + 1];
-
-        // Completion ring: requests joining the decode batch with `n`
-        // output tokens complete exactly `n` decode epochs later.
-        let ring_len = bounds.max_kv.max(1) + 1; // ≥ max_output + 1
-        let mut calendar: Vec<Vec<u32>> = vec![Vec::new(); ring_len];
-        let mut decode_epoch = 0usize;
-
-        // --- event loop ---------------------------------------------------
-        let mut clock = 0.0_f64;
-        let mut arrived = 0usize; // trace[..arrived] have arrived
-        let mut admit_cursor = 0usize; // trace[admit_cursor..arrived] queue
-        let mut slots: Vec<Slot> = Vec::new();
-        let mut free_slots: Vec<u32> = Vec::new();
-        let mut awaiting_prefill: VecDeque<u32> = VecDeque::new();
-        let mut pending_first: Vec<u32> = Vec::new();
-        let mut decoding_count = 0usize;
-        let mut ctx_sum = 0usize; // Σ (prompt + generated) over decoding
-        let mut rejected_ids: Vec<usize> = Vec::new();
-        let mut sink = CompletionSink::new(config.slo, trace.len(), records_on);
-
-        let mut reserved = Bytes::ZERO;
-        let mut kv_peak = Bytes::ZERO;
-        let mut prefill_iterations = 0usize;
-        let mut decode_iterations = 0usize;
-        let mut decode_batch_sum = 0usize;
-        let mut queue_area = 0.0_f64; // ∫ waiting dt
-        let mut peak_waiting = 0usize;
-        let mut peak_decoding = 0usize;
-        // Queue-depth samples are thinned online (keep-every-other + stride
-        // doubling once 2×MAX_QUEUE_SAMPLES accumulate), so memory stays
-        // O(MAX_QUEUE_SAMPLES) however long the trace runs.
-        let mut raw_samples: Vec<QueueSample> = Vec::new();
-        let mut sample_stride = 1usize;
-        let mut iteration = 0usize;
-
-        loop {
-            while arrived < trace.len() && trace[arrived].arrival_s <= clock {
-                arrived += 1;
-            }
-            while admit_cursor < arrived {
-                let front = &trace[admit_cursor];
-                let need = self.reservation(front);
-                if need > budget {
-                    // Could never be admitted, not even alone: drop it
-                    // rather than block every request behind it forever.
-                    rejected_ids.push(front.id);
-                    admit_cursor += 1;
-                    continue;
-                }
-                if reserved + need <= budget {
-                    reserved += need;
-                    kv_peak = kv_peak.max(reserved);
-                    let slot = Slot {
-                        request: *front,
-                        admitted_s: clock,
-                        prefill_dur_s: 0.0,
-                        first_token_s: 0.0,
-                        reserved: need,
-                    };
-                    let idx = if let Some(free) = free_slots.pop() {
-                        slots[free as usize] = slot;
-                        free
-                    } else {
-                        slots.push(slot);
-                        u32::try_from(slots.len() - 1).expect("slot arena fits u32")
-                    };
-                    awaiting_prefill.push_back(idx);
-                    admit_cursor += 1;
-                } else {
-                    break;
-                }
-            }
-            let pending_len = arrived - admit_cursor;
-            peak_waiting = peak_waiting.max(pending_len + awaiting_prefill.len());
-
-            if awaiting_prefill.is_empty() && decoding_count == 0 {
-                assert!(
-                    pending_len == 0,
-                    "an idle instance always admits the queue head"
-                );
-                if arrived >= trace.len() {
-                    break;
-                }
-                clock = clock.max(trace[arrived].arrival_s);
-                continue;
-            }
-
-            // The waiting population over this iteration: arrived but no
-            // compute yet — whether blocked on KV admission or on a prefill
-            // slot. (The request prefilled this very iteration stops
-            // waiting now, so it is not counted.)
-            let waiting_before =
-                pending_len + awaiting_prefill.len() - usize::from(!awaiting_prefill.is_empty());
-            let dur = if let Some(idx) = awaiting_prefill.pop_front() {
-                let prompt = slots[idx as usize].request.prompt;
-                let cached = prefill_cache[prompt];
-                let dur = if cached.is_nan() {
-                    let computed = self
-                        .estimator
-                        .prefill_iteration(1, prompt, tp, precision)
-                        .map_err(price)?
-                        .secs();
-                    prefill_cache[prompt] = computed;
-                    computed
-                } else {
-                    cached
-                };
-                slots[idx as usize].prefill_dur_s = dur;
-                // Join the decode batch: first token next decode epoch,
-                // completion `output` epochs out.
-                decoding_count += 1;
-                ctx_sum += prompt;
-                pending_first.push(idx);
-                let due = (decode_epoch + slots[idx as usize].request.output) % ring_len;
-                calendar[due].push(idx);
-                prefill_iterations += 1;
-                dur
-            } else {
-                let batch = decoding_count;
-                // A mixed batch is priced at its aggregate context:
-                // attention cost is linear in total KV entries read, so
-                // batch × ⌈mean⌉ preserves it while the GEMM terms see the
-                // true batch width.
-                let kv_len = ctx_sum.div_ceil(batch);
-                let dur = match table {
-                    Some(t) => t.decode_iteration(batch, kv_len).secs(),
-                    None => self
-                        .estimator
-                        .decode_iteration(batch, kv_len, tp, precision)
-                        .map_err(price)?
-                        .secs(),
-                };
-                decode_iterations += 1;
-                decode_batch_sum += batch;
-                let end = clock + dur;
-                decode_epoch += 1;
-                // Every member generates one token.
-                ctx_sum += batch;
-                for idx in pending_first.drain(..) {
-                    slots[idx as usize].first_token_s = end;
-                }
-                // Requests whose token quota fills this epoch complete, in
-                // join order.
-                let done = core::mem::take(&mut calendar[decode_epoch % ring_len]);
-                for idx in done {
-                    let slot = &slots[idx as usize];
-                    sink.complete(slot, end);
-                    reserved = reserved - slot.reserved;
-                    ctx_sum -= slot.request.prompt + slot.request.output;
-                    decoding_count -= 1;
-                    free_slots.push(idx);
-                }
-                dur
-            };
-            clock += dur;
-            queue_area += waiting_before as f64 * dur;
-            peak_decoding = peak_decoding.max(decoding_count);
-            if iteration.is_multiple_of(sample_stride) {
-                raw_samples.push(QueueSample {
-                    at: Time::from_secs(clock),
-                    waiting: (arrived - admit_cursor) + awaiting_prefill.len(),
-                    decoding: decoding_count,
-                });
-                if raw_samples.len() >= 2 * MAX_QUEUE_SAMPLES {
-                    let mut keep = 0;
-                    raw_samples.retain(|_| {
-                        keep += 1;
-                        keep % 2 == 1
-                    });
-                    sample_stride *= 2;
-                }
-            }
-            iteration += 1;
-        }
-
-        // The series must end at trace end: if the stride skipped the
-        // final iteration, append the terminal (idle) observation.
-        if raw_samples.last().is_some_and(|s| s.at.secs() < clock) {
-            raw_samples.push(QueueSample {
-                at: Time::from_secs(clock),
-                waiting: 0,
-                decoding: 0,
-            });
-        }
-
-        Ok(self.assemble_report(
+        let mut engine = ReplicaEngine::new(
+            self,
+            table,
+            bounds,
             trace.len(),
-            ReportInputs {
-                sink,
-                rejected_ids,
-                makespan_s: clock,
-                kv_peak,
-                prefill_iterations,
-                decode_iterations,
-                decode_batch_sum,
-                queue_area,
-                peak_waiting,
-                peak_decoding,
-                raw_samples,
-            },
-        ))
+            self.records_on(trace.len()),
+        );
+        for r in trace {
+            engine.push(*r);
+        }
+        engine.finish()?;
+        let (routed, inputs) = engine.into_parts();
+        Ok(self.assemble_report(routed, inputs))
     }
 
-    fn assemble_report(&self, requests: usize, inputs: ReportInputs) -> ServeReport {
+    /// Shapes one engine's raw outputs into a [`ServeReport`] (also the
+    /// per-replica assembly step of a fleet simulation).
+    pub(crate) fn assemble_report(&self, requests: usize, inputs: ReportInputs) -> ServeReport {
         let config = &self.config;
         let mut sink = inputs.sink;
         // Completion order is not id order (short outputs overtake long
@@ -822,21 +580,6 @@ impl<'a> ServeInstance<'a> {
             per_request: sink.records,
         }
     }
-}
-
-/// Everything the event loop hands to report assembly.
-struct ReportInputs {
-    sink: CompletionSink,
-    rejected_ids: Vec<usize>,
-    makespan_s: f64,
-    kv_peak: Bytes,
-    prefill_iterations: usize,
-    decode_iterations: usize,
-    decode_batch_sum: usize,
-    queue_area: f64,
-    peak_waiting: usize,
-    peak_decoding: usize,
-    raw_samples: Vec<QueueSample>,
 }
 
 #[cfg(test)]
@@ -1085,6 +828,108 @@ mod tests {
             r
         };
         assert_eq!(strip(with), strip(without));
+    }
+
+    /// Regression: the queue-depth sample at an iteration's end used the
+    /// arrival cursor from the iteration's *start*, so every request that
+    /// arrived while the iteration ran was missing from the sample. Two
+    /// requests arriving early in a long prefill must show up in the
+    /// sample that closes it.
+    #[test]
+    fn queue_samples_count_arrivals_during_the_iteration() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        // Request 0's prefill of a 4000-token prompt runs for a long
+        // while (≫ 2 ms); requests 1 and 2 arrive 1–2 ms into it.
+        let trace = [
+            Request {
+                id: 0,
+                arrival_s: 0.1,
+                prompt: 4000,
+                output: 4,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.101,
+                prompt: 100,
+                output: 4,
+            },
+            Request {
+                id: 2,
+                arrival_s: 0.102,
+                prompt: 100,
+                output: 4,
+            },
+        ];
+        let report = simulate_trace(
+            &cluster,
+            Arc::new(models::llama2_13b()),
+            &ServeConfig::new(1),
+            &trace,
+        )
+        .unwrap();
+        let first = report.queue.samples[0];
+        assert!(
+            first.at.secs() > 0.102,
+            "the opening prefill must outlast both arrivals ({})",
+            first.at
+        );
+        assert_eq!(
+            first.waiting, 2,
+            "both mid-iteration arrivals must be visible in the closing sample"
+        );
+    }
+
+    /// Regression: `peak_waiting` counted the request receiving its
+    /// prefill in the same iteration, while the time-weighted mean
+    /// excluded it — peak and mean disagreed with the documented "no
+    /// compute yet" definition. A lone request that prefills immediately
+    /// never waits.
+    #[test]
+    fn peak_waiting_excludes_the_request_being_prefilled() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let lone = [Request {
+            id: 0,
+            arrival_s: 0.1,
+            prompt: 100,
+            output: 4,
+        }];
+        let report = simulate_trace(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &ServeConfig::new(1),
+            &lone,
+        )
+        .unwrap();
+        assert_eq!(report.queue.peak_waiting, 0, "a lone request never waits");
+        assert_eq!(report.queue.mean_waiting, 0.0);
+
+        // Two simultaneous arrivals: one prefills, one genuinely waits.
+        let pair = [
+            Request {
+                id: 0,
+                arrival_s: 0.1,
+                prompt: 100,
+                output: 4,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.1,
+                prompt: 100,
+                output: 4,
+            },
+        ];
+        let report = simulate_trace(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &ServeConfig::new(1),
+            &pair,
+        )
+        .unwrap();
+        assert_eq!(
+            report.queue.peak_waiting, 1,
+            "exactly one of two simultaneous arrivals waits for the prefill slot"
+        );
+        assert!(report.queue.mean_waiting > 0.0);
     }
 
     /// The down-sampled queue series always ends at the trace end, even

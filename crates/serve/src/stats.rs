@@ -76,10 +76,25 @@ impl LogHistogram {
         self.total
     }
 
+    /// Folds another histogram's population into this one (bin layouts
+    /// are identical by construction, so this is an elementwise add).
+    pub fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
     /// Nearest-rank percentile estimate: the upper edge of the bin
     /// holding the rank-`⌈q·n⌉` observation — within one bin width
     /// (a factor of `2^(1/32)` ≈ 2.2%) above the exact order statistic.
     /// Zero for an empty histogram.
+    ///
+    /// Because the estimate is a bin's *upper* edge, it can exceed the
+    /// population's true maximum; [`LatencyAccumulator::finish`] clamps
+    /// against the exactly-tracked max so a report never shows
+    /// `p99 > max`.
     #[must_use]
     pub fn percentile(&self, q: f64) -> Time {
         if self.total == 0 {
@@ -156,7 +171,71 @@ impl LatencyAccumulator {
         }
     }
 
-    /// Finalizes the statistics.
+    /// Folds another accumulator's population into this one, so fleet
+    /// drivers can aggregate per-replica latency populations loss-free:
+    /// exact + exact concatenates the observations, streaming + streaming
+    /// merges histograms and running aggregates, and a mixed pair streams
+    /// the exact side's observations into the histogram regime (the only
+    /// lossy direction, taken only when the regimes genuinely differ).
+    pub fn merge(&mut self, other: &Self) {
+        if matches!(self, Self::Exact(_)) && matches!(other, Self::Streaming { .. }) {
+            // Promote this side to the streaming regime first, so the
+            // match below only ever merges downhill.
+            let Self::Exact(mine) = core::mem::replace(
+                self,
+                Self::Streaming {
+                    histogram: LogHistogram::new(),
+                    sum_secs: 0.0,
+                    max: Time::ZERO,
+                },
+            ) else {
+                unreachable!("matched Exact above");
+            };
+            for v in mine {
+                self.record(v);
+            }
+        }
+        match (&mut *self, other) {
+            (Self::Exact(mine), Self::Exact(theirs)) => mine.extend_from_slice(theirs),
+            (
+                Self::Streaming {
+                    histogram,
+                    sum_secs,
+                    max,
+                },
+                Self::Streaming {
+                    histogram: other_histogram,
+                    sum_secs: other_sum,
+                    max: other_max,
+                },
+            ) => {
+                histogram.merge(other_histogram);
+                *sum_secs += other_sum;
+                *max = (*max).max(*other_max);
+            }
+            (
+                Self::Streaming {
+                    histogram,
+                    sum_secs,
+                    max,
+                },
+                Self::Exact(theirs),
+            ) => {
+                for &v in theirs {
+                    histogram.record(v);
+                    *sum_secs += v.secs();
+                    *max = (*max).max(v);
+                }
+            }
+            (Self::Exact(_), Self::Streaming { .. }) => unreachable!("promoted above"),
+        }
+    }
+
+    /// Finalizes the statistics. Streamed percentile estimates are
+    /// clamped to the exactly-tracked maximum: the histogram reports a
+    /// bin's upper edge, which for the top-occupied bin can exceed the
+    /// true max (and, for clamped overflow values, even `MAX_SECS`) — a
+    /// report must never show `p99 > max`.
     #[must_use]
     pub fn finish(&self) -> LatencyStats {
         match self {
@@ -172,9 +251,9 @@ impl LatencyAccumulator {
                 }
                 LatencyStats {
                     count: n as usize,
-                    p50: histogram.percentile(0.50),
-                    p90: histogram.percentile(0.90),
-                    p99: histogram.percentile(0.99),
+                    p50: histogram.percentile(0.50).min(*max),
+                    p90: histogram.percentile(0.90).min(*max),
+                    p99: histogram.percentile(0.99).min(*max),
                     mean: Time::from_secs(sum_secs / n as f64),
                     max: *max,
                 }
@@ -248,5 +327,123 @@ mod tests {
         assert!(matches!(acc, LatencyAccumulator::Exact(_)));
         acc.record(Time::from_millis(7.0));
         assert_eq!(acc.finish().p50, Time::from_millis(7.0));
+    }
+
+    /// Regression: the histogram's percentile estimate is a bin's upper
+    /// edge, so before the clamp a streamed population of identical
+    /// values reported `p50 > max`. Percentiles must stay ordered and
+    /// bounded by the exact maximum in both regimes.
+    #[test]
+    fn streamed_percentiles_never_exceed_the_exact_max() {
+        let mut streaming = LatencyAccumulator::for_population(1_000_000);
+        let mut exact = LatencyAccumulator::for_population(100);
+        for _ in 0..60 {
+            streaming.record(Time::from_secs(1.0));
+            exact.record(Time::from_secs(1.0));
+        }
+        for acc in [&streaming, &exact] {
+            let s = acc.finish();
+            assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+            assert!(s.p90 <= s.p99, "p90 {} > p99 {}", s.p90, s.p99);
+            assert!(s.p99 <= s.max, "p99 {} > max {}", s.p99, s.max);
+            assert_eq!(s.max, Time::from_secs(1.0));
+        }
+    }
+
+    /// Values beyond the histogram's covered range clamp into the last
+    /// bin; the finished percentiles must still respect the exact max.
+    #[test]
+    fn overflowing_values_keep_percentiles_under_the_max() {
+        let mut acc = LatencyAccumulator::for_population(1_000_000);
+        for _ in 0..10 {
+            acc.record(Time::from_secs(1e7)); // beyond MAX_SECS = 1e6
+        }
+        let s = acc.finish();
+        assert_eq!(s.max, Time::from_secs(1e7));
+        assert!(s.p99 <= s.max);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+    }
+
+    /// Merging two streaming accumulators is loss-free on count, mean,
+    /// and max, and the merged percentiles match recording the union
+    /// directly.
+    #[test]
+    fn streaming_merge_equals_union() {
+        let mut a = LatencyAccumulator::for_population(1_000_000);
+        let mut b = LatencyAccumulator::for_population(1_000_000);
+        let mut union = LatencyAccumulator::for_population(1_000_000);
+        for i in 1..=100 {
+            let v = Time::from_millis(f64::from(i) * 3.7);
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_stats_match(&a.finish(), &union.finish());
+    }
+
+    /// Exact + exact merge concatenates; the result equals one exact
+    /// accumulator over the union.
+    #[test]
+    fn exact_merge_equals_union() {
+        let mut a = LatencyAccumulator::Exact(Vec::new());
+        let mut b = LatencyAccumulator::Exact(Vec::new());
+        let mut union = LatencyAccumulator::Exact(Vec::new());
+        for i in 1..=50 {
+            let v = Time::from_millis(f64::from(i));
+            if i % 3 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            union.record(v);
+        }
+        a.merge(&b);
+        assert_stats_match(&a.finish(), &union.finish());
+    }
+
+    /// Order statistics and extrema are order-independent, so they match
+    /// exactly; the mean accumulates in input order, which a merge
+    /// permutes, so it matches only to floating-point roundoff.
+    fn assert_stats_match(merged: &LatencyStats, union: &LatencyStats) {
+        assert_eq!(merged.count, union.count);
+        assert_eq!(merged.p50, union.p50);
+        assert_eq!(merged.p90, union.p90);
+        assert_eq!(merged.p99, union.p99);
+        assert_eq!(merged.max, union.max);
+        assert!((merged.mean.secs() - union.mean.secs()).abs() <= 1e-12 * union.mean.secs());
+    }
+
+    /// Mixed-regime merges promote the exact side into the histogram;
+    /// count, mean, and max stay exact in both directions.
+    #[test]
+    fn mixed_regime_merges_keep_exact_aggregates() {
+        let exact_side = || {
+            let mut acc = LatencyAccumulator::Exact(Vec::new());
+            for i in 1..=40 {
+                acc.record(Time::from_millis(f64::from(i)));
+            }
+            acc
+        };
+        let streaming_side = || {
+            let mut acc = LatencyAccumulator::for_population(1_000_000);
+            for i in 41..=80 {
+                acc.record(Time::from_millis(f64::from(i)));
+            }
+            acc
+        };
+        let mut a = exact_side();
+        a.merge(&streaming_side());
+        let mut b = streaming_side();
+        b.merge(&exact_side());
+        for s in [a.finish(), b.finish()] {
+            assert_eq!(s.count, 80);
+            assert!((s.mean.millis() - 40.5).abs() < 1e-9);
+            assert_eq!(s.max, Time::from_millis(80.0));
+            assert!(s.p99 <= s.max);
+        }
     }
 }

@@ -12,7 +12,7 @@ use optimus_model::presets as models;
 use optimus_serve::stats::HISTOGRAM_BINS_PER_OCTAVE;
 use optimus_serve::{
     load_sweep, simulate, LatencyStats, LengthDist, LoadStrategy, LoadSweepSpec, LogHistogram,
-    PricingMode, ServeConfig, SloSpec, TraceSpec,
+    PricingMode, RouterPolicy, ServeConfig, SloSpec, TraceSpec,
 };
 use optimus_units::Time;
 use proptest::prelude::*;
@@ -138,16 +138,14 @@ fn load_sweep_json_is_byte_identical_across_one_and_eight_threads() {
         output: LengthDist::Uniform { lo: 2, hi: 16 },
         rates: vec![5.0, 80.0],
         strategies: vec![
-            LoadStrategy {
-                tp: 1,
-                precision: Precision::Fp16,
-            },
-            LoadStrategy {
-                tp: 2,
-                precision: Precision::Fp16,
-            },
+            LoadStrategy::single(1, Precision::Fp16),
+            LoadStrategy::single(2, Precision::Fp16),
+            // A multi-replica strategy exercises the fleet path through
+            // the same byte-identical contract.
+            LoadStrategy::single(1, Precision::Fp16).with_replicas(2),
         ],
         slo: SloSpec::default(),
+        router: RouterPolicy::LeastOutstanding,
     };
     let pool = |n: usize| {
         rayon::ThreadPoolBuilder::new()

@@ -132,8 +132,9 @@ fn serving_simulator_degenerates_to_static_estimator_at_low_rate() {
         assert_eq!(report.completed, 5);
         assert_eq!(report.queue.peak_decoding, 1, "no overlap at this rate");
         assert_eq!(
-            report.queue.peak_waiting, 1,
-            "each request waits only for its own prefill"
+            report.queue.peak_waiting, 0,
+            "an idle instance prefills each arrival immediately — nothing ever \
+             sits without compute"
         );
 
         for m in &report.per_request {
