@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use optimus::prelude::*;
 use optimus_serve::{
-    load_sweep, simulate, simulate_fleet_trace, simulate_trace, FleetConfig, LengthDist,
+    load_sweep, simulate, simulate_fleet_trace, simulate_trace, FaultSpec, FleetConfig, LengthDist,
     LoadStrategy, LoadSweepSpec, RouterPolicy, ServeConfig, SloSpec, TraceSpec,
 };
 use std::hint::black_box;
@@ -83,6 +83,7 @@ fn bench_fleet_4rep(c: &mut Criterion) {
         replicas: 4,
         router: RouterPolicy::LeastOutstanding,
         replica: ServeConfig::new(2),
+        faults: FaultSpec::none(),
     };
     let trace = TraceSpec {
         seed: 42,
@@ -93,6 +94,34 @@ fn bench_fleet_4rep(c: &mut Criterion) {
     }
     .generate();
     c.bench_function("fleet/llama13b_4rep", |b| {
+        b.iter(|| {
+            black_box(simulate_fleet_trace(&cluster, Arc::clone(&model), &config, &trace).unwrap())
+        })
+    });
+}
+
+/// The same 4-replica fleet under seeded churn: crashes drain in-flight
+/// work back to the router, requeues re-route with original arrivals,
+/// and every arrival consults the outage cursors — this tracks the cost
+/// of the fault machinery on top of the fault-free fleet path above.
+fn bench_fleet_4rep_chaos(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_13b());
+    let config = FleetConfig {
+        replicas: 4,
+        router: RouterPolicy::LeastOutstanding,
+        replica: ServeConfig::new(2),
+        faults: FaultSpec::crashes(7, 60.0, 10.0),
+    };
+    let trace = TraceSpec {
+        seed: 42,
+        requests: 200_000,
+        arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: 1200.0 },
+        prompt: LengthDist::Uniform { lo: 50, hi: 400 },
+        output: LengthDist::Uniform { lo: 8, hi: 64 },
+    }
+    .generate();
+    c.bench_function("fleet/llama13b_4rep_chaos", |b| {
         b.iter(|| {
             black_box(simulate_fleet_trace(&cluster, Arc::clone(&model), &config, &trace).unwrap())
         })
@@ -117,6 +146,7 @@ fn bench_load_sweep_16pt(c: &mut Criterion) {
             .collect(),
         slo: SloSpec::default(),
         router: RouterPolicy::RoundRobin,
+        faults: None,
     };
     c.bench_function("load_sweep/16pt", |b| {
         b.iter(|| black_box(load_sweep(&cluster, &model, &spec)))
@@ -134,6 +164,6 @@ criterion_group!(
     // Each sample runs a seven-figure simulation; a handful of samples
     // keeps the snapshot honest without a minute-long bench run.
     config = Criterion::default().sample_size(3);
-    targets = bench_simulate_1m, bench_fleet_4rep, bench_load_sweep_16pt
+    targets = bench_simulate_1m, bench_fleet_4rep, bench_fleet_4rep_chaos, bench_load_sweep_16pt
 );
 criterion_main!(serve_benches, scale_benches);

@@ -217,6 +217,52 @@ fn router_of(args: &Args) -> Result<optimus_serve::RouterPolicy, ArgError> {
     })
 }
 
+/// Parses the fault-injection options shared by `serve` and
+/// `load-sweep`: `--mtbf S` (+ `--mttr S`, `--fault-seed N`) and
+/// `--stragglers FRAC:MULT`. Returns `None` when no fault axis is
+/// requested at all.
+fn faults_of(args: &Args) -> Result<Option<optimus_serve::FaultSpec>, ArgError> {
+    use optimus_serve::FaultSpec;
+    let crashes = args.get("mtbf").is_some();
+    let stragglers = args.get("stragglers");
+    if !crashes {
+        if args.get("mttr").is_some() {
+            return Err(ArgError("--mttr only applies with --mtbf".to_owned()));
+        }
+        if stragglers.is_none() {
+            if args.get("fault-seed").is_some() {
+                return Err(ArgError(
+                    "--fault-seed only applies with --mtbf or --stragglers".to_owned(),
+                ));
+            }
+            return Ok(None);
+        }
+    }
+    let mut spec = FaultSpec::none();
+    spec.seed = args.get_usize("fault-seed", 0)? as u64;
+    if crashes {
+        spec.mtbf_s = args.get_f64("mtbf", 0.0)?;
+        if !(spec.mtbf_s.is_finite() && spec.mtbf_s > 0.0) {
+            return Err(ArgError("--mtbf must be positive seconds".to_owned()));
+        }
+        spec.mttr_s = args.get_f64("mttr", 30.0)?;
+    }
+    if let Some(value) = stragglers {
+        let parsed = value
+            .split_once(':')
+            .and_then(|(frac, mult)| Some((frac.parse::<f64>().ok()?, mult.parse::<f64>().ok()?)));
+        let Some((frac, mult)) = parsed else {
+            return Err(ArgError(format!(
+                "--stragglers expects FRAC:MULT (e.g. 0.25:2.5), got `{value}`"
+            )));
+        };
+        spec = spec.with_stragglers(frac, mult);
+    }
+    spec.validate()
+        .map_err(|reason| ArgError(format!("invalid fault options: {reason}")))?;
+    Ok(Some(spec))
+}
+
 /// Parses the SLO options shared by `serve` and `load-sweep`.
 fn slo_of(args: &Args) -> Result<optimus_serve::SloSpec, ArgError> {
     let ttft_slo = args.get_f64("ttft-slo", 2000.0)?;
@@ -298,12 +344,16 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     if replicas == 0 {
         return Err(ArgError("--replicas must be at least 1".to_owned()));
     }
-    if replicas > 1 {
+    let faults = faults_of(args)?;
+    if replicas > 1 || faults.is_some() {
         // Fleet path: route the trace online across identical replicas.
+        // Fault injection is a fleet concern, so `--mtbf` on a single
+        // replica also runs here (the router requeues its drained work).
         let fleet_config = FleetConfig {
             replicas,
             router: router_of(args)?,
             replica: config,
+            faults: faults.unwrap_or_else(optimus_serve::FaultSpec::none),
         };
         let report = simulate_fleet(&cluster, std::sync::Arc::new(model), &fleet_config, &spec)
             .map_err(|e| ArgError(e.to_string()))?;
@@ -335,6 +385,20 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
              (mean decode batch {:.1})\n",
             report.mean_decode_batch
         ));
+        if report.faults.is_some() {
+            let downtime: Vec<String> = report
+                .availability
+                .per_replica_downtime
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+            out.push_str(&format!(
+                "churn: downtime per replica [{}], {} requeue events over {} requests\n",
+                downtime.join(", "),
+                report.availability.requeues,
+                report.availability.requeued_requests,
+            ));
+        }
         return Ok(out);
     }
     for key in ["router", "router-seed"] {
@@ -465,6 +529,7 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         strategies,
         slo: slo_of(args)?,
         router,
+        faults: faults_of(args)?,
     };
     if spec.requests == 0 {
         return Err(ArgError("--requests must be at least 1".to_owned()));
@@ -499,6 +564,12 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         report.slo.ttft,
         report.slo.tpot,
     );
+    if let Some(f) = &report.faults {
+        out.push_str(&format!(
+            "faults: mtbf {} s, mttr {} s, seed {} — availability-aware frontier\n",
+            f.mtbf_s, f.mttr_s, f.seed
+        ));
+    }
     for curve in &report.curves {
         let replicas_desc = if curve.replicas == 1 {
             String::new()
@@ -759,12 +830,15 @@ USAGE:
                      [--generate N] [--tp N] [--precision P] [--json]
   optimus-cli serve  [--model M] [--cluster C] [--tp N] [--precision P]
                      [--replicas N] [--router POLICY] [--router-seed N]
-                     [--requests N] [--seed N] [--rate R | --interval S]
+                     [--mtbf S] [--mttr S] [--fault-seed N]
+                     [--stragglers F:M] [--requests N] [--seed N]
+                     [--rate R | --interval S]
                      [--prompt N|LO:HI] [--output N|LO:HI]
                      [--ttft-slo MS] [--tpot-slo MS] [--records] [--json]
   optimus-cli load-sweep
                      [--model M] [--cluster C] [--tp-list N,N,..]
                      [--replicas-list N,N,..] [--router POLICY]
+                     [--mtbf S] [--mttr S] [--fault-seed N]
                      [--precisions P,P] [--requests N] [--seed N]
                      [--rates R,R,.. | --min-rate R --max-rate R --points N]
                      [--prompt N|LO:HI] [--output N|LO:HI]
@@ -784,6 +858,17 @@ FLEET OPTIONS (serve with --replicas ≥ 2, load-sweep with --replicas-list):
                     shortest-queue; the state-aware policies observe live
                     per-replica queue depth at each arrival
   --router-seed N   RNG seed of the random router (default 0)
+
+FAULT INJECTION (serve and load-sweep; deterministic, seeded):
+  --mtbf S          mean seconds of uptime between replica crashes
+                    (exponential, per replica); off unless given. Crashed
+                    replicas drain their in-flight requests back to the
+                    router for requeueing, and routers skip down replicas
+  --mttr S          mean seconds to repair one crash (default 30)
+  --fault-seed N    seed of the fault processes (default 0); independent
+                    of the trace and router seeds
+  --stragglers F:M  fraction F of replicas run every iteration M× slower
+                    (drawn once per replica from the fault seed)
 
 SERVE TRAFFIC AND SLO OPTIONS:
   --rate R          Poisson arrivals at R requests/s (default 2.0)
@@ -982,6 +1067,82 @@ mod tests {
         ] {
             assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn serve_with_faults_reports_availability() {
+        let out = serve(&args(
+            "serve --model llama2-7b --replicas 3 --requests 120 --rate 30 \
+             --prompt 100:200 --output 4:16 --mtbf 5 --mttr 2 --fault-seed 7",
+        ))
+        .unwrap();
+        assert!(out.contains("churn"), "{out}");
+        assert!(out.contains("downtime per replica"), "{out}");
+        let json = serve(&args(
+            "serve --model llama2-7b --replicas 3 --requests 120 --rate 30 \
+             --prompt 100:200 --output 4:16 --mtbf 5 --mttr 2 --fault-seed 7 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let availability = v.get("availability").unwrap();
+        assert!(
+            availability
+                .get("crashes")
+                .and_then(serde_json::Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let faults = v.get("faults").unwrap();
+        assert_eq!(
+            faults.get("mtbf_s").and_then(serde_json::Value::as_f64),
+            Some(5.0)
+        );
+    }
+
+    #[test]
+    fn serve_single_replica_with_faults_takes_the_fleet_path() {
+        let out = serve(&args(
+            "serve --model llama2-7b --requests 60 --rate 20 --prompt 100 --output 8 \
+             --mtbf 4 --mttr 1 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            v.get("replicas").and_then(serde_json::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            v.get("completed").and_then(serde_json::Value::as_f64),
+            Some(60.0)
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_fault_options() {
+        for bad in [
+            "serve --mttr 10",
+            "serve --fault-seed 3",
+            "serve --replicas 2 --mtbf 0",
+            "serve --replicas 2 --mtbf -5",
+            "serve --replicas 2 --mtbf 10 --mttr 0",
+            "serve --replicas 2 --stragglers half:2",
+            "serve --replicas 2 --stragglers 1.5:2",
+            "serve --replicas 2 --stragglers 0.5:0.5",
+        ] {
+            assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn load_sweep_with_faults_runs_and_labels_the_report() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1 --replicas-list 2 \
+             --rates 20 --requests 120 --prompt 100 --output 8 \
+             --mtbf 5 --mttr 2 --fault-seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("faults: mtbf 5 s"), "{out}");
+        assert!(out.contains("availability-aware"), "{out}");
     }
 
     #[test]

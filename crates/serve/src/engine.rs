@@ -23,6 +23,7 @@
 //! never invents work: it jumps its clock forward only to the next queued
 //! arrival within the target.
 
+use crate::faults::{EngineFaults, FaultTimeline};
 use crate::sim::{ServeError, ServeInstance, TraceBounds};
 use crate::stats::LatencyAccumulator;
 use crate::{QueueSample, Request, RequestMetrics, SloSpec, MAX_QUEUE_SAMPLES};
@@ -141,10 +142,16 @@ pub(crate) struct ReplicaEngine<'i, 'a> {
     decode_epoch: usize,
 
     // The engine's trace: in batch mode the whole input, in stepped mode
-    // whatever the router has assigned so far (always arrival-ordered).
+    // whatever the router has assigned so far. `eff` runs parallel to it
+    // with the *effective* (engine-observed, nondecreasing) arrival time:
+    // the original arrival for first-routed requests, the requeue instant
+    // for requests re-assigned after a crash. Metrics always use the
+    // request's own `arrival_s`.
     trace: Vec<Request>,
-    arrived: usize,      // trace[..arrived] have arrived (arrival ≤ clock)
+    eff: Vec<f64>,
+    arrived: usize,      // trace[..arrived] have arrived (eff ≤ clock)
     admit_cursor: usize, // trace[admit_cursor..arrived] queue for admission
+    assigned: usize,     // total assignments ever (requeues drop `trace`)
 
     clock: f64,
     slots: Vec<Slot>,
@@ -170,6 +177,13 @@ pub(crate) struct ReplicaEngine<'i, 'a> {
     raw_samples: Vec<QueueSample>,
     sample_stride: usize,
     iteration: usize,
+
+    // Fault wiring (`None` on the fault-free path): the outage windows
+    // the clock drains through, the router's availability cursor, and the
+    // requests lost to crashes since the driver last collected them.
+    faults: Option<EngineFaults>,
+    slow_mult: f64,
+    requeued: Vec<(Request, f64)>,
 }
 
 impl<'i, 'a> ReplicaEngine<'i, 'a> {
@@ -184,8 +198,10 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         bounds: &TraceBounds,
         expected: usize,
         records_on: bool,
+        faults: Option<EngineFaults>,
     ) -> Self {
         let ring_len = bounds.max_kv.max(1) + 1; // ≥ max_output + 1
+        let slow_mult = faults.as_ref().map_or(1.0, |f| f.slow_mult);
         Self {
             instance,
             table,
@@ -194,8 +210,10 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
             calendar: vec![Vec::new(); ring_len],
             decode_epoch: 0,
             trace: Vec::new(),
+            eff: Vec::new(),
             arrived: 0,
             admit_cursor: 0,
+            assigned: 0,
             clock: 0.0,
             slots: Vec::new(),
             free_slots: Vec::new(),
@@ -216,6 +234,9 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
             raw_samples: Vec::new(),
             sample_stride: 1,
             iteration: 0,
+            faults,
+            slow_mult,
+            requeued: Vec::new(),
         }
     }
 
@@ -228,7 +249,40 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 .is_none_or(|prev| prev.arrival_s <= request.arrival_s),
             "requests must be pushed in arrival order"
         );
+        self.eff.push(request.arrival_s);
         self.trace.push(request);
+        self.assigned += 1;
+    }
+
+    /// Assigns one request at router-observed time `at_s` — the churn
+    /// path. The request keeps its own `arrival_s` for every metric; the
+    /// engine first sees it at `at_s` (clamped so effective arrivals stay
+    /// nondecreasing), which is how a requeued request re-enters a queue
+    /// later than it originally arrived.
+    pub(crate) fn push_at(&mut self, request: Request, at_s: f64) {
+        let eff = self.eff.last().map_or(at_s, |&prev| prev.max(at_s));
+        self.eff.push(eff);
+        self.trace.push(request);
+        self.assigned += 1;
+    }
+
+    /// Whether the replica's outage schedule has it up at `t` — the
+    /// router's skip-down-replicas query. `t` must be nondecreasing
+    /// across calls (the router's clock is monotone).
+    pub(crate) fn available(&mut self, t: f64) -> bool {
+        self.faults.as_mut().is_none_or(|f| !f.query.down_at(t))
+    }
+
+    /// The earliest instant ≥ `t` at which the replica's schedule has it
+    /// up again.
+    pub(crate) fn next_up(&mut self, t: f64) -> f64 {
+        self.faults.as_mut().map_or(t, |f| f.query.next_up(t))
+    }
+
+    /// Takes the requests crashes have drained since the last call, each
+    /// paired with the instant its replica dropped it.
+    pub(crate) fn take_requeued(&mut self) -> Vec<(Request, f64)> {
+        core::mem::take(&mut self.requeued)
     }
 
     /// Requests with **no compute yet**: routed but unadmitted (queued for
@@ -255,9 +309,10 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
     /// (unsupported precision).
     pub(crate) fn advance_to(&mut self, target: f64) -> Result<(), ServeError> {
         loop {
-            while self.arrived < self.trace.len()
-                && self.trace[self.arrived].arrival_s <= self.clock
-            {
+            if self.faults.is_some() {
+                self.process_outages();
+            }
+            while self.arrived < self.trace.len() && self.eff[self.arrived] <= self.clock {
                 self.arrived += 1;
             }
             while self.admit_cursor < self.arrived {
@@ -303,7 +358,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 if self.arrived >= self.trace.len() {
                     return Ok(()); // idle, nothing queued: wait for pushes
                 }
-                let next = self.trace[self.arrived].arrival_s;
+                let next = self.eff[self.arrived];
                 if next > target {
                     return Ok(()); // next arrival is beyond the target
                 }
@@ -335,9 +390,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 // must count every request that arrived while the
                 // iteration ran — advance the arrival cursor to the new
                 // clock before reading the waiting depth.
-                while self.arrived < self.trace.len()
-                    && self.trace[self.arrived].arrival_s <= self.clock
-                {
+                while self.arrived < self.trace.len() && self.eff[self.arrived] <= self.clock {
                     self.arrived += 1;
                 }
                 self.raw_samples.push(QueueSample {
@@ -358,6 +411,64 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         }
     }
 
+    /// Applies every outage window the clock has reached. Crashes take
+    /// effect at iteration boundaries: a window the clock lands *inside*
+    /// drains the replica — all incomplete work goes back to the router —
+    /// and jumps the clock to the recovery instant; a window the clock
+    /// has already passed (the outage fit inside one indivisible
+    /// iteration, or the engine was idle across it with nothing assigned)
+    /// is ridden through without a drain.
+    fn process_outages(&mut self) {
+        loop {
+            let Some((crash, recover)) = self.faults.as_ref().and_then(|f| f.window) else {
+                return;
+            };
+            if self.clock < crash {
+                return;
+            }
+            if self.clock < recover {
+                self.drain_for_requeue();
+                self.clock = recover;
+            }
+            let faults = self.faults.as_mut().expect("window implies fault wiring");
+            faults.window = faults.timeline.as_mut().map(FaultTimeline::next_window);
+        }
+    }
+
+    /// Crash: every incomplete request — queued for admission, awaiting
+    /// prefill, or mid-decode — is pulled back for the router to requeue
+    /// with its original arrival time intact; partial decode progress is
+    /// discarded. Completed history and cumulative counters survive; only
+    /// in-flight state resets.
+    fn drain_for_requeue(&mut self) {
+        let mut lost: Vec<Request> = Vec::new();
+        for &idx in &self.awaiting_prefill {
+            lost.push(self.slots[idx as usize].request);
+        }
+        for due in &mut self.calendar {
+            for idx in due.drain(..) {
+                lost.push(self.slots[idx as usize].request);
+            }
+        }
+        lost.extend_from_slice(&self.trace[self.admit_cursor..]);
+        self.awaiting_prefill.clear();
+        self.pending_first.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.decoding_count = 0;
+        self.ctx_sum = 0;
+        self.reserved = Bytes::ZERO;
+        self.trace.truncate(self.admit_cursor);
+        self.eff.truncate(self.admit_cursor);
+        self.arrived = self.admit_cursor;
+        if lost.is_empty() {
+            return;
+        }
+        lost.sort_by_key(|r| r.id);
+        let at = self.clock;
+        self.requeued.extend(lost.into_iter().map(|r| (r, at)));
+    }
+
     /// One prefill iteration of slot `idx`; returns its duration.
     fn prefill(&mut self, idx: u32) -> Result<f64, ServeError> {
         let (tp, precision) = {
@@ -366,7 +477,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         };
         let prompt = self.slots[idx as usize].request.prompt;
         let cached = self.prefill_cache[prompt];
-        let dur = if cached.is_nan() {
+        let base = if cached.is_nan() {
             let computed = self
                 .instance
                 .estimator()
@@ -378,6 +489,8 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         } else {
             cached
         };
+        // `slow_mult` is 1.0 on the fault-free path (bitwise identity).
+        let dur = base * self.slow_mult;
         self.slots[idx as usize].prefill_dur_s = dur;
         // Join the decode batch: first token next decode epoch, completion
         // `output` epochs out.
@@ -399,7 +512,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         // is linear in total KV entries read, so batch × ⌈mean⌉ preserves
         // it while the GEMM terms see the true batch width.
         let kv_len = self.ctx_sum.div_ceil(batch);
-        let dur = match self.table {
+        let base = match self.table {
             Some(t) => t.decode_iteration(batch, kv_len).secs(),
             None => {
                 let c = self.instance.config();
@@ -410,6 +523,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                     .secs()
             }
         };
+        let dur = base * self.slow_mult;
         self.decode_iterations += 1;
         self.decode_batch_sum += batch;
         let end = self.clock + dur;
@@ -458,11 +572,12 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         Ok(())
     }
 
-    /// Consumes the engine into (requests routed, report inputs). Call
-    /// after [`ReplicaEngine::finish`].
+    /// Consumes the engine into (requests ever assigned — requeues count
+    /// each assignment, report inputs). Call after
+    /// [`ReplicaEngine::finish`].
     pub(crate) fn into_parts(self) -> (usize, ReportInputs) {
         (
-            self.trace.len(),
+            self.assigned,
             ReportInputs {
                 sink: self.sink,
                 rejected_ids: self.rejected_ids,

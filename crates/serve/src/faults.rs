@@ -1,0 +1,503 @@
+//! Seeded fault injection for fleet serving: MTBF/MTTR crash processes,
+//! straggler slow nodes, and fleet-wide throughput degradation.
+//!
+//! A [`FaultSpec`] describes the failure environment of a replica fleet.
+//! Per replica it derives — purely from `(seed, replica index)` — an
+//! alternating-renewal **outage schedule** (up for `Exp(1/mtbf)` seconds,
+//! down for `Exp(1/mttr)` seconds, forever) and a constant iteration-time
+//! **slowdown multiplier** (stragglers drawn once per replica, on top of
+//! a fleet-wide degradation factor). Because the schedule is a pure
+//! function of the spec, the router, the engines, and the availability
+//! metrics can each regenerate the same timeline independently, and the
+//! whole simulation stays byte-identical across runs and thread counts.
+//!
+//! Crash semantics (the requeue-on-failure contract the chaos suite
+//! pins):
+//!
+//! * A crash takes effect at the first **iteration boundary** at or after
+//!   its scheduled instant (an iteration is indivisible; an outage that
+//!   begins and ends inside one iteration is ridden through). Every
+//!   request on the replica — queued, admitted, or mid-decode — is
+//!   drained back to the router with its **original arrival time**;
+//!   partial decode progress is discarded.
+//! * While a replica is inside a scheduled outage window the router skips
+//!   it; if every replica is down, the FIFO front door blocks until the
+//!   earliest recovery.
+//! * Downtime accounting is schedule-based: a replica's downtime is the
+//!   sum of its outage windows clipped to the fleet makespan, whether or
+//!   not work was lost.
+//!
+//! The degenerate [`FaultSpec::none`] (infinite MTBF, no stragglers, no
+//! degradation) is guaranteed — and pinned by `chaos_props.rs` — to leave
+//! the fleet path bit-identical to a fault-free simulation.
+
+use rand::distributions::{Distribution, Exp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distinguishes the per-replica random streams drawn from one fault
+/// seed.
+const CRASH_STREAM: u64 = 0x9E6D_5C3B_2A19_0807;
+const STRAGGLER_STREAM: u64 = 0x51ED_270B_484D_B6C1;
+
+/// The seeded failure environment of a replica fleet.
+///
+/// All fields are plain numbers so the spec is `Copy`, comparable, and
+/// serializable; the degenerate [`FaultSpec::none`] encodes "no faults"
+/// (and the fleet path treats it as exactly the fault-free simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of every fault process. Independent of the trace and router
+    /// seeds; per-replica streams are derived from `(seed, replica)`.
+    pub seed: u64,
+    /// Mean seconds of uptime between crashes, per replica (exponential).
+    /// `0` or `+∞` disables the crash process entirely.
+    pub mtbf_s: f64,
+    /// Mean seconds to repair one crash (exponential). Must be positive
+    /// and finite when the crash process is enabled.
+    pub mttr_s: f64,
+    /// Probability that a replica is a straggler (drawn once per replica
+    /// from the seed). `0` disables the straggler draw.
+    pub straggler_frac: f64,
+    /// Iteration-duration multiplier of a straggler replica (≥ 1).
+    pub straggler_mult: f64,
+    /// Fleet-wide iteration-duration multiplier (≥ 1) — uniform
+    /// throughput degradation, e.g. a degraded interconnect.
+    pub degrade_mult: f64,
+}
+
+impl FaultSpec {
+    /// The degenerate no-fault spec: infinite MTBF, no stragglers, no
+    /// degradation. Fleet reports under this spec are bit-identical to
+    /// the fault-free path.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            mtbf_s: f64::INFINITY,
+            mttr_s: 0.0,
+            straggler_frac: 0.0,
+            straggler_mult: 1.0,
+            degrade_mult: 1.0,
+        }
+    }
+
+    /// A crash/recover process: replicas fail after `Exp(1/mtbf_s)`
+    /// seconds of uptime and repair in `Exp(1/mttr_s)` seconds.
+    #[must_use]
+    pub fn crashes(seed: u64, mtbf_s: f64, mttr_s: f64) -> Self {
+        Self {
+            seed,
+            mtbf_s,
+            mttr_s,
+            ..Self::none()
+        }
+    }
+
+    /// Adds a straggler draw: each replica independently runs every
+    /// iteration `mult`× slower with probability `frac`.
+    #[must_use]
+    pub fn with_stragglers(mut self, frac: f64, mult: f64) -> Self {
+        self.straggler_frac = frac;
+        self.straggler_mult = mult;
+        self
+    }
+
+    /// Sets the fleet-wide degradation multiplier.
+    #[must_use]
+    pub fn with_degradation(mut self, mult: f64) -> Self {
+        self.degrade_mult = mult;
+        self
+    }
+
+    /// Whether the crash/recover process is active.
+    #[must_use]
+    pub fn has_crashes(&self) -> bool {
+        self.mtbf_s.is_finite() && self.mtbf_s > 0.0
+    }
+
+    /// Whether the spec injects no faults at all — no crash process, no
+    /// effective straggler draw, no degradation. The fleet path treats
+    /// such a spec (whatever its seed) exactly like the fault-free one.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        !self.has_crashes()
+            && (self.straggler_frac == 0.0 || self.straggler_mult == 1.0)
+            && self.degrade_mult == 1.0
+    }
+
+    /// Validates the spec's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a field is out of range
+    /// (negative/NaN MTBF, non-positive MTTR with crashes enabled,
+    /// straggler fraction outside `[0, 1]`, multipliers below 1).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mtbf_s.is_nan() || self.mtbf_s < 0.0 {
+            return Err(format!("MTBF must be non-negative, got {}", self.mtbf_s));
+        }
+        if self.has_crashes() && !(self.mttr_s.is_finite() && self.mttr_s > 0.0) {
+            return Err(format!(
+                "MTTR must be positive and finite when crashes are enabled, got {}",
+                self.mttr_s
+            ));
+        }
+        if !(self.straggler_frac >= 0.0 && self.straggler_frac <= 1.0) {
+            return Err(format!(
+                "straggler fraction must lie in [0, 1], got {}",
+                self.straggler_frac
+            ));
+        }
+        if !(self.straggler_mult.is_finite() && self.straggler_mult >= 1.0) {
+            return Err(format!(
+                "straggler multiplier must be ≥ 1, got {}",
+                self.straggler_mult
+            ));
+        }
+        if !(self.degrade_mult.is_finite() && self.degrade_mult >= 1.0) {
+            return Err(format!(
+                "degradation multiplier must be ≥ 1, got {}",
+                self.degrade_mult
+            ));
+        }
+        Ok(())
+    }
+
+    /// A copy safe to embed in JSON reports: a disabled crash process is
+    /// normalized to `mtbf_s = 0` (JSON cannot carry `∞`; `0` and `∞`
+    /// both mean "never crashes").
+    #[must_use]
+    pub fn json_safe(mut self) -> Self {
+        if !self.has_crashes() {
+            self.mtbf_s = 0.0;
+            self.mttr_s = 0.0;
+        }
+        self
+    }
+
+    /// The constant iteration-duration multiplier of `replica`: the
+    /// fleet-wide degradation times the straggler multiplier when this
+    /// replica's seeded draw makes it a straggler. Exactly `1.0` for an
+    /// inactive slowdown axis, so the fault-free path is untouched.
+    #[must_use]
+    pub fn slow_mult(&self, replica: usize) -> f64 {
+        let mut mult = self.degrade_mult;
+        if self.straggler_frac > 0.0 && self.straggler_mult != 1.0 {
+            let mut rng = stream_rng(self.seed, replica, STRAGGLER_STREAM);
+            if rng.gen_range(0.0..1.0) < self.straggler_frac {
+                mult *= self.straggler_mult;
+            }
+        }
+        mult
+    }
+
+    /// The replica's scheduled outage windows `(crash_s, recover_s)` that
+    /// **begin** before `horizon_s`, in time order. A pure function of
+    /// `(spec, replica)` — the same schedule the engines and the router
+    /// observe.
+    #[must_use]
+    pub fn outage_windows(&self, replica: usize, horizon_s: f64) -> Vec<(f64, f64)> {
+        let mut windows = Vec::new();
+        let Some(mut timeline) = FaultTimeline::new(self, replica) else {
+            return windows;
+        };
+        loop {
+            let (crash, recover) = timeline.next_window();
+            if crash >= horizon_s {
+                return windows;
+            }
+            windows.push((crash, recover));
+        }
+    }
+
+    /// Schedule-based availability accounting for one replica: the number
+    /// of crashes scheduled before `horizon_s` and their total downtime
+    /// clipped to the horizon.
+    #[must_use]
+    pub(crate) fn outage_stats(&self, replica: usize, horizon_s: f64) -> (usize, f64) {
+        let windows = self.outage_windows(replica, horizon_s);
+        let downtime = windows
+            .iter()
+            .map(|&(crash, recover)| recover.min(horizon_s) - crash)
+            .sum();
+        (windows.len(), downtime)
+    }
+}
+
+/// The splitmix64 finalizer: decorrelates the per-replica streams drawn
+/// from one user-facing seed.
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn stream_rng(seed: u64, replica: usize, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix(
+        seed ^ splitmix(stream ^ splitmix((replica as u64).wrapping_add(1))),
+    ))
+}
+
+/// The infinite outage-window generator of one replica: alternating
+/// exponential up/down durations from the replica's crash stream.
+pub(crate) struct FaultTimeline {
+    rng: StdRng,
+    mtbf_s: f64,
+    mttr_s: f64,
+    at_s: f64,
+}
+
+impl FaultTimeline {
+    /// `None` when the spec's crash process is disabled.
+    pub(crate) fn new(spec: &FaultSpec, replica: usize) -> Option<Self> {
+        spec.has_crashes().then(|| Self {
+            rng: stream_rng(spec.seed, replica, CRASH_STREAM),
+            mtbf_s: spec.mtbf_s,
+            mttr_s: spec.mttr_s,
+            at_s: 0.0,
+        })
+    }
+
+    /// The next `(crash_s, recover_s)` window; successive windows are
+    /// disjoint and time-ordered.
+    pub(crate) fn next_window(&mut self) -> (f64, f64) {
+        let crash = self.at_s + Exp::new(1.0 / self.mtbf_s).sample(&mut self.rng);
+        let recover = crash + Exp::new(1.0 / self.mttr_s).sample(&mut self.rng);
+        self.at_s = recover;
+        (crash, recover)
+    }
+}
+
+/// A forward-only cursor over one replica's outage schedule — the
+/// router's availability view. Queries are clamped forward: asking about
+/// an earlier instant than a previous query answers as of the latest
+/// instant seen (the router's knowledge only moves forward).
+pub(crate) struct OutageCursor {
+    timeline: Option<FaultTimeline>,
+    window: Option<(f64, f64)>,
+    hi: f64,
+}
+
+impl OutageCursor {
+    pub(crate) fn new(spec: &FaultSpec, replica: usize) -> Self {
+        let mut timeline = FaultTimeline::new(spec, replica);
+        let window = timeline.as_mut().map(FaultTimeline::next_window);
+        Self {
+            timeline,
+            window,
+            hi: 0.0,
+        }
+    }
+
+    /// Whether the schedule has the replica inside an outage at `t`.
+    pub(crate) fn down_at(&mut self, t: f64) -> bool {
+        self.hi = self.hi.max(t);
+        let t = self.hi;
+        loop {
+            match self.window {
+                None => return false,
+                Some((crash, recover)) => {
+                    if t < crash {
+                        return false;
+                    }
+                    if t < recover {
+                        return true;
+                    }
+                    self.window = self.timeline.as_mut().map(FaultTimeline::next_window);
+                }
+            }
+        }
+    }
+
+    /// The earliest instant ≥ `t` at which the schedule has the replica
+    /// up (the end of the current outage window, or `t` itself).
+    pub(crate) fn next_up(&mut self, t: f64) -> f64 {
+        if self.down_at(t) {
+            self.window.expect("down ⇒ inside a window").1
+        } else {
+            t
+        }
+    }
+}
+
+/// One replica engine's fault wiring: its drain-side outage cursor (the
+/// `window`/`timeline` pair advanced by the engine clock), the router's
+/// independent query cursor, and the constant slowdown multiplier.
+pub(crate) struct EngineFaults {
+    pub(crate) timeline: Option<FaultTimeline>,
+    pub(crate) window: Option<(f64, f64)>,
+    pub(crate) query: OutageCursor,
+    pub(crate) slow_mult: f64,
+}
+
+impl EngineFaults {
+    pub(crate) fn for_replica(spec: &FaultSpec, replica: usize) -> Self {
+        let mut timeline = FaultTimeline::new(spec, replica);
+        let window = timeline.as_mut().map(FaultTimeline::next_window);
+        Self {
+            timeline,
+            window,
+            query: OutageCursor::new(spec, replica),
+            slow_mult: spec.slow_mult(replica),
+        }
+    }
+}
+
+/// Availability metrics of one fleet run under fault injection — all
+/// zeros / `1.0` for a fault-free run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetAvailability {
+    /// Crash events scheduled within the fleet makespan, across replicas.
+    pub crashes: usize,
+    /// Scheduled outage time within the makespan, summed across replicas.
+    pub downtime: optimus_units::Time,
+    /// Mean fraction of replica-time up:
+    /// `1 − downtime / (replicas × makespan)`.
+    pub availability: f64,
+    /// Requeue events (every crash-drain of a request counts once; one
+    /// request can be requeued several times).
+    pub requeues: usize,
+    /// Distinct requests requeued at least once. Every one of them
+    /// eventually completes — requeue-then-complete conservation — so
+    /// this is also the requeued-then-completed count.
+    pub requeued_requests: usize,
+    /// Ascending ids of the requeued requests.
+    pub requeued_ids: Vec<usize>,
+    /// Per-replica scheduled downtime within the makespan.
+    pub per_replica_downtime: Vec<optimus_units::Time>,
+    /// SLO-met tokens per second per *available* replica:
+    /// `goodput / (replicas × availability)` — what one surviving
+    /// replica-second delivers under churn.
+    pub goodput_tokens_per_up_replica_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let spec = FaultSpec::none();
+        assert!(spec.is_none());
+        assert!(!spec.has_crashes());
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.slow_mult(0), 1.0);
+        assert!(spec.outage_windows(3, 1e9).is_empty());
+        // An inactive spec stays inactive whatever its seed.
+        let seeded = FaultSpec { seed: 99, ..spec };
+        assert!(seeded.is_none());
+    }
+
+    #[test]
+    fn timelines_are_deterministic_and_ordered() {
+        let spec = FaultSpec::crashes(7, 120.0, 15.0);
+        let a = spec.outage_windows(2, 10_000.0);
+        let b = spec.outage_windows(2, 10_000.0);
+        assert_eq!(a, b, "same (seed, replica) must replay the schedule");
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].1 <= w[1].0, "windows must be disjoint and ordered");
+        }
+        assert!(a.iter().all(|&(c, r)| c <= r));
+        let other = spec.outage_windows(3, 10_000.0);
+        assert_ne!(a, other, "replicas draw independent schedules");
+        let reseeded = FaultSpec::crashes(8, 120.0, 15.0).outage_windows(2, 10_000.0);
+        assert_ne!(a, reseeded, "the fault seed must matter");
+    }
+
+    #[test]
+    fn mean_window_shape_tracks_mtbf_and_mttr() {
+        let spec = FaultSpec::crashes(42, 100.0, 10.0);
+        let windows = spec.outage_windows(0, 1_000_000.0);
+        let n = windows.len() as f64;
+        let mean_down: f64 = windows.iter().map(|&(c, r)| r - c).sum::<f64>() / n;
+        // Cycle length ≈ mtbf + mttr ⇒ ~9091 windows over 1e6 s.
+        assert!((n - 9091.0).abs() / 9091.0 < 0.1, "window count {n}");
+        assert!((mean_down - 10.0).abs() < 1.0, "mean downtime {mean_down}");
+    }
+
+    #[test]
+    fn outage_stats_clip_to_the_horizon() {
+        let spec = FaultSpec::crashes(1, 50.0, 1e6);
+        let windows = spec.outage_windows(0, 200.0);
+        assert!(!windows.is_empty());
+        let (crashes, downtime) = spec.outage_stats(0, 200.0);
+        assert_eq!(crashes, windows.len());
+        assert!(
+            downtime <= 200.0 * crashes as f64,
+            "clipped downtime {downtime}"
+        );
+        assert!(downtime < 1e6, "downtime must be clipped, got {downtime}");
+    }
+
+    #[test]
+    fn straggler_draw_is_per_replica_and_seeded() {
+        let spec = FaultSpec::none().with_stragglers(0.5, 3.0);
+        assert!(!spec.is_none());
+        let mults: Vec<f64> = (0..64).map(|r| spec.slow_mult(r)).collect();
+        assert!(mults.iter().all(|&m| m == 1.0 || m == 3.0));
+        let stragglers = mults.iter().filter(|&&m| m == 3.0).count();
+        assert!(
+            (10..=54).contains(&stragglers),
+            "half the replicas should straggle, got {stragglers}/64"
+        );
+        let replay: Vec<f64> = (0..64).map(|r| spec.slow_mult(r)).collect();
+        assert_eq!(mults, replay);
+    }
+
+    #[test]
+    fn cursor_matches_the_window_list() {
+        let spec = FaultSpec::crashes(11, 30.0, 5.0);
+        let windows = spec.outage_windows(0, 2_000.0);
+        let mut cursor = OutageCursor::new(&spec, 0);
+        let mut t = 0.0;
+        while t < 1_900.0 {
+            let expect = windows.iter().any(|&(c, r)| t >= c && t < r);
+            assert_eq!(cursor.down_at(t), expect, "at {t}");
+            if expect {
+                let up = cursor.next_up(t);
+                let (_, r) = *windows
+                    .iter()
+                    .find(|&&(c, r)| t >= c && t < r)
+                    .expect("down ⇒ window");
+                assert_eq!(up, r);
+            }
+            t += 0.37;
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert!(FaultSpec::crashes(0, -1.0, 1.0).validate().is_err());
+        assert!(FaultSpec::crashes(0, 10.0, 0.0).validate().is_err());
+        assert!(FaultSpec::crashes(0, 10.0, f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(FaultSpec::none()
+            .with_stragglers(1.5, 2.0)
+            .validate()
+            .is_err());
+        assert!(FaultSpec::none()
+            .with_stragglers(0.5, 0.5)
+            .validate()
+            .is_err());
+        assert!(FaultSpec::none().with_degradation(0.9).validate().is_err());
+        assert!(FaultSpec::crashes(3, 100.0, 10.0)
+            .with_stragglers(0.1, 2.0)
+            .with_degradation(1.1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn json_safe_normalizes_the_infinite_mtbf() {
+        let spec = FaultSpec::none().with_degradation(1.5).json_safe();
+        assert_eq!(spec.mtbf_s, 0.0);
+        let active = FaultSpec::crashes(2, 60.0, 5.0).json_safe();
+        assert_eq!(active.mtbf_s, 60.0);
+    }
+}

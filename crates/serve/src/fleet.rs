@@ -24,6 +24,7 @@
 //! so fleet reports are byte-identical across runs and thread counts.
 
 use crate::engine::ReplicaEngine;
+use crate::faults::{EngineFaults, FaultSpec, FleetAvailability};
 use crate::sim::TraceBounds;
 use crate::stats::LatencyAccumulator;
 use crate::{
@@ -95,6 +96,9 @@ pub struct FleetConfig {
     pub router: RouterPolicy,
     /// The per-replica serving strategy.
     pub replica: ServeConfig,
+    /// The injected fault environment. [`FaultSpec::none`] (the default)
+    /// keeps the fleet path bit-identical to the fault-free simulation.
+    pub faults: FaultSpec,
 }
 
 impl FleetConfig {
@@ -111,6 +115,7 @@ impl FleetConfig {
             replicas,
             router: RouterPolicy::default(),
             replica: ServeConfig::new(tp),
+            faults: FaultSpec::none(),
         }
     }
 
@@ -125,6 +130,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_replica(mut self, replica: ServeConfig) -> Self {
         self.replica = replica;
+        self
+    }
+
+    /// Sets the fault environment.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -176,11 +188,18 @@ pub struct FleetReport {
     pub kv_peak_utilization: f64,
     /// Goodput under the configured SLO, over the merged population.
     pub slo: SloReport,
-    /// Requests routed to each replica (`routed[i]` for replica `i`) —
-    /// the router's balance at a glance.
+    /// Requests assigned to each replica (`routed[i]` for replica `i`) —
+    /// the router's balance at a glance. Requeues count every assignment,
+    /// so under churn the sum is `requests − rejected + requeues`.
     pub routed: Vec<usize>,
     /// One full [`ServeReport`] per replica, in replica order.
     pub per_replica: Vec<ServeReport>,
+    /// The injected fault environment, `None` for a fault-free run (a
+    /// degenerate [`FaultSpec::none`] configuration also reports `None`).
+    pub faults: Option<FaultSpec>,
+    /// Availability and requeue metrics under churn — trivially perfect
+    /// (`availability = 1`, nothing requeued) for a fault-free run.
+    pub availability: FleetAvailability,
 }
 
 impl core::fmt::Display for FleetReport {
@@ -224,7 +243,20 @@ impl core::fmt::Display for FleetReport {
             self.completed,
             self.slo.attainment * 100.0,
             self.slo.goodput_tokens_per_s
-        )
+        )?;
+        if self.faults.is_some() {
+            let a = &self.availability;
+            write!(
+                f,
+                "\n  churn  {} crashes, downtime {} (availability {:.2}%), {} requeues of {} requests",
+                a.crashes,
+                a.downtime,
+                a.availability * 100.0,
+                a.requeues,
+                a.requeued_requests,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -257,6 +289,9 @@ impl<'a> FleetInstance<'a> {
                 "a fleet needs at least one replica".to_owned(),
             ));
         }
+        if let Err(reason) = config.faults.validate() {
+            return Err(ServeError::InvalidConfig(format!("fault spec: {reason}")));
+        }
         let instance = ServeInstance::new(cluster, model, config.replica)?;
         Ok(Self { instance, config })
     }
@@ -283,6 +318,7 @@ impl<'a> FleetInstance<'a> {
             &self.instance,
             self.config.replicas,
             self.config.router,
+            self.config.faults,
             trace,
         )
     }
@@ -337,6 +373,116 @@ impl RouterState {
             }
         }
     }
+
+    /// [`RouterState::pick`] restricted to the replicas `up` marks
+    /// available — the churn path. The caller guarantees at least one up
+    /// replica. Round-robin keeps its cursor discipline (first up replica
+    /// at or after the cursor); random draws a uniform index among the up
+    /// replicas (identical draws to [`RouterState::pick`] while all are
+    /// up); state-aware ties still break to the lowest replica index.
+    fn pick_up(&mut self, engines: &[ReplicaEngine<'_, '_>], up: &[bool]) -> usize {
+        debug_assert!(up.iter().any(|&u| u), "route_at waits for a live replica");
+        match self {
+            Self::RoundRobin { next } => {
+                let n = engines.len();
+                let mut choice = *next % n;
+                while !up[choice] {
+                    choice = (choice + 1) % n;
+                }
+                *next = (choice + 1) % n;
+                choice
+            }
+            Self::Random { rng } => {
+                let alive = up.iter().filter(|&&u| u).count();
+                let mut draw = rng.gen_range(0..alive);
+                for (i, &u) in up.iter().enumerate() {
+                    if u {
+                        if draw == 0 {
+                            return i;
+                        }
+                        draw -= 1;
+                    }
+                }
+                unreachable!("draw < alive ⇒ an up replica matches")
+            }
+            Self::LeastOutstanding => {
+                engines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| up[*i])
+                    .min_by_key(|(_, e)| e.outstanding())
+                    .expect("at least one up replica")
+                    .0
+            }
+            Self::JoinShortestQueue => {
+                engines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| up[*i])
+                    .min_by_key(|(_, e)| e.waiting())
+                    .expect("at least one up replica")
+                    .0
+            }
+        }
+    }
+}
+
+/// Routes one request at the router's monotone clock, skipping down
+/// replicas. When the whole fleet is down the FIFO front door blocks —
+/// `router_now` jumps to the earliest scheduled recovery — before the
+/// request (and everything behind it) is assigned.
+fn route_at(
+    engines: &mut [ReplicaEngine<'_, '_>],
+    state: &mut RouterState,
+    router_now: &mut f64,
+    up: &mut Vec<bool>,
+    request: Request,
+) {
+    loop {
+        up.clear();
+        for engine in engines.iter_mut() {
+            let live = engine.available(*router_now);
+            up.push(live);
+        }
+        if up.iter().any(|&u| u) {
+            break;
+        }
+        let wake = engines
+            .iter_mut()
+            .map(|e| e.next_up(*router_now))
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(wake > *router_now, "a down replica recovers strictly later");
+        *router_now = wake;
+    }
+    let choice = state.pick_up(engines, up);
+    engines[choice].push_at(request, *router_now);
+}
+
+/// Collects every request the replicas' crashes have drained and
+/// re-routes each at the instant it was dropped — in deterministic
+/// (drop time, then id) order — bumping the requeue counters.
+fn reroute_drained(
+    engines: &mut [ReplicaEngine<'_, '_>],
+    state: &mut RouterState,
+    router_now: &mut f64,
+    up: &mut Vec<bool>,
+    requeues: &mut usize,
+    requeued_ids: &mut Vec<usize>,
+) {
+    let mut batch: Vec<(Request, f64)> = Vec::new();
+    for engine in engines.iter_mut() {
+        batch.extend(engine.take_requeued());
+    }
+    if batch.is_empty() {
+        return;
+    }
+    batch.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.id.cmp(&b.0.id)));
+    for (request, dropped_at) in batch {
+        *router_now = router_now.max(dropped_at);
+        *requeues += 1;
+        requeued_ids.push(request.id);
+        route_at(engines, state, router_now, up, request);
+    }
 }
 
 /// The fleet event loop: route every request online, drain the replicas,
@@ -355,9 +501,17 @@ pub(crate) fn run_fleet(
     instance: &ServeInstance<'_>,
     replicas: usize,
     router: RouterPolicy,
+    faults: FaultSpec,
     trace: &[Request],
 ) -> Result<FleetReport, ServeError> {
     ServeInstance::validate_trace(trace);
+    if let Err(reason) = faults.validate() {
+        return Err(ServeError::InvalidConfig(format!("fault spec: {reason}")));
+    }
+    // A degenerate spec takes the exact fault-free code path below, so
+    // `FaultSpec::none()` (whatever its seed) stays bit-identical to a
+    // run without fault wiring at all.
+    let faulty = !faults.is_none();
     // Global trace bounds dominate every replica's share, so one scan
     // sizes all engines and (in the streaming regime) one shared sealed
     // table prices all of them.
@@ -369,11 +523,20 @@ pub(crate) fn run_fleet(
     // would otherwise depend on the router's balance.
     let records_on = instance.records_on(trace.len());
     let mut engines: Vec<ReplicaEngine<'_, '_>> = (0..replicas)
-        .map(|_| ReplicaEngine::new(instance, table, &bounds, trace.len(), records_on))
+        .map(|i| {
+            let wiring = faulty.then(|| EngineFaults::for_replica(&faults, i));
+            ReplicaEngine::new(instance, table, &bounds, trace.len(), records_on, wiring)
+        })
         .collect();
 
     let mut state = RouterState::new(router);
     let mut rejected_ids = Vec::new();
+    let mut requeues = 0usize;
+    let mut requeued_ids: Vec<usize> = Vec::new();
+    // The router's own clock: monotone across requeues and all-down
+    // stalls, so the availability cursors never run backwards.
+    let mut router_now = 0.0_f64;
+    let mut up: Vec<bool> = Vec::with_capacity(replicas);
     for r in trace {
         // No replica could ever admit this request (replicas are
         // identical), so the front door rejects it outright instead of
@@ -382,23 +545,70 @@ pub(crate) fn run_fleet(
             rejected_ids.push(r.id);
             continue;
         }
-        // A single replica needs no observation — every choice is 0 — so
-        // skip the stepping and let the lone engine run in batch mode
-        // (which also keeps a 1-replica fleet bit-identical to the
-        // single-instance path for every policy).
-        if replicas > 1 && router.is_state_aware() {
-            // Step every replica to the arrival instant so the router
-            // observes live queue depth / outstanding work, not stale
-            // snapshots.
+        if faulty {
+            // Step every replica to the arrival instant: crashes drain at
+            // iteration boundaries, so work lost before this arrival is
+            // requeued ahead of it, and state-aware policies observe live
+            // queue state exactly as on the fault-free path.
             for engine in &mut engines {
                 engine.advance_to(r.arrival_s)?;
             }
+            router_now = router_now.max(r.arrival_s);
+            reroute_drained(
+                &mut engines,
+                &mut state,
+                &mut router_now,
+                &mut up,
+                &mut requeues,
+                &mut requeued_ids,
+            );
+            route_at(&mut engines, &mut state, &mut router_now, &mut up, *r);
+        } else {
+            // A single replica needs no observation — every choice is 0 —
+            // so skip the stepping and let the lone engine run in batch
+            // mode (which also keeps a 1-replica fleet bit-identical to
+            // the single-instance path for every policy).
+            if replicas > 1 && router.is_state_aware() {
+                // Step every replica to the arrival instant so the router
+                // observes live queue depth / outstanding work, not stale
+                // snapshots.
+                for engine in &mut engines {
+                    engine.advance_to(r.arrival_s)?;
+                }
+            }
+            let choice = state.pick(&engines);
+            engines[choice].push(*r);
         }
-        let choice = state.pick(&engines);
-        engines[choice].push(*r);
     }
-    for engine in &mut engines {
-        engine.finish()?;
+    // Drain. Crashes during the tail can still requeue work after the
+    // last arrival, so finishing and re-routing alternate until the fleet
+    // runs dry (each round re-serves strictly the work the previous round
+    // dropped, so this converges).
+    let mut drain_rounds = 0usize;
+    loop {
+        for engine in &mut engines {
+            engine.finish()?;
+        }
+        if !faulty {
+            break;
+        }
+        let before = requeues;
+        reroute_drained(
+            &mut engines,
+            &mut state,
+            &mut router_now,
+            &mut up,
+            &mut requeues,
+            &mut requeued_ids,
+        );
+        if requeues == before {
+            break;
+        }
+        drain_rounds += 1;
+        assert!(
+            drain_rounds < 100_000,
+            "requeue drain failed to converge after {drain_rounds} rounds"
+        );
     }
 
     // --- aggregate -------------------------------------------------------
@@ -443,6 +653,47 @@ pub(crate) fn run_fleet(
         .map(|(routed, inputs)| instance.assemble_report(routed, inputs))
         .collect();
     let config = instance.config();
+
+    // Availability is schedule-based: outage windows are a pure function
+    // of the spec, clipped to the fleet makespan, whether or not work was
+    // lost in them.
+    let mut crash_total = 0usize;
+    let mut downtime_total = 0.0_f64;
+    let mut per_replica_downtime = Vec::with_capacity(replicas);
+    for i in 0..replicas {
+        let (crashes, downtime) = if faulty {
+            faults.outage_stats(i, makespan_s)
+        } else {
+            (0, 0.0)
+        };
+        crash_total += crashes;
+        downtime_total += downtime;
+        per_replica_downtime.push(Time::from_secs(downtime));
+    }
+    let availability_frac = if makespan_s > 0.0 {
+        1.0 - downtime_total / (replicas as f64 * makespan_s)
+    } else {
+        1.0
+    };
+    requeued_ids.sort_unstable();
+    let mut distinct_requeued = requeued_ids;
+    distinct_requeued.dedup();
+    let goodput_tokens_per_s = per_s(met_tokens as f64);
+    let up_replicas = replicas as f64 * availability_frac;
+    let availability = FleetAvailability {
+        crashes: crash_total,
+        downtime: Time::from_secs(downtime_total),
+        availability: availability_frac,
+        requeues,
+        requeued_requests: distinct_requeued.len(),
+        requeued_ids: distinct_requeued,
+        per_replica_downtime,
+        goodput_tokens_per_up_replica_s: if up_replicas > 0.0 {
+            goodput_tokens_per_s / up_replicas
+        } else {
+            0.0
+        },
+    };
     Ok(FleetReport {
         model: per_replica[0].model.clone(),
         cluster: per_replica[0].cluster.clone(),
@@ -479,11 +730,13 @@ pub(crate) fn run_fleet(
             } else {
                 1.0
             },
-            goodput_tokens_per_s: per_s(met_tokens as f64),
+            goodput_tokens_per_s,
             goodput_requests_per_s: per_s(met as f64),
         },
         routed,
         per_replica,
+        faults: faulty.then(|| faults.json_safe()),
+        availability,
     })
 }
 
@@ -616,6 +869,7 @@ mod tests {
                     replicas: 1,
                     router: policy,
                     replica: ServeConfig::new(2),
+                    faults: FaultSpec::none(),
                 },
                 &trace,
             )
@@ -699,6 +953,7 @@ mod tests {
                 replicas: 0,
                 router: RouterPolicy::RoundRobin,
                 replica: ServeConfig::new(1),
+                faults: FaultSpec::none(),
             },
         )
         .unwrap_err();
@@ -749,5 +1004,82 @@ mod tests {
             one.ttft.p99
         );
         assert!(four.slo.attainment >= one.slo.attainment);
+    }
+
+    /// Crash injection still conserves requests — everything completes
+    /// after requeues — and the report carries the matching availability
+    /// metrics.
+    #[test]
+    fn crashes_requeue_and_conserve() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let faults = FaultSpec::crashes(5, 8.0, 2.0);
+        let config = FleetConfig::new(3, 1)
+            .with_router(RouterPolicy::LeastOutstanding)
+            .with_faults(faults);
+        let report =
+            simulate_fleet(&cluster, Arc::clone(&model), &config, &spec(29, 400, 40.0)).unwrap();
+        assert_eq!(report.completed + report.rejected, report.requests);
+        assert_eq!(report.faults, Some(faults));
+        let a = &report.availability;
+        assert!(a.crashes > 0, "8 s MTBF over a long trace must crash");
+        assert!(a.downtime > Time::ZERO);
+        assert!(a.availability < 1.0 && a.availability > 0.0);
+        assert!(a.requeues >= a.requeued_requests);
+        assert_eq!(a.requeued_ids.len(), a.requeued_requests);
+        assert!(a.requeued_ids.windows(2).all(|w| w[0] < w[1]));
+        // Every assignment is accounted: originals plus requeue events.
+        assert_eq!(
+            report.routed.iter().sum::<usize>(),
+            report.requests - report.rejected + a.requeues
+        );
+        // Schedule-based downtime matches the per-replica decomposition.
+        let sum: f64 = a.per_replica_downtime.iter().map(|t| t.secs()).sum();
+        assert!((sum - a.downtime.secs()).abs() < 1e-9);
+        assert!(report.to_string().contains("churn"));
+    }
+
+    /// A straggler-only spec slows the straggling replica without losing
+    /// any request.
+    #[test]
+    fn stragglers_slow_but_conserve() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let trace = spec(31, 200, 30.0);
+        let clean = simulate_fleet(
+            &cluster,
+            Arc::clone(&model),
+            &FleetConfig::new(2, 1),
+            &trace,
+        )
+        .unwrap();
+        let slowed = simulate_fleet(
+            &cluster,
+            Arc::clone(&model),
+            &FleetConfig::new(2, 1).with_faults(FaultSpec::none().with_degradation(3.0)),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(slowed.completed, clean.completed);
+        assert_eq!(slowed.availability.requeues, 0);
+        assert_eq!(slowed.availability.availability, 1.0);
+        assert!(
+            slowed.e2e.mean > clean.e2e.mean,
+            "3× degradation must slow e2e: {} vs {}",
+            slowed.e2e.mean,
+            clean.e2e.mean
+        );
+    }
+
+    #[test]
+    fn invalid_fault_spec_is_a_clean_error() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let err = FleetInstance::new(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            FleetConfig::new(2, 1).with_faults(FaultSpec::crashes(0, 10.0, -1.0)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
     }
 }

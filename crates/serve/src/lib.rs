@@ -25,6 +25,12 @@
 //! latency populations exactly, and reports fleet-level throughput and
 //! SLO goodput, so the load-sweep's frontier trades **TP-up against
 //! replicate-out** at equal device counts (`gpus = tp × replicas`).
+//! Fleets can additionally run under seeded fault injection
+//! ([`FaultSpec`]: MTBF/MTTR crash/recover processes, straggler slow
+//! nodes, fleet-wide degradation): crashed replicas drain their in-flight
+//! work back to the router for deterministic requeueing, routers skip
+//! down replicas, and reports gain availability metrics — which makes the
+//! load-sweep frontier availability-aware.
 //!
 //! ```
 //! use optimus_hw::presets;
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod faults;
 mod fleet;
 mod load;
 mod report;
@@ -56,6 +63,7 @@ mod sim;
 pub mod stats;
 mod trace;
 
+pub use faults::{FaultSpec, FleetAvailability};
 pub use fleet::{
     simulate_fleet, simulate_fleet_trace, FleetConfig, FleetInstance, FleetReport, RouterPolicy,
 };

@@ -21,8 +21,8 @@
 use crate::fleet::run_fleet;
 use crate::sim::EXACT_MODE_LIMIT;
 use crate::{
-    ArrivalProcess, FleetReport, LengthDist, RouterPolicy, ServeConfig, ServeInstance, SloSpec,
-    TraceSpec,
+    ArrivalProcess, FaultSpec, FleetReport, LengthDist, RouterPolicy, ServeConfig, ServeInstance,
+    SloSpec, TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_model::ModelConfig;
@@ -89,6 +89,11 @@ pub struct LoadSweepSpec {
     pub slo: SloSpec,
     /// The routing policy multi-replica strategies use.
     pub router: RouterPolicy,
+    /// Fault environment applied to every cell (`None` = fault-free).
+    /// Under churn the frontier becomes availability-aware: a large-TP,
+    /// few-replica strategy loses a bigger capacity fraction per crash
+    /// than a many-replica one.
+    pub faults: Option<FaultSpec>,
 }
 
 /// One fully simulated grid cell, summarized for curve plotting.
@@ -131,6 +136,10 @@ pub struct LoadPoint {
     pub completed: usize,
     /// Requests rejected on arrival.
     pub rejected: usize,
+    /// Mean fraction of replica-time up (1.0 on a fault-free sweep).
+    pub availability: f64,
+    /// Requeue events caused by crashes in this cell.
+    pub requeues: usize,
 }
 
 impl LoadPoint {
@@ -154,6 +163,8 @@ impl LoadPoint {
             kv_peak_utilization: report.kv_peak_utilization,
             completed: report.completed,
             rejected: report.rejected,
+            availability: report.availability.availability,
+            requeues: report.availability.requeues,
         }
     }
 }
@@ -208,6 +219,8 @@ pub struct LoadSweepReport {
     pub frontier: Vec<LoadPoint>,
     /// Strategies that could not serve, with reasons.
     pub infeasible: Vec<InfeasibleStrategy>,
+    /// The fault environment every cell ran under (`None` = fault-free).
+    pub faults: Option<FaultSpec>,
 }
 
 /// Evaluates the (arrival-rate × strategy) grid rayon-parallel.
@@ -240,6 +253,10 @@ pub fn load_sweep(
         spec.rates.iter().all(|r| r.is_finite() && *r > 0.0),
         "arrival rates must be finite and positive"
     );
+    let faults = spec.faults.unwrap_or_else(FaultSpec::none);
+    if let Err(reason) = faults.validate() {
+        panic!("invalid fault spec: {reason}");
+    }
 
     // --- phase 1: one instance per strategy, sealed and probed ----------
     let prepared: Vec<Result<ServeInstance<'_>, InfeasibleStrategy>> = spec
@@ -268,6 +285,7 @@ pub fn load_sweep(
             curves: Vec::new(),
             frontier: Vec::new(),
             infeasible,
+            faults: spec.faults.map(FaultSpec::json_safe),
         };
     }
 
@@ -301,8 +319,14 @@ pub fn load_sweep(
             // `one_replica_fleet_equals_single_instance`), so there is
             // one code path to keep correct.
             let (strategy, instance) = &instances[si];
-            let report = run_fleet(instance, strategy.replicas, spec.router, &traces[ri])
-                .expect("strategy feasibility was probed in phase 1");
+            let report = run_fleet(
+                instance,
+                strategy.replicas,
+                spec.router,
+                faults,
+                &traces[ri],
+            )
+            .expect("strategy feasibility was probed in phase 1");
             LoadPoint::from_fleet(*strategy, spec.rates[ri], &report)
         })
         .collect();
@@ -344,6 +368,7 @@ pub fn load_sweep(
         curves,
         frontier,
         infeasible,
+        faults: spec.faults.map(FaultSpec::json_safe),
     }
 }
 
@@ -418,6 +443,7 @@ mod tests {
             ],
             slo: SloSpec::default(),
             router: RouterPolicy::RoundRobin,
+            faults: None,
         }
     }
 
@@ -562,6 +588,62 @@ mod tests {
         assert_eq!(report.infeasible.len(), 2);
         assert!(report.infeasible[0].reason.contains("exceeds"));
         assert!(report.infeasible[1].reason.contains("replica"));
+    }
+
+    /// The fault axis makes the frontier availability-aware: under crash
+    /// churn the goodput landscape must disagree with the fault-free one
+    /// on at least one frontier point, and the churned cells must report
+    /// lost availability.
+    #[test]
+    fn faulted_frontier_differs_from_fault_free() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.requests = 300;
+        spec.rates = vec![20.0, 60.0];
+        spec.strategies = vec![
+            LoadStrategy::single(2, Precision::Fp16),
+            LoadStrategy::single(1, Precision::Fp16).with_replicas(2),
+        ];
+        let clean = load_sweep(&cluster, &model, &spec);
+        let faults = FaultSpec::crashes(3, 5.0, 2.0);
+        spec.faults = Some(faults);
+        let churned = load_sweep(&cluster, &model, &spec);
+        assert_eq!(churned.faults, Some(faults));
+        assert!(clean
+            .curves
+            .iter()
+            .flat_map(|c| &c.points)
+            .all(|p| p.availability == 1.0 && p.requeues == 0));
+        assert!(
+            churned
+                .curves
+                .iter()
+                .flat_map(|c| &c.points)
+                .any(|p| p.availability < 1.0),
+            "5 s MTBF must cost availability somewhere in the grid"
+        );
+        let shape = |r: &LoadSweepReport| -> Vec<(usize, f64)> {
+            r.frontier
+                .iter()
+                .map(|p| (p.gpus, p.goodput_tokens_per_s))
+                .collect()
+        };
+        assert_ne!(
+            shape(&clean),
+            shape(&churned),
+            "crash churn must move the SLO-goodput frontier"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault spec")]
+    fn degenerate_fault_spec_is_rejected() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.faults = Some(FaultSpec::crashes(0, 10.0, 0.0));
+        let _ = load_sweep(&cluster, &model, &spec);
     }
 
     #[test]

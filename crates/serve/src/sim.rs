@@ -482,6 +482,7 @@ impl<'a> ServeInstance<'a> {
             bounds,
             trace.len(),
             self.records_on(trace.len()),
+            None, // fault injection is a fleet concern
         );
         for r in trace {
             engine.push(*r);

@@ -13,8 +13,8 @@
 use optimus_hw::presets;
 use optimus_model::presets as models;
 use optimus_serve::{
-    simulate, simulate_fleet, ArrivalProcess, FleetConfig, LengthDist, RouterPolicy, ServeConfig,
-    TraceSpec,
+    simulate, simulate_fleet, ArrivalProcess, FaultSpec, FleetConfig, LengthDist, RouterPolicy,
+    ServeConfig, TraceSpec,
 };
 use std::sync::Arc;
 
@@ -95,6 +95,7 @@ fn fleet_json(spec: &TraceSpec, policy: RouterPolicy) -> String {
         replicas: 3,
         router: policy,
         replica: ServeConfig::new(2),
+        faults: FaultSpec::none(),
     };
     let report = simulate_fleet(&cluster, model, &config, spec).unwrap();
     serde_json::to_string(&report).unwrap()

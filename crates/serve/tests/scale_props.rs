@@ -146,6 +146,7 @@ fn load_sweep_json_is_byte_identical_across_one_and_eight_threads() {
         ],
         slo: SloSpec::default(),
         router: RouterPolicy::LeastOutstanding,
+        faults: None,
     };
     let pool = |n: usize| {
         rayon::ThreadPoolBuilder::new()
