@@ -88,6 +88,36 @@ fn parallelism_of(args: &Args) -> Result<Parallelism, ArgError> {
     .with_microbatch(args.get_usize("microbatch", 1)?))
 }
 
+/// Parses the resilience options shared by `train` and `sweep`:
+/// `--mtbf S` (per-GPU MTBF, seconds) plus the optional
+/// `--checkpoint-interval S` (Young–Daly auto when absent) and
+/// `--restart S`. Returns [`CheckpointSpec::none`] when no resilience
+/// axis is requested at all.
+fn checkpoint_of(args: &Args) -> Result<CheckpointSpec, ArgError> {
+    if args.get("mtbf").is_none() {
+        for key in ["checkpoint-interval", "restart"] {
+            if args.get(key).is_some() {
+                return Err(ArgError(format!("--{key} only applies with --mtbf")));
+            }
+        }
+        return Ok(CheckpointSpec::none());
+    }
+    let mtbf_s = args.get_f64("mtbf", 0.0)?;
+    if mtbf_s <= 0.0 {
+        return Err(ArgError(
+            "--mtbf must be positive seconds of per-GPU uptime".to_owned(),
+        ));
+    }
+    let mut spec = CheckpointSpec::with_mtbf(mtbf_s);
+    if args.get("checkpoint-interval").is_some() {
+        spec = spec.with_interval(args.get_f64("checkpoint-interval", 0.0)?);
+    }
+    spec = spec.with_restart(args.get_f64("restart", 0.0)?);
+    spec.validate()
+        .map_err(|reason| ArgError(format!("invalid resilience options: {reason}")))?;
+    Ok(spec)
+}
+
 /// `optimus-cli train …` — training-time estimate.
 ///
 /// # Errors
@@ -107,6 +137,7 @@ pub fn train(args: &Args) -> Result<String, ArgError> {
     .with_flash(args.flag("flash"));
 
     let report = TrainingEstimator::new(&cluster)
+        .with_checkpoint(checkpoint_of(args)?)
         .estimate(&cfg)
         .map_err(|e| ArgError(e.to_string()))?;
 
@@ -218,25 +249,43 @@ fn router_of(args: &Args) -> Result<optimus_serve::RouterPolicy, ArgError> {
 }
 
 /// Parses the fault-injection options shared by `serve` and
-/// `load-sweep`: `--mtbf S` (+ `--mttr S`, `--fault-seed N`) and
-/// `--stragglers FRAC:MULT`. Returns `None` when no fault axis is
-/// requested at all.
-fn faults_of(args: &Args) -> Result<Option<optimus_serve::FaultSpec>, ArgError> {
-    use optimus_serve::FaultSpec;
+/// `load-sweep`: `--mtbf S` (+ `--mttr S`, `--fault-seed N`),
+/// `--stragglers FRAC:MULT`, `--domains N` (+ `--domain-mtbf S`,
+/// `--domain-mttr S` — `fleet_replicas` split into N contiguous groups
+/// that fail together), and `--degrade MULT` (+ `--degrade-mode
+/// flat|link`). `fleet_replicas` is the largest fleet the spec will run
+/// against. Returns `None` when no fault axis is requested at all.
+fn faults_of(
+    args: &Args,
+    fleet_replicas: usize,
+) -> Result<Option<optimus_serve::FaultSpec>, ArgError> {
+    use optimus_serve::{DegradeMode, FaultDomain, FaultSpec};
     let crashes = args.get("mtbf").is_some();
     let stragglers = args.get("stragglers");
-    if !crashes {
-        if args.get("mttr").is_some() {
-            return Err(ArgError("--mttr only applies with --mtbf".to_owned()));
-        }
-        if stragglers.is_none() {
-            if args.get("fault-seed").is_some() {
-                return Err(ArgError(
-                    "--fault-seed only applies with --mtbf or --stragglers".to_owned(),
-                ));
+    let domains = args.get("domains").is_some();
+    let degrade = args.get("degrade").is_some();
+    if !crashes && args.get("mttr").is_some() {
+        return Err(ArgError("--mttr only applies with --mtbf".to_owned()));
+    }
+    if !domains {
+        for key in ["domain-mtbf", "domain-mttr"] {
+            if args.get(key).is_some() {
+                return Err(ArgError(format!("--{key} only applies with --domains")));
             }
-            return Ok(None);
         }
+    }
+    if !degrade && args.get("degrade-mode").is_some() {
+        return Err(ArgError(
+            "--degrade-mode only applies with --degrade".to_owned(),
+        ));
+    }
+    if !crashes && stragglers.is_none() && !domains && !degrade {
+        if args.get("fault-seed").is_some() {
+            return Err(ArgError(
+                "--fault-seed only applies with --mtbf, --stragglers, or --domains".to_owned(),
+            ));
+        }
+        return Ok(None);
     }
     let mut spec = FaultSpec::none();
     spec.seed = args.get_usize("fault-seed", 0)? as u64;
@@ -257,6 +306,66 @@ fn faults_of(args: &Args) -> Result<Option<optimus_serve::FaultSpec>, ArgError> 
             )));
         };
         spec = spec.with_stragglers(frac, mult);
+    }
+    if domains {
+        if fleet_replicas < 2 {
+            return Err(ArgError(
+                "--domains requires a fleet: --replicas 2 or more (serve) or a \
+                 --replicas-list entry of 2 or more (load-sweep)"
+                    .to_owned(),
+            ));
+        }
+        let count = args.get_usize("domains", 0)?;
+        if count == 0 || count > fleet_replicas {
+            return Err(ArgError(format!(
+                "--domains must lie in 1..={fleet_replicas} (the fleet size), got {count}"
+            )));
+        }
+        if args.get("domain-mtbf").is_none() {
+            return Err(ArgError(
+                "--domains requires --domain-mtbf (mean seconds between domain outages)".to_owned(),
+            ));
+        }
+        let mtbf_s = args.get_f64("domain-mtbf", 0.0)?;
+        if mtbf_s <= 0.0 {
+            return Err(ArgError(
+                "--domain-mtbf must be positive seconds".to_owned(),
+            ));
+        }
+        let mttr_s = args.get_f64("domain-mttr", 30.0)?;
+        // Split the fleet into `count` contiguous near-even groups — the
+        // shape of racks filled in replica order. The front groups take
+        // the remainder.
+        let (base, extra) = (fleet_replicas / count, fleet_replicas % count);
+        let mut start = 0;
+        spec = spec.with_domains(
+            (0..count)
+                .map(|d| {
+                    let size = base + usize::from(d < extra);
+                    let members = (start..start + size).collect();
+                    start += size;
+                    FaultDomain::new(members, mtbf_s, mttr_s)
+                })
+                .collect(),
+        );
+    }
+    if degrade {
+        let mult = args.get_f64("degrade", 1.0)?;
+        if mult < 1.0 {
+            return Err(ArgError(
+                "--degrade must be a slowdown multiplier of at least 1".to_owned(),
+            ));
+        }
+        spec = spec.with_degradation(mult);
+        spec = spec.with_degrade_mode(match args.get_or("degrade-mode", "flat") {
+            "flat" => DegradeMode::Flat,
+            "link" => DegradeMode::Link,
+            other => {
+                return Err(ArgError(format!(
+                    "unknown degrade mode `{other}`; expected `flat` or `link`"
+                )))
+            }
+        });
     }
     spec.validate()
         .map_err(|reason| ArgError(format!("invalid fault options: {reason}")))?;
@@ -344,7 +453,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
     if replicas == 0 {
         return Err(ArgError("--replicas must be at least 1".to_owned()));
     }
-    let faults = faults_of(args)?;
+    let faults = faults_of(args, replicas)?;
     if replicas > 1 || faults.is_some() {
         // Fleet path: route the trace online across identical replicas.
         // Fault injection is a fleet concern, so `--mtbf` on a single
@@ -385,7 +494,7 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
              (mean decode batch {:.1})\n",
             report.mean_decode_batch
         ));
-        if report.faults.is_some() {
+        if let Some(f) = &report.faults {
             let downtime: Vec<String> = report
                 .availability
                 .per_replica_downtime
@@ -398,6 +507,15 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
                 report.availability.requeues,
                 report.availability.requeued_requests,
             ));
+            if !f.domains.is_empty() {
+                let domains: Vec<String> = f
+                    .domains
+                    .iter()
+                    .zip(&report.availability.per_domain_downtime)
+                    .map(|(d, down)| format!("{:?} down {down}", d.replicas))
+                    .collect();
+                out.push_str(&format!("domains: {}\n", domains.join(", ")));
+            }
         }
         return Ok(out);
     }
@@ -529,7 +647,7 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         strategies,
         slo: slo_of(args)?,
         router,
-        faults: faults_of(args)?,
+        faults: faults_of(args, replicas_list.iter().copied().max().unwrap_or(1))?,
     };
     if spec.requests == 0 {
         return Err(ArgError("--requests must be at least 1".to_owned()));
@@ -565,9 +683,29 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         report.slo.tpot,
     );
     if let Some(f) = &report.faults {
+        let mut axes = Vec::new();
+        if f.mtbf_s > 0.0 {
+            axes.push(format!("mtbf {} s, mttr {} s", f.mtbf_s, f.mttr_s));
+        }
+        if !f.domains.is_empty() {
+            axes.push(format!("{} failure domain(s)", f.domains.len()));
+        }
+        if f.straggler_frac > 0.0 {
+            axes.push(format!(
+                "stragglers {}:{}",
+                f.straggler_frac, f.straggler_mult
+            ));
+        }
+        if f.degrade_mult != 1.0 {
+            axes.push(format!(
+                "degrade {}× ({:?})",
+                f.degrade_mult, f.degrade_mode
+            ));
+        }
         out.push_str(&format!(
-            "faults: mtbf {} s, mttr {} s, seed {} — availability-aware frontier\n",
-            f.mtbf_s, f.mttr_s, f.seed
+            "faults: {}, seed {} — availability-aware frontier\n",
+            axes.join(", "),
+            f.seed
         ));
     }
     for curve in &report.curves {
@@ -711,7 +849,11 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
             }
         }
         "infer" | "inference" => {
-            reject_inapplicable(args, "infer", &["seq", "recompute"])?;
+            reject_inapplicable(
+                args,
+                "infer",
+                &["seq", "recompute", "mtbf", "checkpoint-interval", "restart"],
+            )?;
             Workload::inference(
                 positive(args, "batch", 1)?,
                 positive(args, "prefill", 200)?,
@@ -736,7 +878,10 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
         space = space.with_precisions(precisions);
     }
 
-    let mut report = SweepEngine::new(&cluster).sweep(&model, &workload, &space);
+    let checkpoint = checkpoint_of(args)?;
+    let mut report = SweepEngine::new(&cluster)
+        .with_checkpoint(checkpoint)
+        .sweep(&model, &workload, &space);
     if report.evaluated.is_empty() {
         return Err(ArgError(format!(
             "no valid strategy for {} on {} within {max_gpus} GPUs",
@@ -773,6 +918,17 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
         report.frontier.len(),
         report.rejected.len(),
     );
+    if checkpoint.has_failures() {
+        let interval = match checkpoint.interval_s {
+            Some(s) => format!("checkpoint every {s} s"),
+            None => "Young–Daly checkpoint interval".to_owned(),
+        };
+        out.push_str(&format!(
+            "resilience: per-GPU mtbf {} s, {interval}, restart {} s — latency, cost, \
+             and energy are failure-expected\n\n",
+            checkpoint.mtbf_s, checkpoint.restart_s
+        ));
+    }
     out.push_str(&render_frontier(&report));
     if !args.flag("frontier-only") {
         // `--full` is the explicit spelling of an uncapped table (= --top 0).
@@ -825,13 +981,17 @@ USAGE:
   optimus-cli train  [--model M] [--cluster C] [--batch N] [--seq N]
                      [--dp N] [--tp N] [--pp N] [--sp] [--microbatch N]
                      [--precision P] [--recompute none|selective|full]
+                     [--mtbf S] [--checkpoint-interval S] [--restart S]
                      [--flash] [--json]
   optimus-cli infer  [--model M] [--cluster C] [--batch N] [--prefill N]
                      [--generate N] [--tp N] [--precision P] [--json]
   optimus-cli serve  [--model M] [--cluster C] [--tp N] [--precision P]
                      [--replicas N] [--router POLICY] [--router-seed N]
                      [--mtbf S] [--mttr S] [--fault-seed N]
-                     [--stragglers F:M] [--requests N] [--seed N]
+                     [--domains N] [--domain-mtbf S] [--domain-mttr S]
+                     [--stragglers F:M] [--degrade M]
+                     [--degrade-mode flat|link]
+                     [--requests N] [--seed N]
                      [--rate R | --interval S]
                      [--prompt N|LO:HI] [--output N|LO:HI]
                      [--ttft-slo MS] [--tpot-slo MS] [--records] [--json]
@@ -839,6 +999,9 @@ USAGE:
                      [--model M] [--cluster C] [--tp-list N,N,..]
                      [--replicas-list N,N,..] [--router POLICY]
                      [--mtbf S] [--mttr S] [--fault-seed N]
+                     [--domains N] [--domain-mtbf S] [--domain-mttr S]
+                     [--stragglers F:M] [--degrade M]
+                     [--degrade-mode flat|link]
                      [--precisions P,P] [--requests N] [--seed N]
                      [--rates R,R,.. | --min-rate R --max-rate R --points N]
                      [--prompt N|LO:HI] [--output N|LO:HI]
@@ -848,6 +1011,7 @@ USAGE:
   optimus-cli sweep  [--model M] [--cluster C] [--workload train|infer]
                      [--max-gpus N] [--batch N] [--seq N] [--prefill N]
                      [--generate N] [--recompute MODE] [--precisions P,P]
+                     [--mtbf S] [--checkpoint-interval S] [--restart S]
                      [--top N] [--frontier-only] [--full] [--json]
   optimus-cli list
 
@@ -869,6 +1033,30 @@ FAULT INJECTION (serve and load-sweep; deterministic, seeded):
                     of the trace and router seeds
   --stragglers F:M  fraction F of replicas run every iteration M× slower
                     (drawn once per replica from the fault seed)
+  --domains N       split the fleet into N contiguous failure domains —
+                    racks, power feeds, leaf switches — whose members
+                    crash and recover **together** on one shared seeded
+                    outage process (requires a fleet of 2+ replicas)
+  --domain-mtbf S   mean seconds of domain uptime between shared outages
+                    (required with --domains)
+  --domain-mttr S   mean seconds to repair one domain outage (default 30)
+  --degrade M       fleet-wide slowdown multiplier ≥ 1 (default off)
+  --degrade-mode    how --degrade is priced: `flat` scales every
+                    iteration uniformly (default); `link` divides the
+                    cluster's link bandwidths by M and re-prices every
+                    iteration through the collective cost model
+
+TRAINING RESILIENCE (train and sweep; Young–Daly checkpoint model):
+  --mtbf S          mean seconds of uptime between failures of one GPU;
+                    the job-level MTBF is S / gpus, so bigger strategies
+                    fail proportionally more often. Latency, cost, and
+                    energy figures become failure-expected (time over
+                    goodput), and reports gain a resilience section
+  --checkpoint-interval S
+                    seconds of useful work between checkpoints (default:
+                    the Young–Daly optimum √(2δM) per strategy)
+  --restart S       seconds to restart after a failure, on top of the
+                    lost half-interval of rework (default 0)
 
 SERVE TRAFFIC AND SLO OPTIONS:
   --rate R          Poisson arrivals at R requests/s (default 2.0)
@@ -931,6 +1119,63 @@ mod tests {
         let out = train(&args("train --model gpt-22b --batch 4 --tp 8 --json")).unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v.get("time_per_batch").is_some());
+    }
+
+    #[test]
+    fn train_with_mtbf_reports_resilience() {
+        let base = "train --model llama2-13b --batch 64 --dp 8 --tp 8 --sp \
+                    --mtbf 100000000 --restart 300";
+        let out = train(&args(base)).unwrap();
+        assert!(out.contains("resilience"), "{out}");
+        assert!(out.contains("goodput"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&train(&args(&format!("{base} --json"))).unwrap()).unwrap();
+        let resilience = v.get("resilience").expect("resilience section");
+        let goodput = resilience
+            .get("goodput")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap();
+        assert!(goodput > 0.0 && goodput < 1.0, "goodput {goodput}");
+        assert!(resilience.get("interval").is_some());
+        assert_eq!(
+            resilience
+                .get("auto_interval")
+                .and_then(serde_json::Value::as_bool),
+            Some(true)
+        );
+        // A fixed interval switches the auto flag off.
+        let fixed: serde_json::Value = serde_json::from_str(
+            &train(&args(&format!("{base} --checkpoint-interval 600 --json"))).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            fixed
+                .get("resilience")
+                .unwrap()
+                .get("auto_interval")
+                .and_then(serde_json::Value::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn train_without_mtbf_has_no_resilience_section() {
+        let out = train(&args("train --model gpt-22b --batch 4 --tp 8 --json")).unwrap();
+        assert!(!out.contains("resilience"), "{out}");
+    }
+
+    #[test]
+    fn train_rejects_bad_resilience_options() {
+        for bad in [
+            "train --checkpoint-interval 600",
+            "train --restart 60",
+            "train --mtbf 0",
+            "train --mtbf -5",
+            "train --mtbf 1e8 --checkpoint-interval 0",
+            "train --mtbf 1e8 --restart -1",
+        ] {
+            assert!(train(&args(bad)).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]
@@ -1134,6 +1379,117 @@ mod tests {
     }
 
     #[test]
+    fn serve_with_domains_reports_shared_outages() {
+        let base = "serve --model llama2-7b --replicas 4 --requests 160 --rate 40 \
+                    --prompt 100 --output 8 --domains 2 --domain-mtbf 8 --domain-mttr 2";
+        let out = serve(&args(base)).unwrap();
+        assert!(out.contains("churn"), "{out}");
+        assert!(out.contains("domains: [0, 1]"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&serve(&args(&format!("{base} --json"))).unwrap()).unwrap();
+        let availability = v.get("availability").unwrap();
+        assert_eq!(
+            availability
+                .get("per_domain_downtime")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(
+            availability
+                .get("crashes")
+                .and_then(serde_json::Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        let domains = v
+            .get("faults")
+            .unwrap()
+            .get("domains")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(domains.len(), 2);
+        // Contiguous near-even split: [0, 1] and [2, 3].
+        let members = |d: &serde_json::Value| {
+            d.get("replicas")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|m| m.as_f64().unwrap() as usize)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(members(&domains[0]), vec![0, 1]);
+        assert_eq!(members(&domains[1]), vec![2, 3]);
+    }
+
+    #[test]
+    fn serve_degrade_modes_run_through_the_fleet_path() {
+        let flat = serve(&args(
+            "serve --model llama2-7b --tp 2 --replicas 2 --requests 40 --rate 10 \
+             --prompt 100 --output 8 --degrade 2 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&flat).unwrap();
+        let faults = v.get("faults").unwrap();
+        assert_eq!(
+            faults
+                .get("degrade_mult")
+                .and_then(serde_json::Value::as_f64),
+            Some(2.0)
+        );
+        let link = serve(&args(
+            "serve --model llama2-7b --tp 2 --replicas 2 --requests 40 --rate 10 \
+             --prompt 100 --output 8 --degrade 2 --degrade-mode link --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&link).unwrap();
+        assert_eq!(
+            v.get("faults")
+                .unwrap()
+                .get("degrade_mode")
+                .and_then(serde_json::Value::as_str),
+            Some("Link")
+        );
+        assert_ne!(flat, link, "the two pricing modes must not coincide");
+    }
+
+    #[test]
+    fn serve_rejects_bad_domain_and_degrade_options() {
+        for bad in [
+            "serve --domains 2 --domain-mtbf 5",
+            "serve --replicas 1 --domains 1 --domain-mtbf 5",
+            "serve --replicas 4 --domains 0 --domain-mtbf 5",
+            "serve --replicas 4 --domains 5 --domain-mtbf 5",
+            "serve --replicas 4 --domains 2",
+            "serve --replicas 4 --domains 2 --domain-mtbf 0",
+            "serve --replicas 4 --domains 2 --domain-mtbf 5 --domain-mttr 0",
+            "serve --domain-mtbf 5",
+            "serve --domain-mttr 5",
+            "serve --degrade 0.5",
+            "serve --degrade-mode link",
+            "serve --replicas 2 --degrade 2 --degrade-mode sideways",
+        ] {
+            assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn load_sweep_with_domains_labels_the_report() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1 --replicas-list 2 \
+             --rates 20 --requests 80 --prompt 100 --output 8 \
+             --domains 2 --domain-mtbf 6 --domain-mttr 2",
+        ))
+        .unwrap();
+        assert!(out.contains("2 failure domain(s)"), "{out}");
+        assert!(out.contains("availability-aware"), "{out}");
+    }
+
+    #[test]
     fn load_sweep_with_faults_runs_and_labels_the_report() {
         let out = load_sweep(&args(
             "load-sweep --model llama2-7b --tp-list 1 --replicas-list 2 \
@@ -1307,6 +1663,46 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert!(v.get("evaluated").is_some());
         assert!(v.get("frontier").is_some());
+    }
+
+    #[test]
+    fn sweep_with_mtbf_prices_failure_expected_figures() {
+        let base = "sweep --model llama2-13b --workload train --batch 16 --max-gpus 16";
+        let out = sweep(&args(&format!("{base} --mtbf 1e8 --restart 300"))).unwrap();
+        assert!(out.contains("resilience: per-GPU mtbf"), "{out}");
+        let with: serde_json::Value =
+            serde_json::from_str(&sweep(&args(&format!("{base} --mtbf 1e8 --json"))).unwrap())
+                .unwrap();
+        let rows = with.get("evaluated").unwrap().as_array().unwrap();
+        assert!(rows.iter().all(|r| {
+            r.get("goodput")
+                .and_then(serde_json::Value::as_f64)
+                .is_some_and(|g| g > 0.0 && g < 1.0)
+        }));
+        // Without a failure axis the goodput column stays null.
+        let without: serde_json::Value =
+            serde_json::from_str(&sweep(&args(&format!("{base} --json"))).unwrap()).unwrap();
+        assert!(without
+            .get("evaluated")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .all(|r| r.get("goodput").unwrap().is_null()));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_resilience_options() {
+        for bad in [
+            "sweep --workload infer --mtbf 1e8",
+            "sweep --workload infer --checkpoint-interval 600",
+            "sweep --workload infer --restart 60",
+            "sweep --checkpoint-interval 600",
+            "sweep --restart 60",
+            "sweep --mtbf 0",
+        ] {
+            assert!(sweep(&args(bad)).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

@@ -75,7 +75,8 @@ pub mod prelude {
     pub use crate::parallel::{Parallelism, PipelineSchedule};
     pub use crate::refdata;
     pub use crate::train::{
-        PreparedTrainingEstimator, TrainingConfig, TrainingEstimator, TrainingReport,
+        CheckpointSpec, PreparedTrainingEstimator, ResilienceReport, TrainingConfig,
+        TrainingEstimator, TrainingReport,
     };
     pub use crate::units::{Bandwidth, Bytes, FlopCount, FlopThroughput, Ratio, Time};
 }

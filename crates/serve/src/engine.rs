@@ -23,7 +23,7 @@
 //! never invents work: it jumps its clock forward only to the next queued
 //! arrival within the target.
 
-use crate::faults::{EngineFaults, FaultTimeline};
+use crate::faults::EngineFaults;
 use crate::sim::{ServeError, ServeInstance, TraceBounds};
 use crate::stats::LatencyAccumulator;
 use crate::{QueueSample, Request, RequestMetrics, SloSpec, MAX_QUEUE_SAMPLES};
@@ -431,7 +431,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 self.clock = recover;
             }
             let faults = self.faults.as_mut().expect("window implies fault wiring");
-            faults.window = faults.timeline.as_mut().map(FaultTimeline::next_window);
+            faults.window = faults.stream.next_window();
         }
     }
 

@@ -1,15 +1,22 @@
 //! Seeded fault injection for fleet serving: MTBF/MTTR crash processes,
-//! straggler slow nodes, and fleet-wide throughput degradation.
+//! shared failure domains, straggler slow nodes, and fleet-wide
+//! throughput degradation.
 //!
 //! A [`FaultSpec`] describes the failure environment of a replica fleet.
 //! Per replica it derives — purely from `(seed, replica index)` — an
 //! alternating-renewal **outage schedule** (up for `Exp(1/mtbf)` seconds,
 //! down for `Exp(1/mttr)` seconds, forever) and a constant iteration-time
 //! **slowdown multiplier** (stragglers drawn once per replica, on top of
-//! a fleet-wide degradation factor). Because the schedule is a pure
-//! function of the spec, the router, the engines, and the availability
-//! metrics can each regenerate the same timeline independently, and the
-//! whole simulation stays byte-identical across runs and thread counts.
+//! a fleet-wide degradation factor). On top of the per-replica processes,
+//! [`FaultDomain`]s group replicas under **shared** outage processes —
+//! a rack losing power, a leaf switch rebooting — derived from
+//! `(seed, domain index)`, so every member replica goes down *together*.
+//! A replica's effective schedule is the **union** of its own windows and
+//! the windows of every domain containing it, merged lazily and coalesced
+//! ([`OutageStream`]). Because every schedule is a pure function of the
+//! spec, the router, the engines, and the availability metrics can each
+//! regenerate the same timeline independently, and the whole simulation
+//! stays byte-identical across runs and thread counts.
 //!
 //! Crash semantics (the requeue-on-failure contract the chaos suite
 //! pins):
@@ -21,16 +28,32 @@
 //!   drained back to the router with its **original arrival time**;
 //!   partial decode progress is discarded.
 //! * While a replica is inside a scheduled outage window the router skips
-//!   it; if every replica is down, the FIFO front door blocks until the
-//!   earliest recovery.
+//!   it; if every replica is down — which a wide domain outage can cause
+//!   all at once — the FIFO front door blocks until the earliest
+//!   recovery.
 //! * Downtime accounting is schedule-based: a replica's downtime is the
-//!   sum of its outage windows clipped to the fleet makespan, whether or
-//!   not work was lost.
+//!   sum of its merged outage windows clipped to the fleet makespan,
+//!   whether or not work was lost.
 //!
-//! The degenerate [`FaultSpec::none`] (infinite MTBF, no stragglers, no
-//! degradation) is guaranteed — and pinned by `chaos_props.rs` — to leave
-//! the fleet path bit-identical to a fault-free simulation.
+//! Degradation has two pricing modes ([`DegradeMode`]):
+//!
+//! * [`DegradeMode::Flat`] (default) multiplies every iteration duration
+//!   by `degrade_mult` — a uniform slowdown, agnostic to its cause. This
+//!   is the documented fallback when the degradation does not decompose
+//!   onto the interconnect.
+//! * [`DegradeMode::Link`] instead divides the cluster's intra- and
+//!   inter-node link bandwidths by `degrade_mult` and re-prices every
+//!   iteration over the degraded cluster, so the slowdown flows through
+//!   the α–β collective model: TP collectives and KV traffic pay it,
+//!   compute does not. A TP-1 replica (no collectives) barely notices a
+//!   link-mode degradation that would cost a flat-mode fleet dearly.
+//!
+//! The degenerate [`FaultSpec::none`] (infinite MTBF, no domains, no
+//! stragglers, no degradation) is guaranteed — and pinned by
+//! `chaos_props.rs` — to leave the fleet path bit-identical to a
+//! fault-free simulation.
 
+use optimus_hw::ClusterSpec;
 use rand::distributions::{Distribution, Exp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,16 +63,77 @@ use serde::{Deserialize, Serialize};
 /// seed.
 const CRASH_STREAM: u64 = 0x9E6D_5C3B_2A19_0807;
 const STRAGGLER_STREAM: u64 = 0x51ED_270B_484D_B6C1;
+/// The per-domain stream: domain schedules are keyed on
+/// `(seed, domain index)`, never on a replica index, so every member of a
+/// domain observes the identical shared timeline.
+const DOMAIN_STREAM: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+/// A group of replicas that fail **together**: one shared
+/// alternating-renewal outage process (mean uptime `mtbf_s`, mean repair
+/// `mttr_s`) takes every member replica down for the same windows — the
+/// model of a rack, a power feed, or a leaf switch.
+///
+/// Members are explicit replica indices, so one spec serves fleets of any
+/// size: an index at or beyond a fleet's replica count simply does not
+/// apply there (the load-sweep reuses one spec across cells with
+/// different replica counts). Domains may overlap; a replica's schedule
+/// is the union of everything that covers it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultDomain {
+    /// The member replica indices (distinct; any order).
+    pub replicas: Vec<usize>,
+    /// Mean seconds of domain uptime between outages (exponential).
+    /// `0` or `+∞` disables the domain.
+    pub mtbf_s: f64,
+    /// Mean seconds to repair one domain outage (exponential). Must be
+    /// positive and finite when the domain is active.
+    pub mttr_s: f64,
+}
+
+impl FaultDomain {
+    /// A domain over `replicas` with the given outage process.
+    #[must_use]
+    pub fn new(replicas: Vec<usize>, mtbf_s: f64, mttr_s: f64) -> Self {
+        Self {
+            replicas,
+            mtbf_s,
+            mttr_s,
+        }
+    }
+
+    /// Whether the domain's outage process is enabled and covers anyone.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.mtbf_s.is_finite() && self.mtbf_s > 0.0 && !self.replicas.is_empty()
+    }
+}
+
+/// How `degrade_mult` is priced into iteration durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DegradeMode {
+    /// Every iteration runs `degrade_mult`× slower — a uniform slowdown
+    /// applied after pricing. The fallback when the degradation does not
+    /// decompose onto the interconnect.
+    #[default]
+    Flat,
+    /// The cluster's link bandwidths are divided by `degrade_mult` and
+    /// iterations are re-priced over the degraded cluster, so the
+    /// slowdown flows through the collective cost model instead of
+    /// scaling compute. See [`FaultSpec::degraded_cluster`].
+    Link,
+}
 
 /// The seeded failure environment of a replica fleet.
 ///
-/// All fields are plain numbers so the spec is `Copy`, comparable, and
-/// serializable; the degenerate [`FaultSpec::none`] encodes "no faults"
-/// (and the fleet path treats it as exactly the fault-free simulation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// The scalar axes are plain numbers; `domains` adds shared failure
+/// groups. The spec is `Clone`, comparable, and serializable; the
+/// degenerate [`FaultSpec::none`] encodes "no faults" (and the fleet path
+/// treats it as exactly the fault-free simulation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// Seed of every fault process. Independent of the trace and router
-    /// seeds; per-replica streams are derived from `(seed, replica)`.
+    /// seeds; per-replica streams are derived from `(seed, replica)` and
+    /// per-domain streams from `(seed, domain index)`.
     pub seed: u64,
     /// Mean seconds of uptime between crashes, per replica (exponential).
     /// `0` or `+∞` disables the crash process entirely.
@@ -65,12 +149,17 @@ pub struct FaultSpec {
     /// Fleet-wide iteration-duration multiplier (≥ 1) — uniform
     /// throughput degradation, e.g. a degraded interconnect.
     pub degrade_mult: f64,
+    /// How `degrade_mult` is priced (flat slowdown vs. link-bandwidth
+    /// degradation through the collective model).
+    pub degrade_mode: DegradeMode,
+    /// Shared failure domains layered on the per-replica crash processes.
+    pub domains: Vec<FaultDomain>,
 }
 
 impl FaultSpec {
-    /// The degenerate no-fault spec: infinite MTBF, no stragglers, no
-    /// degradation. Fleet reports under this spec are bit-identical to
-    /// the fault-free path.
+    /// The degenerate no-fault spec: infinite MTBF, no domains, no
+    /// stragglers, no degradation. Fleet reports under this spec are
+    /// bit-identical to the fault-free path.
     #[must_use]
     pub fn none() -> Self {
         Self {
@@ -80,6 +169,8 @@ impl FaultSpec {
             straggler_frac: 0.0,
             straggler_mult: 1.0,
             degrade_mult: 1.0,
+            degrade_mode: DegradeMode::Flat,
+            domains: Vec::new(),
         }
     }
 
@@ -111,18 +202,59 @@ impl FaultSpec {
         self
     }
 
-    /// Whether the crash/recover process is active.
+    /// Sets how the degradation multiplier is priced.
+    #[must_use]
+    pub fn with_degrade_mode(mut self, mode: DegradeMode) -> Self {
+        self.degrade_mode = mode;
+        self
+    }
+
+    /// Adds one shared failure domain.
+    #[must_use]
+    pub fn with_domain(mut self, domain: FaultDomain) -> Self {
+        self.domains.push(domain);
+        self
+    }
+
+    /// Replaces the domain list wholesale.
+    #[must_use]
+    pub fn with_domains(mut self, domains: Vec<FaultDomain>) -> Self {
+        self.domains = domains;
+        self
+    }
+
+    /// Whether the per-replica crash/recover process is active.
     #[must_use]
     pub fn has_crashes(&self) -> bool {
         self.mtbf_s.is_finite() && self.mtbf_s > 0.0
     }
 
-    /// Whether the spec injects no faults at all — no crash process, no
+    /// Whether any shared failure domain is active.
+    #[must_use]
+    pub fn has_domains(&self) -> bool {
+        self.domains.iter().any(FaultDomain::is_active)
+    }
+
+    /// Whether any outage process — per-replica or domain — is active.
+    #[must_use]
+    pub fn has_outages(&self) -> bool {
+        self.has_crashes() || self.has_domains()
+    }
+
+    /// Whether `degrade_mult` is priced through the link model (and the
+    /// caller must therefore simulate over
+    /// [`FaultSpec::degraded_cluster`]'s output).
+    #[must_use]
+    pub fn link_degrade_active(&self) -> bool {
+        self.degrade_mode == DegradeMode::Link && self.degrade_mult != 1.0
+    }
+
+    /// Whether the spec injects no faults at all — no outage process, no
     /// effective straggler draw, no degradation. The fleet path treats
     /// such a spec (whatever its seed) exactly like the fault-free one.
     #[must_use]
     pub fn is_none(&self) -> bool {
-        !self.has_crashes()
+        !self.has_outages()
             && (self.straggler_frac == 0.0 || self.straggler_mult == 1.0)
             && self.degrade_mult == 1.0
     }
@@ -133,7 +265,8 @@ impl FaultSpec {
     ///
     /// Returns a human-readable reason when a field is out of range
     /// (negative/NaN MTBF, non-positive MTTR with crashes enabled,
-    /// straggler fraction outside `[0, 1]`, multipliers below 1).
+    /// straggler fraction outside `[0, 1]`, multipliers below 1, a domain
+    /// with duplicate members or a degenerate outage process).
     pub fn validate(&self) -> Result<(), String> {
         if self.mtbf_s.is_nan() || self.mtbf_s < 0.0 {
             return Err(format!("MTBF must be non-negative, got {}", self.mtbf_s));
@@ -162,28 +295,64 @@ impl FaultSpec {
                 self.degrade_mult
             ));
         }
+        for (index, domain) in self.domains.iter().enumerate() {
+            if domain.mtbf_s.is_nan() || domain.mtbf_s < 0.0 {
+                return Err(format!(
+                    "domain {index}: MTBF must be non-negative, got {}",
+                    domain.mtbf_s
+                ));
+            }
+            if domain.mtbf_s.is_finite()
+                && domain.mtbf_s > 0.0
+                && !(domain.mttr_s.is_finite() && domain.mttr_s > 0.0)
+            {
+                return Err(format!(
+                    "domain {index}: MTTR must be positive and finite when the domain is enabled, got {}",
+                    domain.mttr_s
+                ));
+            }
+            let mut members = domain.replicas.clone();
+            members.sort_unstable();
+            if members.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!(
+                    "domain {index}: member replicas must be distinct, got {:?}",
+                    domain.replicas
+                ));
+            }
+        }
         Ok(())
     }
 
-    /// A copy safe to embed in JSON reports: a disabled crash process is
-    /// normalized to `mtbf_s = 0` (JSON cannot carry `∞`; `0` and `∞`
-    /// both mean "never crashes").
+    /// A copy safe to embed in JSON reports: a disabled crash process —
+    /// per replica or per domain — is normalized to `mtbf_s = 0` (JSON
+    /// cannot carry `∞`; `0` and `∞` both mean "never crashes").
     #[must_use]
     pub fn json_safe(mut self) -> Self {
         if !self.has_crashes() {
             self.mtbf_s = 0.0;
             self.mttr_s = 0.0;
         }
+        for domain in &mut self.domains {
+            if !(domain.mtbf_s.is_finite() && domain.mtbf_s > 0.0) {
+                domain.mtbf_s = 0.0;
+                domain.mttr_s = 0.0;
+            }
+        }
         self
     }
 
     /// The constant iteration-duration multiplier of `replica`: the
-    /// fleet-wide degradation times the straggler multiplier when this
-    /// replica's seeded draw makes it a straggler. Exactly `1.0` for an
-    /// inactive slowdown axis, so the fault-free path is untouched.
+    /// fleet-wide degradation (in [`DegradeMode::Flat`] only — link-mode
+    /// degradation is priced into the cluster instead, never double-
+    /// counted here) times the straggler multiplier when this replica's
+    /// seeded draw makes it a straggler. Exactly `1.0` for an inactive
+    /// slowdown axis, so the fault-free path is untouched.
     #[must_use]
     pub fn slow_mult(&self, replica: usize) -> f64 {
-        let mut mult = self.degrade_mult;
+        let mut mult = match self.degrade_mode {
+            DegradeMode::Flat => self.degrade_mult,
+            DegradeMode::Link => 1.0,
+        };
         if self.straggler_frac > 0.0 && self.straggler_mult != 1.0 {
             let mut rng = stream_rng(self.seed, replica, STRAGGLER_STREAM);
             if rng.gen_range(0.0..1.0) < self.straggler_frac {
@@ -193,14 +362,65 @@ impl FaultSpec {
         mult
     }
 
-    /// The replica's scheduled outage windows `(crash_s, recover_s)` that
-    /// **begin** before `horizon_s`, in time order. A pure function of
-    /// `(spec, replica)` — the same schedule the engines and the router
-    /// observe.
+    /// The cluster this spec's simulations must be priced over: under an
+    /// active [`DegradeMode::Link`] degradation, a copy of `cluster` with
+    /// the intra- and inter-node link bandwidths divided by
+    /// `degrade_mult` — every collective and KV transfer is then re-priced
+    /// through `optimus_collective`'s α–β link model over the thinner
+    /// links (latency terms are untouched; only bandwidth degrades).
+    /// `None` otherwise: flat-mode degradation keeps the original cluster
+    /// and scales iteration durations via [`FaultSpec::slow_mult`].
+    #[must_use]
+    pub fn degraded_cluster(&self, cluster: &ClusterSpec) -> Option<ClusterSpec> {
+        self.link_degrade_active().then(|| {
+            let scale = 1.0 / self.degrade_mult;
+            let intra = cluster
+                .node
+                .intra_link
+                .clone()
+                .with_bandwidth(cluster.node.intra_link.bandwidth * scale);
+            let inter = cluster
+                .inter_link
+                .clone()
+                .with_bandwidth(cluster.inter_link.bandwidth * scale);
+            cluster
+                .clone()
+                .with_intra_link(intra)
+                .with_inter_link(inter)
+        })
+    }
+
+    /// The replica's **merged** scheduled outage windows
+    /// `(crash_s, recover_s)` that begin before `horizon_s`, in time
+    /// order: the union of its own crash process and every domain that
+    /// contains it, with overlapping windows coalesced. A pure function
+    /// of `(spec, replica)` — the same schedule the engines and the
+    /// router observe.
     #[must_use]
     pub fn outage_windows(&self, replica: usize, horizon_s: f64) -> Vec<(f64, f64)> {
+        let mut stream = OutageStream::for_replica(self, replica);
         let mut windows = Vec::new();
-        let Some(mut timeline) = FaultTimeline::new(self, replica) else {
+        while let Some((crash, recover)) = stream.next_window() {
+            if crash >= horizon_s {
+                break;
+            }
+            windows.push((crash, recover));
+        }
+        windows
+    }
+
+    /// The shared outage windows of domain `index` that begin before
+    /// `horizon_s` — the timeline every member replica observes,
+    /// identically. Empty for an inactive (or out-of-range) domain.
+    #[must_use]
+    pub fn domain_outage_windows(&self, index: usize, horizon_s: f64) -> Vec<(f64, f64)> {
+        let mut windows = Vec::new();
+        let Some(mut timeline) = self
+            .domains
+            .get(index)
+            .filter(|d| d.is_active())
+            .and_then(|_| FaultTimeline::domain(self, index))
+        else {
             return windows;
         };
         loop {
@@ -213,17 +433,26 @@ impl FaultSpec {
     }
 
     /// Schedule-based availability accounting for one replica: the number
-    /// of crashes scheduled before `horizon_s` and their total downtime
-    /// clipped to the horizon.
+    /// of merged outage windows beginning before `horizon_s` and their
+    /// total downtime clipped to the horizon.
     #[must_use]
     pub(crate) fn outage_stats(&self, replica: usize, horizon_s: f64) -> (usize, f64) {
-        let windows = self.outage_windows(replica, horizon_s);
-        let downtime = windows
-            .iter()
-            .map(|&(crash, recover)| recover.min(horizon_s) - crash)
-            .sum();
-        (windows.len(), downtime)
+        clipped_stats(&self.outage_windows(replica, horizon_s), horizon_s)
     }
+
+    /// Schedule-based accounting for one domain's shared process.
+    #[must_use]
+    pub(crate) fn domain_outage_stats(&self, index: usize, horizon_s: f64) -> (usize, f64) {
+        clipped_stats(&self.domain_outage_windows(index, horizon_s), horizon_s)
+    }
+}
+
+fn clipped_stats(windows: &[(f64, f64)], horizon_s: f64) -> (usize, f64) {
+    let downtime = windows
+        .iter()
+        .map(|&(crash, recover)| recover.min(horizon_s) - crash)
+        .sum();
+    (windows.len(), downtime)
 }
 
 /// The splitmix64 finalizer: decorrelates the per-replica streams drawn
@@ -236,14 +465,15 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn stream_rng(seed: u64, replica: usize, stream: u64) -> StdRng {
+fn stream_rng(seed: u64, entity: usize, stream: u64) -> StdRng {
     StdRng::seed_from_u64(splitmix(
-        seed ^ splitmix(stream ^ splitmix((replica as u64).wrapping_add(1))),
+        seed ^ splitmix(stream ^ splitmix((entity as u64).wrapping_add(1))),
     ))
 }
 
-/// The infinite outage-window generator of one replica: alternating
-/// exponential up/down durations from the replica's crash stream.
+/// The infinite outage-window generator of one entity (a replica's own
+/// crash process, or a domain's shared one): alternating exponential
+/// up/down durations from the entity's stream.
 pub(crate) struct FaultTimeline {
     rng: StdRng,
     mtbf_s: f64,
@@ -252,12 +482,25 @@ pub(crate) struct FaultTimeline {
 }
 
 impl FaultTimeline {
-    /// `None` when the spec's crash process is disabled.
+    /// The replica's own crash process; `None` when disabled.
     pub(crate) fn new(spec: &FaultSpec, replica: usize) -> Option<Self> {
         spec.has_crashes().then(|| Self {
             rng: stream_rng(spec.seed, replica, CRASH_STREAM),
             mtbf_s: spec.mtbf_s,
             mttr_s: spec.mttr_s,
+            at_s: 0.0,
+        })
+    }
+
+    /// Domain `index`'s shared process, keyed on `(seed, index)` — never
+    /// on a replica — so every member replays the identical timeline.
+    /// `None` when the domain is inactive.
+    pub(crate) fn domain(spec: &FaultSpec, index: usize) -> Option<Self> {
+        let domain = &spec.domains[index];
+        (domain.mtbf_s.is_finite() && domain.mtbf_s > 0.0).then(|| Self {
+            rng: stream_rng(spec.seed, index, DOMAIN_STREAM),
+            mtbf_s: domain.mtbf_s,
+            mttr_s: domain.mttr_s,
             at_s: 0.0,
         })
     }
@@ -272,22 +515,73 @@ impl FaultTimeline {
     }
 }
 
-/// A forward-only cursor over one replica's outage schedule — the
+/// One replica's merged outage stream: the lazy union of its own crash
+/// timeline and the shared timeline of every domain containing it.
+/// Yields coalesced `(crash, recover)` windows in time order — each
+/// window starts strictly after the previous one ends — so downstream
+/// consumers (cursor, engine drain, accounting) see exactly the
+/// single-timeline shape they saw before domains existed.
+pub(crate) struct OutageStream {
+    sources: Vec<FaultTimeline>,
+    /// Lookahead: the not-yet-consumed earliest window of each source.
+    heads: Vec<(f64, f64)>,
+}
+
+impl OutageStream {
+    pub(crate) fn for_replica(spec: &FaultSpec, replica: usize) -> Self {
+        let mut sources: Vec<FaultTimeline> = Vec::new();
+        if let Some(own) = FaultTimeline::new(spec, replica) {
+            sources.push(own);
+        }
+        for (index, domain) in spec.domains.iter().enumerate() {
+            if domain.is_active() && domain.replicas.contains(&replica) {
+                if let Some(shared) = FaultTimeline::domain(spec, index) {
+                    sources.push(shared);
+                }
+            }
+        }
+        let heads = sources.iter_mut().map(FaultTimeline::next_window).collect();
+        Self { sources, heads }
+    }
+
+    /// The next merged window, or `None` when no outage process covers
+    /// this replica. Pops the earliest pending window, then absorbs every
+    /// window (from any source) that starts inside the union built so
+    /// far, extending the recovery edge.
+    pub(crate) fn next_window(&mut self) -> Option<(f64, f64)> {
+        let first =
+            (0..self.heads.len()).min_by(|&a, &b| self.heads[a].0.total_cmp(&self.heads[b].0))?;
+        let (crash, mut recover) = self.heads[first];
+        self.heads[first] = self.sources[first].next_window();
+        loop {
+            let Some(next) = (0..self.heads.len())
+                .filter(|&i| self.heads[i].0 <= recover)
+                .min_by(|&a, &b| self.heads[a].0.total_cmp(&self.heads[b].0))
+            else {
+                return Some((crash, recover));
+            };
+            recover = recover.max(self.heads[next].1);
+            self.heads[next] = self.sources[next].next_window();
+        }
+    }
+}
+
+/// A forward-only cursor over one replica's merged outage schedule — the
 /// router's availability view. Queries are clamped forward: asking about
 /// an earlier instant than a previous query answers as of the latest
 /// instant seen (the router's knowledge only moves forward).
 pub(crate) struct OutageCursor {
-    timeline: Option<FaultTimeline>,
+    stream: OutageStream,
     window: Option<(f64, f64)>,
     hi: f64,
 }
 
 impl OutageCursor {
     pub(crate) fn new(spec: &FaultSpec, replica: usize) -> Self {
-        let mut timeline = FaultTimeline::new(spec, replica);
-        let window = timeline.as_mut().map(FaultTimeline::next_window);
+        let mut stream = OutageStream::for_replica(spec, replica);
+        let window = stream.next_window();
         Self {
-            timeline,
+            stream,
             window,
             hi: 0.0,
         }
@@ -307,7 +601,7 @@ impl OutageCursor {
                     if t < recover {
                         return true;
                     }
-                    self.window = self.timeline.as_mut().map(FaultTimeline::next_window);
+                    self.window = self.stream.next_window();
                 }
             }
         }
@@ -324,11 +618,12 @@ impl OutageCursor {
     }
 }
 
-/// One replica engine's fault wiring: its drain-side outage cursor (the
-/// `window`/`timeline` pair advanced by the engine clock), the router's
-/// independent query cursor, and the constant slowdown multiplier.
+/// One replica engine's fault wiring: its drain-side merged outage stream
+/// (the `window`/`stream` pair advanced by the engine clock), the
+/// router's independent query cursor, and the constant slowdown
+/// multiplier.
 pub(crate) struct EngineFaults {
-    pub(crate) timeline: Option<FaultTimeline>,
+    pub(crate) stream: OutageStream,
     pub(crate) window: Option<(f64, f64)>,
     pub(crate) query: OutageCursor,
     pub(crate) slow_mult: f64,
@@ -336,10 +631,10 @@ pub(crate) struct EngineFaults {
 
 impl EngineFaults {
     pub(crate) fn for_replica(spec: &FaultSpec, replica: usize) -> Self {
-        let mut timeline = FaultTimeline::new(spec, replica);
-        let window = timeline.as_mut().map(FaultTimeline::next_window);
+        let mut stream = OutageStream::for_replica(spec, replica);
+        let window = stream.next_window();
         Self {
-            timeline,
+            stream,
             window,
             query: OutageCursor::new(spec, replica),
             slow_mult: spec.slow_mult(replica),
@@ -351,7 +646,9 @@ impl EngineFaults {
 /// zeros / `1.0` for a fault-free run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetAvailability {
-    /// Crash events scheduled within the fleet makespan, across replicas.
+    /// Outage windows scheduled within the fleet makespan, summed across
+    /// replicas (a domain outage over `k` member replicas counts `k`
+    /// times — each member went down).
     pub crashes: usize,
     /// Scheduled outage time within the makespan, summed across replicas.
     pub downtime: optimus_units::Time,
@@ -367,8 +664,13 @@ pub struct FleetAvailability {
     pub requeued_requests: usize,
     /// Ascending ids of the requeued requests.
     pub requeued_ids: Vec<usize>,
-    /// Per-replica scheduled downtime within the makespan.
+    /// Per-replica scheduled downtime within the makespan (merged own +
+    /// domain windows).
     pub per_replica_downtime: Vec<optimus_units::Time>,
+    /// Per-domain scheduled downtime within the makespan — the shared
+    /// process alone, before it fans out to members. Empty when the spec
+    /// has no domains.
+    pub per_domain_downtime: Vec<optimus_units::Time>,
     /// SLO-met tokens per second per *available* replica:
     /// `goodput / (replicas × availability)` — what one surviving
     /// replica-second delivers under churn.
@@ -384,6 +686,7 @@ mod tests {
         let spec = FaultSpec::none();
         assert!(spec.is_none());
         assert!(!spec.has_crashes());
+        assert!(!spec.has_domains());
         assert!(spec.validate().is_ok());
         assert_eq!(spec.slow_mult(0), 1.0);
         assert!(spec.outage_windows(3, 1e9).is_empty());
@@ -494,10 +797,124 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_degenerate_domains() {
+        let bad_mtbf = FaultSpec::none().with_domain(FaultDomain::new(vec![0, 1], -5.0, 1.0));
+        assert!(bad_mtbf.validate().is_err());
+        let bad_mttr = FaultSpec::none().with_domain(FaultDomain::new(vec![0, 1], 60.0, 0.0));
+        assert!(bad_mttr.validate().is_err());
+        let dup = FaultSpec::none().with_domain(FaultDomain::new(vec![0, 1, 0], 60.0, 5.0));
+        assert!(dup.validate().is_err());
+        let ok = FaultSpec::none()
+            .with_domain(FaultDomain::new(vec![0, 1], 60.0, 5.0))
+            .with_domain(FaultDomain::new(vec![2, 3], 90.0, 5.0));
+        assert!(ok.validate().is_ok());
+        assert!(ok.has_domains());
+        assert!(!ok.is_none());
+    }
+
+    #[test]
+    fn domain_members_share_the_identical_schedule() {
+        let spec = FaultSpec::none().with_domain(FaultDomain::new(vec![0, 2], 80.0, 10.0));
+        let member_a = spec.outage_windows(0, 50_000.0);
+        let member_b = spec.outage_windows(2, 50_000.0);
+        let shared = spec.domain_outage_windows(0, 50_000.0);
+        assert!(!shared.is_empty());
+        assert_eq!(member_a, shared, "a member sees exactly the domain windows");
+        assert_eq!(member_a, member_b, "members go down together");
+        assert!(
+            spec.outage_windows(1, 50_000.0).is_empty(),
+            "a non-member is untouched"
+        );
+        assert!(
+            spec.outage_windows(7, 50_000.0).is_empty(),
+            "an out-of-range member index applies to no replica here"
+        );
+    }
+
+    #[test]
+    fn merged_windows_union_own_and_domain_processes() {
+        let spec =
+            FaultSpec::crashes(13, 60.0, 8.0).with_domain(FaultDomain::new(vec![0, 1], 90.0, 12.0));
+        let merged = spec.outage_windows(0, 20_000.0);
+        assert!(!merged.is_empty());
+        for w in merged.windows(2) {
+            assert!(
+                w[0].1 < w[1].0,
+                "merged windows must be disjoint, ordered, and coalesced"
+            );
+        }
+        // The merged schedule is pointwise the OR of the two processes.
+        let own = FaultSpec::crashes(13, 60.0, 8.0).outage_windows(0, 20_000.0);
+        let shared = spec.domain_outage_windows(0, 20_000.0);
+        let down = |windows: &[(f64, f64)], t: f64| windows.iter().any(|&(c, r)| t >= c && t < r);
+        let mut t = 0.0;
+        while t < 19_000.0 {
+            assert_eq!(
+                down(&merged, t),
+                down(&own, t) || down(&shared, t),
+                "merged schedule must equal the union at t = {t}"
+            );
+            t += 1.73;
+        }
+        // And the domain layer never perturbs the replica's own stream.
+        let merged_replica_1 = spec.outage_windows(1, 20_000.0);
+        let own_replica_1 = FaultSpec::crashes(13, 60.0, 8.0).outage_windows(1, 20_000.0);
+        let down_any = |t: f64| down(&own_replica_1, t) || down(&shared, t);
+        let mut t = 0.0;
+        while t < 19_000.0 {
+            assert_eq!(down(&merged_replica_1, t), down_any(t), "at t = {t}");
+            t += 2.31;
+        }
+    }
+
+    #[test]
+    fn link_mode_moves_degradation_out_of_slow_mult() {
+        let flat = FaultSpec::none().with_degradation(2.0);
+        assert_eq!(flat.slow_mult(0), 2.0);
+        assert!(flat
+            .degraded_cluster(&optimus_hw::presets::dgx_a100_hdr_cluster())
+            .is_none());
+        let link = FaultSpec::none()
+            .with_degradation(2.0)
+            .with_degrade_mode(DegradeMode::Link);
+        assert!(link.link_degrade_active());
+        assert!(!link.is_none());
+        assert_eq!(
+            link.slow_mult(0),
+            1.0,
+            "link-mode degradation must not also scale iteration durations"
+        );
+        let cluster = optimus_hw::presets::dgx_a100_hdr_cluster();
+        let degraded = link.degraded_cluster(&cluster).expect("active link mode");
+        assert_eq!(
+            degraded.node.intra_link.bandwidth.gb_per_sec(),
+            cluster.node.intra_link.bandwidth.gb_per_sec() / 2.0
+        );
+        assert_eq!(
+            degraded.inter_link.bandwidth.gb_per_sec(),
+            cluster.inter_link.bandwidth.gb_per_sec() / 2.0
+        );
+        assert_eq!(
+            degraded.node.intra_link.latency, cluster.node.intra_link.latency,
+            "only bandwidth degrades"
+        );
+        // A unit multiplier is inert in either mode.
+        let inert = FaultSpec::none().with_degrade_mode(DegradeMode::Link);
+        assert!(inert.is_none());
+        assert!(inert.degraded_cluster(&cluster).is_none());
+    }
+
+    #[test]
     fn json_safe_normalizes_the_infinite_mtbf() {
         let spec = FaultSpec::none().with_degradation(1.5).json_safe();
         assert_eq!(spec.mtbf_s, 0.0);
         let active = FaultSpec::crashes(2, 60.0, 5.0).json_safe();
         assert_eq!(active.mtbf_s, 60.0);
+        let domained = FaultSpec::none()
+            .with_domain(FaultDomain::new(vec![0], f64::INFINITY, 0.0))
+            .with_domain(FaultDomain::new(vec![1, 2], 45.0, 5.0))
+            .json_safe();
+        assert_eq!(domained.domains[0].mtbf_s, 0.0);
+        assert_eq!(domained.domains[1].mtbf_s, 45.0);
     }
 }

@@ -87,7 +87,7 @@ impl RouterPolicy {
 }
 
 /// Fleet configuration: how many replicas of which strategy, routed how.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
     /// Number of identical replicas (each `replica.tp` devices, so the
     /// fleet occupies `replicas × tp` GPUs).
@@ -277,8 +277,12 @@ impl<'a> FleetInstance<'a> {
     /// # Errors
     ///
     /// Returns [`ServeError`] when the replica strategy cannot serve at
-    /// all (weights overflow the device, `tp` beyond a node) or
-    /// `replicas` is zero.
+    /// all (weights overflow the device, `tp` beyond a node), `replicas`
+    /// is zero, or the fault spec requires link-mode degradation: this
+    /// constructor prices over the caller's borrowed cluster as-is, so an
+    /// active [`crate::DegradeMode::Link`] spec must instead enter
+    /// through [`simulate_fleet_trace`] or [`crate::load_sweep`], which
+    /// build the degraded cluster before preparing instances.
     pub fn new(
         cluster: &'a ClusterSpec,
         model: Arc<ModelConfig>,
@@ -291,6 +295,14 @@ impl<'a> FleetInstance<'a> {
         }
         if let Err(reason) = config.faults.validate() {
             return Err(ServeError::InvalidConfig(format!("fault spec: {reason}")));
+        }
+        if config.faults.link_degrade_active() {
+            return Err(ServeError::InvalidConfig(
+                "link-mode degradation re-prices the cluster's interconnect; \
+                 run it through simulate_fleet/simulate_fleet_trace or load_sweep, \
+                 which simulate over the degraded cluster"
+                    .to_owned(),
+            ));
         }
         let instance = ServeInstance::new(cluster, model, config.replica)?;
         Ok(Self { instance, config })
@@ -318,7 +330,7 @@ impl<'a> FleetInstance<'a> {
             &self.instance,
             self.config.replicas,
             self.config.router,
-            self.config.faults,
+            &self.config.faults,
             trace,
         )
     }
@@ -501,7 +513,7 @@ pub(crate) fn run_fleet(
     instance: &ServeInstance<'_>,
     replicas: usize,
     router: RouterPolicy,
-    faults: FaultSpec,
+    faults: &FaultSpec,
     trace: &[Request],
 ) -> Result<FleetReport, ServeError> {
     ServeInstance::validate_trace(trace);
@@ -524,7 +536,7 @@ pub(crate) fn run_fleet(
     let records_on = instance.records_on(trace.len());
     let mut engines: Vec<ReplicaEngine<'_, '_>> = (0..replicas)
         .map(|i| {
-            let wiring = faulty.then(|| EngineFaults::for_replica(&faults, i));
+            let wiring = faulty.then(|| EngineFaults::for_replica(faults, i));
             ReplicaEngine::new(instance, table, &bounds, trace.len(), records_on, wiring)
         })
         .collect();
@@ -670,6 +682,16 @@ pub(crate) fn run_fleet(
         downtime_total += downtime;
         per_replica_downtime.push(Time::from_secs(downtime));
     }
+    // Domain downtime is also reported un-fanned-out: the shared process
+    // alone, clipped to the makespan. (Its fan-out to members is already
+    // inside the per-replica merged downtime above.)
+    let per_domain_downtime: Vec<Time> = if faulty {
+        (0..faults.domains.len())
+            .map(|d| Time::from_secs(faults.domain_outage_stats(d, makespan_s).1))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let availability_frac = if makespan_s > 0.0 {
         1.0 - downtime_total / (replicas as f64 * makespan_s)
     } else {
@@ -688,6 +710,7 @@ pub(crate) fn run_fleet(
         requeued_requests: distinct_requeued.len(),
         requeued_ids: distinct_requeued,
         per_replica_downtime,
+        per_domain_downtime,
         goodput_tokens_per_up_replica_s: if up_replicas > 0.0 {
             goodput_tokens_per_s / up_replicas
         } else {
@@ -735,7 +758,7 @@ pub(crate) fn run_fleet(
         },
         routed,
         per_replica,
-        faults: faulty.then(|| faults.json_safe()),
+        faults: faulty.then(|| faults.clone().json_safe()),
         availability,
     })
 }
@@ -759,10 +782,18 @@ pub fn simulate_fleet(
 /// Like [`simulate_fleet`], over an explicit arrival-ordered request
 /// list.
 ///
+/// Unlike [`FleetInstance::new`], this entry point accepts an active
+/// [`crate::DegradeMode::Link`] fault spec: it builds the
+/// bandwidth-degraded copy of `cluster` (see
+/// [`FaultSpec::degraded_cluster`]) and prices every iteration over it,
+/// so the degradation flows through the collective cost model. The
+/// report still carries the original spec in its `faults` field.
+///
 /// # Errors
 ///
-/// Returns [`ServeError`] for configurations that cannot serve (see
-/// [`FleetInstance::new`]).
+/// Returns [`ServeError`] for configurations that cannot serve (weights
+/// overflow the device, `tp` beyond a node, zero replicas, an invalid
+/// fault spec).
 ///
 /// # Panics
 ///
@@ -774,7 +805,24 @@ pub fn simulate_fleet_trace(
     config: &FleetConfig,
     trace: &[Request],
 ) -> Result<FleetReport, ServeError> {
-    FleetInstance::new(cluster, model, *config)?.simulate(trace)
+    if let Err(reason) = config.faults.validate() {
+        return Err(ServeError::InvalidConfig(format!("fault spec: {reason}")));
+    }
+    let degraded = config.faults.degraded_cluster(cluster);
+    let priced = degraded.as_ref().unwrap_or(cluster);
+    if config.replicas == 0 {
+        return Err(ServeError::InvalidConfig(
+            "a fleet needs at least one replica".to_owned(),
+        ));
+    }
+    let instance = ServeInstance::new(priced, model, config.replica)?;
+    run_fleet(
+        &instance,
+        config.replicas,
+        config.router,
+        &config.faults,
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -1016,7 +1064,7 @@ mod tests {
         let faults = FaultSpec::crashes(5, 8.0, 2.0);
         let config = FleetConfig::new(3, 1)
             .with_router(RouterPolicy::LeastOutstanding)
-            .with_faults(faults);
+            .with_faults(faults.clone());
         let report =
             simulate_fleet(&cluster, Arc::clone(&model), &config, &spec(29, 400, 40.0)).unwrap();
         assert_eq!(report.completed + report.rejected, report.requests);

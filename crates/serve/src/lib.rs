@@ -26,8 +26,11 @@
 //! SLO goodput, so the load-sweep's frontier trades **TP-up against
 //! replicate-out** at equal device counts (`gpus = tp × replicas`).
 //! Fleets can additionally run under seeded fault injection
-//! ([`FaultSpec`]: MTBF/MTTR crash/recover processes, straggler slow
-//! nodes, fleet-wide degradation): crashed replicas drain their in-flight
+//! ([`FaultSpec`]: MTBF/MTTR crash/recover processes, shared failure
+//! domains ([`FaultDomain`]) that take whole replica groups down
+//! together — racks, power feeds, leaf switches — straggler slow nodes,
+//! and fleet-wide degradation priced either flat or through the link
+//! model ([`DegradeMode`])): crashed replicas drain their in-flight
 //! work back to the router for deterministic requeueing, routers skip
 //! down replicas, and reports gain availability metrics — which makes the
 //! load-sweep frontier availability-aware.
@@ -63,7 +66,7 @@ mod sim;
 pub mod stats;
 mod trace;
 
-pub use faults::{FaultSpec, FleetAvailability};
+pub use faults::{DegradeMode, FaultDomain, FaultSpec, FleetAvailability};
 pub use fleet::{
     simulate_fleet, simulate_fleet_trace, FleetConfig, FleetInstance, FleetReport, RouterPolicy,
 };

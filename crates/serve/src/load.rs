@@ -253,10 +253,15 @@ pub fn load_sweep(
         spec.rates.iter().all(|r| r.is_finite() && *r > 0.0),
         "arrival rates must be finite and positive"
     );
-    let faults = spec.faults.unwrap_or_else(FaultSpec::none);
+    let faults = spec.faults.clone().unwrap_or_else(FaultSpec::none);
     if let Err(reason) = faults.validate() {
         panic!("invalid fault spec: {reason}");
     }
+    // Under link-mode degradation every cell is priced over the
+    // bandwidth-degraded cluster (the report keeps the original cluster
+    // name; the spec in `faults` records why the links are thinner).
+    let degraded = faults.degraded_cluster(cluster);
+    let cluster = degraded.as_ref().unwrap_or(cluster);
 
     // --- phase 1: one instance per strategy, sealed and probed ----------
     let prepared: Vec<Result<ServeInstance<'_>, InfeasibleStrategy>> = spec
@@ -285,7 +290,7 @@ pub fn load_sweep(
             curves: Vec::new(),
             frontier: Vec::new(),
             infeasible,
-            faults: spec.faults.map(FaultSpec::json_safe),
+            faults: spec.faults.clone().map(FaultSpec::json_safe),
         };
     }
 
@@ -323,7 +328,7 @@ pub fn load_sweep(
                 instance,
                 strategy.replicas,
                 spec.router,
-                faults,
+                &faults,
                 &traces[ri],
             )
             .expect("strategy feasibility was probed in phase 1");
@@ -368,7 +373,7 @@ pub fn load_sweep(
         curves,
         frontier,
         infeasible,
-        faults: spec.faults.map(FaultSpec::json_safe),
+        faults: spec.faults.clone().map(FaultSpec::json_safe),
     }
 }
 
@@ -607,7 +612,7 @@ mod tests {
         ];
         let clean = load_sweep(&cluster, &model, &spec);
         let faults = FaultSpec::crashes(3, 5.0, 2.0);
-        spec.faults = Some(faults);
+        spec.faults = Some(faults.clone());
         let churned = load_sweep(&cluster, &model, &spec);
         assert_eq!(churned.faults, Some(faults));
         assert!(clean

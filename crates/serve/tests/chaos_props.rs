@@ -20,8 +20,8 @@
 use optimus_hw::presets;
 use optimus_model::presets as models;
 use optimus_serve::{
-    simulate_fleet, ArrivalProcess, FaultSpec, FleetConfig, FleetReport, LengthDist, RouterPolicy,
-    ServeConfig, TraceSpec,
+    simulate_fleet, ArrivalProcess, DegradeMode, FaultDomain, FaultSpec, FleetConfig,
+    FleetInstance, FleetReport, LengthDist, RouterPolicy, ServeConfig, TraceSpec,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -118,14 +118,14 @@ proptest! {
         for policy in policies() {
             let config = FleetConfig::new(4, 1)
                 .with_router(policy)
-                .with_faults(faults);
+                .with_faults(faults.clone());
             let report =
                 simulate_fleet(&cluster, Arc::clone(&model), &config, &spec).unwrap();
             let label = format!(
                 "{policy}, mtbf {mtbf_s}, mttr {mttr_s}, stragglers {straggler:?}, seed {fault_seed}"
             );
             assert_conserved(&report, &spec, &label);
-            prop_assert_eq!(report.faults, Some(faults.json_safe()), "{}", label);
+            prop_assert_eq!(report.faults, Some(faults.clone().json_safe()), "{}", label);
         }
     }
 }
@@ -162,9 +162,9 @@ fn chaos_report_is_byte_identical_across_one_and_eight_threads() {
             RouterPolicy::Random { seed: 5 },
             RouterPolicy::LeastOutstanding,
         ] {
-            let one = pool(1).install(|| chaos_json(&spec, policy, faults));
-            let eight = pool(8).install(|| chaos_json(&spec, policy, faults));
-            let default_threads = chaos_json(&spec, policy, faults);
+            let one = pool(1).install(|| chaos_json(&spec, policy, faults.clone()));
+            let eight = pool(8).install(|| chaos_json(&spec, policy, faults.clone()));
+            let default_threads = chaos_json(&spec, policy, faults.clone());
             assert_eq!(one, eight, "{requests} requests, {policy}: 1 vs 8 threads");
             assert_eq!(
                 one, default_threads,
@@ -228,6 +228,9 @@ fn inactive_fault_spec_is_bit_identical_to_the_fault_free_path() {
     let spec = trace(21, 500, 80.0);
     let mut seeded_noop = FaultSpec::none();
     seeded_noop.seed = 99;
+    // A disabled domain (mtbf 0) is as inert as no domain at all.
+    let domain_noop = FaultSpec::none().with_domain(FaultDomain::new(vec![0, 1], 0.0, 0.0));
+    assert!(domain_noop.is_none());
     for policy in policies() {
         let plain = simulate_fleet(
             &cluster,
@@ -236,13 +239,13 @@ fn inactive_fault_spec_is_bit_identical_to_the_fault_free_path() {
             &spec,
         )
         .unwrap();
-        for inactive in [FaultSpec::none(), seeded_noop] {
+        for inactive in [FaultSpec::none(), seeded_noop.clone(), domain_noop.clone()] {
             let gated = simulate_fleet(
                 &cluster,
                 Arc::clone(&model),
                 &FleetConfig::new(3, 1)
                     .with_router(policy)
-                    .with_faults(inactive),
+                    .with_faults(inactive.clone()),
                 &spec,
             )
             .unwrap();
@@ -255,6 +258,139 @@ fn inactive_fault_spec_is_bit_identical_to_the_fault_free_path() {
             );
         }
     }
+}
+
+/// Rack-wide chaos: shared failure domains that take whole replica
+/// groups down together still balance the conservation ledger for every
+/// router policy — including the moments when a domain outage leaves the
+/// whole fleet down and the front door blocks.
+#[test]
+fn rack_wide_outages_conserve_across_all_policies() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(models::llama2_7b());
+    let spec = trace(17, 2_000, 90.0);
+    // Two racks of two replicas each; no per-replica crash process, so
+    // every outage is a shared one.
+    let faults = FaultSpec::none()
+        .with_domain(FaultDomain::new(vec![0, 1], 12.0, 2.0))
+        .with_domain(FaultDomain::new(vec![2, 3], 18.0, 2.5));
+    assert!(faults.has_domains() && !faults.has_crashes());
+    for policy in policies() {
+        let config = FleetConfig::new(4, 1)
+            .with_router(policy)
+            .with_faults(faults.clone());
+        let report = simulate_fleet(&cluster, Arc::clone(&model), &config, &spec).unwrap();
+        let label = format!("{policy}, rack domains");
+        assert_conserved(&report, &spec, &label);
+        assert!(
+            report.availability.crashes > 0,
+            "{label}: 12 s rack MTBF must outage"
+        );
+        assert!(
+            report.availability.requeued_requests > 0,
+            "{label}: rack outages must requeue live work"
+        );
+    }
+}
+
+/// Domain downtime decomposes into per-replica accounting: with
+/// domain-only faults, each member replica's scheduled downtime is
+/// exactly its domain's shared downtime, and the fleet total is the
+/// member-weighted sum of the per-domain figures.
+#[test]
+fn domain_downtime_decomposes_into_per_replica_accounting() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(models::llama2_7b());
+    let spec = trace(23, 800, 70.0);
+    let faults = FaultSpec::none()
+        .with_domain(FaultDomain::new(vec![0, 1], 10.0, 2.0))
+        .with_domain(FaultDomain::new(vec![2], 16.0, 3.0));
+    let report = simulate_fleet(
+        &cluster,
+        Arc::clone(&model),
+        &FleetConfig::new(4, 1)
+            .with_router(RouterPolicy::LeastOutstanding)
+            .with_faults(faults.clone()),
+        &spec,
+    )
+    .unwrap();
+    let avail = &report.availability;
+    assert_eq!(avail.per_domain_downtime.len(), 2);
+    assert_eq!(avail.per_replica_downtime.len(), 4);
+    // Members inherit exactly the shared schedule; non-members none.
+    assert_eq!(avail.per_replica_downtime[0], avail.per_domain_downtime[0]);
+    assert_eq!(avail.per_replica_downtime[1], avail.per_domain_downtime[0]);
+    assert_eq!(avail.per_replica_downtime[2], avail.per_domain_downtime[1]);
+    assert_eq!(avail.per_replica_downtime[3].secs(), 0.0);
+    let weighted: f64 =
+        2.0 * avail.per_domain_downtime[0].secs() + avail.per_domain_downtime[1].secs();
+    assert!(
+        (weighted - avail.downtime.secs()).abs() <= 1e-9 * (1.0 + weighted),
+        "member-weighted domain downtime {weighted} must equal the total {}",
+        avail.downtime.secs()
+    );
+    // The shared schedule itself is what the members observed: both rack
+    // members went down together for every window.
+    let horizon = report.makespan.secs();
+    let shared = faults.domain_outage_windows(0, horizon);
+    assert!(!shared.is_empty());
+    assert_eq!(faults.outage_windows(0, horizon), shared);
+    assert_eq!(faults.outage_windows(1, horizon), shared);
+}
+
+/// Link-mode degradation prices the slowdown through the interconnect:
+/// a TP-2 fleet (collectives on every iteration) lands strictly between
+/// the clean run and the flat-mode slowdown of the same multiplier,
+/// while `FleetInstance::new` — which cannot re-price its borrowed
+/// cluster — rejects the spec with a pointer to the entry points that
+/// can.
+#[test]
+fn link_mode_degradation_prices_through_the_interconnect() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(models::llama2_13b());
+    let spec = trace(29, 300, 25.0);
+    let run = |faults: FaultSpec| {
+        simulate_fleet(
+            &cluster,
+            Arc::clone(&model),
+            &FleetConfig::new(2, 2).with_faults(faults),
+            &spec,
+        )
+        .unwrap()
+    };
+    let clean = run(FaultSpec::none());
+    let link = run(FaultSpec::none()
+        .with_degradation(3.0)
+        .with_degrade_mode(DegradeMode::Link));
+    let flat = run(FaultSpec::none().with_degradation(3.0));
+    assert!(
+        clean.e2e.mean < link.e2e.mean,
+        "thinner links must slow a TP-2 fleet: clean {} vs link {}",
+        clean.e2e.mean,
+        link.e2e.mean
+    );
+    assert!(
+        link.e2e.mean < flat.e2e.mean,
+        "link-mode slows only the collectives, flat slows everything: link {} vs flat {}",
+        link.e2e.mean,
+        flat.e2e.mean
+    );
+    // The constructor that borrows the cluster refuses the spec instead
+    // of silently pricing over undegraded links.
+    let err = FleetInstance::new(
+        &cluster,
+        Arc::clone(&model),
+        FleetConfig::new(2, 2).with_faults(
+            FaultSpec::none()
+                .with_degradation(3.0)
+                .with_degrade_mode(DegradeMode::Link),
+        ),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("link-mode"), "{err}");
+    // An inert link-mode spec (multiplier 1) stays bit-identical.
+    let inert = run(FaultSpec::none().with_degrade_mode(DegradeMode::Link));
+    assert_eq!(inert, clean);
 }
 
 /// Churn only hurts: at the same offered rate, SLO attainment under

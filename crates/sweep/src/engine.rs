@@ -13,7 +13,7 @@ use optimus_energy::{CostModel, EnergyModel};
 use optimus_hw::ClusterSpec;
 use optimus_infer::PreparedInferenceEstimator;
 use optimus_model::ModelConfig;
-use optimus_train::PreparedTrainingEstimator;
+use optimus_train::{CheckpointSpec, PreparedTrainingEstimator};
 use optimus_units::{Bytes, Energy, Time};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -41,6 +41,11 @@ pub struct EvaluatedPoint {
     pub cost_usd: f64,
     /// Model FLOPs utilization (training only).
     pub mfu: Option<f64>,
+    /// Effective goodput under the engine's [`CheckpointSpec`] — the
+    /// useful fraction of wall-clock after checkpoint overhead, rework,
+    /// and restarts. `None` when no failure process is modeled (then
+    /// `latency`/`cost_usd` are the raw failure-free figures).
+    pub goodput: Option<f64>,
 }
 
 /// The complete outcome of one sweep.
@@ -114,6 +119,7 @@ pub struct SweepEngine<'a> {
     cluster: &'a ClusterSpec,
     energy: EnergyModel,
     cost: CostModel,
+    checkpoint: CheckpointSpec,
 }
 
 impl<'a> SweepEngine<'a> {
@@ -130,6 +136,7 @@ impl<'a> SweepEngine<'a> {
             cluster,
             energy,
             cost,
+            checkpoint: CheckpointSpec::none(),
         }
     }
 
@@ -144,6 +151,20 @@ impl<'a> SweepEngine<'a> {
     #[must_use]
     pub fn with_cost_model(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Prices every training strategy under the same failure environment:
+    /// each point's `latency` and `cost_usd` become the failure-expected
+    /// figures (raw time over the strategy's effective goodput), so the
+    /// Pareto frontier trades failure-expected latency against
+    /// failure-expected cost. Points with more GPUs see a proportionally
+    /// lower cluster MTBF — the blast-radius penalty the raw frontier
+    /// hides. The default [`CheckpointSpec::none`] leaves every figure
+    /// exactly as before; inference workloads ignore the spec.
+    #[must_use]
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -244,7 +265,8 @@ impl<'e, 'a> PreparedSweep<'e, 'a> {
             } => PreparedKind::Train(
                 PreparedTrainingEstimator::new(engine.cluster, model, *batch, *seq)
                     .with_recompute(*recompute)
-                    .with_schedule(*schedule),
+                    .with_schedule(*schedule)
+                    .with_checkpoint(engine.checkpoint),
             ),
             Workload::Inference {
                 batch,
@@ -286,15 +308,27 @@ impl<'e, 'a> PreparedSweep<'e, 'a> {
                 .map_err(|_| point)?;
                 let energy = energy_model.training_energy(&report, gpus);
                 let cost = self.engine.cost.training_cost(&report, &energy, gpus);
+                // Under an active CheckpointSpec the batch occupies the
+                // system for `1/goodput` of its failure-free time —
+                // checkpoints, rework, and restarts hold (and power) the
+                // same GPUs — so latency, energy, and cost all inflate by
+                // the same factor. With goodput = 1.0 (or no spec) the
+                // figures are bitwise the raw ones.
+                let (inflate, goodput) = match &report.resilience {
+                    Some(r) => (1.0 + r.waste(), Some(r.goodput)),
+                    None => (1.0, None),
+                };
                 Ok(EvaluatedPoint {
                     point,
                     gpus,
-                    latency: report.time_per_batch,
-                    throughput: self.workload.work_units() / report.time_per_batch.secs(),
+                    latency: report.time_per_batch * inflate,
+                    throughput: self.workload.work_units()
+                        / (report.time_per_batch.secs() * inflate),
                     memory_per_device: report.memory.total(),
-                    energy: energy.total(),
-                    cost_usd: cost.total_usd,
+                    energy: energy.total() * inflate,
+                    cost_usd: cost.total_usd * inflate,
                     mfu: Some(report.mfu),
+                    goodput,
                 })
             }
             PreparedKind::Infer(prepared) => {
@@ -316,6 +350,7 @@ impl<'e, 'a> PreparedSweep<'e, 'a> {
                     energy: energy.total(),
                     cost_usd: cost.total_usd,
                     mfu: None,
+                    goodput: None,
                 })
             }
         }

@@ -111,6 +111,7 @@ mod tests {
             energy: Energy::new(1.0),
             cost_usd: cost,
             mfu: None,
+            goodput: None,
         }
     }
 

@@ -38,6 +38,7 @@ fn row(id: usize, latency_ms: usize, cost: usize) -> EvaluatedPoint {
         energy: Energy::new(1.0),
         cost_usd: cost as f64,
         mfu: None,
+        goodput: None,
     }
 }
 

@@ -1,0 +1,101 @@
+//! Pinned resilience-aware frontier behavior: llama2-13b on the A100
+//! preset within 64 GPUs.
+//!
+//! Failure-free, the (latency, cost) frontier keeps a 64-GPU strategy —
+//! it is the latency end of the trade-off. Under a finite per-GPU MTBF
+//! the cluster-level failure rate grows with the GPU count (blast
+//! radius), the Young–Daly waste inflates big strategies hardest, and
+//! the same 64-GPU strategy is **dominated**: a smaller strategy now has
+//! both lower failure-expected latency and lower cost. The degenerate
+//! [`CheckpointSpec::none`] must leave the sweep untouched, field for
+//! field and byte for byte.
+
+use optimus_hw::presets;
+use optimus_memory::RecomputeMode;
+use optimus_model::presets as models;
+use optimus_parallel::PipelineSchedule;
+use optimus_sweep::{SweepEngine, SweepSpace, Workload};
+use optimus_train::CheckpointSpec;
+
+fn workload() -> Workload {
+    Workload::Training {
+        batch: 64,
+        seq: 2048,
+        recompute: RecomputeMode::Selective,
+        schedule: PipelineSchedule::OneFOneB,
+    }
+}
+
+/// A per-GPU MTBF of ~2.8 hours with a 15-minute restart — the harsh
+/// end of real fleets, where resilience decides the strategy choice.
+fn harsh() -> CheckpointSpec {
+    CheckpointSpec::with_mtbf(10_000.0).with_restart(900.0)
+}
+
+#[test]
+fn finite_mtbf_dominates_the_failure_free_latency_champion() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let model = models::llama2_13b();
+    let space = SweepSpace::power_of_two(64);
+
+    let free = SweepEngine::new(&cluster).sweep(&model, &workload(), &space);
+    let faulty =
+        SweepEngine::new(&cluster)
+            .with_checkpoint(harsh())
+            .sweep(&model, &workload(), &space);
+
+    assert!(
+        free.frontier.iter().any(|p| p.gpus == 64),
+        "failure-free, a 64-GPU strategy anchors the latency end"
+    );
+    assert!(
+        faulty.frontier.iter().all(|p| p.gpus < 64),
+        "under a {} s per-GPU MTBF every 64-GPU strategy is dominated: \
+         its cluster MTBF is 64× worse, so the Young–Daly waste eats the \
+         latency it was buying",
+        harsh().mtbf_s
+    );
+    // The dominated strategy did not vanish from the evaluation — it
+    // lost on merit, with an explicit goodput below its smaller rivals'.
+    let worst = faulty
+        .evaluated
+        .iter()
+        .filter(|p| p.gpus == 64)
+        .map(|p| p.goodput.expect("active spec prices every strategy"))
+        .fold(f64::INFINITY, f64::min);
+    let best_small = faulty
+        .evaluated
+        .iter()
+        .filter(|p| p.gpus <= 8)
+        .map(|p| p.goodput.expect("active spec prices every strategy"))
+        .fold(0.0, f64::max);
+    assert!(
+        worst < best_small,
+        "64-GPU goodput {worst} should trail 8-GPU goodput {best_small}"
+    );
+    // Every evaluated strategy carries a priced goodput in (0, 1).
+    assert!(faulty
+        .evaluated
+        .iter()
+        .all(|p| p.goodput.is_some_and(|g| g > 0.0 && g < 1.0)));
+    assert!(free.evaluated.iter().all(|p| p.goodput.is_none()));
+}
+
+#[test]
+fn none_checkpoint_reproduces_the_spec_free_sweep_exactly() {
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let model = models::llama2_13b();
+    let space = SweepSpace::power_of_two(64);
+
+    let free = SweepEngine::new(&cluster).sweep(&model, &workload(), &space);
+    let none = SweepEngine::new(&cluster)
+        .with_checkpoint(CheckpointSpec::none())
+        .sweep(&model, &workload(), &space);
+
+    assert_eq!(free, none, "CheckpointSpec::none() must be invisible");
+    assert_eq!(
+        serde_json::to_string_pretty(&free).unwrap(),
+        serde_json::to_string_pretty(&none).unwrap(),
+        "byte-identical serialization"
+    );
+}

@@ -1,6 +1,6 @@
 //! The end-to-end training-time estimator.
 
-use crate::{PreparedTrainingEstimator, TrainingConfig, TrainingReport};
+use crate::{CheckpointSpec, PreparedTrainingEstimator, TrainingConfig, TrainingReport};
 use optimus_hw::{ClusterSpec, HwError};
 use optimus_parallel::ParallelError;
 
@@ -75,13 +75,25 @@ impl From<HwError> for TrainError {
 #[derive(Debug, Clone)]
 pub struct TrainingEstimator<'a> {
     cluster: &'a ClusterSpec,
+    checkpoint: CheckpointSpec,
 }
 
 impl<'a> TrainingEstimator<'a> {
     /// Creates an estimator for `cluster`.
     #[must_use]
     pub fn new(cluster: &'a ClusterSpec) -> Self {
-        Self { cluster }
+        Self {
+            cluster,
+            checkpoint: CheckpointSpec::none(),
+        }
+    }
+
+    /// Sets the failure environment estimates are priced under (see
+    /// [`PreparedTrainingEstimator::with_checkpoint`]).
+    #[must_use]
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> Self {
+        self.checkpoint = checkpoint;
+        self
     }
 
     /// Predicts the training time per batch and its breakdown.
@@ -92,6 +104,7 @@ impl<'a> TrainingEstimator<'a> {
     /// workload/cluster or the precision is unsupported by the device.
     pub fn estimate(&self, cfg: &TrainingConfig) -> Result<TrainingReport, TrainError> {
         PreparedTrainingEstimator::from_config(self.cluster, cfg)
+            .with_checkpoint(self.checkpoint)
             .estimate(cfg.parallelism, cfg.precision)
     }
 }

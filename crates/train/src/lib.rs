@@ -17,8 +17,10 @@ mod config;
 mod estimator;
 mod prepared;
 mod report;
+mod resilience;
 
 pub use config::TrainingConfig;
 pub use estimator::{TrainError, TrainingEstimator};
 pub use prepared::PreparedTrainingEstimator;
 pub use report::{GemmBoundSplit, TrainingBreakdown, TrainingReport};
+pub use resilience::{waste_fraction, young_daly_interval, CheckpointSpec, ResilienceReport};

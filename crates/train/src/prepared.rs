@@ -21,7 +21,9 @@
 //! byte-identical to a naive per-point evaluation (a property the
 //! `optimus-sweep` integration tests pin down).
 
-use crate::{GemmBoundSplit, TrainError, TrainingBreakdown, TrainingConfig, TrainingReport};
+use crate::{
+    CheckpointSpec, GemmBoundSplit, TrainError, TrainingBreakdown, TrainingConfig, TrainingReport,
+};
 use optimus_collective::CommModel;
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_memory::{training_memory, RecomputeMode, TrainingMemoryReport, TrainingMemorySpec};
@@ -143,6 +145,7 @@ pub struct PreparedTrainingEstimator<'a> {
     recompute: RecomputeMode,
     comm: CommModel,
     flash: bool,
+    checkpoint: CheckpointSpec,
     /// Useful model FLOPs per batch — a function of (model, batch, seq)
     /// only, so computed once at prepare time.
     model_flops: FlopCount,
@@ -171,6 +174,7 @@ impl<'a> PreparedTrainingEstimator<'a> {
             recompute: RecomputeMode::None,
             comm: CommModel::Auto,
             flash: false,
+            checkpoint: CheckpointSpec::none(),
             model_flops,
             cache: RwLock::new(HashMap::new()),
         }
@@ -214,6 +218,17 @@ impl<'a> PreparedTrainingEstimator<'a> {
     #[must_use]
     pub fn with_flash(mut self, flash: bool) -> Self {
         self.flash = flash;
+        self
+    }
+
+    /// Sets the failure environment every estimate is priced under. The
+    /// default [`CheckpointSpec::none`] leaves reports untouched; an
+    /// active spec attaches a resilience section with the
+    /// failure-expected batch time (a pure assembly-phase computation —
+    /// the layer-cost memo table is unaffected).
+    #[must_use]
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointSpec) -> Self {
+        self.checkpoint = checkpoint;
         self
     }
 
@@ -333,6 +348,10 @@ impl<'a> PreparedTrainingEstimator<'a> {
         let system_peak = peak * p.total_gpus() as f64;
         let mfu = self.model_flops.get() / (system_peak.get() * time_per_batch.secs());
 
+        let resilience =
+            self.checkpoint
+                .evaluate(self.cluster, &memory, p.total_gpus(), time_per_batch);
+
         Ok(TrainingReport {
             time_per_batch,
             breakdown,
@@ -344,6 +363,7 @@ impl<'a> PreparedTrainingEstimator<'a> {
             device_flops,
             dram_traffic,
             network_traffic,
+            resilience,
         })
     }
 

@@ -1,0 +1,417 @@
+//! Checkpoint/restart resilience modeling for distributed training.
+//!
+//! At the cluster scales the paper targets, failures dominate real
+//! wall-clock: a 64-GPU job with a 50 000-hour per-GPU MTBF fails about
+//! every 32 days of compute, and a 16 384-GPU job every 3 hours. A
+//! [`CheckpointSpec`] prices that reality into the training estimate with
+//! the classic Young–Daly first-order model:
+//!
+//! * **Checkpoint cost `δ`** — the per-device model state (parameters +
+//!   optimizer moments, from `optimus-memory`) streamed over the node's
+//!   egress link (`ClusterSpec::inter_link`, with its size-dependent
+//!   utilization derating from `optimus-hw`). Larger TP/PP shards the
+//!   state thinner, so per-device checkpoints *shrink* as a strategy
+//!   spreads out.
+//! * **Cluster MTBF `M`** — the per-GPU MTBF divided by the GPU count:
+//!   failure rates add, so doubling the fleet halves the time between
+//!   job-stopping faults. This is the blast-radius term that reorders
+//!   the strategy frontier: a strategy that buys latency with more GPUs
+//!   also buys a proportionally higher failure rate.
+//! * **Waste fraction** `w(τ) = δ/τ + (τ/2 + R)/M` — checkpoint overhead
+//!   per useful second, plus the expected half-interval of rework and the
+//!   restart time `R` amortized over the mean time between failures.
+//! * **Effective goodput** `g = 1 / (1 + w)` — the useful-step fraction
+//!   of wall-clock; the failure-expected batch time is
+//!   `time_per_batch / g`.
+//!
+//! When no interval is given, the spec picks the Young–Daly optimum
+//! `τ* = √(2 δ M)`, which exactly minimizes `w(τ)` (the `R/M` term is
+//! `τ`-independent) — a property the resilience proptests pin on a grid
+//! around `τ*`.
+//!
+//! The degenerate [`CheckpointSpec::none`] (infinite MTBF) adds nothing:
+//! the report's resilience section stays absent and the serialized
+//! [`crate::TrainingReport`] is byte-identical to a spec-free estimate.
+
+use optimus_hw::ClusterSpec;
+use optimus_memory::TrainingMemoryReport;
+use optimus_units::{Bytes, Time};
+use serde::{Deserialize, Serialize};
+
+/// The failure environment of one training job: per-GPU MTBF, the
+/// checkpoint interval policy, and the restart cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointSpec {
+    /// Mean seconds of uptime between failures of **one GPU**
+    /// (exponential). The cluster-level MTBF is `mtbf_s / gpus`. `0` or
+    /// `+∞` disables resilience modeling entirely.
+    pub mtbf_s: f64,
+    /// Seconds of useful work between checkpoints. `None` selects the
+    /// Young–Daly optimum `√(2 δ M)` per strategy.
+    pub interval_s: Option<f64>,
+    /// Seconds to restart the job after a failure (scheduling, process
+    /// re-spawn, checkpoint reload), on top of the lost half-interval.
+    pub restart_s: f64,
+}
+
+impl CheckpointSpec {
+    /// The degenerate no-failure spec: infinite MTBF. Reports estimated
+    /// under it are byte-identical to reports with no spec at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            mtbf_s: f64::INFINITY,
+            interval_s: None,
+            restart_s: 0.0,
+        }
+    }
+
+    /// A failure process with per-GPU MTBF `mtbf_s` seconds, Young–Daly
+    /// auto-interval, and zero restart cost.
+    #[must_use]
+    pub fn with_mtbf(mtbf_s: f64) -> Self {
+        Self {
+            mtbf_s,
+            ..Self::none()
+        }
+    }
+
+    /// Fixes the checkpoint interval instead of the Young–Daly optimum.
+    #[must_use]
+    pub fn with_interval(mut self, interval_s: f64) -> Self {
+        self.interval_s = Some(interval_s);
+        self
+    }
+
+    /// Sets the per-failure restart cost in seconds.
+    #[must_use]
+    pub fn with_restart(mut self, restart_s: f64) -> Self {
+        self.restart_s = restart_s;
+        self
+    }
+
+    /// Whether the failure process is active (finite positive MTBF).
+    #[must_use]
+    pub fn has_failures(&self) -> bool {
+        self.mtbf_s.is_finite() && self.mtbf_s > 0.0
+    }
+
+    /// Whether the spec models no failures at all — the estimator then
+    /// leaves the report's resilience section absent.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        !self.has_failures()
+    }
+
+    /// Validates the spec's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when a field is out of range
+    /// (negative/NaN MTBF, non-positive or non-finite interval,
+    /// negative/non-finite restart cost).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mtbf_s.is_nan() || self.mtbf_s < 0.0 {
+            return Err(format!("MTBF must be non-negative, got {}", self.mtbf_s));
+        }
+        if let Some(interval) = self.interval_s {
+            if !(interval.is_finite() && interval > 0.0) {
+                return Err(format!(
+                    "checkpoint interval must be positive and finite, got {interval}"
+                ));
+            }
+        }
+        if !(self.restart_s.is_finite() && self.restart_s >= 0.0) {
+            return Err(format!(
+                "restart cost must be non-negative and finite, got {}",
+                self.restart_s
+            ));
+        }
+        Ok(())
+    }
+
+    /// A copy safe to embed in JSON reports: a disabled failure process is
+    /// normalized to `mtbf_s = 0` (JSON cannot carry `∞`; `0` and `∞`
+    /// both mean "never fails").
+    #[must_use]
+    pub fn json_safe(mut self) -> Self {
+        if !self.has_failures() {
+            self.mtbf_s = 0.0;
+            self.restart_s = 0.0;
+        }
+        self
+    }
+
+    /// Prices this spec for one evaluated strategy: `memory` is the
+    /// strategy's per-device footprint, `gpus` its device count, and
+    /// `time_per_batch` the failure-free batch time. `None` when the
+    /// failure process is disabled (or `gpus == 0`).
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        cluster: &ClusterSpec,
+        memory: &TrainingMemoryReport,
+        gpus: usize,
+        time_per_batch: Time,
+    ) -> Option<ResilienceReport> {
+        if !self.has_failures() || gpus == 0 {
+            return None;
+        }
+        // Model state per device: parameters + optimizer moments. The
+        // gradient buffer is transient and activations are recomputed, so
+        // neither belongs in a checkpoint.
+        let checkpoint_bytes = memory.parameters + memory.optimizer;
+        // Every device streams its shard over the node's egress link in
+        // parallel; the size-dependent utilization derating penalizes the
+        // small shards of wide strategies.
+        let link = &cluster.inter_link;
+        let checkpoint_write = checkpoint_bytes / link.effective_bandwidth(checkpoint_bytes);
+        let delta = checkpoint_write.secs();
+
+        let cluster_mtbf = self.mtbf_s / gpus as f64;
+        let (interval, auto_interval) = match self.interval_s {
+            Some(s) => (s, false),
+            None => (young_daly_interval(delta, cluster_mtbf), true),
+        };
+
+        let checkpoint_overhead_frac = if interval > 0.0 {
+            delta / interval
+        } else {
+            0.0
+        };
+        let rework_frac = interval / 2.0 / cluster_mtbf;
+        let restart_frac = self.restart_s / cluster_mtbf;
+        let waste = checkpoint_overhead_frac + rework_frac + restart_frac;
+        let goodput = 1.0 / (1.0 + waste);
+
+        Some(ResilienceReport {
+            spec: self.json_safe(),
+            checkpoint_bytes,
+            checkpoint_write,
+            interval: Time::from_secs(interval),
+            auto_interval,
+            cluster_mtbf: Time::from_secs(cluster_mtbf),
+            checkpoint_overhead_frac,
+            rework_frac,
+            restart_frac,
+            goodput,
+            expected_time_per_batch: time_per_batch * (1.0 + waste),
+        })
+    }
+}
+
+/// The Young–Daly optimal checkpoint interval `√(2 δ M)` for a
+/// checkpoint that costs `checkpoint_write_s` seconds on a system with a
+/// cluster-level MTBF of `cluster_mtbf_s` seconds. Exactly minimizes
+/// [`waste_fraction`] over the interval (the restart term does not depend
+/// on it).
+#[must_use]
+pub fn young_daly_interval(checkpoint_write_s: f64, cluster_mtbf_s: f64) -> f64 {
+    (2.0 * checkpoint_write_s * cluster_mtbf_s).sqrt()
+}
+
+/// The first-order waste fraction `w(τ) = δ/τ + (τ/2 + R)/M`: non-useful
+/// seconds per useful second spent on checkpoint writes, expected rework
+/// (half an interval per failure), and restarts. Effective goodput is
+/// `1 / (1 + w)`.
+#[must_use]
+pub fn waste_fraction(
+    interval_s: f64,
+    checkpoint_write_s: f64,
+    restart_s: f64,
+    cluster_mtbf_s: f64,
+) -> f64 {
+    checkpoint_write_s / interval_s + (interval_s / 2.0 + restart_s) / cluster_mtbf_s
+}
+
+/// The resilience section of a [`crate::TrainingReport`]: how one
+/// strategy's failure-free batch time inflates under a [`CheckpointSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// The spec priced into this report (JSON-safe copy).
+    pub spec: CheckpointSpec,
+    /// Per-device model state written per checkpoint (parameters +
+    /// optimizer moments).
+    pub checkpoint_bytes: Bytes,
+    /// Time of one checkpoint write (`δ`): the state shard over the
+    /// node-egress link's effective bandwidth.
+    pub checkpoint_write: Time,
+    /// The checkpoint interval `τ` in effect (given, or Young–Daly).
+    pub interval: Time,
+    /// Whether `interval` was auto-selected via Young–Daly.
+    pub auto_interval: bool,
+    /// Cluster-level MTBF `M = mtbf_s / gpus`.
+    pub cluster_mtbf: Time,
+    /// Checkpoint overhead per useful second (`δ/τ`).
+    pub checkpoint_overhead_frac: f64,
+    /// Expected rework per useful second (`(τ/2)/M`).
+    pub rework_frac: f64,
+    /// Restart time per useful second (`R/M`).
+    pub restart_frac: f64,
+    /// Effective goodput: the useful fraction of wall-clock,
+    /// `1 / (1 + w)`.
+    pub goodput: f64,
+    /// Failure-expected time per batch: `time_per_batch / goodput`.
+    pub expected_time_per_batch: Time,
+}
+
+impl ResilienceReport {
+    /// Total waste fraction `w = δ/τ + (τ/2 + R)/M`.
+    #[must_use]
+    pub fn waste(&self) -> f64 {
+        self.checkpoint_overhead_frac + self.rework_frac + self.restart_frac
+    }
+}
+
+impl core::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "goodput {:.1}% (ckpt {} every {}{}, cluster MTBF {}, expected {})",
+            self.goodput * 100.0,
+            self.checkpoint_write,
+            self.interval,
+            if self.auto_interval { " auto" } else { "" },
+            self.cluster_mtbf,
+            self.expected_time_per_batch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_hw::presets;
+    use optimus_memory::{training_memory, RecomputeMode, TrainingMemorySpec};
+    use optimus_model::presets as models;
+    use optimus_parallel::{Parallelism, PipelineSchedule};
+
+    fn memory_for(p: Parallelism) -> TrainingMemoryReport {
+        training_memory(
+            &models::llama2_13b(),
+            &TrainingMemorySpec {
+                batch: 64,
+                seq: 2048,
+                parallelism: p,
+                schedule: PipelineSchedule::OneFOneB,
+                precision: optimus_hw::Precision::Fp16,
+                recompute: RecomputeMode::Selective,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn none_is_inactive_and_valid() {
+        let spec = CheckpointSpec::none();
+        assert!(spec.is_none());
+        assert!(!spec.has_failures());
+        assert!(spec.validate().is_ok());
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let memory = memory_for(Parallelism::new(8, 8, 1).with_sp(true));
+        assert!(spec
+            .evaluate(&cluster, &memory, 64, Time::from_secs(10.0))
+            .is_none());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert!(CheckpointSpec::with_mtbf(-1.0).validate().is_err());
+        assert!(CheckpointSpec::with_mtbf(f64::NAN).validate().is_err());
+        assert!(CheckpointSpec::with_mtbf(1e5)
+            .with_interval(0.0)
+            .validate()
+            .is_err());
+        assert!(CheckpointSpec::with_mtbf(1e5)
+            .with_interval(f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(CheckpointSpec::with_mtbf(1e5)
+            .with_restart(-3.0)
+            .validate()
+            .is_err());
+        assert!(CheckpointSpec::with_mtbf(1e5)
+            .with_interval(600.0)
+            .with_restart(120.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn cluster_mtbf_scales_inversely_with_gpus() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let memory = memory_for(Parallelism::new(8, 8, 1).with_sp(true));
+        let spec = CheckpointSpec::with_mtbf(1e8).with_restart(60.0);
+        let t = Time::from_secs(10.0);
+        let r64 = spec.evaluate(&cluster, &memory, 64, t).unwrap();
+        let r128 = spec.evaluate(&cluster, &memory, 128, t).unwrap();
+        assert!(
+            (r64.cluster_mtbf.secs() - 2.0 * r128.cluster_mtbf.secs()).abs() < 1e-6,
+            "doubling the fleet must halve the cluster MTBF"
+        );
+        assert!(
+            r128.goodput < r64.goodput,
+            "more GPUs ⇒ more failures ⇒ less goodput"
+        );
+        assert!(r128.expected_time_per_batch > r64.expected_time_per_batch);
+    }
+
+    #[test]
+    fn auto_interval_is_young_daly_and_given_interval_wins() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let memory = memory_for(Parallelism::new(8, 8, 1).with_sp(true));
+        let t = Time::from_secs(10.0);
+        let auto = CheckpointSpec::with_mtbf(1e8)
+            .evaluate(&cluster, &memory, 64, t)
+            .unwrap();
+        assert!(auto.auto_interval);
+        let expect = young_daly_interval(auto.checkpoint_write.secs(), auto.cluster_mtbf.secs());
+        assert!((auto.interval.secs() - expect).abs() < 1e-9);
+        let fixed = CheckpointSpec::with_mtbf(1e8)
+            .with_interval(1234.0)
+            .evaluate(&cluster, &memory, 64, t)
+            .unwrap();
+        assert!(!fixed.auto_interval);
+        assert_eq!(fixed.interval.secs(), 1234.0);
+        // The Young–Daly pick can only beat a fixed interval.
+        assert!(auto.goodput >= fixed.goodput);
+    }
+
+    #[test]
+    fn wider_sharding_shrinks_the_checkpoint() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let narrow = memory_for(Parallelism::new(8, 2, 1));
+        let wide = memory_for(Parallelism::new(2, 8, 1).with_sp(true));
+        let spec = CheckpointSpec::with_mtbf(1e8);
+        let t = Time::from_secs(10.0);
+        let rn = spec.evaluate(&cluster, &narrow, 16, t).unwrap();
+        let rw = spec.evaluate(&cluster, &wide, 16, t).unwrap();
+        assert!(
+            rw.checkpoint_bytes < rn.checkpoint_bytes,
+            "TP8 shards model state thinner than TP2"
+        );
+        assert!(rw.checkpoint_write < rn.checkpoint_write);
+    }
+
+    #[test]
+    fn waste_decomposes_and_goodput_inverts_it() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let memory = memory_for(Parallelism::new(8, 8, 1).with_sp(true));
+        let r = CheckpointSpec::with_mtbf(5e7)
+            .with_restart(300.0)
+            .evaluate(&cluster, &memory, 64, Time::from_secs(10.0))
+            .unwrap();
+        let w = waste_fraction(
+            r.interval.secs(),
+            r.checkpoint_write.secs(),
+            300.0,
+            r.cluster_mtbf.secs(),
+        );
+        assert!((r.waste() - w).abs() < 1e-12);
+        assert!((r.goodput - 1.0 / (1.0 + w)).abs() < 1e-12);
+        assert!(
+            (r.expected_time_per_batch.secs() - 10.0 * (1.0 + w)).abs() < 1e-9,
+            "expected batch time must be the failure-free time over goodput"
+        );
+    }
+}

@@ -77,6 +77,23 @@ impl Value {
         }
     }
 
+    /// The boolean content of a bool value (`None` otherwise), matching
+    /// `serde_json::Value::as_bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is JSON `null`, matching
+    /// `serde_json::Value::is_null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     /// The string content of a string value (`None` otherwise), matching
     /// `serde_json::Value::as_str`.
     #[must_use]
