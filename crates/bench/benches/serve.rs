@@ -9,8 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use optimus::prelude::*;
 use optimus_serve::{
-    load_sweep, simulate, simulate_fleet_trace, simulate_trace, FaultSpec, FleetConfig, LengthDist,
-    LoadStrategy, LoadSweepSpec, RouterPolicy, ServeConfig, SloSpec, TraceSpec,
+    load_sweep, simulate, simulate_fleet_trace, simulate_trace, FaultSpec, FleetConfig, KvSpec,
+    LengthDist, LoadStrategy, LoadSweepSpec, PrefixSpec, RouterPolicy, ServeConfig, SloSpec,
+    TraceSpec,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -50,6 +51,30 @@ fn bench_simulate_long_decode(c: &mut Criterion) {
     });
 }
 
+/// The paged-KV path under prefix sharing: 10k requests carrying a hot
+/// four-entry 256-token prefix pool on 16-token blocks — block-table
+/// bookkeeping, refcounted prefix hits, and the generalized admission
+/// queue all on the hot path (versus the reserved cursor admission the
+/// other serve benches time).
+fn bench_simulate_paged_prefix(c: &mut Criterion) {
+    let cluster = hw::presets::dgx_a100_hdr_cluster();
+    let model = Arc::new(model::presets::llama2_7b());
+    let config = ServeConfig::new(1).with_kv(KvSpec::paged(16));
+    let spec = TraceSpec {
+        prompt: LengthDist::Uniform { lo: 300, hi: 900 },
+        output: LengthDist::Uniform { lo: 16, hi: 48 },
+        prefixes: Some(PrefixSpec {
+            pool: 4,
+            tokens: 256,
+            rate: 0.7,
+        }),
+        ..TraceSpec::poisson(11, 10_000, 40.0, 400, 32)
+    };
+    c.bench_function("serve/llama7b_paged_prefix_10k", |b| {
+        b.iter(|| black_box(simulate(&cluster, Arc::clone(&model), &config, &spec).unwrap()))
+    });
+}
+
 /// One million requests at deep saturation through the streaming path:
 /// sealed decode table, recycled slots, completion ring, histogram
 /// percentiles. The trace is pregenerated so the bench times the
@@ -65,6 +90,8 @@ fn bench_simulate_1m(c: &mut Criterion) {
         arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: 500.0 },
         prompt: LengthDist::Uniform { lo: 50, hi: 400 },
         output: LengthDist::Uniform { lo: 8, hi: 64 },
+        prefixes: None,
+        priority_classes: 1,
     }
     .generate();
     c.bench_function("serve/llama13b_1m_req", |b| {
@@ -91,6 +118,8 @@ fn bench_fleet_4rep(c: &mut Criterion) {
         arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: 1200.0 },
         prompt: LengthDist::Uniform { lo: 50, hi: 400 },
         output: LengthDist::Uniform { lo: 8, hi: 64 },
+        prefixes: None,
+        priority_classes: 1,
     }
     .generate();
     c.bench_function("fleet/llama13b_4rep", |b| {
@@ -119,6 +148,8 @@ fn bench_fleet_4rep_chaos(c: &mut Criterion) {
         arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: 1200.0 },
         prompt: LengthDist::Uniform { lo: 50, hi: 400 },
         output: LengthDist::Uniform { lo: 8, hi: 64 },
+        prefixes: None,
+        priority_classes: 1,
     }
     .generate();
     c.bench_function("fleet/llama13b_4rep_chaos", |b| {
@@ -147,6 +178,8 @@ fn bench_load_sweep_16pt(c: &mut Criterion) {
         slo: SloSpec::default(),
         router: RouterPolicy::RoundRobin,
         faults: None,
+        prefixes: None,
+        priority_classes: 1,
     };
     c.bench_function("load_sweep/16pt", |b| {
         b.iter(|| black_box(load_sweep(&cluster, &model, &spec)))
@@ -157,7 +190,8 @@ criterion_group!(
     serve_benches,
     bench_trace_generation,
     bench_simulate,
-    bench_simulate_long_decode
+    bench_simulate_long_decode,
+    bench_simulate_paged_prefix
 );
 criterion_group!(
     name = scale_benches;

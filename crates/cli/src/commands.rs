@@ -372,6 +372,84 @@ fn faults_of(
     Ok(Some(spec))
 }
 
+/// Parses the paged-KV options shared by `serve` and `load-sweep`:
+/// `--kv-block N` tokens per block (0 or absent = legacy whole-lifetime
+/// reservations) and `--preempt recompute|swap` for decode-time OOM.
+fn kv_of(args: &Args) -> Result<optimus_serve::KvSpec, ArgError> {
+    use optimus_serve::{KvSpec, PreemptPolicy};
+    let block = args.get_usize("kv-block", 0)?;
+    let policy = match args.get("preempt") {
+        None => PreemptPolicy::Recompute,
+        Some(_) if block == 0 => {
+            return Err(ArgError(
+                "--preempt only applies to paged KV; add --kv-block N".to_owned(),
+            ))
+        }
+        Some("recompute") => PreemptPolicy::Recompute,
+        Some("swap") => PreemptPolicy::Swap,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown preemption policy `{other}`; expected `recompute` or `swap`"
+            )))
+        }
+    };
+    Ok(if block == 0 {
+        KvSpec::reserved()
+    } else {
+        KvSpec::paged(block).with_policy(policy)
+    })
+}
+
+/// Parses `--scheduler fifo|priority|sjf|priority-preempt`.
+fn scheduler_of(args: &Args) -> Result<optimus_serve::Scheduler, ArgError> {
+    use optimus_serve::Scheduler;
+    match args.get_or("scheduler", "fifo") {
+        "fifo" => Ok(Scheduler::Fifo),
+        "priority" => Ok(Scheduler::Priority),
+        "sjf" => Ok(Scheduler::Sjf),
+        "priority-preempt" => Ok(Scheduler::PriorityPreempt),
+        other => Err(ArgError(format!(
+            "unknown scheduler `{other}`; expected `fifo`, `priority`, `sjf`, \
+             or `priority-preempt`"
+        ))),
+    }
+}
+
+/// Parses the shared-prefix trace options: `--prefix-tokens N` activates
+/// a pool of `--prefix-pool` prefixes hit with probability
+/// `--prefix-rate`.
+fn prefixes_of(args: &Args) -> Result<Option<optimus_serve::PrefixSpec>, ArgError> {
+    let tokens = args.get_usize("prefix-tokens", 0)?;
+    if tokens == 0 {
+        for key in ["prefix-pool", "prefix-rate"] {
+            if args.get(key).is_some() {
+                return Err(ArgError(format!("--{key} requires --prefix-tokens N")));
+            }
+        }
+        return Ok(None);
+    }
+    let pool = args.get_usize("prefix-pool", 8)?;
+    if pool == 0 {
+        return Err(ArgError("--prefix-pool must be at least 1".to_owned()));
+    }
+    let rate = args.get_f64("prefix-rate", 0.5)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ArgError("--prefix-rate must lie in [0, 1]".to_owned()));
+    }
+    Ok(Some(optimus_serve::PrefixSpec { pool, tokens, rate }))
+}
+
+/// Parses `--priority-classes N` (1 = every request at priority 0).
+fn priority_classes_of(args: &Args) -> Result<u8, ArgError> {
+    let classes = args.get_usize("priority-classes", 1)?;
+    if classes == 0 || classes > usize::from(u8::MAX) {
+        return Err(ArgError(
+            "--priority-classes must lie in 1..=255".to_owned(),
+        ));
+    }
+    Ok(classes as u8)
+}
+
 /// Parses the SLO options shared by `serve` and `load-sweep`.
 fn slo_of(args: &Args) -> Result<optimus_serve::SloSpec, ArgError> {
     let ttft_slo = args.get_f64("ttft-slo", 2000.0)?;
@@ -435,11 +513,17 @@ pub fn serve(args: &Args) -> Result<String, ArgError> {
         arrival,
         prompt: length_dist_of("prompt", args.get_or("prompt", "200"))?,
         output: length_dist_of("output", args.get_or("output", "64"))?,
+        prefixes: prefixes_of(args)?,
+        priority_classes: priority_classes_of(args)?,
     };
     // Per-request records default off beyond the exact-mode limit (a
     // million-request trace would otherwise carry a million records);
     // `--records` forces them on at any scale.
-    let mut config = ServeConfig::new(tp).with_precision(precision).with_slo(slo);
+    let mut config = ServeConfig::new(tp)
+        .with_precision(precision)
+        .with_slo(slo)
+        .with_kv(kv_of(args)?)
+        .with_scheduler(scheduler_of(args)?);
     if args.flag("records") {
         config = config.with_records(RecordMode::On);
     }
@@ -589,11 +673,67 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         .split(',')
         .map(precision_of)
         .collect::<Result<Vec<_>, _>>()?;
+    // KV axis: block sizes in tokens, 0 = the legacy reserved regime.
+    let kv_blocks: Vec<usize> = args
+        .get_or("kv-block-list", "0")
+        .split(',')
+        .map(|t| {
+            t.trim().parse::<usize>().map_err(|_| {
+                ArgError(format!(
+                    "--kv-block-list expects non-negative integers, got `{t}`"
+                ))
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if args.get("preempt").is_some() && kv_blocks.iter().all(|&b| b == 0) {
+        return Err(ArgError(
+            "--preempt only applies to paged KV; add a non-zero --kv-block-list entry".to_owned(),
+        ));
+    }
+    let preempt = match args.get("preempt") {
+        None | Some("recompute") => optimus_serve::PreemptPolicy::Recompute,
+        Some("swap") => optimus_serve::PreemptPolicy::Swap,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown preemption policy `{other}`; expected `recompute` or `swap`"
+            )))
+        }
+    };
+    // Scheduler axis. Priority-preempt entries require a paged KV entry
+    // to pair with; reserved cells of that scheduler are infeasible.
+    let schedulers: Vec<optimus_serve::Scheduler> = args
+        .get_or("scheduler-list", args.get_or("scheduler", "fifo"))
+        .split(',')
+        .map(|t| match t.trim() {
+            "fifo" => Ok(optimus_serve::Scheduler::Fifo),
+            "priority" => Ok(optimus_serve::Scheduler::Priority),
+            "sjf" => Ok(optimus_serve::Scheduler::Sjf),
+            "priority-preempt" => Ok(optimus_serve::Scheduler::PriorityPreempt),
+            other => Err(ArgError(format!(
+                "unknown scheduler `{other}`; expected `fifo`, `priority`, `sjf`, \
+                 or `priority-preempt`"
+            ))),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let mut strategies: Vec<LoadStrategy> = Vec::new();
     for &tp in &tps {
         for &precision in &precisions {
             for &replicas in &replicas_list {
-                strategies.push(LoadStrategy::single(tp, precision).with_replicas(replicas));
+                for &block in &kv_blocks {
+                    for &scheduler in &schedulers {
+                        let kv = if block == 0 {
+                            optimus_serve::KvSpec::reserved()
+                        } else {
+                            optimus_serve::KvSpec::paged(block).with_policy(preempt)
+                        };
+                        strategies.push(
+                            LoadStrategy::single(tp, precision)
+                                .with_replicas(replicas)
+                                .with_kv(kv)
+                                .with_scheduler(scheduler),
+                        );
+                    }
+                }
             }
         }
     }
@@ -648,6 +788,8 @@ pub fn load_sweep(args: &Args) -> Result<String, ArgError> {
         slo: slo_of(args)?,
         router,
         faults: faults_of(args, replicas_list.iter().copied().max().unwrap_or(1))?,
+        prefixes: prefixes_of(args)?,
+        priority_classes: priority_classes_of(args)?,
     };
     if spec.requests == 0 {
         return Err(ArgError("--requests must be at least 1".to_owned()));
@@ -987,6 +1129,9 @@ USAGE:
                      [--generate N] [--tp N] [--precision P] [--json]
   optimus-cli serve  [--model M] [--cluster C] [--tp N] [--precision P]
                      [--replicas N] [--router POLICY] [--router-seed N]
+                     [--kv-block N] [--preempt recompute|swap]
+                     [--scheduler S] [--priority-classes N]
+                     [--prefix-tokens N] [--prefix-pool N] [--prefix-rate F]
                      [--mtbf S] [--mttr S] [--fault-seed N]
                      [--domains N] [--domain-mtbf S] [--domain-mttr S]
                      [--stragglers F:M] [--degrade M]
@@ -998,6 +1143,9 @@ USAGE:
   optimus-cli load-sweep
                      [--model M] [--cluster C] [--tp-list N,N,..]
                      [--replicas-list N,N,..] [--router POLICY]
+                     [--kv-block-list N,N,..] [--scheduler-list S,S,..]
+                     [--preempt recompute|swap] [--priority-classes N]
+                     [--prefix-tokens N] [--prefix-pool N] [--prefix-rate F]
                      [--mtbf S] [--mttr S] [--fault-seed N]
                      [--domains N] [--domain-mtbf S] [--domain-mttr S]
                      [--stragglers F:M] [--degrade M]
@@ -1057,6 +1205,33 @@ TRAINING RESILIENCE (train and sweep; Young–Daly checkpoint model):
                     the Young–Daly optimum √(2δM) per strategy)
   --restart S       seconds to restart after a failure, on top of the
                     lost half-interval of rework (default 0)
+
+PAGED KV, SCHEDULERS, AND SHARED PREFIXES (serve and load-sweep):
+  --kv-block N      allocate KV in blocks of N tokens (vLLM-style paging)
+                    instead of whole-lifetime reservations; admission
+                    only needs the prompt's blocks, decode grows block by
+                    block, and OOM preempts a victim. 0 or absent = the
+                    legacy reserved regime (byte-identical reports)
+  --preempt P       what decode-time OOM does to the victim: `recompute`
+                    (drop blocks, prefill again later — the default) or
+                    `swap` (stage blocks over the inter-node link, priced
+                    both ways); requires --kv-block
+  --scheduler S     admission order: `fifo` (default), `priority` (lowest
+                    class first), `sjf` (shortest prompt+output first),
+                    or `priority-preempt` (priority admission whose OOM
+                    victims are the worst class; requires paged KV)
+  --priority-classes N
+                    draw each request's class uniformly from 0..N
+                    (default 1 = every request equal)
+  --prefix-tokens N the shared-prefix workload shape: requests carry one
+                    of --prefix-pool fixed N-token prefixes with
+                    probability --prefix-rate (pool default 8, rate 0.5).
+                    Paged replicas cache prefix blocks with refcounts —
+                    cache hits skip the prefix's prefill compute
+  --kv-block-list N,N  (load-sweep) KV block sizes to sweep as a strategy
+                    axis; 0 = reserved (default 0)
+  --scheduler-list S,S  (load-sweep) schedulers to sweep as a strategy
+                    axis (default fifo)
 
 SERVE TRAFFIC AND SLO OPTIONS:
   --rate R          Poisson arrivals at R requests/s (default 2.0)
@@ -1830,5 +2005,127 @@ mod tests {
         assert!(out.contains("GPT-1008B"));
         assert!(out.contains("Llama2-70B"));
         assert!(out.contains("B200"));
+    }
+
+    #[test]
+    fn serve_paged_json_has_a_paging_section_and_reserved_omits_it() {
+        let base = "serve --model llama2-7b --requests 30 --rate 8 --prompt 50:200 \
+                    --output 2:24 --seed 7 --json";
+        let reserved: serde_json::Value =
+            serde_json::from_str(&serve(&args(base)).unwrap()).unwrap();
+        assert!(
+            reserved.get("paging").is_none(),
+            "the reserved regime must omit the paging section entirely"
+        );
+        let paged: serde_json::Value =
+            serde_json::from_str(&serve(&args(&format!("{base} --kv-block 16"))).unwrap()).unwrap();
+        let paging = paged.get("paging").expect("paged runs report paging");
+        assert_eq!(
+            paging
+                .get("block_tokens")
+                .and_then(serde_json::Value::as_f64),
+            Some(16.0)
+        );
+        assert!(
+            paging
+                .get("total_blocks")
+                .and_then(serde_json::Value::as_f64)
+                > Some(0.0)
+        );
+    }
+
+    #[test]
+    fn serve_prefix_flags_produce_cache_hits() {
+        let out = serve(&args(
+            "serve --model llama2-7b --requests 60 --rate 20 --prompt 100:300 --output 2:16 \
+             --seed 5 --kv-block 16 --prefix-tokens 64 --prefix-pool 4 --prefix-rate 0.7 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let paging = v.get("paging").expect("paging section");
+        let hits = paging
+            .get("prefix_hits")
+            .and_then(serde_json::Value::as_f64);
+        assert!(
+            hits > Some(0.0),
+            "prefix cache must actually hit: {paging:?}"
+        );
+    }
+
+    #[test]
+    fn serve_scheduler_flag_threads_through_to_the_report() {
+        let out = serve(&args(
+            "serve --model llama2-7b --requests 20 --rate 8 --prompt 50:200 --output 2:24 \
+             --kv-block 16 --scheduler sjf --priority-classes 3 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            v.get("scheduler").and_then(serde_json::Value::as_str),
+            Some("Sjf")
+        );
+    }
+
+    #[test]
+    fn serve_rejects_bad_paging_options() {
+        for bad in [
+            "serve --preempt swap",                       // --preempt needs --kv-block
+            "serve --kv-block 16 --preempt teleport",     // unknown policy
+            "serve --scheduler lifo",                     // unknown scheduler
+            "serve --priority-classes 0",                 // below 1
+            "serve --prefix-pool 4",                      // --prefix-pool needs --prefix-tokens
+            "serve --prefix-rate 0.5",                    // --prefix-rate needs --prefix-tokens
+            "serve --prefix-tokens 64 --prefix-rate 1.5", // rate beyond [0,1]
+            "serve --prefix-tokens 64 --prefix-pool 0",   // empty pool
+        ] {
+            assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn load_sweep_kv_and_scheduler_lists_cross_the_grid() {
+        let out = load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1 --kv-block-list 0,16 \
+             --scheduler-list fifo,sjf --rates 2,16 --requests 24 --prompt 50:150 \
+             --output 4:12 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let curves = v.get("curves").unwrap().as_array().unwrap();
+        assert_eq!(curves.len(), 4, "2 kv regimes × 2 schedulers");
+        let mut seen: Vec<(u64, String)> = curves
+            .iter()
+            .map(|c| {
+                (
+                    c.get("kv")
+                        .and_then(|k| k.get("block_tokens"))
+                        .and_then(serde_json::Value::as_f64)
+                        .unwrap() as u64,
+                    c.get("scheduler")
+                        .and_then(serde_json::Value::as_str)
+                        .unwrap()
+                        .to_owned(),
+                )
+            })
+            .collect();
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                (0, "Fifo".to_owned()),
+                (0, "Sjf".to_owned()),
+                (16, "Fifo".to_owned()),
+                (16, "Sjf".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn load_sweep_rejects_preempt_without_paged_cells() {
+        assert!(load_sweep(&args(
+            "load-sweep --model llama2-7b --tp-list 1 --rates 2 --requests 8 \
+             --prompt 100 --output 4 --preempt swap"
+        ))
+        .is_err());
     }
 }

@@ -26,7 +26,10 @@
 use crate::faults::EngineFaults;
 use crate::sim::{ServeError, ServeInstance, TraceBounds};
 use crate::stats::LatencyAccumulator;
-use crate::{QueueSample, Request, RequestMetrics, SloSpec, MAX_QUEUE_SAMPLES};
+use crate::{
+    PagingReport, PreemptPolicy, QueueSample, Request, RequestMetrics, Scheduler, SloSpec,
+    MAX_QUEUE_SAMPLES,
+};
 use optimus_infer::DecodeCostTable;
 use optimus_units::{Bytes, Time};
 use std::collections::VecDeque;
@@ -39,6 +42,20 @@ struct Slot {
     prefill_dur_s: f64,
     first_token_s: f64,
     reserved: Bytes,
+    // Paged-mode state (all zero on the legacy reserved path).
+    /// Prompt tokens the next prefill actually prices (the full prompt,
+    /// minus any resident shared-prefix blocks skipped on a cache hit).
+    prefill_tokens: usize,
+    /// Private device blocks held (excludes refcounted prefix blocks).
+    blocks: usize,
+    /// Blocks borrowed from this request's resident prefix entry.
+    shared_blocks: usize,
+    /// Decode tokens produced so far (reset to zero by a recompute
+    /// preemption, preserved by a swap).
+    generated: usize,
+    /// Calendar ring position this slot's completion is filed under, so
+    /// preemption can withdraw it in O(ring-slot).
+    due_ring: usize,
 }
 
 /// Streaming aggregation of completion events: latency accumulators plus
@@ -123,6 +140,22 @@ pub(crate) struct ReportInputs {
     pub(crate) peak_waiting: usize,
     pub(crate) peak_decoding: usize,
     pub(crate) raw_samples: Vec<QueueSample>,
+    /// Block/prefix/preemption accounting — `Some` exactly when the
+    /// engine ran a paged [`crate::KvSpec`].
+    pub(crate) paging: Option<PagingReport>,
+}
+
+/// One shared prefix's residency in the device block pool. Entries are
+/// indexed by [`crate::Prefix::id`]; a non-resident entry holds no
+/// blocks. Residency survives its last reference (that is the cache) —
+/// eviction happens only when an allocation needs the blocks, idle
+/// entries first in least-recently-used order.
+#[derive(Clone, Default)]
+struct PrefixEntry {
+    resident: bool,
+    blocks: usize,
+    refs: usize,
+    last_use: usize,
 }
 
 /// One replica's resumable scheduler state. See the module docs for the
@@ -184,6 +217,40 @@ pub(crate) struct ReplicaEngine<'i, 'a> {
     faults: Option<EngineFaults>,
     slow_mult: f64,
     requeued: Vec<(Request, f64)>,
+
+    // --- paged-KV / scheduler state -------------------------------------
+    // `legacy` is the reserved-KV + FIFO fast path: it runs the original
+    // cursor admission and plain decode verbatim (bitwise identity with
+    // pre-paging builds) and never touches anything below.
+    legacy: bool,
+    paged: bool,
+    scheduler: Scheduler,
+    policy: PreemptPolicy,
+    block_tokens: usize,
+    total_blocks: usize,
+    used_blocks: usize,
+    peak_blocks: usize,
+    // Arrived-but-unadmitted requests, reordered by the scheduler pick
+    // (the generalized replacement for the legacy admission cursor).
+    pending: VecDeque<Request>,
+    // Recompute-preempted slots waiting to re-prefill, FIFO.
+    preempted: VecDeque<u32>,
+    // Swap-preempted slots parked on the host, FIFO.
+    swapped: VecDeque<u32>,
+    // Swapped slots whose blocks are re-allocated, each waiting for its
+    // swap-in iteration (served before prefills).
+    awaiting_swapin: VecDeque<u32>,
+    // Decoding slots in join order — the preemption victim order.
+    active: Vec<u32>,
+    prefix_cache: Vec<PrefixEntry>,
+    preemptions: usize,
+    swap_outs: usize,
+    swap_ins: usize,
+    swap_bytes: Bytes,
+    prefix_hits: usize,
+    prefix_misses: usize,
+    prefix_evictions: usize,
+    cached_tokens_saved: usize,
 }
 
 impl<'i, 'a> ReplicaEngine<'i, 'a> {
@@ -202,7 +269,31 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
     ) -> Self {
         let ring_len = bounds.max_kv.max(1) + 1; // ≥ max_output + 1
         let slow_mult = faults.as_ref().map_or(1.0, |f| f.slow_mult);
+        let config = instance.config();
+        let paged = !config.kv.is_reserved();
         Self {
+            legacy: !paged && config.scheduler == Scheduler::Fifo,
+            paged,
+            scheduler: config.scheduler,
+            policy: config.kv.policy,
+            block_tokens: config.kv.block_tokens,
+            total_blocks: if paged { instance.total_blocks() } else { 0 },
+            used_blocks: 0,
+            peak_blocks: 0,
+            pending: VecDeque::new(),
+            preempted: VecDeque::new(),
+            swapped: VecDeque::new(),
+            awaiting_swapin: VecDeque::new(),
+            active: Vec::new(),
+            prefix_cache: Vec::new(),
+            preemptions: 0,
+            swap_outs: 0,
+            swap_ins: 0,
+            swap_bytes: Bytes::ZERO,
+            prefix_hits: 0,
+            prefix_misses: 0,
+            prefix_evictions: 0,
+            cached_tokens_saved: 0,
             instance,
             table,
             budget: instance.kv_budget(),
@@ -287,10 +378,23 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
 
     /// Requests with **no compute yet**: routed but unadmitted (queued for
     /// KV space) plus admitted but still awaiting their prefill iteration.
-    /// After `advance_to(t)`, this is exactly the waiting population a
+    /// On the generalized path, preempted and swapped-out victims count
+    /// too — they hold no device compute until re-admitted. After
+    /// `advance_to(t)`, this is exactly the waiting population a
     /// join-shortest-queue router should see at time `t`.
     pub(crate) fn waiting(&self) -> usize {
-        (self.trace.len() - self.admit_cursor) + self.awaiting_prefill.len()
+        (self.trace.len() - self.admit_cursor)
+            + self.queued_backlog()
+            + self.awaiting_prefill.len()
+            + self.awaiting_swapin.len()
+    }
+
+    /// The generalized path's queued-but-unserved population beyond the
+    /// admission cursor: scheduler-queued requests plus preemption
+    /// victims awaiting re-admission. Zero on the legacy path, whose
+    /// backlog lives entirely behind `admit_cursor`.
+    fn queued_backlog(&self) -> usize {
+        self.pending.len() + self.preempted.len() + self.swapped.len()
     }
 
     /// Requests routed to this replica and not yet completed — waiting or
@@ -315,42 +419,48 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
             while self.arrived < self.trace.len() && self.eff[self.arrived] <= self.clock {
                 self.arrived += 1;
             }
-            while self.admit_cursor < self.arrived {
-                let front = &self.trace[self.admit_cursor];
-                let need = self.instance.reservation(front);
-                if need > self.budget {
-                    // Could never be admitted, not even alone: drop it
-                    // rather than block every request behind it forever.
-                    self.rejected_ids.push(front.id);
-                    self.admit_cursor += 1;
-                    continue;
-                }
-                if self.reserved + need <= self.budget {
-                    self.reserved += need;
-                    self.kv_peak = self.kv_peak.max(self.reserved);
-                    let slot = Slot {
-                        request: *front,
-                        admitted_s: self.clock,
-                        prefill_dur_s: 0.0,
-                        first_token_s: 0.0,
-                        reserved: need,
-                    };
-                    let idx = if let Some(free) = self.free_slots.pop() {
-                        self.slots[free as usize] = slot;
-                        free
+            if self.legacy {
+                while self.admit_cursor < self.arrived {
+                    let front = &self.trace[self.admit_cursor];
+                    let need = self.instance.reservation(front);
+                    if need > self.budget {
+                        // Could never be admitted, not even alone: drop it
+                        // rather than block every request behind it forever.
+                        self.rejected_ids.push(front.id);
+                        self.admit_cursor += 1;
+                        continue;
+                    }
+                    if self.reserved + need <= self.budget {
+                        self.reserved += need;
+                        self.kv_peak = self.kv_peak.max(self.reserved);
+                        let slot = Slot {
+                            request: *front,
+                            admitted_s: self.clock,
+                            prefill_dur_s: 0.0,
+                            first_token_s: 0.0,
+                            reserved: need,
+                            prefill_tokens: front.prompt,
+                            blocks: 0,
+                            shared_blocks: 0,
+                            generated: 0,
+                            due_ring: 0,
+                        };
+                        let idx = self.alloc_slot(slot);
+                        self.awaiting_prefill.push_back(idx);
+                        self.admit_cursor += 1;
                     } else {
-                        self.slots.push(slot);
-                        u32::try_from(self.slots.len() - 1).expect("slot arena fits u32")
-                    };
-                    self.awaiting_prefill.push_back(idx);
-                    self.admit_cursor += 1;
-                } else {
-                    break;
+                        break;
+                    }
                 }
+            } else {
+                self.admit_generalized();
             }
-            let pending_len = self.arrived - self.admit_cursor;
+            let pending_len = (self.arrived - self.admit_cursor) + self.queued_backlog();
 
-            if self.awaiting_prefill.is_empty() && self.decoding_count == 0 {
+            if self.awaiting_prefill.is_empty()
+                && self.awaiting_swapin.is_empty()
+                && self.decoding_count == 0
+            {
                 assert!(
                     pending_len == 0,
                     "an idle instance always admits the queue head"
@@ -371,13 +481,18 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
 
             // The waiting population over this iteration: arrived but no
             // compute yet — whether blocked on KV admission or on a
-            // prefill slot. The request prefilled this very iteration
-            // stops waiting now, so it is not counted; `peak_waiting`
-            // observes the same population as the time-weighted mean.
-            let waiting_before = pending_len + self.awaiting_prefill.len()
-                - usize::from(!self.awaiting_prefill.is_empty());
+            // prefill slot. The request prefilled (or swapped back in)
+            // this very iteration stops waiting now, so it is not
+            // counted; `peak_waiting` observes the same population as the
+            // time-weighted mean.
+            let serving_one = !self.awaiting_swapin.is_empty() || !self.awaiting_prefill.is_empty();
+            let waiting_before =
+                pending_len + self.awaiting_prefill.len() + self.awaiting_swapin.len()
+                    - usize::from(serving_one);
             self.peak_waiting = self.peak_waiting.max(waiting_before);
-            let dur = if let Some(idx) = self.awaiting_prefill.pop_front() {
+            let dur = if let Some(idx) = self.awaiting_swapin.pop_front() {
+                self.swap_in(idx)
+            } else if let Some(idx) = self.awaiting_prefill.pop_front() {
                 self.prefill(idx)?
             } else {
                 self.decode()?
@@ -395,7 +510,10 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 }
                 self.raw_samples.push(QueueSample {
                     at: Time::from_secs(self.clock),
-                    waiting: (self.arrived - self.admit_cursor) + self.awaiting_prefill.len(),
+                    waiting: (self.arrived - self.admit_cursor)
+                        + self.queued_backlog()
+                        + self.awaiting_prefill.len()
+                        + self.awaiting_swapin.len(),
                     decoding: self.decoding_count,
                 });
                 if self.raw_samples.len() >= 2 * MAX_QUEUE_SAMPLES {
@@ -409,6 +527,281 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
             }
             self.iteration += 1;
         }
+    }
+
+    /// Stores a slot in the arena (recycling a freed index when one
+    /// exists) and returns its index.
+    fn alloc_slot(&mut self, slot: Slot) -> u32 {
+        if let Some(free) = self.free_slots.pop() {
+            self.slots[free as usize] = slot;
+            free
+        } else {
+            self.slots.push(slot);
+            u32::try_from(self.slots.len() - 1).expect("slot arena fits u32")
+        }
+    }
+
+    // --- generalized admission (paged KV and/or non-FIFO schedulers) ----
+
+    /// The generalized admission round: ingest arrivals into the
+    /// scheduler queue, then hand free memory to (in order) swapped-out
+    /// victims, recompute victims, and finally fresh requests picked by
+    /// the scheduler. Each stage is head-of-line blocked on its own
+    /// queue, and victims outrank fresh admissions (the vLLM order,
+    /// which keeps a victim's starvation bounded: it gets first claim on
+    /// every block the batch that evicted it releases).
+    fn admit_generalized(&mut self) {
+        while self.admit_cursor < self.arrived {
+            self.pending.push_back(self.trace[self.admit_cursor]);
+            self.admit_cursor += 1;
+        }
+        while let Some(&idx) = self.swapped.front() {
+            if !self.stage_swap_in(idx) {
+                break;
+            }
+            self.swapped.pop_front();
+        }
+        while let Some(&idx) = self.preempted.front() {
+            if !self.readmit_preempted(idx) {
+                break;
+            }
+            self.preempted.pop_front();
+        }
+        while let Some(pos) = self.pick_pending() {
+            let request = self.pending[pos];
+            if !self.instance.admissible(&request) {
+                // Could never run, not even alone: drop it rather than
+                // block the queue forever (the legacy head rejection).
+                self.rejected_ids.push(request.id);
+                self.pending.remove(pos);
+                continue;
+            }
+            if !self.try_admit(&request) {
+                break; // head-of-line: the picked request waits
+            }
+            self.pending.remove(pos);
+        }
+    }
+
+    /// The scheduler's pick: which queued request admits next. Ties
+    /// always break to the earliest-queued position, so FIFO through
+    /// this path reproduces the legacy cursor order exactly.
+    fn pick_pending(&self) -> Option<usize> {
+        match self.scheduler {
+            Scheduler::Fifo => (!self.pending.is_empty()).then_some(0),
+            Scheduler::Priority | Scheduler::PriorityPreempt => {
+                (0..self.pending.len()).min_by_key(|&i| self.pending[i].priority)
+            }
+            Scheduler::Sjf => (0..self.pending.len())
+                .min_by_key(|&i| self.pending[i].prompt + self.pending[i].output),
+        }
+    }
+
+    /// Tries to admit one fresh request, allocating its KV (full
+    /// reservation or prompt blocks, per the regime). `false` = the
+    /// memory is not there yet.
+    fn try_admit(&mut self, request: &Request) -> bool {
+        if !self.paged {
+            let need = self.instance.reservation(request);
+            if self.reserved + need > self.budget {
+                return false;
+            }
+            self.reserved += need;
+            self.kv_peak = self.kv_peak.max(self.reserved);
+            let idx = self.alloc_slot(Slot {
+                request: *request,
+                admitted_s: self.clock,
+                prefill_dur_s: 0.0,
+                first_token_s: 0.0,
+                reserved: need,
+                prefill_tokens: request.prompt,
+                blocks: 0,
+                shared_blocks: 0,
+                generated: 0,
+                due_ring: 0,
+            });
+            self.awaiting_prefill.push_back(idx);
+            return true;
+        }
+        let Some((blocks, shared)) = self.alloc_prompt_blocks(request) else {
+            return false;
+        };
+        let idx = self.alloc_slot(Slot {
+            request: *request,
+            admitted_s: self.clock,
+            prefill_dur_s: 0.0,
+            first_token_s: 0.0,
+            reserved: Bytes::ZERO,
+            prefill_tokens: request.prompt - shared * self.block_tokens,
+            blocks,
+            shared_blocks: shared,
+            generated: 0,
+            due_ring: 0,
+        });
+        self.awaiting_prefill.push_back(idx);
+        true
+    }
+
+    /// Tries to re-admit a recompute victim: its prompt's blocks are
+    /// allocated afresh (through any still-resident prefix) and its
+    /// re-prefill queued. The slot — and with it the request's original
+    /// admission instant and any already-emitted first token — survives.
+    fn readmit_preempted(&mut self, idx: u32) -> bool {
+        let request = self.slots[idx as usize].request;
+        let Some((blocks, shared)) = self.alloc_prompt_blocks(&request) else {
+            return false;
+        };
+        let s = &mut self.slots[idx as usize];
+        s.blocks = blocks;
+        s.shared_blocks = shared;
+        s.prefill_tokens = request.prompt - shared * self.block_tokens;
+        self.awaiting_prefill.push_back(idx);
+        true
+    }
+
+    /// Allocates the blocks a prompt needs before prefill, borrowing a
+    /// resident prefix's blocks when the request carries one (taking a
+    /// reference and counting the hit). Returns `(private, shared)`
+    /// blocks, or `None` when the pool cannot cover the private need
+    /// even after evicting idle prefixes.
+    fn alloc_prompt_blocks(&mut self, request: &Request) -> Option<(usize, usize)> {
+        let shared = self.borrow_prefix(request);
+        let need = self.instance.blocks_for(request.prompt) - shared;
+        if !self.ensure_free(need) {
+            self.unborrow_prefix(request, shared);
+            return None;
+        }
+        self.alloc_blocks(need);
+        if request.prefix.is_some() {
+            if shared > 0 {
+                self.prefix_hits += 1;
+                self.cached_tokens_saved += shared * self.block_tokens;
+            } else {
+                self.prefix_misses += 1;
+            }
+        }
+        Some((need, shared))
+    }
+
+    /// Takes a reference on the request's resident prefix entry (pinning
+    /// it against eviction) and returns its block count — zero when the
+    /// request carries no prefix or the entry is absent.
+    fn borrow_prefix(&mut self, request: &Request) -> usize {
+        let Some(p) = request.prefix else { return 0 };
+        if self.prefix_cache.len() <= p.id {
+            self.prefix_cache
+                .resize_with(p.id + 1, PrefixEntry::default);
+        }
+        let iter = self.iteration;
+        let e = &mut self.prefix_cache[p.id];
+        if !e.resident {
+            return 0;
+        }
+        e.refs += 1;
+        e.last_use = iter;
+        e.blocks
+    }
+
+    /// Rolls back [`ReplicaEngine::borrow_prefix`] when the allocation it
+    /// pinned for could not complete.
+    fn unborrow_prefix(&mut self, request: &Request, shared: usize) {
+        if shared > 0 {
+            let p = request.prefix.expect("shared blocks imply a prefix");
+            self.prefix_cache[p.id].refs -= 1;
+        }
+    }
+
+    /// Tries to stage a swapped-out victim's return: re-allocate device
+    /// blocks for its full context (prompt + progress so far) and queue
+    /// its swap-in iteration.
+    fn stage_swap_in(&mut self, idx: u32) -> bool {
+        let (request, ctx) = {
+            let s = &self.slots[idx as usize];
+            (s.request, s.request.prompt + s.generated)
+        };
+        let shared = self.borrow_prefix(&request);
+        let need = self.instance.blocks_for(ctx) - shared;
+        if !self.ensure_free(need) {
+            self.unborrow_prefix(&request, shared);
+            return false;
+        }
+        self.alloc_blocks(need);
+        let s = &mut self.slots[idx as usize];
+        s.blocks = need;
+        s.shared_blocks = shared;
+        self.awaiting_swapin.push_back(idx);
+        true
+    }
+
+    /// One swap-in iteration: the replica stalls while the victim's
+    /// private blocks stream back over the egress link, then the victim
+    /// rejoins the decode batch where it left off.
+    fn swap_in(&mut self, idx: u32) -> f64 {
+        let blocks = self.slots[idx as usize].blocks;
+        self.swap_ins += 1;
+        self.swap_bytes += self.instance.block_bytes() * blocks as f64;
+        self.rejoin_decode(idx);
+        self.instance.swap_seconds(blocks)
+    }
+
+    /// Puts a slot (back) into the decode batch: first token at the next
+    /// decode epoch if none was emitted yet, completion when the
+    /// remaining output fills.
+    fn rejoin_decode(&mut self, idx: u32) {
+        let (ctx, remaining, first_pending) = {
+            let s = &self.slots[idx as usize];
+            (
+                s.request.prompt + s.generated,
+                s.request.output - s.generated,
+                s.first_token_s == 0.0,
+            )
+        };
+        self.decoding_count += 1;
+        self.ctx_sum += ctx;
+        if first_pending {
+            self.pending_first.push(idx);
+        }
+        let due = (self.decode_epoch + remaining) % self.calendar.len();
+        self.calendar[due].push(idx);
+        if self.paged {
+            self.slots[idx as usize].due_ring = due;
+            self.active.push(idx);
+        }
+    }
+
+    /// Frees capacity for `need` more blocks, evicting idle
+    /// (unreferenced) resident prefixes least-recently-used first.
+    /// Returns `false` when the pool still cannot cover it.
+    fn ensure_free(&mut self, need: usize) -> bool {
+        if need > self.total_blocks {
+            return false;
+        }
+        while self.total_blocks - self.used_blocks < need {
+            let Some(victim) = (0..self.prefix_cache.len())
+                .filter(|&i| self.prefix_cache[i].resident && self.prefix_cache[i].refs == 0)
+                .min_by_key(|&i| (self.prefix_cache[i].last_use, i))
+            else {
+                return false;
+            };
+            let freed = {
+                let e = &mut self.prefix_cache[victim];
+                e.resident = false;
+                core::mem::take(&mut e.blocks)
+            };
+            self.used_blocks -= freed;
+            self.prefix_evictions += 1;
+        }
+        true
+    }
+
+    /// Takes `n` blocks from the pool (capacity must be ensured first).
+    fn alloc_blocks(&mut self, n: usize) {
+        self.used_blocks += n;
+        debug_assert!(
+            self.used_blocks <= self.total_blocks,
+            "block pool overdrawn"
+        );
+        self.peak_blocks = self.peak_blocks.max(self.used_blocks);
     }
 
     /// Applies every outage window the clock has reached. Crashes take
@@ -450,14 +843,37 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 lost.push(self.slots[idx as usize].request);
             }
         }
+        // Generalized-path backlog: staged/parked preemption victims and
+        // the scheduler queue go back to the router too (all empty on the
+        // legacy path).
+        for &idx in self
+            .awaiting_swapin
+            .iter()
+            .chain(self.preempted.iter())
+            .chain(self.swapped.iter())
+        {
+            lost.push(self.slots[idx as usize].request);
+        }
+        lost.extend(self.pending.iter().copied());
         lost.extend_from_slice(&self.trace[self.admit_cursor..]);
         self.awaiting_prefill.clear();
+        self.awaiting_swapin.clear();
+        self.preempted.clear();
+        self.swapped.clear();
+        self.pending.clear();
+        self.active.clear();
         self.pending_first.clear();
         self.slots.clear();
         self.free_slots.clear();
         self.decoding_count = 0;
         self.ctx_sum = 0;
         self.reserved = Bytes::ZERO;
+        // A crash wipes the device: the block pool and every cached
+        // prefix die with it.
+        self.used_blocks = 0;
+        for e in &mut self.prefix_cache {
+            *e = PrefixEntry::default();
+        }
         self.trace.truncate(self.admit_cursor);
         self.eff.truncate(self.admit_cursor);
         self.arrived = self.admit_cursor;
@@ -469,22 +885,24 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         self.requeued.extend(lost.into_iter().map(|r| (r, at)));
     }
 
-    /// One prefill iteration of slot `idx`; returns its duration.
+    /// One prefill iteration of slot `idx`; returns its duration. Prices
+    /// `prefill_tokens` — the full prompt, except on a prefix-cache hit,
+    /// where the resident blocks' tokens are skipped.
     fn prefill(&mut self, idx: u32) -> Result<f64, ServeError> {
         let (tp, precision) = {
             let c = self.instance.config();
             (c.tp, c.precision)
         };
-        let prompt = self.slots[idx as usize].request.prompt;
-        let cached = self.prefill_cache[prompt];
+        let tokens = self.slots[idx as usize].prefill_tokens;
+        let cached = self.prefill_cache[tokens];
         let base = if cached.is_nan() {
             let computed = self
                 .instance
                 .estimator()
-                .prefill_iteration(1, prompt, tp, precision)
+                .prefill_iteration(1, tokens, tp, precision)
                 .map_err(|e| ServeError::Estimator(e.to_string()))?
                 .secs();
-            self.prefill_cache[prompt] = computed;
+            self.prefill_cache[tokens] = computed;
             computed
         } else {
             cached
@@ -494,19 +912,60 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         self.slots[idx as usize].prefill_dur_s = dur;
         // Join the decode batch: first token next decode epoch, completion
         // `output` epochs out.
-        self.decoding_count += 1;
-        self.ctx_sum += prompt;
-        self.pending_first.push(idx);
-        let due =
-            (self.decode_epoch + self.slots[idx as usize].request.output) % self.calendar.len();
-        self.calendar[due].push(idx);
+        self.rejoin_decode(idx);
         self.prefill_iterations += 1;
+        if self.paged {
+            self.donate_prefix(idx);
+        }
         Ok(dur)
     }
 
+    /// After a cache-miss prefill of a prefix-carrying request, donates
+    /// the prefix's full blocks to the cache — an ownership transfer, so
+    /// pool occupancy does not change. If a sibling miss donated first
+    /// while this request queued for its prefill, dedupe: free the
+    /// duplicate blocks and borrow the resident entry instead.
+    fn donate_prefix(&mut self, idx: u32) {
+        let (prefix, had_shared, private) = {
+            let s = &self.slots[idx as usize];
+            (s.request.prefix, s.shared_blocks > 0, s.blocks)
+        };
+        let Some(p) = prefix else { return };
+        if had_shared {
+            return; // admitted through the resident entry: nothing to donate
+        }
+        let full = p.tokens / self.block_tokens;
+        if full == 0 {
+            return; // the prefix does not fill a single block
+        }
+        debug_assert!(private > full, "a prompt strictly outgrows its prefix");
+        let iter = self.iteration;
+        let e = &mut self.prefix_cache[p.id];
+        if e.resident {
+            // Double miss: keep the sibling's resident copy, free ours.
+            e.refs += 1;
+            e.last_use = iter;
+            let shared = e.blocks;
+            let s = &mut self.slots[idx as usize];
+            s.shared_blocks = shared;
+            s.blocks -= shared;
+            self.used_blocks -= shared;
+        } else {
+            e.resident = true;
+            e.blocks = full;
+            e.refs = 1;
+            e.last_use = iter;
+            let s = &mut self.slots[idx as usize];
+            s.shared_blocks = full;
+            s.blocks -= full;
+        }
+    }
+
     /// One decode iteration of the whole running batch; returns its
-    /// duration.
+    /// duration (which paged swap-out preemptions lengthen by their
+    /// transfer time).
     fn decode(&mut self) -> Result<f64, ServeError> {
+        let swap_out_s = if self.paged { self.grow_batch() } else { 0.0 };
         let batch = self.decoding_count;
         // A mixed batch is priced at its aggregate context: attention cost
         // is linear in total KV entries read, so batch × ⌈mean⌉ preserves
@@ -523,7 +982,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                     .secs()
             }
         };
-        let dur = base * self.slow_mult;
+        let dur = base * self.slow_mult + swap_out_s;
         self.decode_iterations += 1;
         self.decode_batch_sum += batch;
         let end = self.clock + dur;
@@ -537,6 +996,9 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
         // order.
         let due_slot = self.decode_epoch % self.calendar.len();
         let done = core::mem::take(&mut self.calendar[due_slot]);
+        if self.paged && !done.is_empty() {
+            self.active.retain(|x| !done.contains(x));
+        }
         for idx in done {
             let slot = &self.slots[idx as usize];
             self.sink.complete(slot, end);
@@ -544,8 +1006,135 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
             self.ctx_sum -= slot.request.prompt + slot.request.output;
             self.decoding_count -= 1;
             self.free_slots.push(idx);
+            if self.paged {
+                self.release_completed(idx);
+            }
         }
         Ok(dur)
+    }
+
+    /// The paged decode's growth pass: every member whose next token
+    /// crosses a block boundary gets one more block, preempting victims
+    /// when the pool (after evicting idle prefixes) runs dry; survivors
+    /// then advance one generated token. Returns the summed swap-out
+    /// transfer seconds charged to this iteration (zero under
+    /// recompute).
+    fn grow_batch(&mut self) -> f64 {
+        let mut swap_s = 0.0;
+        let mut i = 0;
+        while i < self.active.len() {
+            let idx = self.active[i];
+            let (held, ctx_next) = {
+                let s = &self.slots[idx as usize];
+                (
+                    s.blocks + s.shared_blocks,
+                    s.request.prompt + s.generated + 1,
+                )
+            };
+            if self.instance.blocks_for(ctx_next) <= held {
+                i += 1;
+                continue;
+            }
+            if self.ensure_free(1) {
+                self.alloc_blocks(1);
+                self.slots[idx as usize].blocks += 1;
+                i += 1;
+                continue;
+            }
+            // Pool exhausted: preempt. Under priority-preempt the least
+            // urgent member goes (highest priority value, latest-joined
+            // among ties); otherwise the latest-joined outright — the
+            // vLLM recompute order. The grower itself can be the pick;
+            // a batch of one always gets its block (its own private and
+            // shared blocks are the only pinned ones left), so the pass
+            // terminates with at least one survivor.
+            let victim = if self.scheduler == Scheduler::PriorityPreempt {
+                (0..self.active.len())
+                    .max_by_key(|&j| (self.slots[self.active[j] as usize].request.priority, j))
+                    .expect("the growing member is active")
+            } else {
+                self.active.len() - 1
+            };
+            swap_s += self.preempt(victim);
+            if victim < i {
+                i -= 1; // the list shifted under the cursor
+            }
+            // Re-examine position i: either the same still-blocked grower
+            // or, when the grower itself was evicted, its successor.
+        }
+        for &idx in &self.active {
+            self.slots[idx as usize].generated += 1;
+        }
+        swap_s
+    }
+
+    /// Preempts the active member at position `pos`: its private blocks
+    /// leave the device (freed under recompute, streamed to host under
+    /// swap), its prefix reference drops, and it moves to the matching
+    /// re-admission queue. Returns the swap-out seconds charged.
+    fn preempt(&mut self, pos: usize) -> f64 {
+        let idx = self.active.remove(pos);
+        let (blocks, shared, ctx, due, prefix) = {
+            let s = &mut self.slots[idx as usize];
+            let out = (
+                s.blocks,
+                s.shared_blocks,
+                s.request.prompt + s.generated,
+                s.due_ring,
+                s.request.prefix,
+            );
+            s.blocks = 0;
+            s.shared_blocks = 0;
+            out
+        };
+        self.used_blocks -= blocks;
+        if shared > 0 {
+            let p = prefix.expect("shared blocks imply a prefix");
+            let e = &mut self.prefix_cache[p.id];
+            debug_assert!(e.refs > 0, "prefix refs free exactly once");
+            e.refs -= 1;
+            e.last_use = self.iteration;
+        }
+        self.calendar[due].retain(|&x| x != idx);
+        self.pending_first.retain(|&x| x != idx);
+        self.decoding_count -= 1;
+        self.ctx_sum -= ctx;
+        self.preemptions += 1;
+        match self.policy {
+            PreemptPolicy::Recompute => {
+                // Progress is discarded; the whole prompt re-prefills.
+                self.slots[idx as usize].generated = 0;
+                self.preempted.push_back(idx);
+                0.0
+            }
+            PreemptPolicy::Swap => {
+                self.swap_outs += 1;
+                self.swap_bytes += self.instance.block_bytes() * blocks as f64;
+                self.swapped.push_back(idx);
+                self.instance.swap_seconds(blocks)
+            }
+        }
+    }
+
+    /// Returns a completed slot's blocks to the pool and drops its
+    /// prefix reference. The prefix entry stays resident — that is the
+    /// cache; it leaves only by eviction or a crash.
+    fn release_completed(&mut self, idx: u32) {
+        let (blocks, shared, prefix) = {
+            let s = &mut self.slots[idx as usize];
+            let out = (s.blocks, s.shared_blocks, s.request.prefix);
+            s.blocks = 0;
+            s.shared_blocks = 0;
+            out
+        };
+        self.used_blocks -= blocks;
+        if shared > 0 {
+            let p = prefix.expect("shared blocks imply a prefix");
+            let e = &mut self.prefix_cache[p.id];
+            debug_assert!(e.refs > 0, "prefix refs free exactly once");
+            e.refs -= 1;
+            e.last_use = self.iteration;
+        }
     }
 
     /// Drains every pushed request to completion and closes the
@@ -576,13 +1165,38 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
     /// each assignment, report inputs). Call after
     /// [`ReplicaEngine::finish`].
     pub(crate) fn into_parts(self) -> (usize, ReportInputs) {
+        let paging = self.paged.then(|| PagingReport {
+            block_tokens: self.block_tokens,
+            total_blocks: self.total_blocks,
+            peak_blocks: self.peak_blocks,
+            peak_block_utilization: if self.total_blocks > 0 {
+                self.peak_blocks as f64 / self.total_blocks as f64
+            } else {
+                0.0
+            },
+            preemptions: self.preemptions,
+            swap_outs: self.swap_outs,
+            swap_ins: self.swap_ins,
+            swap_bytes: self.swap_bytes,
+            prefix_hits: self.prefix_hits,
+            prefix_misses: self.prefix_misses,
+            prefix_evictions: self.prefix_evictions,
+            cached_tokens_saved: self.cached_tokens_saved,
+        });
+        // Paged peak occupancy in bytes, so `KvUsage` stays comparable
+        // across regimes.
+        let kv_peak = if self.paged {
+            self.instance.block_bytes() * self.peak_blocks as f64
+        } else {
+            self.kv_peak
+        };
         (
             self.assigned,
             ReportInputs {
                 sink: self.sink,
                 rejected_ids: self.rejected_ids,
                 makespan_s: self.clock,
-                kv_peak: self.kv_peak,
+                kv_peak,
                 prefill_iterations: self.prefill_iterations,
                 decode_iterations: self.decode_iterations,
                 decode_batch_sum: self.decode_batch_sum,
@@ -590,6 +1204,7 @@ impl<'i, 'a> ReplicaEngine<'i, 'a> {
                 peak_waiting: self.peak_waiting,
                 peak_decoding: self.peak_decoding,
                 raw_samples: self.raw_samples,
+                paging,
             },
         )
     }

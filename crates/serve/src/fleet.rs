@@ -28,15 +28,15 @@ use crate::faults::{EngineFaults, FaultSpec, FleetAvailability};
 use crate::sim::TraceBounds;
 use crate::stats::LatencyAccumulator;
 use crate::{
-    LatencyStats, Request, ServeConfig, ServeError, ServeInstance, ServeReport, SloReport,
-    TraceSpec,
+    LatencyStats, PagingReport, Request, ServeConfig, ServeError, ServeInstance, ServeReport,
+    SloReport, TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_model::ModelConfig;
 use optimus_units::Time;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
 
 /// How the fleet's front door assigns each arriving request to a replica.
@@ -143,7 +143,12 @@ impl FleetConfig {
 
 /// The complete outcome of one fleet simulation: fleet-level aggregates
 /// plus the per-replica [`ServeReport`]s they were derived from.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize` is hand-written (not derived) so the trailing
+/// paged-KV field is *omitted* — not `null` — in the legacy reserved
+/// regime, keeping reserved-mode fleet JSON byte-identical to reports
+/// emitted before paging existed.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct FleetReport {
     /// Model name.
     pub model: String,
@@ -200,6 +205,55 @@ pub struct FleetReport {
     /// Availability and requeue metrics under churn — trivially perfect
     /// (`availability = 1`, nothing requeued) for a fault-free run.
     pub availability: FleetAvailability,
+    /// Paged-KV accounting merged across replicas (peak occupancy is the
+    /// worst replica's, counters are fleet sums). `None` in the legacy
+    /// reserved regime.
+    pub paging: Option<PagingReport>,
+}
+
+impl Serialize for FleetReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("model".to_owned(), self.model.to_value()),
+            ("cluster".to_owned(), self.cluster.to_value()),
+            ("tp".to_owned(), self.tp.to_value()),
+            ("precision".to_owned(), self.precision.to_value()),
+            ("replicas".to_owned(), self.replicas.to_value()),
+            ("gpus".to_owned(), self.gpus.to_value()),
+            ("router".to_owned(), self.router.to_value()),
+            ("requests".to_owned(), self.requests.to_value()),
+            ("completed".to_owned(), self.completed.to_value()),
+            ("rejected".to_owned(), self.rejected.to_value()),
+            ("rejected_ids".to_owned(), self.rejected_ids.to_value()),
+            ("makespan".to_owned(), self.makespan.to_value()),
+            (
+                "generated_tokens".to_owned(),
+                self.generated_tokens.to_value(),
+            ),
+            ("tokens_per_s".to_owned(), self.tokens_per_s.to_value()),
+            ("requests_per_s".to_owned(), self.requests_per_s.to_value()),
+            (
+                "mean_decode_batch".to_owned(),
+                self.mean_decode_batch.to_value(),
+            ),
+            ("ttft".to_owned(), self.ttft.to_value()),
+            ("tpot".to_owned(), self.tpot.to_value()),
+            ("e2e".to_owned(), self.e2e.to_value()),
+            (
+                "kv_peak_utilization".to_owned(),
+                self.kv_peak_utilization.to_value(),
+            ),
+            ("slo".to_owned(), self.slo.to_value()),
+            ("routed".to_owned(), self.routed.to_value()),
+            ("per_replica".to_owned(), self.per_replica.to_value()),
+            ("faults".to_owned(), self.faults.to_value()),
+            ("availability".to_owned(), self.availability.to_value()),
+        ];
+        if let Some(paging) = &self.paging {
+            fields.push(("paging".to_owned(), paging.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl core::fmt::Display for FleetReport {
@@ -255,6 +309,9 @@ impl core::fmt::Display for FleetReport {
                 a.requeues,
                 a.requeued_requests,
             )?;
+        }
+        if let Some(paging) = &self.paging {
+            write!(f, "\n  paged  {paging}")?;
         }
         Ok(())
     }
@@ -552,8 +609,10 @@ pub(crate) fn run_fleet(
     for r in trace {
         // No replica could ever admit this request (replicas are
         // identical), so the front door rejects it outright instead of
-        // letting it occupy a queue.
-        if instance.reservation(r) > instance.kv_budget() {
+        // letting it occupy a queue. Admissibility is regime-aware: a
+        // whole-lifetime reservation against the budget in reserved mode,
+        // a worst-case block count against the pool in paged mode.
+        if !instance.admissible(r) {
             rejected_ids.push(r.id);
             continue;
         }
@@ -636,7 +695,14 @@ pub(crate) fn run_fleet(
     let mut decode_iterations = 0;
     let mut decode_batch_sum = 0;
     let mut makespan_s = 0.0_f64;
+    let mut paging: Option<PagingReport> = None;
     for (_, inputs) in &parts {
+        if let Some(p) = &inputs.paging {
+            paging = Some(match paging {
+                Some(acc) => acc.merged(p),
+                None => *p,
+            });
+        }
         ttft.merge(&inputs.sink.ttft);
         tpot.merge(&inputs.sink.tpot);
         e2e.merge(&inputs.sink.e2e);
@@ -760,6 +826,7 @@ pub(crate) fn run_fleet(
         per_replica,
         faults: faulty.then(|| faults.clone().json_safe()),
         availability,
+        paging,
     })
 }
 
@@ -839,6 +906,8 @@ mod tests {
             arrival: ArrivalProcess::Poisson { rate_per_s: rate },
             prompt: LengthDist::Uniform { lo: 50, hi: 200 },
             output: LengthDist::Uniform { lo: 2, hi: 24 },
+            prefixes: None,
+            priority_classes: 1,
         }
     }
 
@@ -960,24 +1029,9 @@ mod tests {
     fn oversized_request_is_rejected_at_the_router() {
         let cluster = presets::dgx_a100_hdr_cluster();
         let trace = [
-            Request {
-                id: 0,
-                arrival_s: 0.1,
-                prompt: 500_000,
-                output: 4,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.2,
-                prompt: 100,
-                output: 4,
-            },
-            Request {
-                id: 2,
-                arrival_s: 0.3,
-                prompt: 120,
-                output: 4,
-            },
+            Request::new(0, 0.1, 500_000, 4),
+            Request::new(1, 0.2, 100, 4),
+            Request::new(2, 0.3, 120, 4),
         ];
         let report = simulate_fleet_trace(
             &cluster,
@@ -1129,5 +1183,196 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ServeError::InvalidConfig(_)), "{err}");
+    }
+
+    /// Every availability and throughput figure must be finite and JSON
+    /// must carry no `null`ed-out numbers (the vendored serializer writes
+    /// non-finite floats as `null`), whatever degenerate shape the run
+    /// takes: nothing served, everything rejected, or replicas down for
+    /// essentially the whole run.
+    fn assert_json_has_no_nulls(report: &FleetReport) {
+        let a = &report.availability;
+        assert!(a.availability.is_finite() && (0.0..=1.0).contains(&a.availability));
+        assert!(a.goodput_tokens_per_up_replica_s.is_finite());
+        assert!(report.tokens_per_s.is_finite());
+        assert!(report.requests_per_s.is_finite());
+        assert!(report.mean_decode_batch.is_finite());
+        assert!(report.kv_peak_utilization.is_finite());
+        assert!(report.slo.attainment.is_finite());
+        assert!(report.slo.goodput_tokens_per_s.is_finite());
+        let json = serde_json::to_string(report).unwrap();
+        assert!(
+            !json.contains("null"),
+            "a non-finite number leaked into the fleet JSON: {json}"
+        );
+    }
+
+    /// Regression (availability audit): an empty trace under an active
+    /// fault spec has `makespan == 0`, which used to be the divide-by-zero
+    /// hazard for the availability fraction and per-up-replica goodput.
+    #[test]
+    fn empty_trace_under_faults_keeps_availability_finite() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = simulate_fleet_trace(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &FleetConfig::new(3, 1).with_faults(FaultSpec::crashes(5, 2.0, 1.0)),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan, Time::ZERO);
+        assert_eq!(report.availability.availability, 1.0);
+        assert_eq!(report.availability.crashes, 0, "outages clip to makespan");
+        assert_json_has_no_nulls(&report);
+    }
+
+    /// Regression (availability audit): a trace whose every request is
+    /// rejected at the front door also never starts the clock — the
+    /// availability math and throughput denominators must stay clean.
+    #[test]
+    fn all_rejected_trace_under_faults_keeps_availability_finite() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let trace = [
+            Request::new(0, 0.1, 500_000, 4),
+            Request::new(1, 0.2, 600_000, 4),
+        ];
+        let report = simulate_fleet_trace(
+            &cluster,
+            Arc::new(models::llama2_13b()),
+            &FleetConfig::new(2, 1).with_faults(FaultSpec::crashes(5, 2.0, 1.0)),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.makespan, Time::ZERO);
+        assert_eq!(report.availability.availability, 1.0);
+        assert_eq!(report.slo.attainment, 1.0);
+        assert_json_has_no_nulls(&report);
+    }
+
+    /// Replicas down for essentially the entire run: the fraction must
+    /// stay inside [0, 1] (downtime is clipped per replica to the
+    /// makespan), requests still complete once repairs land, and the JSON
+    /// stays null-free.
+    #[test]
+    fn mostly_down_fleet_keeps_availability_in_unit_range() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let report = simulate_fleet(
+            &cluster,
+            Arc::new(models::llama2_7b()),
+            &FleetConfig::new(2, 1).with_faults(FaultSpec::crashes(9, 0.5, 50.0)),
+            &spec(41, 30, 10.0),
+        )
+        .unwrap();
+        assert_eq!(report.completed + report.rejected, report.requests);
+        assert!(report.availability.availability < 1.0);
+        assert!(report.availability.downtime > Time::ZERO);
+        assert_json_has_no_nulls(&report);
+    }
+
+    /// Pins the fleet half of the online-knowledge caveat documented on
+    /// [`run_fleet`]: a request that arrives while a replica's iteration
+    /// is running is (a) routed with *live* queue knowledge — the
+    /// state-aware router sends it to the idle replica, not the busy one —
+    /// and (b) visible in the busy replica's samples at most one
+    /// iteration late: the sample closing the in-flight iteration was
+    /// recorded before the router pushed the request (an omniscient
+    /// observer would count it waiting there), and the very next sample
+    /// shows it in compute.
+    #[test]
+    fn router_sees_mid_iteration_arrivals_and_samples_lag_one_iteration() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        // Request 0 opens a 4000-token prefill on replica 0 (≫ 2 ms);
+        // requests 1 and 2 arrive 1–2 ms into it.
+        let trace = [
+            Request::new(0, 0.1, 4000, 4),
+            Request::new(1, 0.101, 100, 4),
+            Request::new(2, 0.102, 100, 4),
+        ];
+        let report = simulate_fleet_trace(
+            &cluster,
+            Arc::new(models::llama2_13b()),
+            &FleetConfig::new(2, 1).with_router(RouterPolicy::LeastOutstanding),
+            &trace,
+        )
+        .unwrap();
+        // Live knowledge: replica 0 is mid-prefill when request 1 lands,
+        // so least-outstanding diverts it to replica 1; request 2 ties
+        // 1–1 and breaks to replica 0. Stale (route-time-zero) knowledge
+        // would have sent all three to replica 0.
+        assert_eq!(report.routed, vec![2, 1]);
+        assert_eq!(report.completed, 3);
+        // Sample lag = exactly 1 iteration here: replica 0's opening
+        // prefill outlasts request 2's arrival, but the engine ran (and
+        // sampled) that iteration while advancing to request 1's arrival
+        // — before the router pushed request 2 — so the closing sample
+        // shows an empty queue where an omniscient observer would count
+        // one waiter. The very next iteration is request 2's prefill, so
+        // the next sample already shows it decoding: the lag never
+        // exceeds one iteration.
+        let samples = &report.per_replica[0].queue.samples;
+        assert!(
+            samples[0].at.secs() > 0.102,
+            "the opening prefill must outlast the mid-iteration arrival ({})",
+            samples[0].at
+        );
+        assert_eq!(
+            (samples[0].waiting, samples[0].decoding),
+            (0, 1),
+            "the closing sample predates the mid-iteration push — the one-iteration lag"
+        );
+        assert_eq!(
+            samples[1].decoding, 2,
+            "the pushed request must be in compute by the next sample"
+        );
+    }
+
+    /// A paged fleet with a shared-prefix trace merges per-replica paging
+    /// into one fleet section: counters are sums, peak occupancy is the
+    /// worst replica's, and conservation still holds under preemption.
+    #[test]
+    fn paged_fleet_merges_paging_and_conserves() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut trace_spec = spec(53, 120, 40.0);
+        trace_spec.prefixes = Some(crate::PrefixSpec {
+            pool: 3,
+            tokens: 32,
+            rate: 0.6,
+        });
+        let config = FleetConfig::new(3, 1)
+            .with_router(RouterPolicy::LeastOutstanding)
+            .with_replica(ServeConfig::new(1).with_kv(crate::KvSpec::paged(16)));
+        let report = simulate_fleet(&cluster, Arc::clone(&model), &config, &trace_spec).unwrap();
+        assert_eq!(report.completed + report.rejected, report.requests);
+        let fleet_paging = report.paging.expect("paged fleets report paging");
+        let per: Vec<_> = report
+            .per_replica
+            .iter()
+            .map(|r| r.paging.expect("paged replicas report paging"))
+            .collect();
+        assert_eq!(
+            fleet_paging.prefix_hits + fleet_paging.prefix_misses,
+            per.iter().map(|p| p.prefix_hits + p.prefix_misses).sum()
+        );
+        assert_eq!(
+            fleet_paging.peak_blocks,
+            per.iter().map(|p| p.peak_blocks).max().unwrap()
+        );
+        assert!(fleet_paging.prefix_hits > 0, "a 60% hit rate must hit");
+        assert!(fleet_paging.peak_blocks <= fleet_paging.total_blocks);
+        // The reserved fleet on the identical trace reports no paging.
+        let reserved = simulate_fleet(
+            &cluster,
+            Arc::clone(&model),
+            &FleetConfig::new(3, 1).with_router(RouterPolicy::LeastOutstanding),
+            &trace_spec,
+        )
+        .unwrap();
+        assert!(reserved.paging.is_none());
+        assert!(reserved.per_replica.iter().all(|r| r.paging.is_none()));
+        assert!(!serde_json::to_string(&reserved).unwrap().contains("paging"));
     }
 }

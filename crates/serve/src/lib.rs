@@ -60,6 +60,7 @@
 mod engine;
 mod faults;
 mod fleet;
+mod kv;
 mod load;
 mod report;
 mod sim;
@@ -70,6 +71,7 @@ pub use faults::{DegradeMode, FaultDomain, FaultSpec, FleetAvailability};
 pub use fleet::{
     simulate_fleet, simulate_fleet_trace, FleetConfig, FleetInstance, FleetReport, RouterPolicy,
 };
+pub use kv::{KvSpec, PagingReport, PreemptPolicy, Scheduler};
 pub use load::{
     load_sweep, InfeasibleStrategy, LoadPoint, LoadStrategy, LoadSweepReport, LoadSweepSpec,
     SaturationCurve,
@@ -82,4 +84,4 @@ pub use sim::{
     EXACT_MODE_LIMIT, MAX_QUEUE_SAMPLES,
 };
 pub use stats::{LatencyAccumulator, LogHistogram};
-pub use trace::{ArrivalProcess, LengthDist, Request, TraceSpec};
+pub use trace::{ArrivalProcess, LengthDist, Prefix, PrefixSpec, Request, TraceSpec};

@@ -21,8 +21,8 @@
 use crate::fleet::run_fleet;
 use crate::sim::EXACT_MODE_LIMIT;
 use crate::{
-    ArrivalProcess, FaultSpec, FleetReport, LengthDist, RouterPolicy, ServeConfig, ServeInstance,
-    SloSpec, TraceSpec,
+    ArrivalProcess, FaultSpec, FleetReport, KvSpec, LengthDist, PrefixSpec, RouterPolicy,
+    Scheduler, ServeConfig, ServeInstance, SloSpec, TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_model::ModelConfig;
@@ -43,16 +43,23 @@ pub struct LoadStrategy {
     pub precision: Precision,
     /// Number of identical replicas behind the sweep's router.
     pub replicas: usize,
+    /// KV-cache regime of each replica (reserved or paged).
+    pub kv: KvSpec,
+    /// Admission scheduler of each replica.
+    pub scheduler: Scheduler,
 }
 
 impl LoadStrategy {
-    /// A single replica at TP `tp`.
+    /// A single replica at TP `tp` with the legacy reserved-KV FIFO
+    /// regime.
     #[must_use]
     pub fn single(tp: usize, precision: Precision) -> Self {
         Self {
             tp,
             precision,
             replicas: 1,
+            kv: KvSpec::reserved(),
+            scheduler: Scheduler::Fifo,
         }
     }
 
@@ -60,6 +67,20 @@ impl LoadStrategy {
     #[must_use]
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas;
+        self
+    }
+
+    /// Sets the KV-cache regime.
+    #[must_use]
+    pub fn with_kv(mut self, kv: KvSpec) -> Self {
+        self.kv = kv;
+        self
+    }
+
+    /// Sets the admission scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -94,6 +115,14 @@ pub struct LoadSweepSpec {
     /// few-replica strategy loses a bigger capacity fraction per crash
     /// than a many-replica one.
     pub faults: Option<FaultSpec>,
+    /// Shared-prefix pool applied to every cell's trace (`None` = no
+    /// prefixes). A trace axis, not a strategy axis: every cell of a
+    /// rate replays the same prefixed trace, so paged-with-prefix-cache
+    /// strategies are compared against reserved ones on identical work.
+    pub prefixes: Option<PrefixSpec>,
+    /// Uniformly drawn priority classes in every cell's trace (1 = all
+    /// requests equal).
+    pub priority_classes: u8,
 }
 
 /// One fully simulated grid cell, summarized for curve plotting.
@@ -107,6 +136,10 @@ pub struct LoadPoint {
     pub replicas: usize,
     /// Devices the strategy occupies: `tp × replicas`.
     pub gpus: usize,
+    /// KV block size in tokens (0 = reserved whole-lifetime KV).
+    pub block_tokens: usize,
+    /// Admission scheduler of the strategy.
+    pub scheduler: Scheduler,
     /// Offered arrival rate, requests per second.
     pub offered_rate_per_s: f64,
     /// Sustained generation throughput, tokens per second.
@@ -140,6 +173,10 @@ pub struct LoadPoint {
     pub availability: f64,
     /// Requeue events caused by crashes in this cell.
     pub requeues: usize,
+    /// Decode-time preemptions across the fleet (0 in reserved mode).
+    pub preemptions: usize,
+    /// Prefix-cache hits across the fleet (0 without a prefix pool).
+    pub prefix_hits: usize,
 }
 
 impl LoadPoint {
@@ -165,6 +202,10 @@ impl LoadPoint {
             rejected: report.rejected,
             availability: report.availability.availability,
             requeues: report.availability.requeues,
+            block_tokens: strategy.kv.block_tokens,
+            scheduler: strategy.scheduler,
+            preemptions: report.paging.as_ref().map_or(0, |p| p.preemptions),
+            prefix_hits: report.paging.as_ref().map_or(0, |p| p.prefix_hits),
         }
     }
 }
@@ -180,6 +221,10 @@ pub struct SaturationCurve {
     pub replicas: usize,
     /// Devices occupied: `tp × replicas`.
     pub gpus: usize,
+    /// KV-cache regime of each replica.
+    pub kv: KvSpec,
+    /// Admission scheduler of each replica.
+    pub scheduler: Scheduler,
     /// One point per offered rate, in the spec's rate order.
     pub points: Vec<LoadPoint>,
 }
@@ -308,6 +353,8 @@ pub fn load_sweep(
                 arrival: ArrivalProcess::Poisson { rate_per_s: rate },
                 prompt: spec.prompt,
                 output: spec.output,
+                prefixes: spec.prefixes,
+                priority_classes: spec.priority_classes,
             }
             .generate()
         })
@@ -345,18 +392,20 @@ pub fn load_sweep(
             precision: s.precision,
             replicas: s.replicas,
             gpus: s.gpus(),
+            kv: s.kv,
+            scheduler: s.scheduler,
             points: points[si * spec.rates.len()..(si + 1) * spec.rates.len()].to_vec(),
         })
         .collect();
     // Minimize devices, maximize goodput (negated). The tie-break runs on
-    // point identity — (tp, precision, replicas, rate) — so the frontier
-    // is permutation invariant like the strategy sweep's.
+    // point identity — (tp, precision, replicas, kv, scheduler, rate) —
+    // so the frontier is permutation invariant like the strategy sweep's.
     let frontier = frontier_indices_by(
         &points,
         |p| (p.gpus as f64, -p.goodput_tokens_per_s),
         |a, b| {
-            (a.tp, a.precision, a.replicas)
-                .cmp(&(b.tp, b.precision, b.replicas))
+            (a.tp, a.precision, a.replicas, a.block_tokens, a.scheduler)
+                .cmp(&(b.tp, b.precision, b.replicas, b.block_tokens, b.scheduler))
                 .then_with(|| a.offered_rate_per_s.total_cmp(&b.offered_rate_per_s))
         },
     )
@@ -402,22 +451,30 @@ fn prepare_strategy<'a>(
     // its own KV budget — so they cover any routed share of any trace.
     let config = ServeConfig::new(strategy.tp)
         .with_precision(strategy.precision)
-        .with_slo(spec.slo);
+        .with_slo(spec.slo)
+        .with_kv(strategy.kv)
+        .with_scheduler(strategy.scheduler);
     let instance = ServeInstance::new(cluster, Arc::clone(model), config)
         .map_err(|e| infeasible(e.to_string()))?;
-    let max_kv = spec.prompt.max_tokens() + spec.output.max_tokens();
+    // A cache-hit prompt is the drawn suffix plus the shared prefix, so
+    // the per-request context ceiling grows by the prefix length.
+    let max_kv = spec.prompt.max_tokens()
+        + spec.output.max_tokens()
+        + spec.prefixes.as_ref().map_or(0, |p| p.tokens);
     if spec.requests > EXACT_MODE_LIMIT {
         // The same batch-ceiling computation the per-trace bound scan
         // uses, fed the distributions' minimum reservation — so these
         // bounds dominate every trace's and no cell ever clamps.
-        let min_request = crate::Request {
-            id: 0,
-            arrival_s: 0.0,
-            prompt: spec.prompt.min_tokens(),
-            output: spec.output.min_tokens(),
+        let max_batch = if strategy.kv.is_reserved() {
+            let min_request =
+                crate::Request::new(0, 0.0, spec.prompt.min_tokens(), spec.output.min_tokens());
+            let min_reservation = instance.reservation(&min_request).bytes();
+            instance.batch_ceiling(min_reservation, spec.requests)
+        } else {
+            // Paged batches are bounded by the block pool: every decoding
+            // member holds at least one private block.
+            instance.total_blocks().clamp(1, spec.requests)
         };
-        let min_reservation = instance.reservation(&min_request).bytes();
-        let max_batch = instance.batch_ceiling(min_reservation, spec.requests);
         instance
             .seal(max_batch, max_kv)
             .map_err(|e| infeasible(e.to_string()))?;
@@ -449,6 +506,8 @@ mod tests {
             slo: SloSpec::default(),
             router: RouterPolicy::RoundRobin,
             faults: None,
+            prefixes: None,
+            priority_classes: 1,
         }
     }
 
@@ -659,5 +718,110 @@ mod tests {
         let mut spec = small_spec();
         spec.rates = vec![0.0];
         let _ = load_sweep(&cluster, &model, &spec);
+    }
+
+    /// The tentpole acceptance pin: on the *same* prefixed trace grid,
+    /// block-granular KV with prefix caching strictly beats whole-lifetime
+    /// reservations on SLO goodput at a saturated rate point. Reserved
+    /// admission must hold back ⌈prompt+output⌉ worth of KV per admit and
+    /// re-prefills every shared prefix; the paged strategy admits on
+    /// prompt blocks, grows during decode, and skips cached prefix
+    /// prefills entirely.
+    #[test]
+    fn paged_prefix_caching_beats_reserved_goodput_at_saturation() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.seed = 11;
+        spec.requests = 300;
+        spec.prompt = LengthDist::Uniform { lo: 300, hi: 900 };
+        spec.output = LengthDist::Uniform { lo: 16, hi: 48 };
+        spec.rates = vec![8.0, 16.0];
+        spec.slo = SloSpec {
+            ttft: Time::from_millis(4000.0),
+            tpot: Time::from_millis(100.0),
+        };
+        spec.prefixes = Some(crate::PrefixSpec {
+            pool: 4,
+            tokens: 256,
+            rate: 0.7,
+        });
+        spec.strategies = vec![
+            LoadStrategy::single(1, Precision::Fp16),
+            LoadStrategy::single(1, Precision::Fp16).with_kv(KvSpec::paged(32)),
+        ];
+        let report = load_sweep(&cluster, &model, &spec);
+        assert_eq!(report.curves.len(), 2);
+        let reserved = &report.curves[0].points;
+        let paged = &report.curves[1].points;
+        // Identical work: the trace axis is shared, so prefix hits show
+        // up only where a cache exists to serve them.
+        assert!(reserved.iter().all(|p| p.prefix_hits == 0));
+        assert!(paged.iter().all(|p| p.prefix_hits > 0));
+        for (r, p) in reserved.iter().zip(paged) {
+            assert!(
+                p.goodput_tokens_per_s >= r.goodput_tokens_per_s,
+                "paging + prefix caching must never lose goodput: {} vs {} at rate {}",
+                p.goodput_tokens_per_s,
+                r.goodput_tokens_per_s,
+                r.offered_rate_per_s
+            );
+        }
+        // The saturated point: the reserved strategy's attainment has
+        // collapsed while the paged one still meets the SLO for most
+        // requests — a strict goodput win.
+        let (r, p) = (&reserved[1], &paged[1]);
+        assert!(
+            r.attainment < 0.5,
+            "rate 16 must saturate the reserved strategy (attainment {})",
+            r.attainment
+        );
+        assert!(
+            p.goodput_tokens_per_s > 2.0 * r.goodput_tokens_per_s,
+            "paging + prefix caching must strictly lift saturated goodput: {} vs {}",
+            p.goodput_tokens_per_s,
+            r.goodput_tokens_per_s
+        );
+    }
+
+    /// The KV and scheduler axes land in every layer of the report:
+    /// curves carry the strategy's regime, points carry block size and
+    /// scheduler, and the frontier tie-break stays deterministic with
+    /// same-shape strategies differing only in regime.
+    #[test]
+    fn kv_and_scheduler_axes_thread_through_the_report() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        let mut spec = small_spec();
+        spec.priority_classes = 3;
+        spec.strategies = vec![
+            LoadStrategy::single(1, Precision::Fp16),
+            LoadStrategy::single(1, Precision::Fp16)
+                .with_kv(KvSpec::paged(16))
+                .with_scheduler(Scheduler::Sjf),
+            LoadStrategy::single(1, Precision::Fp16)
+                .with_kv(KvSpec::paged(16).with_policy(crate::PreemptPolicy::Swap))
+                .with_scheduler(Scheduler::PriorityPreempt),
+        ];
+        let report = load_sweep(&cluster, &model, &spec);
+        assert_eq!(report.curves.len(), 3);
+        assert_eq!(report.curves[0].kv, KvSpec::reserved());
+        assert_eq!(report.curves[1].scheduler, Scheduler::Sjf);
+        assert_eq!(report.curves[2].scheduler, Scheduler::PriorityPreempt);
+        for curve in &report.curves {
+            for p in &curve.points {
+                assert_eq!(p.block_tokens, curve.kv.block_tokens);
+                assert_eq!(p.scheduler, curve.scheduler);
+                assert_eq!(p.completed + p.rejected, spec.requests);
+            }
+        }
+        // Priority-preempt over reserved KV is infeasible, not fatal.
+        spec.strategies.push(
+            LoadStrategy::single(1, Precision::Fp16).with_scheduler(Scheduler::PriorityPreempt),
+        );
+        let report = load_sweep(&cluster, &model, &spec);
+        assert_eq!(report.curves.len(), 3);
+        assert_eq!(report.infeasible.len(), 1);
+        assert!(report.infeasible[0].reason.contains("priority-preempt"));
     }
 }

@@ -28,7 +28,8 @@
 
 use crate::engine::{ReplicaEngine, ReportInputs};
 use crate::{
-    KvUsage, QueueSample, QueueStats, Request, ServeReport, SloReport, SloSpec, TraceSpec,
+    KvSpec, KvUsage, QueueSample, QueueStats, Request, Scheduler, ServeReport, SloReport, SloSpec,
+    TraceSpec,
 };
 use optimus_hw::{ClusterSpec, Precision};
 use optimus_infer::{DecodeCostTable, PreparedInferenceEstimator};
@@ -90,6 +91,11 @@ pub struct ServeConfig {
     pub pricing: PricingMode,
     /// Per-request record collection.
     pub records: RecordMode,
+    /// KV-cache memory regime (legacy whole-lifetime reservation, or
+    /// block-granular paging with preemption).
+    pub kv: KvSpec,
+    /// Admission-queue ordering.
+    pub scheduler: Scheduler,
 }
 
 impl ServeConfig {
@@ -108,6 +114,8 @@ impl ServeConfig {
             slo: SloSpec::default(),
             pricing: PricingMode::default(),
             records: RecordMode::default(),
+            kv: KvSpec::default(),
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -136,6 +144,20 @@ impl ServeConfig {
     #[must_use]
     pub fn with_records(mut self, records: RecordMode) -> Self {
         self.records = records;
+        self
+    }
+
+    /// Sets the KV-cache regime.
+    #[must_use]
+    pub fn with_kv(mut self, kv: KvSpec) -> Self {
+        self.kv = kv;
+        self
+    }
+
+    /// Sets the admission scheduler.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -196,6 +218,13 @@ impl<'a> ServeInstance<'a> {
     ) -> Result<Self, ServeError> {
         let tp = config.tp;
         let precision = config.precision;
+        if config.scheduler == Scheduler::PriorityPreempt && config.kv.is_reserved() {
+            return Err(ServeError::InvalidConfig(
+                "the priority-preempt scheduler needs a paged KvSpec: under full \
+                 reservation decode-time OOM cannot happen, so there is nothing to preempt"
+                    .to_owned(),
+            ));
+        }
         if tp > cluster.node.gpus_per_node {
             return Err(ServeError::InvalidConfig(format!(
                 "tensor-parallel degree {tp} exceeds the {} GPUs of a node",
@@ -252,6 +281,66 @@ impl<'a> ServeInstance<'a> {
             request.prompt + request.output,
             self.config.precision,
         ) / self.config.tp as f64
+    }
+
+    /// Bytes of one KV block under a paged [`KvSpec`] (exact: the KV
+    /// footprint is linear in tokens, so a block is just
+    /// `block_tokens` tokens' worth of per-device KV).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the reserved regime, which has no blocks.
+    #[must_use]
+    pub fn block_bytes(&self) -> Bytes {
+        assert!(!self.config.kv.is_reserved(), "reserved KV has no blocks");
+        kv_cache_bytes(
+            &self.model,
+            1,
+            self.config.kv.block_tokens,
+            self.config.precision,
+        ) / self.config.tp as f64
+    }
+
+    /// Device block pool under a paged [`KvSpec`]:
+    /// ⌊KV budget / block bytes⌋.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the reserved regime, which has no blocks.
+    #[must_use]
+    pub fn total_blocks(&self) -> usize {
+        (self.budget.bytes() / self.block_bytes().bytes()).floor() as usize
+    }
+
+    /// Blocks a `tokens`-token context occupies: ⌈tokens / block⌉.
+    pub(crate) fn blocks_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.config.kv.block_tokens)
+    }
+
+    /// Whether this instance can ever run `request` alone: its full
+    /// reservation fits the budget (reserved regime), or its peak block
+    /// need fits the pool (paged regime). The admission front doors — the
+    /// engine's head-of-queue rejection and the fleet router's — both
+    /// test exactly this, which is what makes the paged engine
+    /// deadlock-free: an admissible head always admits on an idle
+    /// replica.
+    #[must_use]
+    pub fn admissible(&self, request: &Request) -> bool {
+        if self.config.kv.is_reserved() {
+            self.reservation(request) <= self.budget
+        } else {
+            self.blocks_for(request.prompt + request.output) <= self.total_blocks()
+        }
+    }
+
+    /// Seconds to move `blocks` KV blocks between device and host over
+    /// the node-egress link — the cost of one swap direction, priced at
+    /// the link's size-derated effective bandwidth exactly like
+    /// checkpoint writes.
+    pub(crate) fn swap_seconds(&self, blocks: usize) -> f64 {
+        let bytes = self.block_bytes() * blocks as f64;
+        let link = &self.cluster.inter_link;
+        (bytes / link.effective_bandwidth(bytes)).secs()
     }
 
     /// Upper bound on the concurrent decode batch when the smallest
@@ -414,17 +503,23 @@ impl TraceBounds {
         };
         let mut min_reservation = f64::INFINITY;
         for r in trace {
-            let need = instance.reservation(r);
-            if need > instance.budget {
+            if !instance.admissible(r) {
                 continue;
             }
             bounds.admittable += 1;
             bounds.max_prompt = bounds.max_prompt.max(r.prompt);
             bounds.max_kv = bounds.max_kv.max(r.prompt + r.output);
-            min_reservation = min_reservation.min(need.bytes());
+            min_reservation = min_reservation.min(instance.reservation(r).bytes());
         }
         if bounds.admittable > 0 {
-            bounds.max_batch = instance.batch_ceiling(min_reservation, bounds.admittable);
+            bounds.max_batch = if instance.config.kv.is_reserved() {
+                instance.batch_ceiling(min_reservation, bounds.admittable)
+            } else {
+                // Every decoding member of a paged batch holds at least
+                // one private block (its novel suffix is ≥ 1 token), so
+                // the pool bounds the batch.
+                instance.total_blocks().clamp(1, bounds.admittable)
+            };
         }
         bounds
     }
@@ -579,6 +674,8 @@ impl<'a> ServeInstance<'a> {
                 goodput_requests_per_s: per_s(sink.met as f64),
             },
             per_request: sink.records,
+            scheduler: (config.scheduler != Scheduler::Fifo).then_some(config.scheduler),
+            paging: inputs.paging,
         }
     }
 }
@@ -597,6 +694,8 @@ mod tests {
             arrival: ArrivalProcess::Poisson { rate_per_s: rate },
             prompt: LengthDist::Uniform { lo: 50, hi: 200 },
             output: LengthDist::Uniform { lo: 1, hi: 24 },
+            prefixes: None,
+            priority_classes: 1,
         }
     }
 
@@ -649,18 +748,8 @@ mod tests {
         // A llama2-13b KV reservation of ~500k tokens (~50 GB at FP16)
         // next to 26 GB of weights can never fit an 80 GB device.
         let trace = [
-            Request {
-                id: 0,
-                arrival_s: 0.1,
-                prompt: 500_000,
-                output: 4,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.2,
-                prompt: 100,
-                output: 4,
-            },
+            Request::new(0, 0.1, 500_000, 4),
+            Request::new(1, 0.2, 100, 4),
         ];
         let report = simulate_trace(
             &cluster,
@@ -776,6 +865,44 @@ mod tests {
         assert!(err.to_string().contains("sealed decode-cost grid"), "{err}");
     }
 
+    /// Regression: a trace past [`EXACT_MODE_LIMIT`] in which *no*
+    /// request fits the KV budget reaches the sealing decision with
+    /// `TraceBounds { admittable: 0, .. }` and `min_reservation` still
+    /// infinite. [`ServeInstance::pricing_table`] must skip the seal
+    /// (not build a degenerate grid or panic), and the run must reject
+    /// everything cleanly — on the reserved and the paged path alike.
+    #[test]
+    fn all_inadmissible_trace_past_the_limit_skips_the_seal() {
+        let cluster = presets::dgx_a100_hdr_cluster();
+        let model = Arc::new(models::llama2_7b());
+        // Half-million-token prompts overflow any single-GPU KV budget.
+        let trace: Vec<Request> = (0..=EXACT_MODE_LIMIT)
+            .map(|i| Request::new(i, i as f64 * 1e-4, 500_000, 4))
+            .collect();
+        for config in [
+            ServeConfig::new(1),
+            ServeConfig::new(1).with_kv(KvSpec::paged(16)),
+        ] {
+            let instance = ServeInstance::new(&cluster, Arc::clone(&model), config).unwrap();
+            let bounds = TraceBounds::scan(&instance, &trace);
+            assert_eq!(bounds.admittable, 0);
+            assert!(
+                instance
+                    .pricing_table(trace.len(), &bounds)
+                    .unwrap()
+                    .is_none(),
+                "an all-inadmissible trace must not seal a pricing grid"
+            );
+            let report = instance.simulate(&trace).unwrap();
+            assert_eq!(report.completed, 0);
+            assert_eq!(report.rejected, trace.len());
+            assert_eq!(report.generated_tokens, 0);
+            // The clock still walks the arrival sequence; it must stay
+            // finite rather than inherit the infinite `min_reservation`.
+            assert!(report.makespan.secs().is_finite());
+        }
+    }
+
     /// `RecordMode::On` must restore per-request records beyond the
     /// auto-off limit, and `Auto` must drop them there — same aggregates
     /// either way.
@@ -842,24 +969,9 @@ mod tests {
         // Request 0's prefill of a 4000-token prompt runs for a long
         // while (≫ 2 ms); requests 1 and 2 arrive 1–2 ms into it.
         let trace = [
-            Request {
-                id: 0,
-                arrival_s: 0.1,
-                prompt: 4000,
-                output: 4,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.101,
-                prompt: 100,
-                output: 4,
-            },
-            Request {
-                id: 2,
-                arrival_s: 0.102,
-                prompt: 100,
-                output: 4,
-            },
+            Request::new(0, 0.1, 4000, 4),
+            Request::new(1, 0.101, 100, 4),
+            Request::new(2, 0.102, 100, 4),
         ];
         let report = simulate_trace(
             &cluster,
@@ -888,12 +1000,7 @@ mod tests {
     #[test]
     fn peak_waiting_excludes_the_request_being_prefilled() {
         let cluster = presets::dgx_a100_hdr_cluster();
-        let lone = [Request {
-            id: 0,
-            arrival_s: 0.1,
-            prompt: 100,
-            output: 4,
-        }];
+        let lone = [Request::new(0, 0.1, 100, 4)];
         let report = simulate_trace(
             &cluster,
             Arc::new(models::llama2_7b()),
@@ -905,20 +1012,7 @@ mod tests {
         assert_eq!(report.queue.mean_waiting, 0.0);
 
         // Two simultaneous arrivals: one prefills, one genuinely waits.
-        let pair = [
-            Request {
-                id: 0,
-                arrival_s: 0.1,
-                prompt: 100,
-                output: 4,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.1,
-                prompt: 100,
-                output: 4,
-            },
-        ];
+        let pair = [Request::new(0, 0.1, 100, 4), Request::new(1, 0.1, 100, 4)];
         let report = simulate_trace(
             &cluster,
             Arc::new(models::llama2_7b()),

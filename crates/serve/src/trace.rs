@@ -103,6 +103,17 @@ impl LengthDist {
     }
 }
 
+/// A shared prompt prefix carried by a request: which pool entry, and how
+/// many of the request's prompt tokens it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Pool entry id (stable across the trace: two requests with the same
+    /// id share the same prefix tokens).
+    pub id: usize,
+    /// Leading prompt tokens the prefix covers (`< prompt`).
+    pub tokens: usize,
+}
+
 /// One request of the trace, fully determined at generation time (the
 /// output length stands in for the stopping point the real model would
 /// choose).
@@ -116,6 +127,78 @@ pub struct Request {
     pub prompt: usize,
     /// Requested output length in tokens (≥ 1).
     pub output: usize,
+    /// Scheduling class: lower is more urgent, `0` (the default) is the
+    /// most urgent. Only priority-aware [`crate::Scheduler`]s read it.
+    pub priority: u8,
+    /// The shared prompt prefix, if the request carries one. Under a
+    /// paged [`crate::KvSpec`] a resident prefix's full blocks are shared
+    /// (refcounted) and its tokens skip prefill; under the reserved
+    /// regime prefixes are ignored.
+    pub prefix: Option<Prefix>,
+}
+
+impl Request {
+    /// A plain request: default priority, no shared prefix.
+    #[must_use]
+    pub fn new(id: usize, arrival_s: f64, prompt: usize, output: usize) -> Self {
+        Self {
+            id,
+            arrival_s,
+            prompt,
+            output,
+            priority: 0,
+            prefix: None,
+        }
+    }
+
+    /// Sets the scheduling class (lower = more urgent).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Marks the leading `tokens` prompt tokens as shared prefix `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tokens` is positive and strictly below the prompt
+    /// length (a request always contributes at least one novel token).
+    #[must_use]
+    pub fn with_prefix(mut self, id: usize, tokens: usize) -> Self {
+        assert!(
+            tokens > 0 && tokens < self.prompt,
+            "prefix must cover 1..prompt tokens"
+        );
+        self.prefix = Some(Prefix { id, tokens });
+        self
+    }
+}
+
+/// A pool of shared prompt prefixes — the conversational / few-shot
+/// system-prompt workload shape. Each generated request independently
+/// carries one of `pool` fixed prefixes with probability `rate`; its
+/// drawn prompt length becomes the *novel suffix*, so a prefixed
+/// request's total prompt is `tokens + suffix`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixSpec {
+    /// Distinct shared prefixes in the pool.
+    pub pool: usize,
+    /// Tokens per prefix.
+    pub tokens: usize,
+    /// Probability a request carries a pool prefix.
+    pub rate: f64,
+}
+
+impl PrefixSpec {
+    fn validate(&self) {
+        assert!(self.pool > 0, "prefix pool must be non-empty");
+        assert!(self.tokens > 0, "prefix length must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.rate) && self.rate.is_finite(),
+            "prefix rate must lie in [0, 1]"
+        );
+    }
 }
 
 /// A seeded synthetic workload: arrival process plus prompt/output length
@@ -128,10 +211,17 @@ pub struct TraceSpec {
     pub requests: usize,
     /// Interarrival process.
     pub arrival: ArrivalProcess,
-    /// Prompt-length distribution.
+    /// Prompt-length distribution. With an active [`TraceSpec::prefixes`]
+    /// pool, the draw is the *novel suffix* of prefixed requests.
     pub prompt: LengthDist,
     /// Output-length distribution.
     pub output: LengthDist,
+    /// Shared-prefix pool; `None` (the default) draws exactly the streams
+    /// this spec drew before prefixes existed.
+    pub prefixes: Option<PrefixSpec>,
+    /// Scheduling classes drawn uniformly per request; `1` (the default)
+    /// leaves every request at priority 0 without consuming RNG words.
+    pub priority_classes: u8,
 }
 
 impl TraceSpec {
@@ -151,34 +241,80 @@ impl TraceSpec {
             arrival: ArrivalProcess::Poisson { rate_per_s },
             prompt: LengthDist::Fixed { tokens: prompt },
             output: LengthDist::Fixed { tokens: output },
+            prefixes: None,
+            priority_classes: 1,
         }
+    }
+
+    /// Sets the shared-prefix pool.
+    #[must_use]
+    pub fn with_prefixes(mut self, prefixes: PrefixSpec) -> Self {
+        self.prefixes = Some(prefixes);
+        self
+    }
+
+    /// Sets the number of uniformly drawn priority classes.
+    #[must_use]
+    pub fn with_priority_classes(mut self, classes: u8) -> Self {
+        self.priority_classes = classes;
+        self
     }
 
     /// Expands the spec into an arrival-ordered request list.
     ///
     /// All randomness flows through one [`StdRng`] seeded from
-    /// [`TraceSpec::seed`] in a fixed draw order (gap, prompt, output per
-    /// request), so generation is exactly reproducible.
+    /// [`TraceSpec::seed`] in a fixed draw order — gap, prompt, output
+    /// per request, then (only when the features are active) the prefix
+    /// draws and the priority draw — so generation is exactly
+    /// reproducible, and a spec with no prefixes and one priority class
+    /// replays the pre-feature stream bit for bit.
     ///
     /// # Panics
     ///
-    /// Panics on degenerate parameters (non-positive rate/interval or
-    /// zero-token lengths).
+    /// Panics on degenerate parameters (non-positive rate/interval,
+    /// zero-token lengths, an empty prefix pool, a prefix rate outside
+    /// `[0, 1]`, or zero priority classes).
     #[must_use]
     pub fn generate(&self) -> Vec<Request> {
         self.arrival.validate();
         self.prompt.validate("prompt");
         self.output.validate("output");
+        if let Some(p) = &self.prefixes {
+            p.validate();
+        }
+        assert!(
+            self.priority_classes > 0,
+            "at least one priority class is required"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut clock = 0.0;
         (0..self.requests)
             .map(|id| {
                 clock += self.arrival.next_gap(&mut rng);
+                let drawn_prompt = self.prompt.sample(&mut rng);
+                let output = self.output.sample(&mut rng);
+                let prefix = self.prefixes.and_then(|spec| {
+                    let hit = rng.gen_range(0.0f64..1.0) < spec.rate;
+                    hit.then(|| Prefix {
+                        id: rng.gen_range(0..spec.pool),
+                        tokens: spec.tokens,
+                    })
+                });
+                let priority = if self.priority_classes > 1 {
+                    rng.gen_range(0..self.priority_classes)
+                } else {
+                    0
+                };
                 Request {
                     id,
                     arrival_s: clock,
-                    prompt: self.prompt.sample(&mut rng),
-                    output: self.output.sample(&mut rng),
+                    // The drawn length is the novel suffix of a prefixed
+                    // request, so its total prompt strictly exceeds the
+                    // prefix — `Prefix::tokens < prompt` always holds.
+                    prompt: drawn_prompt + prefix.map_or(0, |p| p.tokens),
+                    output,
+                    priority,
+                    prefix,
                 }
             })
             .collect()
@@ -197,6 +333,8 @@ mod tests {
             arrival: ArrivalProcess::Poisson { rate_per_s: 3.0 },
             prompt: LengthDist::Uniform { lo: 10, hi: 200 },
             output: LengthDist::Uniform { lo: 1, hi: 50 },
+            prefixes: None,
+            priority_classes: 1,
         };
         let a = spec.generate();
         let b = spec.generate();
@@ -225,6 +363,8 @@ mod tests {
             arrival: ArrivalProcess::Fixed { interval_s: 2.5 },
             prompt: LengthDist::Fixed { tokens: 100 },
             output: LengthDist::Fixed { tokens: 8 },
+            prefixes: None,
+            priority_classes: 1,
         };
         let trace = spec.generate();
         for (i, r) in trace.iter().enumerate() {

@@ -33,6 +33,8 @@ fn trace(seed: u64, requests: usize, rate: f64) -> TraceSpec {
         arrival: ArrivalProcess::Poisson { rate_per_s: rate },
         prompt: LengthDist::Uniform { lo: 50, hi: 300 },
         output: LengthDist::Uniform { lo: 4, hi: 48 },
+        prefixes: None,
+        priority_classes: 1,
     }
 }
 

@@ -25,6 +25,8 @@ fn trace(seed: u64, requests: usize, rate: f64) -> TraceSpec {
         arrival: ArrivalProcess::Poisson { rate_per_s: rate },
         prompt: LengthDist::Uniform { lo: 50, hi: 300 },
         output: LengthDist::Uniform { lo: 4, hi: 48 },
+        prefixes: None,
+        priority_classes: 1,
     }
 }
 
@@ -220,6 +222,8 @@ fn least_outstanding_never_trails_round_robin_badly() {
         // heavy requests on one replica.
         prompt: LengthDist::Uniform { lo: 20, hi: 1500 },
         output: LengthDist::Uniform { lo: 1, hi: 96 },
+        prefixes: None,
+        priority_classes: 1,
     };
     let rr = simulate_fleet(&cluster, Arc::clone(&model), &FleetConfig::new(4, 1), &spec).unwrap();
     let lo = simulate_fleet(

@@ -27,6 +27,8 @@ fn run(scenario: Scenario) -> (TraceSpec, ServeReport) {
         arrival: ArrivalProcess::Poisson { rate_per_s: rate },
         prompt,
         output,
+        prefixes: None,
+        priority_classes: 1,
     };
     let cluster = presets::dgx_a100_hdr_cluster();
     let report = simulate(

@@ -80,6 +80,8 @@ proptest! {
             arrival: optimus_serve::ArrivalProcess::Poisson { rate_per_s: rate },
             prompt: LengthDist::Uniform { lo: 50, hi: 300 },
             output: LengthDist::Uniform { lo: 4, hi: 48 },
+            prefixes: None,
+            priority_classes: 1,
         };
         let report = simulate(
             &cluster,
@@ -147,6 +149,8 @@ fn load_sweep_json_is_byte_identical_across_one_and_eight_threads() {
         slo: SloSpec::default(),
         router: RouterPolicy::LeastOutstanding,
         faults: None,
+        prefixes: None,
+        priority_classes: 1,
     };
     let pool = |n: usize| {
         rayon::ThreadPoolBuilder::new()

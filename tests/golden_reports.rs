@@ -1,0 +1,115 @@
+//! Byte-identity pins of the serving reports against golden JSON
+//! fixtures captured at the commit *before* paged KV, prefix caching,
+//! and pluggable schedulers landed.
+//!
+//! The default regime — `KvSpec::reserved()` + FIFO — must keep
+//! emitting byte-identical reports: the new `paging` section is
+//! *omitted* (not `null`) when absent, which requires the hand-written
+//! `Serialize` impls in `optimus-serve` to stay in sync with their
+//! structs. Each test replays the exact CLI invocation that produced
+//! its fixture (`optimus-cli serve … --json`, a100-hdr cluster,
+//! llama2-7b, fp16, default SLO) in-process and compares the pretty
+//! JSON byte-for-byte.
+
+use optimus::hw::presets;
+use optimus::model::presets as models;
+use optimus_serve::{
+    simulate, simulate_fleet, ArrivalProcess, FaultSpec, FleetConfig, LengthDist, RouterPolicy,
+    ServeConfig, TraceSpec,
+};
+use std::sync::Arc;
+
+fn trace(
+    seed: u64,
+    requests: usize,
+    rate: f64,
+    prompt: (usize, usize),
+    output: (usize, usize),
+) -> TraceSpec {
+    TraceSpec {
+        seed,
+        requests,
+        arrival: ArrivalProcess::Poisson { rate_per_s: rate },
+        prompt: LengthDist::Uniform {
+            lo: prompt.0,
+            hi: prompt.1,
+        },
+        output: LengthDist::Uniform {
+            lo: output.0,
+            hi: output.1,
+        },
+        prefixes: None,
+        priority_classes: 1,
+    }
+}
+
+/// `serve --model llama2-7b --tp 1 --requests 40 --rate 8
+/// --prompt 50:200 --output 2:24 --seed 13 --json`
+#[test]
+fn reserved_serve_report_is_byte_identical_to_the_pre_paging_fixture() {
+    let report = simulate(
+        &presets::dgx_a100_hdr_cluster(),
+        Arc::new(models::llama2_7b()),
+        &ServeConfig::new(1),
+        &trace(13, 40, 8.0, (50, 200), (2, 24)),
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        include_str!("golden/serve_reserved.json"),
+        "default-regime ServeReport JSON drifted from the pre-paging fixture"
+    );
+}
+
+/// `serve --model llama2-7b --tp 1 --replicas 3 --router
+/// least-outstanding --requests 60 --rate 24 --prompt 50:200
+/// --output 2:24 --seed 17 --json`
+#[test]
+fn reserved_fleet_report_is_byte_identical_to_the_pre_paging_fixture() {
+    let config = FleetConfig {
+        replicas: 3,
+        router: RouterPolicy::LeastOutstanding,
+        replica: ServeConfig::new(1),
+        faults: FaultSpec::none(),
+    };
+    let report = simulate_fleet(
+        &presets::dgx_a100_hdr_cluster(),
+        Arc::new(models::llama2_7b()),
+        &config,
+        &trace(17, 60, 24.0, (50, 200), (2, 24)),
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        include_str!("golden/fleet_reserved.json"),
+        "default-regime FleetReport JSON drifted from the pre-paging fixture"
+    );
+}
+
+/// `serve --model llama2-7b --tp 1 --replicas 2 --requests 50 --rate 20
+/// --prompt 50:150 --output 2:16 --seed 23 --mtbf 6 --mttr 2 --json`
+#[test]
+fn faulted_fleet_report_is_byte_identical_to_the_pre_paging_fixture() {
+    let mut faults = FaultSpec::none();
+    faults.seed = 0;
+    faults.mtbf_s = 6.0;
+    faults.mttr_s = 2.0;
+    let config = FleetConfig {
+        replicas: 2,
+        router: RouterPolicy::RoundRobin,
+        replica: ServeConfig::new(1),
+        faults,
+    };
+    let report = simulate_fleet(
+        &presets::dgx_a100_hdr_cluster(),
+        Arc::new(models::llama2_7b()),
+        &config,
+        &trace(23, 50, 20.0, (50, 150), (2, 16)),
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        include_str!("golden/fleet_faulted.json"),
+        "faulted FleetReport JSON drifted from the pre-paging fixture"
+    );
+}

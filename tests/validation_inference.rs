@@ -125,6 +125,8 @@ fn serving_simulator_degenerates_to_static_estimator_at_low_rate() {
             arrival: ArrivalProcess::Fixed { interval_s: 60.0 },
             prompt: LengthDist::Fixed { tokens: prompt },
             output: LengthDist::Fixed { tokens: output },
+            prefixes: None,
+            priority_classes: 1,
         };
         let report =
             optimus_serve::simulate(&cluster, Arc::clone(&model), &ServeConfig::new(tp), &spec)
