@@ -88,17 +88,80 @@ fn parallelism_of(args: &Args) -> Result<Parallelism, ArgError> {
     .with_microbatch(args.get_usize("microbatch", 1)?))
 }
 
+/// Parses a `--failure-process` value: `exp`/`exponential`,
+/// `weibull:K` (Weibull uptimes with shape K), or `racks:N:MTBF`
+/// (N racks, each failing wholesale every MTBF seconds on average, on
+/// top of the per-GPU process).
+fn failure_process_of(value: &str) -> Result<FailureProcess, ArgError> {
+    let lower = value.to_lowercase();
+    if lower == "exp" || lower == "exponential" {
+        return Ok(FailureProcess::Exponential);
+    }
+    if let Some(shape) = lower.strip_prefix("weibull:") {
+        let shape = shape.parse::<f64>().map_err(|_| {
+            ArgError(format!(
+                "--failure-process weibull:K expects a numeric shape, got `{value}`"
+            ))
+        })?;
+        return Ok(FailureProcess::Weibull { shape });
+    }
+    if let Some(rest) = lower.strip_prefix("racks:") {
+        let parsed = rest.split_once(':').and_then(|(racks, mtbf)| {
+            Some((racks.parse::<usize>().ok()?, mtbf.parse::<f64>().ok()?))
+        });
+        let Some((racks, rack_mtbf_s)) = parsed else {
+            return Err(ArgError(format!(
+                "--failure-process racks:N:MTBF expects a rack count and seconds, got `{value}`"
+            )));
+        };
+        return Ok(FailureProcess::RackCorrelated { racks, rack_mtbf_s });
+    }
+    Err(ArgError(format!(
+        "unknown failure process `{value}`; expected `exp`, `weibull:K`, or `racks:N:MTBF`"
+    )))
+}
+
+/// Parses a `--checkpoint-tiers` value: a comma list of extra tiers
+/// (`peer`, `delta`) layered under the always-present persistent full
+/// checkpoint.
+fn checkpoint_tiers_of(value: &str) -> Result<Vec<CheckpointTier>, ArgError> {
+    value
+        .split(',')
+        .map(|name| match name.trim().to_lowercase().as_str() {
+            "peer" => Ok(CheckpointTier::peer()),
+            "delta" => Ok(CheckpointTier::delta()),
+            other => Err(ArgError(format!(
+                "unknown checkpoint tier `{other}`; expected `peer` or `delta`"
+            ))),
+        })
+        .collect()
+}
+
 /// Parses the resilience options shared by `train` and `sweep`:
 /// `--mtbf S` (per-GPU MTBF, seconds) plus the optional
-/// `--checkpoint-interval S` (Young–Daly auto when absent) and
-/// `--restart S`. Returns [`CheckpointSpec::none`] when no resilience
-/// axis is requested at all.
+/// `--checkpoint-interval S` (Young–Daly auto when absent),
+/// `--restart S`, `--failure-process exp|weibull:K|racks:N:MTBF`,
+/// `--checkpoint-tiers peer,delta`, `--elastic` (+ `--rewarm S`,
+/// `--repair S`), `--delta-frac F`, and `--checkpoint-util F`. Returns
+/// [`CheckpointSpec::none`] when no resilience axis is requested at all.
 fn checkpoint_of(args: &Args) -> Result<CheckpointSpec, ArgError> {
     if args.get("mtbf").is_none() {
-        for key in ["checkpoint-interval", "restart"] {
+        for key in [
+            "checkpoint-interval",
+            "restart",
+            "failure-process",
+            "checkpoint-tiers",
+            "rewarm",
+            "repair",
+            "delta-frac",
+            "checkpoint-util",
+        ] {
             if args.get(key).is_some() {
                 return Err(ArgError(format!("--{key} only applies with --mtbf")));
             }
+        }
+        if args.flag("elastic") {
+            return Err(ArgError("--elastic only applies with --mtbf".to_owned()));
         }
         return Ok(CheckpointSpec::none());
     }
@@ -108,11 +171,44 @@ fn checkpoint_of(args: &Args) -> Result<CheckpointSpec, ArgError> {
             "--mtbf must be positive seconds of per-GPU uptime".to_owned(),
         ));
     }
+    let elastic = args.flag("elastic");
+    if !elastic {
+        for key in ["rewarm", "repair"] {
+            if args.get(key).is_some() {
+                return Err(ArgError(format!("--{key} only applies with --elastic")));
+            }
+        }
+    }
     let mut spec = CheckpointSpec::with_mtbf(mtbf_s);
     if args.get("checkpoint-interval").is_some() {
         spec = spec.with_interval(args.get_f64("checkpoint-interval", 0.0)?);
     }
     spec = spec.with_restart(args.get_f64("restart", 0.0)?);
+    if let Some(value) = args.get("failure-process") {
+        spec = spec.with_process(failure_process_of(value)?);
+    }
+    let tiers = match args.get("checkpoint-tiers") {
+        Some(value) => checkpoint_tiers_of(value)?,
+        None => Vec::new(),
+    };
+    if args.get("delta-frac").is_some() {
+        if !tiers.iter().any(|t| t.kind == TierKind::PersistentDelta) {
+            return Err(ArgError(
+                "--delta-frac only applies with a `delta` entry in --checkpoint-tiers".to_owned(),
+            ));
+        }
+        spec = spec.with_delta_fraction(args.get_f64("delta-frac", 0.0)?);
+    }
+    spec = spec.with_tiers(tiers);
+    if elastic {
+        spec = spec
+            .with_elastic(true)
+            .with_rewarm(args.get_f64("rewarm", 0.0)?)
+            .with_repair(args.get_f64("repair", 0.0)?);
+    }
+    if args.get("checkpoint-util").is_some() {
+        spec = spec.with_overhead_util(args.get_f64("checkpoint-util", 1.0)?);
+    }
     spec.validate()
         .map_err(|reason| ArgError(format!("invalid resilience options: {reason}")))?;
     Ok(spec)
@@ -249,7 +345,8 @@ fn router_of(args: &Args) -> Result<optimus_serve::RouterPolicy, ArgError> {
 }
 
 /// Parses the fault-injection options shared by `serve` and
-/// `load-sweep`: `--mtbf S` (+ `--mttr S`, `--fault-seed N`),
+/// `load-sweep`: `--mtbf S` (+ `--mttr S`, `--fault-seed N`,
+/// `--failure-process exp|weibull:K` for the uptime law),
 /// `--stragglers FRAC:MULT`, `--domains N` (+ `--domain-mtbf S`,
 /// `--domain-mttr S` — `fleet_replicas` split into N contiguous groups
 /// that fail together), and `--degrade MULT` (+ `--degrade-mode
@@ -266,6 +363,11 @@ fn faults_of(
     let degrade = args.get("degrade").is_some();
     if !crashes && args.get("mttr").is_some() {
         return Err(ArgError("--mttr only applies with --mtbf".to_owned()));
+    }
+    if !crashes && args.get("failure-process").is_some() {
+        return Err(ArgError(
+            "--failure-process only applies with --mtbf".to_owned(),
+        ));
     }
     if !domains {
         for key in ["domain-mtbf", "domain-mttr"] {
@@ -295,6 +397,9 @@ fn faults_of(
             return Err(ArgError("--mtbf must be positive seconds".to_owned()));
         }
         spec.mttr_s = args.get_f64("mttr", 30.0)?;
+        if let Some(value) = args.get("failure-process") {
+            spec = spec.with_process(failure_process_of(value)?);
+        }
     }
     if let Some(value) = stragglers {
         let parsed = value
@@ -994,8 +1099,25 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
             reject_inapplicable(
                 args,
                 "infer",
-                &["seq", "recompute", "mtbf", "checkpoint-interval", "restart"],
+                &[
+                    "seq",
+                    "recompute",
+                    "mtbf",
+                    "checkpoint-interval",
+                    "restart",
+                    "failure-process",
+                    "checkpoint-tiers",
+                    "rewarm",
+                    "repair",
+                    "delta-frac",
+                    "checkpoint-util",
+                ],
             )?;
+            if args.flag("elastic") {
+                return Err(ArgError(
+                    "--elastic does not apply to --workload infer".to_owned(),
+                ));
+            }
             Workload::inference(
                 positive(args, "batch", 1)?,
                 positive(args, "prefill", 200)?,
@@ -1022,7 +1144,7 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
 
     let checkpoint = checkpoint_of(args)?;
     let mut report = SweepEngine::new(&cluster)
-        .with_checkpoint(checkpoint)
+        .with_checkpoint(checkpoint.clone())
         .sweep(&model, &workload, &space);
     if report.evaluated.is_empty() {
         return Err(ArgError(format!(
@@ -1065,8 +1187,23 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
             Some(s) => format!("checkpoint every {s} s"),
             None => "Young–Daly checkpoint interval".to_owned(),
         };
+        let mut extras = String::new();
+        if !checkpoint.process.is_exponential() {
+            extras.push_str(&format!(", {} failures", checkpoint.process));
+        }
+        if !checkpoint.tiers.is_empty() {
+            let names: Vec<String> = checkpoint
+                .tiers
+                .iter()
+                .map(|t| t.kind.to_string())
+                .collect();
+            extras.push_str(&format!(", extra tiers: {}", names.join("+")));
+        }
+        if checkpoint.elastic {
+            extras.push_str(", elastic fallback");
+        }
         out.push_str(&format!(
-            "resilience: per-GPU mtbf {} s, {interval}, restart {} s — latency, cost, \
+            "resilience: per-GPU mtbf {} s, {interval}, restart {} s{extras} — latency, cost, \
              and energy are failure-expected\n\n",
             checkpoint.mtbf_s, checkpoint.restart_s
         ));
@@ -1124,6 +1261,10 @@ USAGE:
                      [--dp N] [--tp N] [--pp N] [--sp] [--microbatch N]
                      [--precision P] [--recompute none|selective|full]
                      [--mtbf S] [--checkpoint-interval S] [--restart S]
+                     [--failure-process exp|weibull:K|racks:N:MTBF]
+                     [--checkpoint-tiers peer,delta] [--delta-frac F]
+                     [--elastic] [--rewarm S] [--repair S]
+                     [--checkpoint-util F]
                      [--flash] [--json]
   optimus-cli infer  [--model M] [--cluster C] [--batch N] [--prefill N]
                      [--generate N] [--tp N] [--precision P] [--json]
@@ -1133,6 +1274,7 @@ USAGE:
                      [--scheduler S] [--priority-classes N]
                      [--prefix-tokens N] [--prefix-pool N] [--prefix-rate F]
                      [--mtbf S] [--mttr S] [--fault-seed N]
+                     [--failure-process exp|weibull:K]
                      [--domains N] [--domain-mtbf S] [--domain-mttr S]
                      [--stragglers F:M] [--degrade M]
                      [--degrade-mode flat|link]
@@ -1147,6 +1289,7 @@ USAGE:
                      [--preempt recompute|swap] [--priority-classes N]
                      [--prefix-tokens N] [--prefix-pool N] [--prefix-rate F]
                      [--mtbf S] [--mttr S] [--fault-seed N]
+                     [--failure-process exp|weibull:K]
                      [--domains N] [--domain-mtbf S] [--domain-mttr S]
                      [--stragglers F:M] [--degrade M]
                      [--degrade-mode flat|link]
@@ -1160,6 +1303,10 @@ USAGE:
                      [--max-gpus N] [--batch N] [--seq N] [--prefill N]
                      [--generate N] [--recompute MODE] [--precisions P,P]
                      [--mtbf S] [--checkpoint-interval S] [--restart S]
+                     [--failure-process exp|weibull:K|racks:N:MTBF]
+                     [--checkpoint-tiers peer,delta] [--delta-frac F]
+                     [--elastic] [--rewarm S] [--repair S]
+                     [--checkpoint-util F]
                      [--top N] [--frontier-only] [--full] [--json]
   optimus-cli list
 
@@ -1177,6 +1324,12 @@ FAULT INJECTION (serve and load-sweep; deterministic, seeded):
                     replicas drain their in-flight requests back to the
                     router for requeueing, and routers skip down replicas
   --mttr S          mean seconds to repair one crash (default 30)
+  --failure-process exp|weibull:K
+                    the uptime law behind --mtbf: `exp` (default,
+                    memoryless) or `weibull:K` with shape K — K < 1
+                    models infant mortality (bursty early failures),
+                    K > 1 wear-out. Rack-correlated outages are spelled
+                    with --domains here
   --fault-seed N    seed of the fault processes (default 0); independent
                     of the trace and router seeds
   --stragglers F:M  fraction F of replicas run every iteration M× slower
@@ -1205,6 +1358,36 @@ TRAINING RESILIENCE (train and sweep; Young–Daly checkpoint model):
                     the Young–Daly optimum √(2δM) per strategy)
   --restart S       seconds to restart after a failure, on top of the
                     lost half-interval of rework (default 0)
+  --failure-process exp|weibull:K|racks:N:MTBF
+                    the failure law: `exp` (default), `weibull:K`
+                    (shape K — K < 1 infant mortality shortens the
+                    effective cluster MTBF; rework priced by seeded
+                    simulation), or `racks:N:MTBF` (N racks each failing
+                    wholesale every MTBF seconds, superposed on the
+                    per-GPU process)
+  --checkpoint-tiers peer,delta
+                    extra checkpoint tiers under the always-present
+                    persistent full tier: `peer` snapshots into DP-peer
+                    memory (priced as an all-gather; survives single-GPU
+                    failures only), `delta` persists only the optimizer
+                    delta (--delta-frac of its bytes, default 0.25).
+                    Each tier runs at its own Young–Daly interval; tiers
+                    that don't lower the expected waste report inactive
+  --delta-frac F    fraction of optimizer state a delta checkpoint
+                    writes (requires a `delta` tier; default 0.25)
+  --elastic         on failure, also price shrinking the DP group by the
+                    blast radius and continuing degraded (re-priced
+                    through the estimator) vs a full restart; the report
+                    keeps whichever wastes less
+  --rewarm S        seconds to re-shard into the shrunken DP group
+                    (requires --elastic; default 0)
+  --repair S        mean seconds until the failed hardware rejoins
+                    (requires --elastic; default 0)
+  --checkpoint-util F
+                    dynamic-power utilization during checkpoint/rework/
+                    restart seconds, 0..=1 (default 1 = full burn);
+                    below 1, energy and electricity cost inflate less
+                    than latency and capex
 
 PAGED KV, SCHEDULERS, AND SHARED PREFIXES (serve and load-sweep):
   --kv-block N      allocate KV in blocks of N tokens (vLLM-style paging)
@@ -1351,6 +1534,82 @@ mod tests {
         ] {
             assert!(train(&args(bad)).is_err(), "{bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn train_rejects_stack_options_without_their_anchors() {
+        // Every stack flag names the flag it needs.
+        for (bad, needs) in [
+            ("train --failure-process weibull:0.7", "--mtbf"),
+            ("train --checkpoint-tiers peer", "--mtbf"),
+            ("train --delta-frac 0.5", "--mtbf"),
+            ("train --checkpoint-util 0.5", "--mtbf"),
+            ("train --rewarm 60", "--mtbf"),
+            ("train --repair 600", "--mtbf"),
+            ("train --elastic", "--mtbf"),
+            ("train --mtbf 1e8 --rewarm 60", "--elastic"),
+            ("train --mtbf 1e8 --repair 600", "--elastic"),
+            ("train --mtbf 1e8 --delta-frac 0.5", "--checkpoint-tiers"),
+            (
+                "train --mtbf 1e8 --checkpoint-tiers peer --delta-frac 0.5",
+                "--checkpoint-tiers",
+            ),
+        ] {
+            let err = train(&args(bad)).unwrap_err();
+            assert!(
+                err.to_string().contains("only applies with") && err.to_string().contains(needs),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn train_rejects_malformed_stack_values() {
+        for bad in [
+            "train --mtbf 1e8 --failure-process weibull:x",
+            "train --mtbf 1e8 --failure-process weibull:0",
+            "train --mtbf 1e8 --failure-process racks:2",
+            "train --mtbf 1e8 --failure-process racks:0:5000",
+            "train --mtbf 1e8 --failure-process racks:2:0",
+            "train --mtbf 1e8 --failure-process bogus",
+            "train --mtbf 1e8 --checkpoint-tiers full",
+            "train --mtbf 1e8 --checkpoint-tiers peer,peer",
+            "train --mtbf 1e8 --checkpoint-tiers peer,delta --delta-frac 0",
+            "train --mtbf 1e8 --checkpoint-tiers delta --delta-frac 1.5",
+            "train --mtbf 1e8 --checkpoint-util 1.5",
+            "train --mtbf 1e8 --checkpoint-util -0.1",
+            "train --mtbf 1e8 --elastic --rewarm -1",
+            "train --mtbf 1e8 --elastic --repair -1",
+        ] {
+            assert!(train(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn train_with_stack_reports_tiers_and_elastic() {
+        let base = "train --model llama2-13b --batch 64 --dp 8 --tp 8 --sp \
+                    --mtbf 40000 --restart 900 --failure-process weibull:0.7 \
+                    --checkpoint-tiers peer,delta --elastic --rewarm 60 --repair 1800";
+        let out = train(&args(base)).unwrap();
+        assert!(out.contains("weibull"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&train(&args(&format!("{base} --json"))).unwrap()).unwrap();
+        let resilience = v.get("resilience").expect("resilience section");
+        assert!(resilience.get("process").is_some(), "{resilience:?}");
+        let tiers = resilience.get("tiers").unwrap().as_array().unwrap();
+        assert_eq!(tiers.len(), 2);
+        let elastic = resilience.get("elastic").expect("elastic section");
+        assert!(elastic.get("chosen").is_some());
+        // Goodput under a stacked spec is at least the plain-restart one.
+        let restart = elastic
+            .get("restart_goodput")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap();
+        let goodput = resilience
+            .get("goodput")
+            .and_then(serde_json::Value::as_f64)
+            .unwrap();
+        assert!(goodput >= restart, "goodput {goodput} < restart {restart}");
     }
 
     #[test]
@@ -1653,6 +1912,48 @@ mod tests {
     }
 
     #[test]
+    fn serve_rejects_bad_failure_process_options() {
+        let err = serve(&args("serve --failure-process weibull:0.7")).unwrap_err();
+        assert!(
+            err.to_string().contains("only applies with --mtbf"),
+            "{err}"
+        );
+        let err = serve(&args("serve --mtbf 5 --failure-process racks:2:5000")).unwrap_err();
+        assert!(err.to_string().contains("--domains"), "{err}");
+        for bad in [
+            "serve --mtbf 5 --failure-process weibull:0",
+            "serve --mtbf 5 --failure-process weibull:x",
+            "serve --mtbf 5 --failure-process bogus",
+        ] {
+            assert!(serve(&args(bad)).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn serve_weibull_uptimes_change_the_outage_pattern() {
+        let base = "serve --model llama2-7b --tp 1 --requests 60 --rate 10 \
+                    --prompt 100 --output 8 --mtbf 8 --mttr 2";
+        let exp = serve(&args(&format!("{base} --json"))).unwrap();
+        // Spelling the default law explicitly is byte-identical.
+        let explicit = serve(&args(&format!("{base} --failure-process exp --json"))).unwrap();
+        assert_eq!(exp, explicit);
+        let weibull = serve(&args(&format!(
+            "{base} --failure-process weibull:0.7 --json"
+        )))
+        .unwrap();
+        assert_ne!(exp, weibull, "shape 0.7 must reshuffle the outages");
+        let v: serde_json::Value = serde_json::from_str(&weibull).unwrap();
+        let process = v.get("faults").unwrap().get("process").unwrap();
+        assert_eq!(
+            process
+                .get("Weibull")
+                .and_then(|w| w.get("shape"))
+                .and_then(serde_json::Value::as_f64),
+            Some(0.7)
+        );
+    }
+
+    #[test]
     fn load_sweep_with_domains_labels_the_report() {
         let out = load_sweep(&args(
             "load-sweep --model llama2-7b --tp-list 1 --replicas-list 2 \
@@ -1878,6 +2179,39 @@ mod tests {
         ] {
             assert!(sweep(&args(bad)).is_err(), "{bad} should be rejected");
         }
+    }
+
+    #[test]
+    fn sweep_rejects_stack_options_on_the_infer_workload() {
+        for bad in [
+            "sweep --workload infer --failure-process weibull:0.7",
+            "sweep --workload infer --checkpoint-tiers peer",
+            "sweep --workload infer --rewarm 60",
+            "sweep --workload infer --repair 600",
+            "sweep --workload infer --delta-frac 0.5",
+            "sweep --workload infer --checkpoint-util 0.5",
+            "sweep --workload infer --elastic",
+        ] {
+            let err = sweep(&args(bad)).unwrap_err();
+            assert!(
+                err.to_string()
+                    .contains("does not apply to --workload infer"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_with_stack_labels_the_resilience_line() {
+        let out = sweep(&args(
+            "sweep --model llama2-13b --workload train --batch 16 --max-gpus 16 \
+             --mtbf 40000 --restart 900 --failure-process weibull:0.7 \
+             --checkpoint-tiers peer,delta --elastic --frontier-only",
+        ))
+        .unwrap();
+        assert!(out.contains("weibull(k=0.7) failures"), "{out}");
+        assert!(out.contains("extra tiers: peer+delta"), "{out}");
+        assert!(out.contains("elastic fallback"), "{out}");
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod refdata;
 /// The types needed by almost every user of the suite.
 pub mod prelude {
     pub use crate::hw;
+    pub use crate::hw::FailureProcess;
     pub use crate::hw::{Accelerator, ClusterSpec, Precision};
     pub use crate::infer::{
         InferenceConfig, InferenceEstimator, InferenceReport, PreparedInferenceEstimator,
@@ -75,8 +76,8 @@ pub mod prelude {
     pub use crate::parallel::{Parallelism, PipelineSchedule};
     pub use crate::refdata;
     pub use crate::train::{
-        CheckpointSpec, PreparedTrainingEstimator, ResilienceReport, TrainingConfig,
-        TrainingEstimator, TrainingReport,
+        CheckpointSpec, CheckpointTier, ElasticReport, PreparedTrainingEstimator, ResilienceReport,
+        TierKind, TrainingConfig, TrainingEstimator, TrainingReport,
     };
     pub use crate::units::{Bandwidth, Bytes, FlopCount, FlopThroughput, Ratio, Time};
 }

@@ -67,7 +67,15 @@ impl CostModel {
     /// Electricity cost of an energy report, USD.
     #[must_use]
     pub fn energy_usd(&self, energy: &EnergyReport) -> f64 {
-        let kwh = energy.total().joules() / 3.6e6;
+        self.energy_usd_joules(energy.total().joules())
+    }
+
+    /// Electricity cost of a raw joule count, USD — for callers that
+    /// assemble energy totals outside an [`EnergyReport`] (e.g. the
+    /// sweep's derated checkpoint-overhead pricing).
+    #[must_use]
+    pub fn energy_usd_joules(&self, joules: f64) -> f64 {
+        let kwh = joules / 3.6e6;
         kwh * self.pue * self.electricity_usd_per_kwh
     }
 

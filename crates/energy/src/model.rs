@@ -50,6 +50,24 @@ impl EnergyReport {
     pub fn mean_power(&self, duration: Time) -> Power {
         Power::new(self.total().joules() / duration.secs().max(1e-12))
     }
+
+    /// Activity-proportional (non-static) energy: compute + DRAM +
+    /// network.
+    #[must_use]
+    pub fn dynamic(&self) -> Energy {
+        self.compute + self.dram + self.network
+    }
+
+    /// Energy burned during `waste` extra seconds per useful second of
+    /// this execution (checkpoint writes, rework, restarts), with the
+    /// dynamic draw derated to `util` of its busy-time rate. The static
+    /// floor always burns — idle GPUs still power HBM refresh, fans, and
+    /// leakage — so `util = 1` reproduces full-burn inflation and
+    /// `util = 0` prices overhead time at the static floor alone.
+    #[must_use]
+    pub fn overhead_energy(&self, waste: f64, util: f64) -> Energy {
+        (self.dynamic() * util + self.static_floor) * waste
+    }
 }
 
 impl core::fmt::Display for EnergyReport {

@@ -36,6 +36,7 @@ pub mod memtech;
 pub mod nettech;
 mod precision;
 pub mod presets;
+pub mod reliability;
 mod system;
 mod util;
 
@@ -46,5 +47,6 @@ pub use error::HwError;
 pub use link::LinkSpec;
 pub use memory::{MemoryLevel, MemoryLevelKind};
 pub use precision::Precision;
+pub use reliability::FailureProcess;
 pub use system::{ClusterSpec, NodeSpec};
 pub use util::UtilizationCurve;

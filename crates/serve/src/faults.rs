@@ -53,11 +53,12 @@
 //! `chaos_props.rs` — to leave the fleet path bit-identical to a
 //! fault-free simulation.
 
-use optimus_hw::ClusterSpec;
+use optimus_hw::reliability::weibull_scale;
+use optimus_hw::{ClusterSpec, FailureProcess};
 use rand::distributions::{Distribution, Exp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Distinguishes the per-replica random streams drawn from one fault
 /// seed.
@@ -129,7 +130,7 @@ pub enum DegradeMode {
 /// groups. The spec is `Clone`, comparable, and serializable; the
 /// degenerate [`FaultSpec::none`] encodes "no faults" (and the fleet path
 /// treats it as exactly the fault-free simulation).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSpec {
     /// Seed of every fault process. Independent of the trace and router
     /// seeds; per-replica streams are derived from `(seed, replica)` and
@@ -154,6 +155,12 @@ pub struct FaultSpec {
     pub degrade_mode: DegradeMode,
     /// Shared failure domains layered on the per-replica crash processes.
     pub domains: Vec<FaultDomain>,
+    /// Shape of the per-replica uptime distribution (default
+    /// exponential). [`FailureProcess::Weibull`] with `k < 1` models
+    /// infant mortality; `k = 1` routes through the exponential sampler
+    /// bit-exactly. Rack-style correlation is expressed with `domains`,
+    /// so [`FailureProcess::RackCorrelated`] is rejected here.
+    pub process: FailureProcess,
 }
 
 impl FaultSpec {
@@ -171,6 +178,7 @@ impl FaultSpec {
             degrade_mult: 1.0,
             degrade_mode: DegradeMode::Flat,
             domains: Vec::new(),
+            process: FailureProcess::Exponential,
         }
     }
 
@@ -220,6 +228,13 @@ impl FaultSpec {
     #[must_use]
     pub fn with_domains(mut self, domains: Vec<FaultDomain>) -> Self {
         self.domains = domains;
+        self
+    }
+
+    /// Sets the per-replica uptime distribution shape.
+    #[must_use]
+    pub fn with_process(mut self, process: FailureProcess) -> Self {
+        self.process = process;
         self
     }
 
@@ -320,6 +335,13 @@ impl FaultSpec {
                 ));
             }
         }
+        self.process.validate()?;
+        if matches!(self.process, FailureProcess::RackCorrelated { .. }) {
+            return Err(
+                "rack-correlated outages are expressed with failure domains here;                  use --domains instead"
+                    .to_owned(),
+            );
+        }
         Ok(())
     }
 
@@ -338,6 +360,7 @@ impl FaultSpec {
                 domain.mttr_s = 0.0;
             }
         }
+        self.process = self.process.json_safe();
         self
     }
 
@@ -455,6 +478,48 @@ fn clipped_stats(windows: &[(f64, f64)], horizon_s: f64) -> (usize, f64) {
     (windows.len(), downtime)
 }
 
+impl Serialize for FaultSpec {
+    fn to_value(&self) -> Value {
+        // The eight pre-Weibull fields always serialize in their
+        // original order; `process` is omitted when exponential so
+        // existing fleet reports stay byte-identical.
+        let mut fields = vec![
+            ("seed".to_owned(), self.seed.to_value()),
+            ("mtbf_s".to_owned(), self.mtbf_s.to_value()),
+            ("mttr_s".to_owned(), self.mttr_s.to_value()),
+            ("straggler_frac".to_owned(), self.straggler_frac.to_value()),
+            ("straggler_mult".to_owned(), self.straggler_mult.to_value()),
+            ("degrade_mult".to_owned(), self.degrade_mult.to_value()),
+            ("degrade_mode".to_owned(), self.degrade_mode.to_value()),
+            ("domains".to_owned(), self.domains.to_value()),
+        ];
+        if self.process != FailureProcess::Exponential {
+            fields.push(("process".to_owned(), self.process.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FaultSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let mut spec = Self {
+            seed: u64::from_value(v.field_or_null("seed"))?,
+            mtbf_s: f64::from_value(v.field_or_null("mtbf_s"))?,
+            mttr_s: f64::from_value(v.field_or_null("mttr_s"))?,
+            straggler_frac: f64::from_value(v.field_or_null("straggler_frac"))?,
+            straggler_mult: f64::from_value(v.field_or_null("straggler_mult"))?,
+            degrade_mult: f64::from_value(v.field_or_null("degrade_mult"))?,
+            degrade_mode: DegradeMode::from_value(v.field_or_null("degrade_mode"))?,
+            domains: Vec::<FaultDomain>::from_value(v.field_or_null("domains"))?,
+            process: FailureProcess::Exponential,
+        };
+        if let Some(process) = v.get("process") {
+            spec.process = FailureProcess::from_value(process)?;
+        }
+        Ok(spec)
+    }
+}
+
 /// The splitmix64 finalizer: decorrelates the per-replica streams drawn
 /// from one user-facing seed.
 fn splitmix(mut x: u64) -> u64 {
@@ -479,6 +544,28 @@ pub(crate) struct FaultTimeline {
     mtbf_s: f64,
     mttr_s: f64,
     at_s: f64,
+    law: UptimeLaw,
+}
+
+/// Resolved uptime sampler of one timeline. Exponential keeps the exact
+/// pre-Weibull sampling expression (the PR 6/7 goldens pin it); Weibull
+/// inverts `1 - exp(-(x/scale)^k)` on the same single RNG word per
+/// sample, so enabling it never shifts any other stream.
+enum UptimeLaw {
+    Exponential,
+    Weibull { scale: f64, inv_shape: f64 },
+}
+
+impl UptimeLaw {
+    fn of(process: FailureProcess, mtbf_s: f64) -> Self {
+        match process {
+            FailureProcess::Weibull { shape } if shape != 1.0 => Self::Weibull {
+                scale: weibull_scale(mtbf_s, shape),
+                inv_shape: 1.0 / shape,
+            },
+            _ => Self::Exponential,
+        }
+    }
 }
 
 impl FaultTimeline {
@@ -489,6 +576,7 @@ impl FaultTimeline {
             mtbf_s: spec.mtbf_s,
             mttr_s: spec.mttr_s,
             at_s: 0.0,
+            law: UptimeLaw::of(spec.process, spec.mtbf_s),
         })
     }
 
@@ -497,18 +585,28 @@ impl FaultTimeline {
     /// `None` when the domain is inactive.
     pub(crate) fn domain(spec: &FaultSpec, index: usize) -> Option<Self> {
         let domain = &spec.domains[index];
+        // Domains model correlated infrastructure (racks, switches) whose
+        // outage statistics are their own; they stay exponential.
         (domain.mtbf_s.is_finite() && domain.mtbf_s > 0.0).then(|| Self {
             rng: stream_rng(spec.seed, index, DOMAIN_STREAM),
             mtbf_s: domain.mtbf_s,
             mttr_s: domain.mttr_s,
             at_s: 0.0,
+            law: UptimeLaw::Exponential,
         })
     }
 
     /// The next `(crash_s, recover_s)` window; successive windows are
     /// disjoint and time-ordered.
     pub(crate) fn next_window(&mut self) -> (f64, f64) {
-        let crash = self.at_s + Exp::new(1.0 / self.mtbf_s).sample(&mut self.rng);
+        let uptime = match &self.law {
+            UptimeLaw::Exponential => Exp::new(1.0 / self.mtbf_s).sample(&mut self.rng),
+            UptimeLaw::Weibull { scale, inv_shape } => {
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                scale * (-(1.0 - u).ln()).powf(*inv_shape)
+            }
+        };
+        let crash = self.at_s + uptime;
         let recover = crash + Exp::new(1.0 / self.mttr_s).sample(&mut self.rng);
         self.at_s = recover;
         (crash, recover)

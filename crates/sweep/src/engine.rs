@@ -266,7 +266,7 @@ impl<'e, 'a> PreparedSweep<'e, 'a> {
                 PreparedTrainingEstimator::new(engine.cluster, model, *batch, *seq)
                     .with_recompute(*recompute)
                     .with_schedule(*schedule)
-                    .with_checkpoint(engine.checkpoint),
+                    .with_checkpoint(engine.checkpoint.clone()),
             ),
             Workload::Inference {
                 batch,
@@ -313,10 +313,26 @@ impl<'e, 'a> PreparedSweep<'e, 'a> {
                 // checkpoints, rework, and restarts hold (and power) the
                 // same GPUs — so latency, energy, and cost all inflate by
                 // the same factor. With goodput = 1.0 (or no spec) the
-                // figures are bitwise the raw ones.
-                let (inflate, goodput) = match &report.resilience {
-                    Some(r) => (1.0 + r.waste(), Some(r.goodput)),
-                    None => (1.0, None),
+                // figures are bitwise the raw ones. When the spec derates
+                // overhead utilization below 1, the extra seconds burn the
+                // dynamic draw at that fraction (plus the full static
+                // floor), so energy and the electricity share of cost
+                // inflate less than capex does.
+                let (waste, goodput) = match &report.resilience {
+                    Some(r) => (r.waste(), Some(r.goodput)),
+                    None => (0.0, None),
+                };
+                let inflate = 1.0 + waste;
+                let overhead_util = self.engine.checkpoint.overhead_util;
+                let (energy_total, cost_usd) = if overhead_util == 1.0 {
+                    (energy.total() * inflate, cost.total_usd * inflate)
+                } else {
+                    let total = energy.total() + energy.overhead_energy(waste, overhead_util);
+                    (
+                        total,
+                        cost.capex_usd * inflate
+                            + self.engine.cost.energy_usd_joules(total.joules()),
+                    )
                 };
                 Ok(EvaluatedPoint {
                     point,
@@ -325,8 +341,8 @@ impl<'e, 'a> PreparedSweep<'e, 'a> {
                     throughput: self.workload.work_units()
                         / (report.time_per_batch.secs() * inflate),
                     memory_per_device: report.memory.total(),
-                    energy: energy.total() * inflate,
-                    cost_usd: cost.total_usd * inflate,
+                    energy: energy_total,
+                    cost_usd,
                     mfu: Some(report.mfu),
                     goodput,
                 })

@@ -81,6 +81,76 @@ fn finite_mtbf_dominates_the_failure_free_latency_champion() {
     assert!(free.evaluated.iter().all(|p| p.goodput.is_none()));
 }
 
+/// The PR 7-era champion — the best single-tier strategy under the
+/// harsh spec — is itself dominated once the spec prices the full
+/// stack: Weibull infant mortality (k = 0.7) punishes the plain
+/// restart-everything model, while peer/delta tiers and elastic
+/// continuation claw the waste back. Every strategy's goodput improves
+/// or holds, and the old champion's own (latency, cost) point moves
+/// strictly down.
+#[test]
+fn tiered_elastic_stack_dominates_the_single_tier_champion() {
+    use optimus_hw::FailureProcess;
+    use optimus_train::CheckpointTier;
+
+    let cluster = presets::dgx_a100_hdr_cluster();
+    let model = models::llama2_13b();
+    let space = SweepSpace::power_of_two(64);
+
+    let weibull = harsh().with_process(FailureProcess::Weibull { shape: 0.7 });
+    // No repair wait: `repair_s` models extra downtime both recovery
+    // arms pay, so pricing it here would change the question, not the
+    // answer. The stack's win comes from tiers + cheap re-warm alone.
+    let stacked = weibull
+        .clone()
+        .with_tiers(vec![CheckpointTier::peer(), CheckpointTier::delta()])
+        .with_elastic(true)
+        .with_rewarm(60.0);
+
+    let single =
+        SweepEngine::new(&cluster)
+            .with_checkpoint(weibull)
+            .sweep(&model, &workload(), &space);
+    let full =
+        SweepEngine::new(&cluster)
+            .with_checkpoint(stacked)
+            .sweep(&model, &workload(), &space);
+
+    // Same strategy space, point for point.
+    assert_eq!(single.evaluated.len(), full.evaluated.len());
+    let champion = single
+        .frontier
+        .iter()
+        .min_by(|a, b| a.latency.partial_cmp(&b.latency).unwrap())
+        .expect("the harsh frontier is non-empty");
+    let mut strictly_better = 0usize;
+    for (a, b) in single.evaluated.iter().zip(&full.evaluated) {
+        assert_eq!(a.point, b.point, "evaluation order is deterministic");
+        let (ga, gb) = (a.goodput.unwrap(), b.goodput.unwrap());
+        assert!(
+            gb >= ga - 1e-12,
+            "{:?}: stacked goodput {gb} under single-tier {ga}",
+            a.point
+        );
+        strictly_better += usize::from(gb > ga + 1e-9);
+        if a.point == champion.point {
+            assert!(
+                b.latency < champion.latency && b.cost_usd < champion.cost_usd,
+                "the single-tier champion must be strictly repriced: \
+                 latency {} → {}, cost {} → {}",
+                champion.latency,
+                b.latency,
+                champion.cost_usd,
+                b.cost_usd
+            );
+        }
+    }
+    assert!(
+        strictly_better > 0,
+        "the stack must strictly improve at least one strategy"
+    );
+}
+
 #[test]
 fn none_checkpoint_reproduces_the_spec_free_sweep_exactly() {
     let cluster = presets::dgx_a100_hdr_cluster();

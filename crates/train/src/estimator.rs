@@ -104,7 +104,7 @@ impl<'a> TrainingEstimator<'a> {
     /// workload/cluster or the precision is unsupported by the device.
     pub fn estimate(&self, cfg: &TrainingConfig) -> Result<TrainingReport, TrainError> {
         PreparedTrainingEstimator::from_config(self.cluster, cfg)
-            .with_checkpoint(self.checkpoint)
+            .with_checkpoint(self.checkpoint.clone())
             .estimate(cfg.parallelism, cfg.precision)
     }
 }

@@ -23,4 +23,7 @@ pub use config::TrainingConfig;
 pub use estimator::{TrainError, TrainingEstimator};
 pub use prepared::PreparedTrainingEstimator;
 pub use report::{GemmBoundSplit, TrainingBreakdown, TrainingReport};
-pub use resilience::{waste_fraction, young_daly_interval, CheckpointSpec, ResilienceReport};
+pub use resilience::{
+    waste_fraction, young_daly_interval, CheckpointSpec, CheckpointTier, ElasticReport,
+    ResilienceReport, StackContext, TierKind, TierReport, DELTA_FRACTION_DEFAULT,
+};

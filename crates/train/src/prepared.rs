@@ -22,7 +22,8 @@
 //! `optimus-sweep` integration tests pin down).
 
 use crate::{
-    CheckpointSpec, GemmBoundSplit, TrainError, TrainingBreakdown, TrainingConfig, TrainingReport,
+    CheckpointSpec, GemmBoundSplit, StackContext, TrainError, TrainingBreakdown, TrainingConfig,
+    TrainingReport,
 };
 use optimus_collective::CommModel;
 use optimus_hw::{ClusterSpec, Precision};
@@ -348,9 +349,17 @@ impl<'a> PreparedTrainingEstimator<'a> {
         let system_peak = peak * p.total_gpus() as f64;
         let mfu = self.model_flops.get() / (system_peak.get() * time_per_batch.secs());
 
-        let resilience =
-            self.checkpoint
-                .evaluate(self.cluster, &memory, p.total_gpus(), time_per_batch);
+        let resilience = self.checkpoint.evaluate_stack(
+            &StackContext {
+                cluster: self.cluster,
+                memory: &memory,
+                gpus: p.total_gpus(),
+                parallelism: Some(p),
+                comm: self.comm,
+                time_per_batch,
+            },
+            &|dp| self.reprice_dp(p, precision, dp).ok(),
+        );
 
         Ok(TrainingReport {
             time_per_batch,
@@ -365,6 +374,61 @@ impl<'a> PreparedTrainingEstimator<'a> {
             network_traffic,
             resilience,
         })
+    }
+
+    /// The elastic repricing entry point: the failure-free time of one
+    /// *shrunken* batch after the DP group drops from `parallelism.dp`
+    /// to `dp` replicas. The per-replica batch stays constant (the
+    /// global batch shrinks to `batch · dp / parallelism.dp`), so the
+    /// microbatch count per pipeline is unchanged and the layer-cost
+    /// memo key is identical — repricing is pure assembly, exactly like
+    /// a DP change within a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the shrunken parallelization is
+    /// invalid for the cluster, the batch does not divide across the
+    /// original DP group, or the precision is unsupported.
+    pub fn reprice_dp(
+        &self,
+        parallelism: Parallelism,
+        precision: Precision,
+        dp: usize,
+    ) -> Result<Time, TrainError> {
+        let p = parallelism;
+        // Integer per-group batch: `estimate` already divided the batch
+        // across p.dp groups, so this is exact for any strategy that
+        // evaluated successfully.
+        let batch = self.batch / p.dp * dp;
+        let shrunk = Parallelism::new(dp.max(1), p.tp, p.pp)
+            .with_sp(p.sp)
+            .with_microbatch(p.microbatch);
+        shrunk.validate(self.cluster)?;
+        let microbatches = shrunk.microbatches(batch)?;
+        let layers_per_stage = shrunk.layers_per_stage(self.model.layers)?;
+
+        let lc = self.layer_costs(shrunk.tp, shrunk.sp, shrunk.microbatch, precision)?;
+        let layer_cost = lc.fwd.plus(&lc.bwd).plus(&lc.recompute);
+        let layer_time = layer_cost.time;
+        let plan = CommPlan::new(self.cluster, shrunk, self.comm);
+
+        let stage_compute = layer_time * layers_per_stage as f64;
+        let stage_tp = lc.tp_per_layer * layers_per_stage as f64;
+        let stage_extra = lc.emb_head.time / shrunk.pp as f64;
+        let p2p_per_ubatch = plan.pp_hop(lc.act_volume) * 2.0 * self.schedule.p2p_multiplier();
+
+        let stage_time = stage_compute + stage_tp + stage_extra + p2p_per_ubatch;
+        let busy = stage_time * microbatches as f64;
+        let bubble = busy * self.schedule.bubble_fraction(shrunk.pp, microbatches);
+
+        let params_per_device = layers_per_stage as f64 * self.model.layer_param_count()
+            / shrunk.tp as f64
+            + self.model.embedding_param_count() / shrunk.tp as f64;
+        let grad_volume = Bytes::new(params_per_device * precision.bytes());
+        let dp_comm = plan.dp_gradient_allreduce(grad_volume);
+        let weight_update = self.weight_update_time(precision, params_per_device);
+
+        Ok(busy + bubble + dp_comm + weight_update)
     }
 
     /// Looks a key up in the memo table, computing (and publishing) it on a

@@ -1,22 +1,30 @@
-//! Byte-identity pins of the serving reports against golden JSON
-//! fixtures captured at the commit *before* paged KV, prefix caching,
-//! and pluggable schedulers landed.
+//! Byte-identity pins of the serving and training reports against
+//! golden JSON fixtures.
 //!
-//! The default regime — `KvSpec::reserved()` + FIFO — must keep
-//! emitting byte-identical reports: the new `paging` section is
-//! *omitted* (not `null`) when absent, which requires the hand-written
-//! `Serialize` impls in `optimus-serve` to stay in sync with their
-//! structs. Each test replays the exact CLI invocation that produced
-//! its fixture (`optimus-cli serve … --json`, a100-hdr cluster,
-//! llama2-7b, fp16, default SLO) in-process and compares the pretty
-//! JSON byte-for-byte.
+//! The serving fixtures were captured at the commit *before* paged KV,
+//! prefix caching, and pluggable schedulers landed; the training and
+//! sweep fixtures at the commit *before* the composable resilience
+//! stack (tiered checkpoints, failure processes, elastic training)
+//! landed. The pre-existing regimes — `KvSpec::reserved()` + FIFO on
+//! the serving side, a plain `--mtbf`/`--restart` exponential spec on
+//! the training side — must keep emitting byte-identical reports: the
+//! new sections are *omitted* (not `null`) when absent, which requires
+//! the hand-written `Serialize` impls in `optimus-serve` and
+//! `optimus-train` to stay in sync with their structs. Each test
+//! replays the exact CLI invocation that produced its fixture
+//! in-process and compares the pretty JSON byte-for-byte.
 
 use optimus::hw::presets;
+use optimus::memory::RecomputeMode;
 use optimus::model::presets as models;
+use optimus::prelude::{
+    CheckpointSpec, Parallelism, PipelineSchedule, TrainingConfig, TrainingEstimator,
+};
 use optimus_serve::{
     simulate, simulate_fleet, ArrivalProcess, FaultSpec, FleetConfig, LengthDist, RouterPolicy,
     ServeConfig, TraceSpec,
 };
+use optimus_sweep::{SweepEngine, SweepSpace, Workload};
 use std::sync::Arc;
 
 fn trace(
@@ -111,5 +119,52 @@ fn faulted_fleet_report_is_byte_identical_to_the_pre_paging_fixture() {
         serde_json::to_string_pretty(&report).unwrap(),
         include_str!("golden/fleet_faulted.json"),
         "faulted FleetReport JSON drifted from the pre-paging fixture"
+    );
+}
+
+/// `train --model llama2-13b --cluster a100-hdr --batch 64 --seq 2048
+/// --dp 8 --tp 8 --sp --mtbf 50000000 --restart 300 --json`
+#[test]
+fn basic_resilience_train_report_is_byte_identical_to_the_pre_stack_fixture() {
+    let cfg = TrainingConfig::new(
+        models::llama2_13b(),
+        64,
+        2048,
+        Parallelism::new(8, 8, 1).with_sp(true),
+    )
+    .with_recompute(RecomputeMode::Selective);
+    let report = TrainingEstimator::new(&presets::dgx_a100_hdr_cluster())
+        .with_checkpoint(CheckpointSpec::with_mtbf(50_000_000.0).with_restart(300.0))
+        .estimate(&cfg)
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        include_str!("golden/train_resilience.json"),
+        "basic-spec TrainingReport JSON drifted from the pre-stack fixture"
+    );
+}
+
+/// `sweep --model llama2-13b --cluster a100-hdr --workload train
+/// --batch 64 --max-gpus 64 --mtbf 10000 --restart 900 --frontier-only
+/// --json`
+#[test]
+fn basic_resilience_sweep_frontier_is_byte_identical_to_the_pre_stack_fixture() {
+    let workload = Workload::Training {
+        batch: 64,
+        seq: 2048,
+        recompute: RecomputeMode::Selective,
+        schedule: PipelineSchedule::OneFOneB,
+    };
+    let report = SweepEngine::new(&presets::dgx_a100_hdr_cluster())
+        .with_checkpoint(CheckpointSpec::with_mtbf(10_000.0).with_restart(900.0))
+        .sweep(
+            &models::llama2_13b(),
+            &workload,
+            &SweepSpace::power_of_two(64),
+        );
+    assert_eq!(
+        serde_json::to_string_pretty(&report.frontier).unwrap(),
+        include_str!("golden/sweep_resilience_frontier.json"),
+        "basic-spec sweep frontier JSON drifted from the pre-stack fixture"
     );
 }
